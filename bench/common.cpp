@@ -1,0 +1,171 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+namespace strings::bench {
+
+Options Options::parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) opt.quick = true;
+  }
+  if (const char* env = std::getenv("STRINGS_BENCH_QUICK");
+      env != nullptr && env[0] == '1') {
+    opt.quick = true;
+  }
+  return opt;
+}
+
+namespace {
+std::vector<workloads::ArrivalConfig> to_arrivals(
+    const std::vector<StreamSpec>& streams) {
+  std::vector<workloads::ArrivalConfig> arrivals;
+  for (const auto& s : streams) {
+    workloads::ArrivalConfig a;
+    a.app = s.app;
+    a.origin = s.origin;
+    a.requests = s.requests;
+    a.lambda_scale = s.lambda_scale;
+    a.seed = s.seed;
+    a.tenant = s.tenant;
+    a.tenant_weight = s.tenant_weight;
+    a.server_threads = s.server_threads;
+    arrivals.push_back(std::move(a));
+  }
+  return arrivals;
+}
+
+workloads::TestbedConfig to_testbed_config(const RunConfig& cfg) {
+  workloads::TestbedConfig tcfg;
+  tcfg.mode = cfg.mode;
+  tcfg.nodes = cfg.nodes.empty() ? workloads::small_server() : cfg.nodes;
+  tcfg.balancing_policy = cfg.balancing;
+  tcfg.feedback_policy = cfg.feedback;
+  tcfg.device_policy = cfg.device_policy;
+  tcfg.trace_devices = cfg.trace_devices;
+  tcfg.convert_sync_to_async = cfg.convert_sync_to_async;
+  tcfg.convert_device_sync = cfg.convert_device_sync;
+  tcfg.nonblocking_rpc = cfg.nonblocking_rpc;
+  tcfg.use_device_scheduler = cfg.use_device_scheduler;
+  tcfg.remote_link = cfg.remote_link;
+  tcfg.shared_network = cfg.shared_network;
+  return tcfg;
+}
+
+void collect(const RunConfig& cfg, workloads::Testbed& bed,
+             const std::vector<StreamSpec>& streams, RunOutput& out) {
+  for (const auto& s : streams) {
+    out.tenant_service_s[s.tenant] = bed.attained_service_s(s.tenant);
+  }
+  for (const auto& st : out.streams) {
+    out.makespan = std::max(out.makespan, st.makespan);
+  }
+  for (core::Gid g = 0; g < bed.gpu_count(); ++g) {
+    out.device_counters.push_back(bed.device(g).counters());
+    if (cfg.trace_devices && out.makespan > 0) {
+      const auto& tr = bed.device(g).tracer();
+      DeviceUtilSummary u;
+      u.mean_compute_util = tr.mean_compute_util(0, out.makespan);
+      u.mean_bw_util = tr.mean_bw_util(0, out.makespan);
+      u.idle_frac = tr.compute_idle_fraction(0, out.makespan);
+      u.switching_frac = tr.switching_fraction(0, out.makespan);
+      u.util_cov = tr.compute_util_cov(0, out.makespan, sim::msec(100));
+      u.idle_gaps = tr.idle_gap_count(0, out.makespan, sim::msec(5));
+      out.device_util.push_back(u);
+    }
+  }
+}
+}  // namespace
+
+RunOutput run_scenario_until(const RunConfig& cfg,
+                             const std::vector<StreamSpec>& streams,
+                             sim::SimTime horizon) {
+  sim::Simulation sim;
+  workloads::TestbedConfig tcfg = to_testbed_config(cfg);
+  workloads::Testbed bed(sim, tcfg);
+  auto stats = workloads::start_streams(bed, to_arrivals(streams));
+  sim.run_until(horizon);
+  RunOutput out;
+  out.streams = *stats;
+  collect(cfg, bed, streams, out);
+  out.makespan = horizon;
+  // Unwind live processes while the testbed they reference is still alive.
+  sim.terminate_processes();
+  return out;
+}
+
+RunOutput run_scenario(const RunConfig& cfg,
+                       const std::vector<StreamSpec>& streams) {
+  sim::Simulation sim;
+  workloads::TestbedConfig tcfg = to_testbed_config(cfg);
+  workloads::Testbed bed(sim, tcfg);
+  RunOutput out;
+  out.streams = workloads::run_streams(bed, to_arrivals(streams));
+  collect(cfg, bed, streams, out);
+  return out;
+}
+
+double mean_response(const RunOutput& out, std::size_t idx) {
+  return out.streams.at(idx).mean_response_s();
+}
+
+std::vector<RunConfig> balancing_matrix(
+    const std::vector<std::vector<gpu::DeviceProps>>& nodes) {
+  std::vector<RunConfig> configs;
+  for (const auto* policy : {"GRR", "GMin", "GWtMin"}) {
+    for (const auto mode : {workloads::Mode::kRain, workloads::Mode::kStrings}) {
+      RunConfig cfg;
+      cfg.label = std::string(policy) + "-" + workloads::mode_name(mode);
+      cfg.mode = mode;
+      cfg.nodes = nodes;
+      cfg.balancing = policy;
+      configs.push_back(std::move(cfg));
+    }
+  }
+  return configs;
+}
+
+std::vector<double> single_node_grr_baseline(
+    const std::vector<StreamSpec>& streams, workloads::Mode mode) {
+  // Each stream gets its own 2-GPU node under GRR, independently — the
+  // "single node GRR" the paper measures the supernode figures against.
+  std::vector<double> result;
+  for (const auto& s : streams) {
+    RunConfig cfg;
+    cfg.label = "single-node-GRR";
+    cfg.mode = mode;
+    cfg.nodes = workloads::small_server();
+    cfg.balancing = "GRR";
+    StreamSpec local = s;
+    local.origin = 0;
+    const RunOutput out = run_scenario(cfg, {local});
+    result.push_back(mean_response(out, 0));
+  }
+  return result;
+}
+
+void report_table(const std::string& name, const metrics::Table& table) {
+  table.print();
+  const char* dir = std::getenv("STRINGS_BENCH_CSV_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << table.to_csv();
+  std::printf("(csv written to %s)\n", path.c_str());
+}
+
+void print_header(const std::string& title, const std::string& paper_ref,
+                  const Options& opt) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("reproduces: %s%s\n\n", paper_ref.c_str(),
+              opt.quick ? "   [--quick sweep]" : "");
+}
+
+}  // namespace strings::bench

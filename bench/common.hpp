@@ -1,0 +1,110 @@
+// Shared experiment machinery for the figure-reproduction benches.
+//
+// Every bench binary builds scenarios from RunConfig (a mode + topology +
+// policy selection) and StreamSpec (a request stream), runs them to
+// completion in virtual time, and prints a table mirroring the paper's
+// figure. Pass --quick (or set STRINGS_BENCH_QUICK=1) for a reduced sweep.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "rpc/channel.hpp"
+#include "workloads/service.hpp"
+#include "workloads/testbed.hpp"
+
+namespace strings::bench {
+
+struct Options {
+  bool quick = false;
+  static Options parse(int argc, char** argv);
+};
+
+/// One scheduling configuration under test.
+struct RunConfig {
+  std::string label;
+  workloads::Mode mode = workloads::Mode::kStrings;
+  std::vector<std::vector<gpu::DeviceProps>> nodes;
+  std::string balancing = "GMin";
+  std::string feedback;                  // Policy Arbiter target ("" = off)
+  std::string device_policy = "AllAwake";
+  bool trace_devices = false;
+  // Ablation knobs forwarded to the testbed.
+  bool convert_sync_to_async = true;
+  bool convert_device_sync = true;
+  bool nonblocking_rpc = true;
+  bool use_device_scheduler = true;
+  rpc::LinkModel remote_link = rpc::LinkModel::numa_like();
+  bool shared_network = false;  // one physical wire per node pair
+};
+
+/// One request stream (maps onto workloads::ArrivalConfig).
+struct StreamSpec {
+  std::string app;
+  core::NodeId origin = 0;
+  int requests = 8;
+  double lambda_scale = 0.8;
+  std::uint32_t seed = 1;
+  std::string tenant = "tenantA";
+  double tenant_weight = 1.0;
+  int server_threads = 4;
+};
+
+/// Per-device utilization summary over [0, makespan] (traced runs only).
+struct DeviceUtilSummary {
+  double mean_compute_util = 0.0;
+  double mean_bw_util = 0.0;
+  double idle_frac = 0.0;
+  double switching_frac = 0.0;
+  double util_cov = 0.0;  // coefficient of variation on a 100ms grid
+  int idle_gaps = 0;      // idle intervals >= 5ms (Fig. 2 "glitches")
+};
+
+struct RunOutput {
+  std::vector<workloads::StreamStats> streams;
+  /// Attained GPU service per tenant (for Jain's fairness).
+  std::map<std::string, double> tenant_service_s;
+  /// Per-GID device counters after the run.
+  std::vector<gpu::DeviceCounters> device_counters;
+  /// Filled when RunConfig::trace_devices is set.
+  std::vector<DeviceUtilSummary> device_util;
+  sim::SimTime makespan = 0;
+};
+
+/// Builds a testbed from `cfg`, runs all streams, and collects results.
+RunOutput run_scenario(const RunConfig& cfg,
+                       const std::vector<StreamSpec>& streams);
+
+/// Like run_scenario but stops the clock at `horizon`: used to sample
+/// attained service while every tenant is still backlogged (fairness).
+RunOutput run_scenario_until(const RunConfig& cfg,
+                             const std::vector<StreamSpec>& streams,
+                             sim::SimTime horizon);
+
+/// Mean response time (seconds) of stream `idx`.
+double mean_response(const RunOutput& out, std::size_t idx);
+
+/// The six balancing configurations of Figs. 9/10:
+/// {GRR, GMin, GWtMin} x {Rain, Strings}.
+std::vector<RunConfig> balancing_matrix(
+    const std::vector<std::vector<gpu::DeviceProps>>& nodes);
+
+/// The paper's Fig. 10/12/14/15 baseline: each stream served by its own
+/// single node (2 GPUs) under GRR ("single node GRR" — the previous
+/// section's scheduler generation, i.e. Rain). Returns the mean response
+/// per stream, computed on independent testbeds.
+std::vector<double> single_node_grr_baseline(
+    const std::vector<StreamSpec>& streams,
+    workloads::Mode mode = workloads::Mode::kRain);
+
+/// Prints the standard bench header.
+void print_header(const std::string& title, const std::string& paper_ref,
+                  const Options& opt);
+
+/// Prints the results table and, when STRINGS_BENCH_CSV_DIR is set, also
+/// writes it as <dir>/<name>.csv for artifact collection.
+void report_table(const std::string& name, const metrics::Table& table);
+
+}  // namespace strings::bench

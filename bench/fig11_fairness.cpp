@@ -1,0 +1,123 @@
+// Fig. 11: fairness of the fairshare (TFS) scheduler.
+//
+// Application pairs share a single GPU with equal tenant shares. Jain's
+// fairness is computed over per-application *progress*: the GPU service a
+// tenant attains while sharing, normalized by what the same saturating
+// stream attains running alone over the same horizon. Normalization makes
+// the index meaningful for pairs with very asymmetric demand (e.g. DC-GA,
+// where a work-conserving scheduler rightly hands Gaussian's unused share
+// to DXTC).
+//
+// Paper result: TFS-Strings averages 91% fairness (max 99.99%), beating
+// TFS-Rain by 7.14% and the CUDA runtime by 13%. Rain's deficit comes from
+// context-switch time leaking into its service accounting.
+#include "common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+using namespace strings;
+using namespace strings::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = Options::parse(argc, argv);
+  print_header("fig11_fairness",
+               "Fig. 11 (TFS: pairs sharing one GPU, equal shares)", opt);
+
+  std::vector<workloads::WorkloadPair> pairs = workloads::workload_pairs();
+  if (opt.quick) pairs = {pairs[0], pairs[5], pairs[13], pairs[21]};
+
+  struct Config {
+    const char* label;
+    workloads::Mode mode;
+    std::string device_policy;
+  };
+  const std::vector<Config> configs = {
+      {"CUDA", workloads::Mode::kCudaBaseline, "AllAwake"},
+      {"TFS-Rain", workloads::Mode::kRain, "TFS"},
+      {"TFS-Strings", workloads::Mode::kStrings, "TFS"},
+  };
+
+  // Two views: "alloc" = Jain over raw attained service (the allocation
+  // itself; harsh on asymmetric-demand pairs), "prog" = Jain over attained /
+  // solo-demand (progress fairness; tolerant of work conservation).
+  metrics::Table table({"Pair", "Mix", "CUDA", "TFS-Rain", "TFS-Strings",
+                        "CUDA(prog)", "Rain(prog)", "Strings(prog)"});
+  std::vector<std::vector<double>> fairness(configs.size());
+  std::vector<std::vector<double>> fairness_raw(configs.size());
+
+  // Attained service is sampled at a fixed horizon while both tenants are
+  // still backlogged (saturating request streams). Normalizing by each
+  // stream's solo attainment over the same horizon turns Jain into a
+  // progress-fairness index that tolerates asymmetric demands.
+  const sim::SimTime horizon = sim::sec(opt.quick ? 25 : 40);
+  std::map<std::string, double> solo;  // app -> solo attained service
+  auto solo_demand = [&](const StreamSpec& s) {
+    if (auto it = solo.find(s.app); it != solo.end()) return it->second;
+    RunConfig cfg;
+    cfg.mode = workloads::Mode::kStrings;
+    cfg.nodes = {{gpu::tesla_c2050()}};
+    const RunOutput out = run_scenario_until(cfg, {s}, horizon);
+    return solo[s.app] = out.tenant_service_s.at(s.tenant);
+  };
+
+  for (const auto& pair : pairs) {
+    StreamSpec a;
+    a.app = pair.long_app;
+    a.requests = 40;
+    a.lambda_scale = 0.02;  // back-to-back: tenant continuously backlogged
+    a.server_threads = 2;
+    a.seed = 5;
+    a.tenant = "tenantA";
+    StreamSpec b = a;
+    b.app = pair.short_app;
+    b.requests = 200;
+    b.seed = 6;
+    b.tenant = "tenantB";
+    StreamSpec b_solo = b;
+    b_solo.tenant = "tenantA";  // solo_demand keys service by tenantA
+    const double demand_a = solo_demand(a);
+    const double demand_b = solo_demand(b_solo);
+
+    std::vector<std::string> row{std::string(1, pair.label),
+                                 pair.long_app + "-" + pair.short_app};
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      RunConfig cfg;
+      cfg.label = configs[c].label;
+      cfg.mode = configs[c].mode;
+      cfg.nodes = {{gpu::tesla_c2050()}};  // one shared GPU
+      cfg.device_policy = configs[c].device_policy;
+      const RunOutput out = run_scenario_until(cfg, {a, b}, horizon);
+      const double attained_a = out.tenant_service_s.at("tenantA");
+      const double attained_b = out.tenant_service_s.at("tenantB");
+      fairness_raw[c].push_back(
+          metrics::jain_fairness({attained_a, attained_b}));
+      fairness[c].push_back(metrics::jain_fairness({attained_a, attained_b},
+                                                   {demand_a, demand_b}));
+    }
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      row.push_back(metrics::Table::fmt(100.0 * fairness_raw[c].back(), 1) +
+                    "%");
+    }
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      row.push_back(metrics::Table::fmt(100.0 * fairness[c].back(), 1) + "%");
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::vector<std::string> avg{"avg", "-"};
+  for (const auto& f : fairness_raw) {
+    avg.push_back(metrics::Table::fmt(100.0 * metrics::mean(f), 1) + "%");
+  }
+  for (const auto& f : fairness) {
+    avg.push_back(metrics::Table::fmt(100.0 * metrics::mean(f), 1) + "%");
+  }
+  table.add_row(std::move(avg));
+  report_table("fig11_fairness", table);
+
+  std::printf("\npaper: TFS-Strings 91%% avg (max 99.99%%), +7.14%% over "
+              "TFS-Rain, +13%% over CUDA runtime\n");
+  return 0;
+}

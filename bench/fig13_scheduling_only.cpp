@@ -1,0 +1,103 @@
+// Fig. 13: isolating the benefit of device-level GPU scheduling. Baseline is
+// "the GRR policy with four GPUs shared" (paper wording): GRR over the
+// supernode pool with no device-level dispatcher, in the previous scheduler
+// generation (Rain). The three policy configurations are measured against
+// that single baseline, so the Strings rows also carry the context-packing
+// gain — which is how the paper's 1.40x / 1.95x / 1.90x split reads.
+//
+// Paper result: LAS-Rain 1.40x, LAS-Strings 1.95x, PS-Strings 1.90x.
+#include "common.hpp"
+
+#include <cstdio>
+
+using namespace strings;
+using namespace strings::bench;
+
+int main(int argc, char** argv) {
+  const Options opt = Options::parse(argc, argv);
+  print_header("fig13_scheduling_only",
+               "Fig. 13 (LAS/PS vs GRR with 4 GPUs shared)", opt);
+
+  std::vector<workloads::WorkloadPair> pairs = workloads::workload_pairs();
+  if (opt.quick) pairs = {pairs[1], pairs[9], pairs[13], pairs[20]};
+  const int requests_long = opt.quick ? 6 : 10;
+  const int requests_short = opt.quick ? 12 : 20;
+
+  struct Config {
+    const char* label;
+    workloads::Mode mode;
+    const char* device_policy;
+  };
+  const std::vector<Config> configs = {
+      {"LAS-Rain", workloads::Mode::kRain, "LAS"},
+      {"LAS-Strings", workloads::Mode::kStrings, "LAS"},
+      {"PS-Strings", workloads::Mode::kStrings, "PS"},
+  };
+
+  auto make_streams = [&](const workloads::WorkloadPair& pair) {
+    StreamSpec a;
+    a.app = pair.long_app;
+    a.origin = 0;
+    a.requests = requests_long;
+    a.lambda_scale = 0.22;
+    a.server_threads = 8;
+    a.seed = 11;
+    a.tenant = "tenantA";
+    StreamSpec b;
+    b.app = pair.short_app;
+    b.origin = 1;
+    b.requests = requests_short;
+    b.lambda_scale = 0.22;
+    b.server_threads = 8;
+    b.seed = 23;
+    b.tenant = "tenantB";
+    return std::vector<StreamSpec>{a, b};
+  };
+
+  std::vector<std::string> headers{"Pair", "Mix"};
+  for (const auto& c : configs) headers.push_back(c.label);
+  metrics::Table table(headers);
+  std::vector<std::vector<double>> speedups(configs.size());
+
+  for (const auto& pair : pairs) {
+    const auto streams = make_streams(pair);
+    // Baseline: GRR over the shared 4-GPU pool, no dispatcher, Rain.
+    std::vector<double> base;
+    {
+      RunConfig cfg;
+      cfg.mode = workloads::Mode::kRain;
+      cfg.nodes = workloads::supernode();
+      cfg.balancing = "GRR";
+      cfg.device_policy = "AllAwake";
+      const RunOutput out = run_scenario(cfg, streams);
+      base = {mean_response(out, 0), mean_response(out, 1)};
+    }
+
+    std::vector<std::string> row{std::string(1, pair.label),
+                                 pair.long_app + "-" + pair.short_app};
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      RunConfig cfg;
+      cfg.label = configs[c].label;
+      cfg.mode = configs[c].mode;
+      cfg.nodes = workloads::supernode();
+      cfg.balancing = "GRR";
+      cfg.device_policy = configs[c].device_policy;
+      const RunOutput out = run_scenario(cfg, streams);
+      const double ws = metrics::weighted_speedup(
+          base, {mean_response(out, 0), mean_response(out, 1)});
+      speedups[c].push_back(ws);
+      row.push_back(metrics::Table::fmt(ws) + "x");
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::vector<std::string> avg{"avg", "-"};
+  for (const auto& s : speedups) {
+    avg.push_back(metrics::Table::fmt(metrics::mean(s)) + "x");
+  }
+  table.add_row(std::move(avg));
+  report_table("fig13_scheduling_only", table);
+
+  std::printf("\npaper: LAS-Rain 1.40x  LAS-Strings 1.95x  PS-Strings 1.90x\n");
+  return 0;
+}

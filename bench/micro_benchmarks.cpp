@@ -1,0 +1,163 @@
+// Microbenchmarks (google-benchmark) of the infrastructure itself: the
+// discrete-event kernel, packet marshalling, the timed channel, policy
+// decision costs, and the device fluid model. These quantify simulator
+// overhead (wall time per simulated operation), not paper results.
+#include <benchmark/benchmark.h>
+
+#include "core/tables.hpp"
+#include "gpu/gpu_device.hpp"
+#include "policies/balancing.hpp"
+#include "policies/device_policies.hpp"
+#include "rpc/channel.hpp"
+#include "rpc/marshal.hpp"
+#include "simcore/simulation.hpp"
+
+namespace {
+
+using namespace strings;
+
+void BM_SimScheduleAndRun(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int fired = 0;
+    for (int i = 0; i < events; ++i) {
+      sim.schedule(sim::usec(i), [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_SimScheduleAndRun)->Arg(1000)->Arg(10000);
+
+void BM_SimProcessSwitch(benchmark::State& state) {
+  // Cost of one process suspend/resume round trip (two condvar handoffs).
+  const int waits = 1000;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim.spawn("p", [&] {
+      for (int i = 0; i < waits; ++i) sim.wait_for(1);
+    });
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * waits);
+}
+BENCHMARK(BM_SimProcessSwitch);
+
+void BM_MarshalCudaCall(benchmark::State& state) {
+  for (auto _ : state) {
+    rpc::Marshal m;
+    m.put_u64(0xDEADBEEF);        // device pointer
+    m.put_u64(1 << 20);           // bytes
+    m.put_u32(1);                 // kind
+    rpc::Unmarshal u(m.buffer());
+    benchmark::DoNotOptimize(u.get_u64());
+    benchmark::DoNotOptimize(u.get_u64());
+    benchmark::DoNotOptimize(u.get_u32());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MarshalCudaCall);
+
+void BM_ChannelRoundTrip(benchmark::State& state) {
+  const int msgs = 256;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    rpc::DuplexChannel ch(sim, rpc::LinkModel::shared_memory());
+    sim.spawn_daemon("server", [&] {
+      while (true) {
+        rpc::Packet p = ch.request.receive();
+        rpc::Packet r;
+        r.seq = p.seq;
+        ch.response.send(std::move(r));
+      }
+    });
+    sim.spawn("client", [&] {
+      rpc::RpcClient client(ch);
+      for (int i = 0; i < msgs; ++i) {
+        client.call(rpc::CallId::kLaunch, rpc::Marshal{});
+      }
+    });
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * msgs);
+}
+BENCHMARK(BM_ChannelRoundTrip);
+
+void BM_BalancingPolicySelect(benchmark::State& state) {
+  core::GMap gmap;
+  gmap.add_node(0, {gpu::quadro2000(), gpu::tesla_c2050()});
+  gmap.add_node(1, {gpu::quadro4000(), gpu::tesla_c2070()});
+  core::DeviceStatusTable dst(gmap);
+  core::SchedulerFeedbackTable sft;
+  std::vector<std::vector<std::string>> bound(4);
+  for (int g = 0; g < 4; ++g) {
+    for (int i = 0; i < 8; ++i) bound[static_cast<std::size_t>(g)].push_back("MC");
+  }
+  core::FeedbackRecord rec;
+  rec.app_type = "MC";
+  rec.exec_time_s = 5;
+  rec.gpu_util = 0.6;
+  rec.mem_bw_gbps = 3.0;
+  sft.update(rec);
+  auto policy = policies::make_balancing_policy("MBF");
+  policies::BalanceInput in;
+  in.gmap = &gmap;
+  in.dst = &dst;
+  in.sft = &sft;
+  in.bound_types = &bound;
+  in.app_type = "MC";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->select(in));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BalancingPolicySelect);
+
+void BM_DevicePolicyPickAwake(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<policies::RcbSnapshot> rcb;
+  for (int i = 0; i < n; ++i) {
+    policies::RcbSnapshot s;
+    s.key = static_cast<std::uint64_t>(i);
+    s.total_service = sim::msec(i * 7 % 50);
+    s.cgs = i * 13 % 29;
+    s.phase = static_cast<policies::Phase>(i % 4);
+    s.backlogged = true;
+    rcb.push_back(std::move(s));
+  }
+  auto policy = policies::make_device_policy("PS");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy->pick_awake(rcb));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DevicePolicyPickAwake)->Arg(8)->Arg(64);
+
+void BM_FluidModelContention(benchmark::State& state) {
+  // Many concurrent kernels forcing frequent rate recomputation.
+  const int kernels = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    auto props = gpu::tesla_c2050();
+    props.concurrent_kernels = 64;
+    gpu::GpuDevice dev(sim, 0, props);
+    sim.spawn("submit", [&] {
+      std::vector<gpu::GpuDevice::OpRef> ops;
+      for (int i = 0; i < kernels; ++i) {
+        ops.push_back(dev.submit_kernel(
+            1, gpu::KernelDesc{sim::msec(1 + i % 7), 0.2, 10.0}));
+        sim.wait_for(sim::usec(100));
+      }
+      for (auto& op : ops) dev.wait(op);
+    });
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kernels);
+}
+BENCHMARK(BM_FluidModelContention)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Cloud service example: a multi-tenant GPU server under SPECpower-style
+// load (paper Fig. 8) — exponential request arrivals, finite server
+// threads — compared across the bare CUDA runtime, Rain, and Strings.
+//
+// Mirrors the deployment story of the paper's introduction: several cloud
+// services (financial pricing, image processing, simulation) share one
+// 2-GPU machine; each service's code statically targets device 0.
+//
+//   $ ./examples/cloud_service
+#include <cstdio>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "workloads/service.hpp"
+#include "workloads/testbed.hpp"
+
+using namespace strings;
+
+int main() {
+  struct Service {
+    const char* app;
+    const char* tenant;
+    int requests;
+  };
+  // Three tenants with contrasting characteristics (Table I): a compute-
+  // heavy image codec, a transfer-heavy pricing engine, a light solver.
+  const std::vector<Service> services = {
+      {"DC", "imaging-svc", 4},
+      {"MC", "pricing-svc", 8},
+      {"GA", "solver-svc", 10},
+  };
+
+  metrics::Table table({"Runtime", "imaging(s)", "pricing(s)", "solver(s)",
+                        "weighted speedup"});
+  std::vector<double> baseline_times;
+
+  for (const auto mode : {workloads::Mode::kCudaBaseline,
+                          workloads::Mode::kRain, workloads::Mode::kStrings}) {
+    sim::Simulation sim;
+    workloads::TestbedConfig config;
+    config.mode = mode;
+    config.nodes = workloads::small_server();
+    config.balancing_policy = "GMin";
+    config.device_policy = "PS";  // keep all three GPU engines busy
+    workloads::Testbed bed(sim, config);
+
+    std::vector<workloads::ArrivalConfig> arrivals;
+    std::uint32_t seed = 100;
+    for (const auto& svc : services) {
+      workloads::ArrivalConfig a;
+      a.app = svc.app;
+      a.tenant = svc.tenant;
+      a.requests = svc.requests;
+      a.lambda_scale = 0.5;
+      a.server_threads = 4;
+      a.seed = seed++;
+      arrivals.push_back(std::move(a));
+    }
+    const auto stats = workloads::run_streams(bed, arrivals);
+
+    std::vector<double> times;
+    for (const auto& s : stats) times.push_back(s.mean_response_s());
+    if (mode == workloads::Mode::kCudaBaseline) baseline_times = times;
+    table.add_row({workloads::mode_name(mode),
+                   metrics::Table::fmt(times[0]),
+                   metrics::Table::fmt(times[1]),
+                   metrics::Table::fmt(times[2]),
+                   metrics::Table::fmt(metrics::weighted_speedup(
+                       baseline_times, times)) + "x"});
+  }
+
+  std::printf("mean request response time per service "
+              "(3 tenants, 2 GPUs, all statically programmed for device 0)\n\n");
+  table.print();
+  std::printf("\nStrings wins by (i) overriding the static device choice, "
+              "(ii) packing tenants into one GPU context per device, and "
+              "(iii) phase-selection dispatch keeping copy and compute "
+              "engines concurrently busy.\n");
+  return 0;
+}

@@ -1,0 +1,395 @@
+#include "backend/backend_daemon.hpp"
+
+#include <cassert>
+
+namespace strings::backend {
+
+using cuda::cudaError_t;
+using cuda::cudaMemcpyKind;
+using policies::Phase;
+using rpc::CallId;
+
+const char* design_name(Design d) {
+  switch (d) {
+    case Design::kProcessPerApp: return "Design I (process per app, Rain)";
+    case Design::kSingleMaster: return "Design II (single master thread)";
+    case Design::kThreadPerApp: return "Design III (thread per app, Strings)";
+  }
+  return "?";
+}
+
+BackendDaemon::BackendDaemon(sim::Simulation& sim, core::NodeId node,
+                             cuda::CudaRuntime& rt,
+                             std::vector<core::Gid> gids,
+                             BackendConfig config)
+    : sim_(sim), node_(node), rt_(rt), gids_(std::move(gids)),
+      config_(std::move(config)) {
+  assert(static_cast<int>(gids_.size()) == rt_.device_count());
+  for (int dev = 0; dev < rt_.device_count(); ++dev) {
+    schedulers_.push_back(std::make_unique<core::GpuScheduler>(
+        sim_, gids_[static_cast<std::size_t>(dev)],
+        policies::make_device_policy(config_.device_policy), config_.sched));
+    schedulers_.back()->set_feedback_sink([this](const core::FeedbackRecord& r) {
+      if (feedback_sink_) feedback_sink_(r);
+    });
+    // The per-GPU backend process hosting the shared GPU context
+    // (Designs II and III).
+    device_pids_.push_back(rt_.create_process());
+    rt_.cudaSetDevice(device_pids_.back(), dev);
+    packers_.push_back(std::make_unique<ContextPacker>(
+        sim_, rt_, device_pids_.back(), dev, config_.packer));
+    master_inbox_.push_back(
+        std::make_unique<sim::Mailbox<std::pair<Conn*, rpc::Packet>>>(sim_));
+    master_started_.push_back(false);
+  }
+  rt_.set_op_observer(
+      [this](cuda::ProcessId pid, cuda::cudaStream_t stream,
+             const gpu::GpuDevice::Op& op) { route_op(pid, stream, op); });
+}
+
+BackendDaemon::~BackendDaemon() = default;
+
+void BackendDaemon::set_feedback_sink(
+    std::function<void(const core::FeedbackRecord&)> s) {
+  feedback_sink_ = std::move(s);
+}
+
+void BackendDaemon::route_op(cuda::ProcessId pid, cuda::cudaStream_t stream,
+                             const gpu::GpuDevice::Op& op) {
+  auto it = routes_.find({pid, stream});
+  if (it == routes_.end()) return;
+  it->second.first->on_op_complete(it->second.second, op);
+}
+
+int BackendDaemon::backlog_of(const Conn& conn, cuda::ProcessId pid,
+                              cuda::cudaStream_t stream) const {
+  return static_cast<int>(conn.channel->request.pending_count()) +
+         (conn.processing ? 1 : 0) +
+         rt_.outstanding_ops_on_stream(pid, conn.local_dev, stream);
+}
+
+rpc::DuplexChannel& BackendDaemon::connect(
+    const AppDescriptor& app, int local_dev, rpc::LinkModel link,
+    std::shared_ptr<rpc::SharedLink> tx,
+    std::shared_ptr<rpc::SharedLink> rx) {
+  assert(local_dev >= 0 && local_dev < rt_.device_count());
+  ++connections_;
+  auto conn = std::make_unique<Conn>();
+  conn->app = app;
+  conn->local_dev = local_dev;
+  conn->channel = std::make_unique<rpc::DuplexChannel>(
+      sim_, link, std::move(tx), std::move(rx));
+  conn->gate = std::make_unique<core::WakeGate>(sim_);
+  Conn& c = *conn;
+  conns_.push_back(std::move(conn));
+
+  const std::string name = "be/n" + std::to_string(node_) + "/d" +
+                           std::to_string(local_dev) + "/app" +
+                           std::to_string(app.app_id);
+  if (config_.design == Design::kSingleMaster) {
+    const auto dev_index = static_cast<std::size_t>(local_dev);
+    if (!master_started_[dev_index]) {
+      master_started_[dev_index] = true;
+      sim_.spawn_daemon(
+          "be-master/n" + std::to_string(node_) + "/d" +
+              std::to_string(local_dev),
+          [this, local_dev] {
+            const cuda::ProcessId pid =
+                device_pids_[static_cast<std::size_t>(local_dev)];
+            auto& inbox = *master_inbox_[static_cast<std::size_t>(local_dev)];
+            while (true) {
+              auto [conn_ptr, pkt] = inbox.receive();
+              handle_request(*conn_ptr, pid, conn_ptr->signal_id, pkt);
+            }
+          });
+    }
+    // Forwarder: pumps this app's channel into the master's single inbox.
+    sim_.spawn_daemon(name + "/fwd", [this, &c, local_dev] {
+      while (!c.done) {
+        rpc::Packet p = c.channel->request.receive();
+        const bool is_exit = p.call == CallId::kThreadExit;
+        master_inbox_[static_cast<std::size_t>(local_dev)]->send(
+            {&c, std::move(p)});
+        if (is_exit) break;
+      }
+    });
+    // Register with the scheduler for monitoring/feedback. No per-app gate:
+    // a single master thread cannot be dispatched per application — one of
+    // Design II's documented shortcomings.
+    if (config_.use_device_scheduler) {
+      auto& sched = *schedulers_[dev_index];
+      const cuda::ProcessId pid = device_pids_[dev_index];
+      const cuda::cudaStream_t stream = packers_[dev_index]->stream_for(app.app_id);
+      core::GpuScheduler::RcbInit init;
+      init.app_type = app.app_type;
+      init.tenant = app.tenant;
+      init.tenant_weight = app.tenant_weight;
+      init.stream_id = stream;
+      init.gate = nullptr;
+      init.backlog_probe = [this, &c, pid, stream] {
+        return backlog_of(c, pid, stream);
+      };
+      c.signal_id = sched.register_app(init);
+      sched.ack(c.signal_id);
+      routes_[{pid, stream}] = {&sched, c.signal_id};
+    }
+  } else {
+    sim_.spawn(name, [this, &c] { worker_loop(c); });
+  }
+  return *c.channel;
+}
+
+void BackendDaemon::worker_loop(Conn& conn) {
+  const auto dev_index = static_cast<std::size_t>(conn.local_dev);
+  auto& sched = *schedulers_[dev_index];
+
+  cuda::ProcessId pid = 0;
+  cuda::cudaStream_t stream = cuda::cudaStreamDefault;
+  if (config_.design == Design::kThreadPerApp) {
+    // Strings: join the per-GPU backend process; private stream via SC.
+    pid = device_pids_[dev_index];
+    stream = packers_[dev_index]->stream_for(conn.app.app_id);
+  } else {
+    // Rain: a fresh backend process — its own GPU context.
+    pid = rt_.create_process();
+    rt_.cudaSetDevice(pid, conn.local_dev);
+  }
+
+  int signal_id = -1;
+  if (config_.use_device_scheduler) {
+    // Three-way handshake with the Request Manager (paper Fig. 7a):
+    // (1) register stream/tenant -> (2) RM returns the signal id ->
+    // (3) worker installs its handler (the WakeGate) and acks.
+    core::GpuScheduler::RcbInit init;
+    init.app_type = conn.app.app_type;
+    init.tenant = conn.app.tenant;
+    init.tenant_weight = conn.app.tenant_weight;
+    init.stream_id = stream;
+    init.gate = conn.gate.get();
+    init.backlog_probe = [this, &conn, pid, stream] {
+      return backlog_of(conn, pid, stream);
+    };
+    signal_id = sched.register_app(init);
+    sched.ack(signal_id);
+    routes_[{pid, stream}] = {&sched, signal_id};
+  }
+  conn.signal_id = signal_id;
+
+  bool exit = false;
+  while (!exit) {
+    rpc::Packet req = conn.channel->request.receive();
+    conn.processing = true;
+    exit = handle_request(conn, pid, signal_id, req);
+    conn.processing = false;
+  }
+
+  routes_.erase({pid, stream});
+  if (config_.design == Design::kProcessPerApp) rt_.destroy_process(pid);
+  conn.done = true;
+}
+
+bool BackendDaemon::handle_request(Conn& conn, cuda::ProcessId pid,
+                                   int signal_id, const rpc::Packet& req) {
+  const auto dev_index = static_cast<std::size_t>(conn.local_dev);
+  auto& sched = *schedulers_[dev_index];
+  ContextPacker& packer = *packers_[dev_index];
+  const bool packed = config_.design != Design::kProcessPerApp;
+  std::uint64_t response_payload = 0;  // D2H data riding the response
+
+  auto gate_gpu_work = [&] {
+    // The dispatcher's RT-signal analog: a sleeping backend worker does not
+    // issue new GPU work. Per-app workers exist in Designs I (processes,
+    // Rain) and III (threads, Strings); Design II's single master thread
+    // cannot be gated per application.
+    if (conn.gate && config_.design != Design::kSingleMaster &&
+        config_.use_device_scheduler) {
+      conn.gate->wait_until_awake();
+    }
+  };
+  auto set_phase = [&](Phase p) {
+    if (signal_id > 0) sched.set_phase(signal_id, p);
+  };
+
+  rpc::Unmarshal u(req.body);
+  rpc::Marshal reply;
+  bool exit = false;
+
+  switch (req.call) {
+    case CallId::kGetDeviceCount: {
+      int count = 0;
+      const cudaError_t err = rt_.cudaGetDeviceCount(pid, &count);
+      reply.put_enum(err);
+      reply.put_i32(count);
+      break;
+    }
+    case CallId::kMalloc: {
+      const std::size_t bytes = u.get_u64();
+      rt_.cudaSetDevice(pid, conn.local_dev);
+      cuda::DevPtr ptr = 0;
+      const cudaError_t err = rt_.cudaMalloc(pid, &ptr, bytes);
+      if (err == cudaError_t::cudaSuccess) conn.allocations[ptr] = bytes;
+      reply.put_enum(err);
+      reply.put_u64(ptr);
+      break;
+    }
+    case CallId::kFree: {
+      const cuda::DevPtr ptr = u.get_u64();
+      rt_.cudaSetDevice(pid, conn.local_dev);
+      const cudaError_t err = rt_.cudaFree(pid, ptr);
+      if (err == cudaError_t::cudaSuccess) conn.allocations.erase(ptr);
+      reply.put_enum(err);
+      break;
+    }
+    case CallId::kMemcpy: {
+      const cuda::DevPtr ptr = u.get_u64();
+      const std::size_t bytes = u.get_u64();
+      const auto kind = u.get_enum<cudaMemcpyKind>();
+      if (kind == cudaMemcpyKind::cudaMemcpyDeviceToHost) {
+        response_payload = bytes;
+      }
+      gate_gpu_work();
+      set_phase(kind == cudaMemcpyKind::cudaMemcpyHostToDevice ? Phase::kH2D
+                                                               : Phase::kD2H);
+      cudaError_t err;
+      if (packed) {
+        err = packer.memcpy_sync(conn.app.app_id, ptr, bytes, kind);
+      } else {
+        rt_.cudaSetDevice(pid, conn.local_dev);
+        err = rt_.cudaMemcpy(pid, ptr, bytes, kind);
+      }
+      reply.put_enum(err);
+      break;
+    }
+    case CallId::kMemcpyAsync: {
+      const cuda::DevPtr ptr = u.get_u64();
+      const std::size_t bytes = u.get_u64();
+      const auto kind = u.get_enum<cudaMemcpyKind>();
+      gate_gpu_work();
+      set_phase(kind == cudaMemcpyKind::cudaMemcpyHostToDevice ? Phase::kH2D
+                                                               : Phase::kD2H);
+      cudaError_t err;
+      if (packed) {
+        err = packer.memcpy_async(conn.app.app_id, ptr, bytes, kind);
+      } else {
+        rt_.cudaSetDevice(pid, conn.local_dev);
+        err = rt_.cudaMemcpyAsync(pid, ptr, bytes, kind,
+                                  cuda::cudaStreamDefault);
+      }
+      reply.put_enum(err);
+      break;
+    }
+    case CallId::kLaunch: {
+      const cuda::KernelLaunch kl = decode_launch(u);
+      gate_gpu_work();
+      set_phase(Phase::kKernelLaunch);
+      cudaError_t err;
+      if (packed) {
+        err = packer.launch(conn.app.app_id, kl);
+      } else {
+        rt_.cudaSetDevice(pid, conn.local_dev);
+        err = rt_.cudaLaunchKernel(pid, kl, cuda::cudaStreamDefault);
+      }
+      reply.put_enum(err);
+      break;
+    }
+    case CallId::kDeviceSynchronize: {
+      cudaError_t err;
+      if (packed) {
+        // SST: stream-synchronize so other packed apps are unaffected.
+        err = packer.device_synchronize(conn.app.app_id);
+      } else {
+        rt_.cudaSetDevice(pid, conn.local_dev);
+        err = rt_.cudaDeviceSynchronize(pid);
+      }
+      set_phase(Phase::kDefault);
+      reply.put_enum(err);
+      break;
+    }
+    case CallId::kEventCreate: {
+      cuda::cudaEvent_t ev = 0;
+      rt_.cudaSetDevice(pid, conn.local_dev);
+      const cudaError_t err = rt_.cudaEventCreate(pid, &ev);
+      reply.put_enum(err);
+      reply.put_u64(ev);
+      break;
+    }
+    case CallId::kEventRecord: {
+      const cuda::cudaEvent_t ev = u.get_u64();
+      rt_.cudaSetDevice(pid, conn.local_dev);
+      // AST: the record lands on the app's private stream in packed designs.
+      const cuda::cudaStream_t stream =
+          packed ? packer.stream_for(conn.app.app_id) : cuda::cudaStreamDefault;
+      reply.put_enum(rt_.cudaEventRecord(pid, ev, stream));
+      break;
+    }
+    case CallId::kEventSynchronize: {
+      const cuda::cudaEvent_t ev = u.get_u64();
+      rt_.cudaSetDevice(pid, conn.local_dev);
+      reply.put_enum(rt_.cudaEventSynchronize(pid, ev));
+      break;
+    }
+    case CallId::kEventElapsedTime: {
+      const cuda::cudaEvent_t start = u.get_u64();
+      const cuda::cudaEvent_t end = u.get_u64();
+      double ms = 0.0;
+      rt_.cudaSetDevice(pid, conn.local_dev);
+      const cudaError_t err = rt_.cudaEventElapsedTime(pid, &ms, start, end);
+      reply.put_enum(err);
+      reply.put_double(ms);
+      break;
+    }
+    case CallId::kEventDestroy: {
+      const cuda::cudaEvent_t ev = u.get_u64();
+      rt_.cudaSetDevice(pid, conn.local_dev);
+      reply.put_enum(rt_.cudaEventDestroy(pid, ev));
+      break;
+    }
+    case CallId::kThreadExit: {
+      const cuda::cudaStream_t app_stream =
+          packed ? packer.stream_for(conn.app.app_id) : cuda::cudaStreamDefault;
+      conn.exit_stream = app_stream;
+      cudaError_t err = cudaError_t::cudaSuccess;
+      if (packed) {
+        err = packer.thread_exit(conn.app.app_id);
+        // Free whatever the app left behind in the shared context.
+        rt_.cudaSetDevice(pid, conn.local_dev);
+        for (const auto& [ptr, bytes] : conn.allocations) {
+          rt_.cudaFree(pid, ptr);
+        }
+        conn.allocations.clear();
+      } else {
+        err = rt_.cudaThreadExit(pid);
+      }
+      reply.put_enum(err);
+      if (signal_id > 0) {
+        // Feedback Engine: piggyback the app's record on the response.
+        const core::FeedbackRecord rec = sched.unregister_app(signal_id);
+        reply.put_bool(true);
+        encode_feedback(reply, rec);
+      } else {
+        reply.put_bool(false);
+      }
+      exit = true;
+      break;
+    }
+    default: {
+      reply.put_enum(cudaError_t::cudaErrorUnknown);
+      break;
+    }
+  }
+
+  if (!req.oneway) {
+    rpc::Packet resp;
+    resp.seq = req.seq;
+    resp.body = std::move(reply).take();
+    resp.payload_bytes = response_payload;
+    conn.channel->response.send(std::move(resp));
+  }
+  if (exit && config_.design == Design::kSingleMaster) {
+    conn.done = true;
+    if (signal_id > 0) routes_.erase({pid, conn.exit_stream});
+  }
+  return exit;
+}
+
+}  // namespace strings::backend

@@ -1,0 +1,125 @@
+#include "backend/context_packer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace strings::backend {
+
+using cuda::cudaError_t;
+using cuda::cudaMemcpyKind;
+
+ContextPacker::ContextPacker(sim::Simulation& sim, cuda::CudaRuntime& rt,
+                             cuda::ProcessId device_pid, int local_device,
+                             Config config)
+    : sim_(sim),
+      rt_(rt),
+      device_pid_(device_pid),
+      local_device_(local_device),
+      config_(config) {}
+
+cuda::cudaStream_t ContextPacker::stream_for(std::uint64_t app_id) {
+  auto it = streams_.find(app_id);
+  if (it != streams_.end()) return it->second;
+  cuda::cudaStream_t stream = 0;
+  rt_.cudaSetDevice(device_pid_, local_device_);
+  const cudaError_t err = rt_.cudaStreamCreate(device_pid_, &stream);
+  assert(err == cudaError_t::cudaSuccess);
+  (void)err;
+  streams_.emplace(app_id, stream);
+  return stream;
+}
+
+void ContextPacker::stage_into_pinned(std::size_t bytes) {
+  if (config_.staging_gbps <= 0) return;
+  // Host memcpy into the pinned buffer: bytes / GBps is nanoseconds.
+  sim_.wait_for(static_cast<sim::SimTime>(static_cast<double>(bytes) /
+                                          config_.staging_gbps));
+}
+
+cudaError_t ContextPacker::memcpy_sync(std::uint64_t app_id, cuda::DevPtr ptr,
+                                       std::size_t bytes,
+                                       cudaMemcpyKind kind) {
+  const cuda::cudaStream_t stream = stream_for(app_id);
+  rt_.cudaSetDevice(device_pid_, local_device_);
+  if (kind == cudaMemcpyKind::cudaMemcpyHostToDevice &&
+      config_.convert_sync_to_async) {
+    // MOT: host buffer -> pinned staging buffer, then async copy; the app
+    // regains the CPU immediately.
+    stage_into_pinned(bytes);
+    pmt_.push_back(PmtEntry{app_id, stream, ptr, bytes, kind});
+    pinned_bytes_ += bytes;
+    return rt_.cudaMemcpyAsync(device_pid_, ptr, bytes, kind, stream,
+                               /*pinned_host=*/true);
+  }
+  if (kind == cudaMemcpyKind::cudaMemcpyDeviceToHost) {
+    // Output data: must complete before the app continues; received into
+    // the backend's pinned buffers. Also the point where MOT releases this
+    // app's staged entries (paper §III-C MOT).
+    const cudaError_t err = rt_.cudaMemcpyAsync(
+        device_pid_, ptr, bytes, kind, stream,
+        /*pinned_host=*/config_.convert_sync_to_async);
+    if (err != cudaError_t::cudaSuccess) return err;
+    const cudaError_t sync = rt_.cudaStreamSynchronize(device_pid_, stream);
+    release_pmt_entries(app_id);
+    return sync;
+  }
+  // Conversion disabled (or D2D): synchronous behaviour on the app stream.
+  const cudaError_t err =
+      rt_.cudaMemcpyAsync(device_pid_, ptr, bytes, kind, stream);
+  if (err != cudaError_t::cudaSuccess) return err;
+  return rt_.cudaStreamSynchronize(device_pid_, stream);
+}
+
+cudaError_t ContextPacker::memcpy_async(std::uint64_t app_id,
+                                        cuda::DevPtr ptr, std::size_t bytes,
+                                        cudaMemcpyKind kind) {
+  const cuda::cudaStream_t stream = stream_for(app_id);
+  rt_.cudaSetDevice(device_pid_, local_device_);
+  return rt_.cudaMemcpyAsync(device_pid_, ptr, bytes, kind, stream);
+}
+
+cudaError_t ContextPacker::launch(std::uint64_t app_id,
+                                  const cuda::KernelLaunch& kl) {
+  const cuda::cudaStream_t stream = stream_for(app_id);
+  rt_.cudaSetDevice(device_pid_, local_device_);
+  // AST: the app targeted the default stream; retarget via configure+launch.
+  rt_.cudaConfigureCall(device_pid_, stream);
+  return rt_.cudaLaunch(device_pid_, kl);
+}
+
+cudaError_t ContextPacker::device_synchronize(std::uint64_t app_id) {
+  const cuda::cudaStream_t stream = stream_for(app_id);
+  rt_.cudaSetDevice(device_pid_, local_device_);
+  cudaError_t err;
+  if (config_.convert_device_sync) {
+    err = rt_.cudaStreamSynchronize(device_pid_, stream);
+  } else {
+    err = rt_.cudaDeviceSynchronize(device_pid_);
+  }
+  release_pmt_entries(app_id);
+  return err;
+}
+
+cudaError_t ContextPacker::thread_exit(std::uint64_t app_id) {
+  auto it = streams_.find(app_id);
+  if (it == streams_.end()) return cudaError_t::cudaSuccess;
+  rt_.cudaSetDevice(device_pid_, local_device_);
+  const cudaError_t err = rt_.cudaStreamSynchronize(device_pid_, it->second);
+  release_pmt_entries(app_id);
+  rt_.cudaStreamDestroy(device_pid_, it->second);
+  streams_.erase(it);
+  return err;
+}
+
+void ContextPacker::release_pmt_entries(std::uint64_t app_id) {
+  for (auto it = pmt_.begin(); it != pmt_.end();) {
+    if (it->app_id == app_id) {
+      pinned_bytes_ -= it->bytes;
+      it = pmt_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace strings::backend

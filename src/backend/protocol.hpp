@@ -1,0 +1,88 @@
+// Wire protocol between the frontend interposer and backend workers.
+//
+// Each intercepted CUDA call is marshalled into an rpc::Packet body; these
+// helpers keep the two sides in lockstep. The cudaThreadExit response
+// piggybacks the Feedback Engine's record (paper §III-C "FE").
+#pragma once
+
+#include <string>
+
+#include "core/tables.hpp"
+#include "cudart/cuda_types.hpp"
+#include "rpc/marshal.hpp"
+
+namespace strings::backend {
+
+/// Identity of a frontend application, carried in the connect step.
+struct AppDescriptor {
+  std::uint64_t app_id = 0;
+  std::string app_type;   // e.g. "MC" — the SFT key
+  std::string tenant;     // multi-tenancy accounting
+  double tenant_weight = 1.0;
+  core::NodeId origin_node = 0;
+};
+
+// ---- per-call argument encodings ----
+
+inline rpc::Marshal encode_malloc(std::size_t bytes) {
+  rpc::Marshal m;
+  m.put_u64(bytes);
+  return m;
+}
+
+inline rpc::Marshal encode_free(cuda::DevPtr ptr) {
+  rpc::Marshal m;
+  m.put_u64(ptr);
+  return m;
+}
+
+inline rpc::Marshal encode_memcpy(cuda::DevPtr ptr, std::size_t bytes,
+                                  cuda::cudaMemcpyKind kind) {
+  rpc::Marshal m;
+  m.put_u64(ptr);
+  m.put_u64(bytes);
+  m.put_enum(kind);
+  return m;
+}
+
+inline rpc::Marshal encode_launch(const cuda::KernelLaunch& kl) {
+  rpc::Marshal m;
+  m.put_string(kl.name);
+  m.put_i64(kl.desc.nominal_duration);
+  m.put_double(kl.desc.occupancy);
+  m.put_double(kl.desc.bw_demand_gbps);
+  return m;
+}
+
+inline cuda::KernelLaunch decode_launch(rpc::Unmarshal& u) {
+  cuda::KernelLaunch kl;
+  kl.name = u.get_string();
+  kl.desc.nominal_duration = u.get_i64();
+  kl.desc.occupancy = u.get_double();
+  kl.desc.bw_demand_gbps = u.get_double();
+  return kl;
+}
+
+inline void encode_feedback(rpc::Marshal& m, const core::FeedbackRecord& r) {
+  m.put_string(r.app_type);
+  m.put_double(r.exec_time_s);
+  m.put_double(r.gpu_time_s);
+  m.put_double(r.transfer_time_s);
+  m.put_double(r.mem_bw_gbps);
+  m.put_double(r.gpu_util);
+  m.put_i32(r.gid);
+}
+
+inline core::FeedbackRecord decode_feedback(rpc::Unmarshal& u) {
+  core::FeedbackRecord r;
+  r.app_type = u.get_string();
+  r.exec_time_s = u.get_double();
+  r.gpu_time_s = u.get_double();
+  r.transfer_time_s = u.get_double();
+  r.mem_bw_gbps = u.get_double();
+  r.gpu_util = u.get_double();
+  r.gid = u.get_i32();
+  return r;
+}
+
+}  // namespace strings::backend

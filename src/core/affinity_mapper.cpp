@@ -1,0 +1,99 @@
+#include "core/affinity_mapper.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace strings::core {
+
+AffinityMapper::AffinityMapper(Config config)
+    : config_(std::move(config)),
+      static_policy_(policies::make_balancing_policy(config_.static_policy)) {
+  if (!config_.feedback_policy.empty()) {
+    feedback_policy_ =
+        policies::make_balancing_policy(config_.feedback_policy);
+  }
+}
+
+std::vector<Gid> AffinityMapper::report_node(
+    NodeId node, const std::vector<gpu::DeviceProps>& devices) {
+  if (finalized_) {
+    throw std::logic_error("report_node after gPool finalization");
+  }
+  return gmap_.add_node(node, devices);
+}
+
+void AffinityMapper::finalize() {
+  if (finalized_) return;
+  if (gmap_.size() == 0) throw std::logic_error("gPool has no devices");
+  dst_ = std::make_unique<DeviceStatusTable>(gmap_);
+  bound_types_.assign(static_cast<std::size_t>(gmap_.size()), {});
+  finalized_ = true;
+}
+
+bool AffinityMapper::use_feedback_for(const std::string& app_type) const {
+  return feedback_policy_ != nullptr &&
+         sft_.samples(app_type) >= config_.min_feedback_samples;
+}
+
+const char* AffinityMapper::active_policy_name(
+    const std::string& app_type) const {
+  return use_feedback_for(app_type) ? feedback_policy_->name()
+                                    : static_policy_->name();
+}
+
+Gid AffinityMapper::select_device(const std::string& app_type,
+                                  NodeId origin_node) {
+  assert(finalized_ && "select_device before finalize()");
+  policies::BalanceInput in;
+  in.gmap = &gmap_;
+  in.dst = dst_.get();
+  in.sft = &sft_;
+  in.bound_types = &bound_types_;
+  in.app_type = app_type;
+  in.origin_node = origin_node;
+
+  Gid gid = -1;
+  const bool feedback = use_feedback_for(app_type);
+  if (feedback) {
+    gid = feedback_policy_->select(in);
+    ++feedback_selections_;
+  } else {
+    gid = static_policy_->select(in);
+    ++static_selections_;
+  }
+  assert(gid >= 0 && gid < gmap_.size());
+  if (trace_ != nullptr) {
+    trace_->log("mapper", "tgs.select",
+                "app=" + app_type + " gid=" + std::to_string(gid) +
+                    " policy=" +
+                    (feedback ? feedback_policy_->name()
+                              : static_policy_->name()));
+  }
+  dst_->on_bind(gid);
+  bound_types_[static_cast<std::size_t>(gid)].push_back(app_type);
+  return gid;
+}
+
+void AffinityMapper::unbind(Gid gid, const std::string& app_type) {
+  assert(finalized_);
+  dst_->on_unbind(gid);
+  auto& bound = bound_types_[static_cast<std::size_t>(gid)];
+  auto it = std::find(bound.begin(), bound.end(), app_type);
+  if (it != bound.end()) bound.erase(it);
+}
+
+void AffinityMapper::on_feedback(const FeedbackRecord& rec) {
+  const bool was_static = !use_feedback_for(rec.app_type);
+  sft_.update(rec);
+  if (trace_ != nullptr) {
+    trace_->log("mapper", "pa.feedback", "app=" + rec.app_type);
+    if (was_static && use_feedback_for(rec.app_type)) {
+      // The paper's dynamic policy switching point.
+      trace_->log("mapper", "pa.switch_policy",
+                  "app=" + rec.app_type + " to=" + feedback_policy_->name());
+    }
+  }
+}
+
+}  // namespace strings::core

@@ -1,0 +1,88 @@
+// GPU Affinity Mapper / workload balancer (paper §III-C, Fig. 6).
+//
+//   gPool Creator (GC)      — report_node()/finalize(): collects device
+//     info from every backend daemon, assigns GIDs, builds the gMap, and
+//     assigns static device weights into the Device Status Table.
+//   Target GPU Selector (TGS) — select_device(): answers each intercepted
+//     cudaSetDevice() with a GID chosen by the active policy over DST + SFT.
+//   Policy Arbiter (PA)     — on_feedback(): folds Feedback Engine records
+//     into the SFT and switches from the static policy to the feedback
+//     policy for an app type once enough history exists ("dynamic policy
+//     switching").
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/gpool.hpp"
+#include "core/tables.hpp"
+#include "policies/balancing.hpp"
+#include "simcore/simulation.hpp"
+#include "simcore/trace_log.hpp"
+
+namespace strings::core {
+
+class AffinityMapper {
+ public:
+  struct Config {
+    /// Policy used when no feedback history exists for an app type.
+    std::string static_policy = "GWtMin";
+    /// Feedback policy the Arbiter switches to; empty disables switching.
+    std::string feedback_policy;
+    /// Completed-run records required before switching for an app type.
+    int min_feedback_samples = 1;
+  };
+
+  explicit AffinityMapper(Config config);
+
+  // ---- gPool Creator ----
+  /// Registers one node's devices; returns their GIDs. Call once per node
+  /// during system initialization, then finalize().
+  std::vector<Gid> report_node(NodeId node,
+                               const std::vector<gpu::DeviceProps>& devices);
+  /// Builds the DST from the completed gMap ("broadcasts" it).
+  void finalize();
+
+  // ---- Target GPU Selector ----
+  /// Picks a GID for an arriving application and records the binding.
+  Gid select_device(const std::string& app_type, NodeId origin_node);
+  /// Releases a binding (application exit / cudaThreadExit).
+  void unbind(Gid gid, const std::string& app_type);
+
+  // ---- Policy Arbiter ----
+  void on_feedback(const FeedbackRecord& rec);
+
+  // ---- introspection ----
+  const GMap& gmap() const { return gmap_; }
+  const DeviceStatusTable& dst() const { return *dst_; }
+  const SchedulerFeedbackTable& sft() const { return sft_; }
+  const std::vector<std::vector<std::string>>& bound_types() const {
+    return bound_types_;
+  }
+  /// How many selections used the feedback policy vs the static one.
+  std::int64_t feedback_selections() const { return feedback_selections_; }
+  std::int64_t static_selections() const { return static_selections_; }
+  /// The policy that would be used for `app_type` right now.
+  const char* active_policy_name(const std::string& app_type) const;
+
+  /// Optional structured tracing of selections and Arbiter switches.
+  void set_trace_log(sim::TraceLog* log) { trace_ = log; }
+
+ private:
+  bool use_feedback_for(const std::string& app_type) const;
+
+  Config config_;
+  GMap gmap_;
+  std::unique_ptr<DeviceStatusTable> dst_;
+  SchedulerFeedbackTable sft_;
+  std::vector<std::vector<std::string>> bound_types_;
+  std::unique_ptr<policies::BalancingPolicy> static_policy_;
+  std::unique_ptr<policies::BalancingPolicy> feedback_policy_;
+  std::int64_t feedback_selections_ = 0;
+  std::int64_t static_selections_ = 0;
+  bool finalized_ = false;
+  sim::TraceLog* trace_ = nullptr;
+};
+
+}  // namespace strings::core

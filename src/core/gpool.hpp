@@ -1,0 +1,77 @@
+// gPool / gMap: cluster-wide logical aggregation of GPUs.
+//
+// At startup every backend daemon reports its local devices to the gPool
+// Creator, which assigns each GPU a global id (GID), builds the gMap
+// (GID -> <node id, local device id>), computes static device weights from
+// the reported properties, and broadcasts the map. Any node can then
+// schedule any GPU (paper §III-A).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "gpu/device_props.hpp"
+
+namespace strings::core {
+
+using Gid = int;
+using NodeId = int;
+
+struct GpuEntry {
+  Gid gid = -1;
+  NodeId node = -1;
+  int local_device = -1;
+  gpu::DeviceProps props;
+  /// Static relative weight assigned once by the gPool Creator from device
+  /// properties (compute throughput). Deliberately ignorant of bandwidth
+  /// and PCIe behaviour — the paper shows this static view misleads GWtMin
+  /// for transfer-bound applications, motivating feedback policies.
+  double weight = 1.0;
+};
+
+class GMap {
+ public:
+  /// Registers one node's devices (called by the gPool Creator during
+  /// initialization); returns the GIDs assigned.
+  std::vector<Gid> add_node(NodeId node,
+                            const std::vector<gpu::DeviceProps>& devices) {
+    std::vector<Gid> gids;
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      GpuEntry e;
+      e.gid = static_cast<Gid>(entries_.size());
+      e.node = node;
+      e.local_device = static_cast<int>(i);
+      e.props = devices[i];
+      e.weight = devices[i].compute_score;
+      entries_.push_back(std::move(e));
+      gids.push_back(entries_.back().gid);
+    }
+    return gids;
+  }
+
+  const GpuEntry& entry(Gid gid) const {
+    if (gid < 0 || gid >= static_cast<Gid>(entries_.size())) {
+      throw std::out_of_range("unknown GID " + std::to_string(gid));
+    }
+    return entries_[static_cast<std::size_t>(gid)];
+  }
+
+  const std::vector<GpuEntry>& entries() const { return entries_; }
+  int size() const { return static_cast<int>(entries_.size()); }
+
+  /// All GIDs hosted on `node`.
+  std::vector<Gid> gids_on_node(NodeId node) const {
+    std::vector<Gid> out;
+    for (const auto& e : entries_) {
+      if (e.node == node) out.push_back(e.gid);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<GpuEntry> entries_;
+};
+
+}  // namespace strings::core

@@ -1,0 +1,193 @@
+#include "core/gpu_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace strings::core {
+
+GpuScheduler::GpuScheduler(sim::Simulation& sim, Gid gid,
+                           std::unique_ptr<policies::DeviceSchedPolicy> policy,
+                           Config config)
+    : sim_(sim), gid_(gid), policy_(std::move(policy)), config_(config) {
+  assert(policy_ != nullptr);
+}
+
+GpuScheduler::GpuScheduler(sim::Simulation& sim, Gid gid,
+                           std::unique_ptr<policies::DeviceSchedPolicy> policy)
+    : GpuScheduler(sim, gid, std::move(policy), Config{}) {}
+
+int GpuScheduler::register_app(const RcbInit& init) {
+  const int signal_id = next_signal_++;
+  RcbEntry e;
+  e.init = init;
+  e.registered_at = sim_.now();
+  rcb_.emplace(signal_id, std::move(e));
+  arm_epoch();
+  if (trace_ != nullptr) {
+    // Handshake steps 1+2 (paper Fig. 7a): registration and signal-id reply.
+    trace_->log("gpusched/" + std::to_string(gid_), "rm.register",
+                "app=" + init.app_type + " tenant=" + init.tenant);
+    trace_->log("gpusched/" + std::to_string(gid_), "rm.signal_id",
+                "signal=" + std::to_string(signal_id));
+  }
+  return signal_id;
+}
+
+void GpuScheduler::ack(int signal_id) {
+  auto it = rcb_.find(signal_id);
+  assert(it != rcb_.end() && "ack for unknown signal id");
+  it->second.acked = true;
+  if (trace_ != nullptr) {
+    // Handshake step 3: the backend thread installed its handler.
+    trace_->log("gpusched/" + std::to_string(gid_), "rm.ack",
+                "signal=" + std::to_string(signal_id));
+  }
+  run_dispatcher();  // let the new thread take effect immediately
+}
+
+FeedbackRecord GpuScheduler::unregister_app(int signal_id) {
+  auto it = rcb_.find(signal_id);
+  assert(it != rcb_.end() && "unregister for unknown signal id");
+  const RcbEntry& e = it->second;
+
+  FeedbackRecord rec;
+  rec.app_type = e.init.app_type;
+  rec.gid = gid_;
+  rec.exec_time_s = sim::to_seconds(sim_.now() - e.registered_at);
+  rec.gpu_time_s = sim::to_seconds(e.gpu_time);
+  rec.transfer_time_s = sim::to_seconds(e.transfer_time);
+  rec.gpu_util =
+      rec.exec_time_s > 0 ? std::min(1.0, rec.gpu_time_s / rec.exec_time_s)
+                          : 0.0;
+  rec.mem_bw_gbps = e.gpu_time > 0 ? static_cast<double>(e.bytes_accessed) /
+                                         static_cast<double>(e.gpu_time)
+                                   : 0.0;  // bytes/ns == GB/s
+
+  // Leave the thread awake on the way out so teardown never blocks.
+  if (e.init.gate != nullptr) e.init.gate->set(true);
+  rcb_.erase(it);
+  if (trace_ != nullptr) {
+    trace_->log("gpusched/" + std::to_string(gid_), "fe.feedback",
+                "app=" + rec.app_type + " gpu_util=" +
+                    std::to_string(rec.gpu_util));
+  }
+  if (feedback_sink_) feedback_sink_(rec);
+  run_dispatcher();
+  return rec;
+}
+
+void GpuScheduler::on_op_complete(int signal_id,
+                                  const gpu::GpuDevice::Op& op) {
+  auto it = rcb_.find(signal_id);
+  if (it == rcb_.end()) return;  // late completion after unregister
+  RcbEntry& e = it->second;
+  const sim::SimTime begin =
+      config_.measure_includes_wait ? op.submitted : op.started;
+  const sim::SimTime duration = op.completed - begin;
+  // Ground truth for fairness metrics: engine residency only. The RCB
+  // fields below use the (possibly wait-inflated) measurement the scheduler
+  // actually acts on — the distinction is the paper's explanation for
+  // TFS-Rain's fairness error.
+  tenant_service_[e.init.tenant] += op.completed - op.started;
+  if (op.kind == gpu::GpuDevice::OpKind::kKernel) {
+    e.gpu_time += duration;
+    // Approximate data accesses: the kernel's bandwidth demand over its
+    // standalone duration (bytes = GB/s * ns).
+    e.bytes_accessed += static_cast<std::int64_t>(
+        op.kernel.bw_demand_gbps *
+        static_cast<double>(op.kernel.nominal_duration));
+  } else {
+    e.transfer_time += duration;
+  }
+}
+
+void GpuScheduler::set_phase(int signal_id, policies::Phase phase) {
+  auto it = rcb_.find(signal_id);
+  if (it == rcb_.end()) return;
+  it->second.phase = phase;
+}
+
+std::vector<policies::RcbSnapshot> GpuScheduler::snapshot() const {
+  std::vector<policies::RcbSnapshot> out;
+  out.reserve(rcb_.size());
+  for (const auto& [id, e] : rcb_) {
+    if (!e.acked) continue;
+    policies::RcbSnapshot s;
+    s.key = static_cast<std::uint64_t>(id);
+    s.tenant = e.init.tenant;
+    s.tenant_weight = e.init.tenant_weight;
+    s.total_service = total_service(e);
+    s.epoch_service = e.epoch_service;
+    s.cgs = e.cgs;
+    s.entitled = e.entitled;
+    s.phase = e.phase;
+    s.backlogged = e.init.backlog_probe ? e.init.backlog_probe() > 0 : true;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+sim::SimTime GpuScheduler::service_attained(int signal_id) const {
+  auto it = rcb_.find(signal_id);
+  return it == rcb_.end() ? 0 : total_service(it->second);
+}
+
+void GpuScheduler::arm_epoch() {
+  if (epoch_armed_) return;
+  epoch_armed_ = true;
+  sim_.schedule(config_.epoch, [this] { epoch_tick(); });
+}
+
+void GpuScheduler::epoch_tick() {
+  epoch_armed_ = false;
+  if (rcb_.empty()) return;
+  ++epochs_;
+
+  // Dispatcher bookkeeping: per-epoch service (GSn), decayed CGS, and
+  // entitlement accrual for TFS (backlogged threads share the epoch by
+  // tenant weight — work conservation).
+  double backlogged_weight = 0.0;
+  for (auto& [id, e] : rcb_) {
+    const sim::SimTime total = total_service(e);
+    e.epoch_service = total - e.service_at_last_epoch;
+    e.service_at_last_epoch = total;
+    e.cgs = config_.las_k * static_cast<double>(e.epoch_service) +
+            (1.0 - config_.las_k) * e.cgs;
+    const bool backlogged =
+        e.init.backlog_probe ? e.init.backlog_probe() > 0 : true;
+    if (backlogged) backlogged_weight += e.init.tenant_weight;
+  }
+  if (backlogged_weight > 0) {
+    for (auto& [id, e] : rcb_) {
+      const bool backlogged =
+          e.init.backlog_probe ? e.init.backlog_probe() > 0 : true;
+      if (!backlogged) continue;
+      e.entitled += static_cast<sim::SimTime>(
+          static_cast<double>(config_.epoch) * e.init.tenant_weight /
+          backlogged_weight);
+    }
+  }
+
+  run_dispatcher();
+  arm_epoch();
+}
+
+void GpuScheduler::run_dispatcher() {
+  const auto snaps = snapshot();
+  const auto awake = policy_->pick_awake(snaps);
+  for (auto& [id, e] : rcb_) {
+    if (e.init.gate == nullptr || !e.acked) continue;
+    const bool keep_awake =
+        std::find(awake.begin(), awake.end(), static_cast<std::uint64_t>(id)) !=
+        awake.end();
+    if (trace_ != nullptr && e.init.gate->awake() != keep_awake) {
+      trace_->log("gpusched/" + std::to_string(gid_),
+                  keep_awake ? "dispatch.wake" : "dispatch.sleep",
+                  "signal=" + std::to_string(id) + " app=" +
+                      e.init.app_type);
+    }
+    e.init.gate->set(keep_awake);
+  }
+}
+
+}  // namespace strings::core

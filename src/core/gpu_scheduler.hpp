@@ -1,0 +1,159 @@
+// Per-device GPU scheduler (paper §III-C "GPU Scheduler", Fig. 6/7a).
+//
+// Components, mapped one-to-one onto the paper:
+//   Request Manager (RM)  — registers backend threads via the three-way
+//     handshake (register -> signal id -> ack) and maintains the Request
+//     Control Block (RCB).
+//   Dispatcher             — every scheduling epoch, runs the configured
+//     device policy (TFS / LAS / PS / AllAwake) over RCB snapshots and
+//     toggles each backend thread's WakeGate (the RT-signal analog).
+//   Request Monitor (RMO)  — accumulates per-application GPU time, transfer
+//     time, bytes accessed, and phase from device op completions.
+//   Feedback Engine (FE)   — on unregister (cudaThreadExit), summarizes the
+//     RCB entry into a FeedbackRecord and hands it to the feedback sink
+//     (the Affinity Mapper's Policy Arbiter).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tables.hpp"
+#include "gpu/gpu_device.hpp"
+#include "policies/device_policies.hpp"
+#include "simcore/simulation.hpp"
+#include "simcore/trace_log.hpp"
+
+namespace strings::core {
+
+/// The simulated analog of the paper's per-thread RT-signal handler: the
+/// Dispatcher toggles it; the backend thread blocks on it before issuing
+/// GPU work while asleep (in-flight work keeps running).
+class WakeGate {
+ public:
+  explicit WakeGate(sim::Simulation& sim) : changed_(sim) {}
+
+  bool awake() const { return awake_; }
+
+  void set(bool awake) {
+    if (awake_ == awake) return;
+    awake_ = awake;
+    if (awake_) changed_.notify_all();
+  }
+
+  /// Blocks the calling process until the gate opens.
+  void wait_until_awake() {
+    while (!awake_) changed_.wait();
+  }
+
+ private:
+  bool awake_ = true;
+  sim::Event changed_;
+};
+
+class GpuScheduler {
+ public:
+  struct Config {
+    sim::SimTime epoch = sim::msec(10);
+    /// Decay constant of CGSn = k*GSn + (1-k)*CGSn-1 (paper eq. 1).
+    double las_k = 0.8;
+    /// Rain measures service at backend-process granularity, so queueing
+    /// and context-switch time leak into the accounting (the paper's
+    /// explanation for TFS-Rain's fairness error). Strings measures
+    /// engine-residency only.
+    bool measure_includes_wait = false;
+  };
+
+  struct RcbInit {
+    std::string app_type;
+    std::string tenant;
+    double tenant_weight = 1.0;
+    std::uint64_t stream_id = 0;
+    WakeGate* gate = nullptr;
+    /// Returns the thread's queued + in-flight request count (backlog).
+    std::function<int()> backlog_probe;
+  };
+
+  GpuScheduler(sim::Simulation& sim, Gid gid,
+               std::unique_ptr<policies::DeviceSchedPolicy> policy,
+               Config config);
+  GpuScheduler(sim::Simulation& sim, Gid gid,
+               std::unique_ptr<policies::DeviceSchedPolicy> policy);
+
+  // ---- Request Manager ----
+  /// Handshake steps 1+2: creates the RCB entry, returns the signal id.
+  int register_app(const RcbInit& init);
+  /// Handshake step 3: the backend thread acknowledges its handler; only
+  /// acked entries participate in dispatching.
+  void ack(int signal_id);
+  /// Removes the entry and returns the Feedback Engine's summary record.
+  FeedbackRecord unregister_app(int signal_id);
+
+  // ---- Request Monitor hooks ----
+  void on_op_complete(int signal_id, const gpu::GpuDevice::Op& op);
+  void set_phase(int signal_id, policies::Phase phase);
+
+  /// FE sink: invoked with each unregistered app's record (Policy Arbiter).
+  void set_feedback_sink(std::function<void(const FeedbackRecord&)> sink) {
+    feedback_sink_ = std::move(sink);
+  }
+
+  /// Optional structured tracing of RM handshakes and dispatcher decisions.
+  void set_trace_log(sim::TraceLog* log) { trace_ = log; }
+
+  // ---- introspection ----
+  std::vector<policies::RcbSnapshot> snapshot() const;
+  sim::SimTime service_attained(int signal_id) const;
+  /// Cumulative GPU service per tenant across all (including exited) apps —
+  /// the quantity Jain's fairness is computed over. Always measured as true
+  /// engine residency, independent of measure_includes_wait.
+  const std::map<std::string, sim::SimTime>& tenant_service() const {
+    return tenant_service_;
+  }
+  int registered_count() const { return static_cast<int>(rcb_.size()); }
+  std::int64_t epochs_run() const { return epochs_; }
+  Gid gid() const { return gid_; }
+  const policies::DeviceSchedPolicy& policy() const { return *policy_; }
+  const Config& config() const { return config_; }
+
+ private:
+  struct RcbEntry {
+    RcbInit init;
+    sim::SimTime registered_at = 0;
+    bool acked = false;
+    policies::Phase phase = policies::Phase::kDefault;
+    // Request Monitor accumulators.
+    sim::SimTime gpu_time = 0;
+    sim::SimTime transfer_time = 0;
+    std::int64_t bytes_accessed = 0;
+    // Dispatcher bookkeeping.
+    sim::SimTime service_at_last_epoch = 0;
+    sim::SimTime epoch_service = 0;
+    double cgs = 0.0;
+    sim::SimTime entitled = 0;
+  };
+
+  sim::SimTime total_service(const RcbEntry& e) const {
+    return e.gpu_time + e.transfer_time;
+  }
+  void arm_epoch();
+  void epoch_tick();
+  void run_dispatcher();
+
+  sim::Simulation& sim_;
+  Gid gid_;
+  std::unique_ptr<policies::DeviceSchedPolicy> policy_;
+  Config config_;
+  std::map<int, RcbEntry> rcb_;
+  std::map<std::string, sim::SimTime> tenant_service_;
+  int next_signal_ = 1;
+  bool epoch_armed_ = false;
+  std::int64_t epochs_ = 0;
+  std::function<void(const FeedbackRecord&)> feedback_sink_;
+  sim::TraceLog* trace_ = nullptr;
+};
+
+}  // namespace strings::core

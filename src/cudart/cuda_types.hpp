@@ -1,0 +1,60 @@
+// Public types of the simulated CUDA runtime.
+//
+// Mirrors the subset of the CUDA 5.0 runtime API the Strings interposer
+// intercepts. Names deliberately follow CUDA (inside the strings::cuda
+// namespace) so the interposer and backend read like the real system.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gpu/gpu_device.hpp"
+
+namespace strings::cuda {
+
+enum class cudaError_t : int {
+  cudaSuccess = 0,
+  cudaErrorMemoryAllocation = 2,
+  cudaErrorInvalidDevice = 10,
+  cudaErrorInvalidValue = 11,
+  cudaErrorInvalidDevicePointer = 17,
+  cudaErrorInvalidResourceHandle = 33,
+  cudaErrorNotReady = 34,
+  cudaErrorLaunchFailure = 4,
+  cudaErrorNoDevice = 38,
+  cudaErrorUnknown = 30,
+};
+
+/// Human-readable error string (mirrors cudaGetErrorString).
+const char* cudaGetErrorString(cudaError_t err);
+
+enum class cudaMemcpyKind : int {
+  cudaMemcpyHostToDevice = 1,
+  cudaMemcpyDeviceToHost = 2,
+  cudaMemcpyDeviceToDevice = 3,
+};
+
+/// Simulated device pointer (an opaque address).
+using DevPtr = std::uint64_t;
+inline constexpr DevPtr kNullDevPtr = 0;
+
+/// Stream handle; 0 is the (legacy, synchronizing) default stream.
+using cudaStream_t = std::uint64_t;
+inline constexpr cudaStream_t cudaStreamDefault = 0;
+
+/// Event handle for cudaEvent* timing APIs.
+using cudaEvent_t = std::uint64_t;
+
+/// Identifies a frontend application's host process; contexts are created
+/// per process per device (CUDA >= 4.0 semantics).
+using ProcessId = std::uint64_t;
+
+/// Everything the simulator needs to know about one kernel launch.
+/// `gpu::KernelDesc` carries the timing/resource demand; `name` is for
+/// tracing and the Request Monitor.
+struct KernelLaunch {
+  std::string name;
+  gpu::KernelDesc desc;
+};
+
+}  // namespace strings::cuda

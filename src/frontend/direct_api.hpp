@@ -1,0 +1,73 @@
+// The "bare CUDA runtime" baseline: applications call the node's runtime
+// directly and their programmatic device selection is honoured. This is the
+// static-provisioning model every figure in the paper compares against.
+#pragma once
+
+#include "cudart/cuda_runtime.hpp"
+#include "frontend/gpu_api.hpp"
+
+namespace strings::frontend {
+
+class DirectApi final : public GpuApi {
+ public:
+  /// Creates a fresh host process on `rt` (one per application instance —
+  /// separate GPU contexts, as with independently launched binaries).
+  explicit DirectApi(cuda::CudaRuntime& rt)
+      : rt_(rt), pid_(rt.create_process()) {}
+
+  ~DirectApi() override { rt_.destroy_process(pid_); }
+  DirectApi(const DirectApi&) = delete;
+  DirectApi& operator=(const DirectApi&) = delete;
+
+  cuda::cudaError_t cudaSetDevice(int device) override {
+    return rt_.cudaSetDevice(pid_, device);
+  }
+  cuda::cudaError_t cudaMalloc(cuda::DevPtr* ptr, std::size_t bytes) override {
+    return rt_.cudaMalloc(pid_, ptr, bytes);
+  }
+  cuda::cudaError_t cudaFree(cuda::DevPtr ptr) override {
+    return rt_.cudaFree(pid_, ptr);
+  }
+  cuda::cudaError_t cudaMemcpy(cuda::DevPtr ptr, std::size_t bytes,
+                               cuda::cudaMemcpyKind kind) override {
+    return rt_.cudaMemcpy(pid_, ptr, bytes, kind);
+  }
+  cuda::cudaError_t cudaMemcpyAsync(cuda::DevPtr ptr, std::size_t bytes,
+                                    cuda::cudaMemcpyKind kind) override {
+    return rt_.cudaMemcpyAsync(pid_, ptr, bytes, kind,
+                               cuda::cudaStreamDefault);
+  }
+  cuda::cudaError_t cudaLaunch(const cuda::KernelLaunch& kl) override {
+    return rt_.cudaLaunchKernel(pid_, kl, cuda::cudaStreamDefault);
+  }
+  cuda::cudaError_t cudaDeviceSynchronize() override {
+    return rt_.cudaDeviceSynchronize(pid_);
+  }
+  cuda::cudaError_t cudaEventCreate(cuda::cudaEvent_t* event) override {
+    return rt_.cudaEventCreate(pid_, event);
+  }
+  cuda::cudaError_t cudaEventRecord(cuda::cudaEvent_t event) override {
+    return rt_.cudaEventRecord(pid_, event, cuda::cudaStreamDefault);
+  }
+  cuda::cudaError_t cudaEventSynchronize(cuda::cudaEvent_t event) override {
+    return rt_.cudaEventSynchronize(pid_, event);
+  }
+  cuda::cudaError_t cudaEventElapsedTime(double* ms, cuda::cudaEvent_t start,
+                                         cuda::cudaEvent_t end) override {
+    return rt_.cudaEventElapsedTime(pid_, ms, start, end);
+  }
+  cuda::cudaError_t cudaEventDestroy(cuda::cudaEvent_t event) override {
+    return rt_.cudaEventDestroy(pid_, event);
+  }
+  cuda::cudaError_t cudaThreadExit() override {
+    return rt_.cudaThreadExit(pid_);
+  }
+
+  cuda::ProcessId pid() const { return pid_; }
+
+ private:
+  cuda::CudaRuntime& rt_;
+  cuda::ProcessId pid_;
+};
+
+}  // namespace strings::frontend

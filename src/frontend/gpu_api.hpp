@@ -1,0 +1,46 @@
+// The application-facing CUDA API surface.
+//
+// Application code programs against this interface exactly as it would
+// against the CUDA runtime. Two implementations exist:
+//   - DirectApi: the "bare CUDA runtime" baseline — calls go straight to the
+//     node's runtime and the app's explicit cudaSetDevice() is honoured
+//     (static provisioning).
+//   - Interposer: the Strings frontend — cudaSetDevice() is overridden by
+//     the workload balancer and every call is marshalled to a backend
+//     worker over RPC (GPU remoting).
+#pragma once
+
+#include <cstddef>
+
+#include "cudart/cuda_types.hpp"
+
+namespace strings::frontend {
+
+class GpuApi {
+ public:
+  virtual ~GpuApi() = default;
+
+  virtual cuda::cudaError_t cudaSetDevice(int device) = 0;
+  virtual cuda::cudaError_t cudaMalloc(cuda::DevPtr* ptr,
+                                       std::size_t bytes) = 0;
+  virtual cuda::cudaError_t cudaFree(cuda::DevPtr ptr) = 0;
+  virtual cuda::cudaError_t cudaMemcpy(cuda::DevPtr ptr, std::size_t bytes,
+                                       cuda::cudaMemcpyKind kind) = 0;
+  virtual cuda::cudaError_t cudaMemcpyAsync(cuda::DevPtr ptr,
+                                            std::size_t bytes,
+                                            cuda::cudaMemcpyKind kind) = 0;
+  virtual cuda::cudaError_t cudaLaunch(const cuda::KernelLaunch& kl) = 0;
+  virtual cuda::cudaError_t cudaDeviceSynchronize() = 0;
+  // Timing events (subset of the cudaEvent API).
+  virtual cuda::cudaError_t cudaEventCreate(cuda::cudaEvent_t* event) = 0;
+  virtual cuda::cudaError_t cudaEventRecord(cuda::cudaEvent_t event) = 0;
+  virtual cuda::cudaError_t cudaEventSynchronize(cuda::cudaEvent_t event) = 0;
+  virtual cuda::cudaError_t cudaEventElapsedTime(double* ms,
+                                                 cuda::cudaEvent_t start,
+                                                 cuda::cudaEvent_t end) = 0;
+  virtual cuda::cudaError_t cudaEventDestroy(cuda::cudaEvent_t event) = 0;
+  /// Final call of an application's GPU component; releases its binding.
+  virtual cuda::cudaError_t cudaThreadExit() = 0;
+};
+
+}  // namespace strings::frontend

@@ -1,0 +1,204 @@
+#include "frontend/interposer.hpp"
+
+#include <cassert>
+
+namespace strings::frontend {
+
+using cuda::cudaError_t;
+using rpc::CallId;
+
+Interposer::Interposer(SchedulerDirectory& directory,
+                       backend::AppDescriptor app, InterposerConfig config)
+    : directory_(directory), app_(std::move(app)), config_(config) {}
+
+Interposer::~Interposer() {
+  // Apps should call cudaThreadExit(); the binding is released there. An
+  // interposer destroyed without exit simply drops the channel — the worker
+  // keeps the binding until teardown, mirroring a killed frontend process.
+}
+
+cuda::cudaError_t Interposer::ensure_bound() {
+  if (client_ != nullptr) return cudaError_t::cudaSuccess;
+  // (i) forward device selection to the workload balancer; (ii) receive the
+  // GID; (iii) resolve node/local ids via the gMap; (iv) bind to the backend
+  // over GPU remoting.
+  const core::Gid gid =
+      directory_.select_device(app_.app_type, app_.origin_node);
+  gid_ = gid;
+  const core::GpuEntry& entry = directory_.resolve(gid);
+  auto [tx, rx] = directory_.wires_between(app_.origin_node, entry.node);
+  rpc::DuplexChannel& ch = directory_.daemon(entry.node).connect(
+      app_, entry.local_device,
+      directory_.link_between(app_.origin_node, entry.node), std::move(tx),
+      std::move(rx));
+  client_ = std::make_unique<rpc::RpcClient>(ch);
+  return cudaError_t::cudaSuccess;
+}
+
+cuda::cudaError_t Interposer::cudaSetDevice(int /*device*/) {
+  // The application's target GPU selection is overridden: Strings, not the
+  // programmer, decides the placement.
+  return ensure_bound();
+}
+
+cuda::cudaError_t Interposer::cudaMalloc(cuda::DevPtr* ptr,
+                                         std::size_t bytes) {
+  if (ptr == nullptr) return cudaError_t::cudaErrorInvalidValue;
+  const cudaError_t bind_err = ensure_bound();
+  if (bind_err != cudaError_t::cudaSuccess) return bind_err;
+  rpc::Unmarshal u(client_->call(CallId::kMalloc,
+                                 backend::encode_malloc(bytes)));
+  const auto err = u.get_enum<cudaError_t>();
+  *ptr = u.get_u64();
+  return err;
+}
+
+cuda::cudaError_t Interposer::cudaFree(cuda::DevPtr ptr) {
+  const cudaError_t bind_err = ensure_bound();
+  if (bind_err != cudaError_t::cudaSuccess) return bind_err;
+  if (config_.nonblocking_rpc) {
+    // No output parameters: fire and forget.
+    client_->post(CallId::kFree, backend::encode_free(ptr));
+    return cudaError_t::cudaSuccess;
+  }
+  rpc::Unmarshal u(client_->call(CallId::kFree, backend::encode_free(ptr)));
+  return u.get_enum<cudaError_t>();
+}
+
+cuda::cudaError_t Interposer::cudaMemcpy(cuda::DevPtr ptr, std::size_t bytes,
+                                         cuda::cudaMemcpyKind kind) {
+  const cudaError_t bind_err = ensure_bound();
+  if (bind_err != cudaError_t::cudaSuccess) return bind_err;
+  // H2D requests ship the buffer with the packet; D2H data rides the
+  // response (the backend sets the payload there).
+  const std::uint64_t up_bytes =
+      kind == cuda::cudaMemcpyKind::cudaMemcpyHostToDevice ? bytes : 0;
+  if (kind == cuda::cudaMemcpyKind::cudaMemcpyHostToDevice &&
+      config_.nonblocking_rpc) {
+    // The backend's MOT turns this into a staged asynchronous copy, so no
+    // output flows back; the RPC itself can be one-way too, hiding the
+    // interposition + marshalling overhead (paper §III-B-2).
+    client_->post(CallId::kMemcpy, backend::encode_memcpy(ptr, bytes, kind),
+                  up_bytes);
+    return cudaError_t::cudaSuccess;
+  }
+  rpc::Unmarshal u(client_->call(
+      CallId::kMemcpy, backend::encode_memcpy(ptr, bytes, kind), up_bytes));
+  return u.get_enum<cudaError_t>();
+}
+
+cuda::cudaError_t Interposer::cudaMemcpyAsync(cuda::DevPtr ptr,
+                                              std::size_t bytes,
+                                              cuda::cudaMemcpyKind kind) {
+  const cudaError_t bind_err = ensure_bound();
+  if (bind_err != cudaError_t::cudaSuccess) return bind_err;
+  const std::uint64_t up_bytes =
+      kind == cuda::cudaMemcpyKind::cudaMemcpyHostToDevice ? bytes : 0;
+  if (config_.nonblocking_rpc) {
+    client_->post(CallId::kMemcpyAsync,
+                  backend::encode_memcpy(ptr, bytes, kind), up_bytes);
+    return cudaError_t::cudaSuccess;
+  }
+  rpc::Unmarshal u(client_->call(CallId::kMemcpyAsync,
+                                 backend::encode_memcpy(ptr, bytes, kind),
+                                 up_bytes));
+  return u.get_enum<cudaError_t>();
+}
+
+cuda::cudaError_t Interposer::cudaLaunch(const cuda::KernelLaunch& kl) {
+  const cudaError_t bind_err = ensure_bound();
+  if (bind_err != cudaError_t::cudaSuccess) return bind_err;
+  if (config_.nonblocking_rpc) {
+    client_->post(CallId::kLaunch, backend::encode_launch(kl));
+    return cudaError_t::cudaSuccess;
+  }
+  rpc::Unmarshal u(client_->call(CallId::kLaunch, backend::encode_launch(kl)));
+  return u.get_enum<cudaError_t>();
+}
+
+cuda::cudaError_t Interposer::cudaDeviceSynchronize() {
+  const cudaError_t bind_err = ensure_bound();
+  if (bind_err != cudaError_t::cudaSuccess) return bind_err;
+  rpc::Unmarshal u(client_->call(CallId::kDeviceSynchronize, rpc::Marshal{}));
+  return u.get_enum<cudaError_t>();
+}
+
+cuda::cudaError_t Interposer::cudaEventCreate(cuda::cudaEvent_t* event) {
+  if (event == nullptr) return cudaError_t::cudaErrorInvalidValue;
+  const cudaError_t bind_err = ensure_bound();
+  if (bind_err != cudaError_t::cudaSuccess) return bind_err;
+  rpc::Unmarshal u(client_->call(CallId::kEventCreate, rpc::Marshal{}));
+  const auto err = u.get_enum<cudaError_t>();
+  *event = u.get_u64();
+  return err;
+}
+
+cuda::cudaError_t Interposer::cudaEventRecord(cuda::cudaEvent_t event) {
+  const cudaError_t bind_err = ensure_bound();
+  if (bind_err != cudaError_t::cudaSuccess) return bind_err;
+  rpc::Marshal m;
+  m.put_u64(event);
+  if (config_.nonblocking_rpc) {
+    // Record has no output parameters: fire and forget.
+    client_->post(CallId::kEventRecord, std::move(m));
+    return cudaError_t::cudaSuccess;
+  }
+  rpc::Unmarshal u(client_->call(CallId::kEventRecord, std::move(m)));
+  return u.get_enum<cudaError_t>();
+}
+
+cuda::cudaError_t Interposer::cudaEventSynchronize(cuda::cudaEvent_t event) {
+  const cudaError_t bind_err = ensure_bound();
+  if (bind_err != cudaError_t::cudaSuccess) return bind_err;
+  rpc::Marshal m;
+  m.put_u64(event);
+  rpc::Unmarshal u(client_->call(CallId::kEventSynchronize, std::move(m)));
+  return u.get_enum<cudaError_t>();
+}
+
+cuda::cudaError_t Interposer::cudaEventElapsedTime(double* ms,
+                                                   cuda::cudaEvent_t start,
+                                                   cuda::cudaEvent_t end) {
+  if (ms == nullptr) return cudaError_t::cudaErrorInvalidValue;
+  const cudaError_t bind_err = ensure_bound();
+  if (bind_err != cudaError_t::cudaSuccess) return bind_err;
+  rpc::Marshal m;
+  m.put_u64(start);
+  m.put_u64(end);
+  rpc::Unmarshal u(client_->call(CallId::kEventElapsedTime, std::move(m)));
+  const auto err = u.get_enum<cudaError_t>();
+  *ms = u.get_double();
+  return err;
+}
+
+cuda::cudaError_t Interposer::cudaEventDestroy(cuda::cudaEvent_t event) {
+  const cudaError_t bind_err = ensure_bound();
+  if (bind_err != cudaError_t::cudaSuccess) return bind_err;
+  rpc::Marshal m;
+  m.put_u64(event);
+  if (config_.nonblocking_rpc) {
+    client_->post(CallId::kEventDestroy, std::move(m));
+    return cudaError_t::cudaSuccess;
+  }
+  rpc::Unmarshal u(client_->call(CallId::kEventDestroy, std::move(m)));
+  return u.get_enum<cudaError_t>();
+}
+
+cuda::cudaError_t Interposer::cudaThreadExit() {
+  if (exited_) return cudaError_t::cudaSuccess;
+  if (client_ == nullptr) return cudaError_t::cudaSuccess;  // never bound
+  rpc::Unmarshal u(client_->call(CallId::kThreadExit, rpc::Marshal{}));
+  const auto err = u.get_enum<cudaError_t>();
+  if (u.get_bool()) {
+    // Feedback Engine record piggybacked on the response: forward it to
+    // the Policy Arbiter.
+    feedback_ = backend::decode_feedback(u);
+    directory_.report_feedback(*feedback_);
+  }
+  assert(gid_.has_value());
+  directory_.unbind(*gid_, app_.app_type);
+  exited_ = true;
+  return err;
+}
+
+}  // namespace strings::frontend

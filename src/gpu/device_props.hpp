@@ -1,0 +1,105 @@
+// Static properties of a simulated GPU device.
+//
+// Presets model the four Fermi parts of the paper's testbed (NodeA: Quadro
+// 2000 + Tesla C2050, NodeB: Quadro 4000 + Tesla C2070). `compute_score` is
+// relative single-kernel throughput against the Tesla C2050 reference, so a
+// kernel with nominal duration T runs in T / compute_score on a device.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "simcore/sim_time.hpp"
+
+namespace strings::gpu {
+
+struct DeviceProps {
+  std::string name;
+  /// Relative compute throughput (Tesla C2050 == 1.0).
+  double compute_score = 1.0;
+  /// Device-memory bandwidth in GB/s.
+  double mem_bandwidth_gbps = 144.0;
+  /// Host<->device (PCIe) bandwidth in GB/s per copy engine.
+  double pcie_gbps = 6.0;
+  /// Device memory capacity in bytes.
+  std::size_t memory_bytes = std::size_t{3} << 30;
+  /// Maximum co-resident kernels within one context (Fermi: 16).
+  int concurrent_kernels = 16;
+  /// Cost of switching the device between GPU contexts.
+  sim::SimTime ctx_switch = sim::msec(2);
+  /// Minimum residency before the device switches away from a context that
+  /// still has work, when another context is waiting (driver time-slicing).
+  sim::SimTime ctx_quantum = sim::msec(5);
+  /// Fixed per-transfer latency of a copy engine.
+  sim::SimTime copy_latency = sim::usec(10);
+  /// Effective PCIe fraction for pageable host memory (the driver stages
+  /// through an internal bounce buffer); pinned memory reaches full speed —
+  /// this is what MOT's Pinned Memory Table buys.
+  double pageable_factor = 0.65;
+  /// Interference among co-resident kernels beyond SM/bandwidth shares
+  /// (cache, MSHR, scheduler pressure): every kernel's rate is multiplied
+  /// by 1 / (1 + crowding_alpha * (resident - 1)). This is why unrestricted
+  /// sharing loses to a dispatcher that picks few, well-matched kernels.
+  double crowding_alpha = 0.08;
+};
+
+inline DeviceProps quadro2000() {
+  DeviceProps p;
+  p.name = "Quadro 2000";
+  p.compute_score = 0.47;
+  p.mem_bandwidth_gbps = 41.6;
+  p.memory_bytes = std::size_t{1} << 30;
+  return p;
+}
+
+inline DeviceProps tesla_c2050() {
+  DeviceProps p;
+  p.name = "Tesla C2050";
+  p.compute_score = 1.0;
+  p.mem_bandwidth_gbps = 144.0;
+  p.memory_bytes = std::size_t{3} << 30;
+  return p;
+}
+
+inline DeviceProps quadro4000() {
+  DeviceProps p;
+  p.name = "Quadro 4000";
+  p.compute_score = 0.48;
+  p.mem_bandwidth_gbps = 89.6;
+  p.memory_bytes = std::size_t{2} << 30;
+  return p;
+}
+
+inline DeviceProps tesla_c2070() {
+  DeviceProps p;
+  p.name = "Tesla C2070";
+  p.compute_score = 1.0;
+  p.mem_bandwidth_gbps = 144.0;
+  p.memory_bytes = std::size_t{6} << 30;
+  return p;
+}
+
+/// A host-CPU executor modelled as a pseudo-GPU (the paper's future-work
+/// direction of dynamically mapping executions to GPUs *or* CPUs). Kernels
+/// run ~20x slower than the reference GPU; "transfers" are host-memory
+/// copies (no PCIe), and there are no context-switch penalties.
+inline DeviceProps cpu_executor() {
+  DeviceProps p;
+  p.name = "CPU executor";
+  p.compute_score = 0.05;
+  p.mem_bandwidth_gbps = 25.0;
+  p.pcie_gbps = 20.0;  // host memcpy, not a bus
+  p.copy_latency = sim::usec(1);
+  p.memory_bytes = std::size_t{12} << 30;
+  p.concurrent_kernels = 12;  // cores
+  p.ctx_switch = sim::usec(5);
+  p.ctx_quantum = sim::msec(1);
+  p.crowding_alpha = 0.02;
+  p.pageable_factor = 1.0;
+  return p;
+}
+
+/// The calibration reference for workload nominal durations.
+inline DeviceProps reference_device() { return tesla_c2050(); }
+
+}  // namespace strings::gpu

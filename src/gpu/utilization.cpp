@@ -1,0 +1,50 @@
+#include "gpu/utilization.hpp"
+
+#include <cmath>
+
+namespace strings::gpu {
+
+int UtilizationTracer::idle_gap_count(sim::SimTime t0, sim::SimTime t1,
+                                      sim::SimTime min_len) const {
+  if (samples_.empty() || t1 <= t0) return 0;
+  int gaps = 0;
+  sim::SimTime gap_start = -1;
+  auto close_gap = [&](sim::SimTime end) {
+    if (gap_start >= 0 && end - gap_start >= min_len) ++gaps;
+    gap_start = -1;
+  };
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const sim::SimTime seg_start = std::max(samples_[i].time, t0);
+    const sim::SimTime seg_end =
+        std::min(i + 1 < samples_.size() ? samples_[i + 1].time : t1, t1);
+    if (seg_end <= seg_start) continue;
+    const bool idle = samples_[i].resident_kernels == 0;
+    if (idle) {
+      if (gap_start < 0) gap_start = seg_start;
+    } else {
+      close_gap(seg_start);
+    }
+  }
+  close_gap(t1);
+  return gaps;
+}
+
+double UtilizationTracer::compute_util_cov(sim::SimTime t0, sim::SimTime t1,
+                                           sim::SimTime grid) const {
+  if (samples_.empty() || t1 <= t0 || grid <= 0) return 0.0;
+  std::vector<double> cells;
+  for (sim::SimTime t = t0; t < t1; t += grid) {
+    cells.push_back(mean_compute_util(t, std::min(t + grid, t1)));
+  }
+  if (cells.empty()) return 0.0;
+  double mean = 0.0;
+  for (double c : cells) mean += c;
+  mean /= static_cast<double>(cells.size());
+  if (mean == 0.0) return 0.0;
+  double var = 0.0;
+  for (double c : cells) var += (c - mean) * (c - mean);
+  var /= static_cast<double>(cells.size());
+  return std::sqrt(var) / mean;
+}
+
+}  // namespace strings::gpu

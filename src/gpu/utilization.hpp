@@ -1,0 +1,96 @@
+// Utilization tracing for simulated GPU devices.
+//
+// The tracer records a sample at every device state change; reducers turn the
+// piecewise-constant series into the statistics the paper plots (Fig. 1 and
+// Fig. 2): mean compute/bandwidth utilization, idle fractions, and the
+// "glitch" count (idle gaps caused by context switching).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "simcore/sim_time.hpp"
+
+namespace strings::gpu {
+
+struct UtilizationSample {
+  sim::SimTime time = 0;
+  double compute_util = 0.0;  // sum of resident occupancy, clipped to [0,1]
+  double bw_util = 0.0;       // demanded bandwidth / device bandwidth, clipped
+  bool h2d_busy = false;
+  bool d2h_busy = false;
+  bool switching = false;     // device is paying a context switch
+  int resident_kernels = 0;
+};
+
+class UtilizationTracer {
+ public:
+  explicit UtilizationTracer(bool enabled) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+
+  void record(const UtilizationSample& s) {
+    if (!enabled_) return;
+    // Collapse consecutive samples at the same timestamp: the last wins.
+    if (!samples_.empty() && samples_.back().time == s.time) {
+      samples_.back() = s;
+      return;
+    }
+    samples_.push_back(s);
+  }
+
+  const std::vector<UtilizationSample>& samples() const { return samples_; }
+
+  /// Time-weighted mean of compute utilization over [t0, t1).
+  double mean_compute_util(sim::SimTime t0, sim::SimTime t1) const {
+    return mean_of(t0, t1, [](const UtilizationSample& s) { return s.compute_util; });
+  }
+
+  /// Time-weighted mean of bandwidth utilization over [t0, t1).
+  double mean_bw_util(sim::SimTime t0, sim::SimTime t1) const {
+    return mean_of(t0, t1, [](const UtilizationSample& s) { return s.bw_util; });
+  }
+
+  /// Fraction of [t0, t1) during which no kernel was resident.
+  double compute_idle_fraction(sim::SimTime t0, sim::SimTime t1) const {
+    return mean_of(t0, t1, [](const UtilizationSample& s) {
+      return s.resident_kernels == 0 ? 1.0 : 0.0;
+    });
+  }
+
+  /// Fraction of [t0, t1) spent context switching (the Fig. 2 "glitches").
+  double switching_fraction(sim::SimTime t0, sim::SimTime t1) const {
+    return mean_of(t0, t1,
+                   [](const UtilizationSample& s) { return s.switching ? 1.0 : 0.0; });
+  }
+
+  /// Number of maximal intervals in [t0, t1) where compute is idle for at
+  /// least `min_len` — the visible utilization gaps of Fig. 2.
+  int idle_gap_count(sim::SimTime t0, sim::SimTime t1, sim::SimTime min_len) const;
+
+  /// Coefficient of variation of compute utilization sampled on a fixed grid;
+  /// lower means "more uniform" usage (the Fig. 2 claim).
+  double compute_util_cov(sim::SimTime t0, sim::SimTime t1,
+                          sim::SimTime grid) const;
+
+ private:
+  template <typename F>
+  double mean_of(sim::SimTime t0, sim::SimTime t1, F&& value) const {
+    if (samples_.empty() || t1 <= t0) return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < samples_.size(); ++i) {
+      const sim::SimTime seg_start = std::max(samples_[i].time, t0);
+      const sim::SimTime seg_end =
+          std::min(i + 1 < samples_.size() ? samples_[i + 1].time : t1, t1);
+      if (seg_end > seg_start) {
+        acc += value(samples_[i]) * static_cast<double>(seg_end - seg_start);
+      }
+    }
+    return acc / static_cast<double>(t1 - t0);
+  }
+
+  bool enabled_;
+  std::vector<UtilizationSample> samples_;
+};
+
+}  // namespace strings::gpu

@@ -1,0 +1,90 @@
+#include "metrics/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace strings::metrics {
+
+namespace {
+
+sim::SimTime trace_end(const gpu::UtilizationTracer& tracer,
+                       const TimelineOptions& opt) {
+  if (opt.end > 0) return opt.end;
+  if (tracer.samples().empty()) return opt.start + 1;
+  return std::max(opt.start + 1, tracer.samples().back().time);
+}
+
+char cell_glyph(const gpu::UtilizationTracer& tracer, sim::SimTime t0,
+                sim::SimTime t1) {
+  const double switching = tracer.switching_fraction(t0, t1);
+  if (switching > 0.25) return 'x';  // context-switch glitch
+  const double compute = tracer.mean_compute_util(t0, t1);
+  if (compute <= 0.02) {
+    // Copy-only cells still show activity.
+    const double bw = tracer.mean_bw_util(t0, t1);
+    return bw > 0.01 ? '-' : ' ';
+  }
+  static const char levels[] = ".:-=+*#%@";
+  const int idx = std::min<int>(8, static_cast<int>(compute * 9.0));
+  return levels[idx];
+}
+
+}  // namespace
+
+std::string render_utilization_row(const gpu::UtilizationTracer& tracer,
+                                   const TimelineOptions& opt) {
+  const sim::SimTime end = trace_end(tracer, opt);
+  const int cols = std::max(1, opt.columns);
+  const double cell_ns =
+      static_cast<double>(end - opt.start) / static_cast<double>(cols);
+  std::string row;
+  row.reserve(static_cast<std::size_t>(cols));
+  for (int c = 0; c < cols; ++c) {
+    const auto t0 = opt.start + static_cast<sim::SimTime>(c * cell_ns);
+    const auto t1 = opt.start + static_cast<sim::SimTime>((c + 1) * cell_ns);
+    row.push_back(cell_glyph(tracer, t0, std::max(t1, t0 + 1)));
+  }
+  return row;
+}
+
+std::string render_timeline(
+    const std::vector<std::pair<std::string, const gpu::UtilizationTracer*>>&
+        devices,
+    TimelineOptions opt) {
+  // A shared end: the max across devices, so rows align.
+  sim::SimTime end = opt.end;
+  if (end == 0) {
+    for (const auto& [label, tracer] : devices) {
+      end = std::max(end, trace_end(*tracer, opt));
+    }
+  }
+  opt.end = end;
+
+  std::size_t label_width = 0;
+  for (const auto& [label, tracer] : devices) {
+    label_width = std::max(label_width, label.size());
+  }
+
+  std::ostringstream os;
+  for (const auto& [label, tracer] : devices) {
+    os << label << std::string(label_width - label.size(), ' ') << " |"
+       << render_utilization_row(*tracer, opt) << "|\n";
+  }
+  if (opt.show_axis) {
+    char left[64], right[64];
+    std::snprintf(left, sizeof left, "%.3fs", sim::to_seconds(opt.start));
+    std::snprintf(right, sizeof right, "%.3fs", sim::to_seconds(opt.end));
+    const int pad = std::max<int>(
+        1, opt.columns + 2 - static_cast<int>(std::string(left).size()) -
+               static_cast<int>(std::string(right).size()));
+    os << std::string(label_width + 1, ' ') << left << std::string(pad, ' ')
+       << right << '\n';
+    os << std::string(label_width, ' ')
+       << "  legend: ' '=idle '.'..'@'=compute load '-'=copy-only "
+          "'x'=context switch\n";
+  }
+  return os.str();
+}
+
+}  // namespace strings::metrics

@@ -1,0 +1,34 @@
+// ASCII timeline rendering of device utilization traces — a terminal
+// rendition of the paper's Fig. 2 utilization plots.
+//
+// Each device becomes one row of glyphs; each glyph summarizes one time
+// cell: compute utilization level (' ' .. '█' analog in ASCII), 'x' for
+// context-switch time, '-' for copy-only activity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpu/utilization.hpp"
+#include "simcore/sim_time.hpp"
+
+namespace strings::metrics {
+
+struct TimelineOptions {
+  sim::SimTime start = 0;
+  sim::SimTime end = 0;      // 0 => use last sample
+  int columns = 80;          // cells across
+  bool show_axis = true;     // prints a time axis underneath
+};
+
+/// Renders one device's trace as a single row string (no newline).
+std::string render_utilization_row(const gpu::UtilizationTracer& tracer,
+                                   const TimelineOptions& opt);
+
+/// Renders labelled rows for several devices plus a shared axis.
+std::string render_timeline(
+    const std::vector<std::pair<std::string, const gpu::UtilizationTracer*>>&
+        devices,
+    TimelineOptions opt);
+
+}  // namespace strings::metrics

@@ -1,0 +1,200 @@
+#include "policies/balancing.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace strings::policies {
+
+namespace {
+
+/// Characteristics used when an app (or a bound neighbour) has no feedback
+/// record yet: a neutral mid-range guess.
+struct AppTraits {
+  double exec_time_s = 1.0;
+  double gpu_util = 0.5;
+  double transfer_frac = 0.25;
+  double mem_bw_gbps = 100.0;
+};
+
+AppTraits traits_for(const core::SchedulerFeedbackTable& sft,
+                     const std::string& app_type) {
+  AppTraits t;
+  if (auto rec = sft.lookup(app_type)) {
+    t.exec_time_s = rec->exec_time_s;
+    t.gpu_util = rec->gpu_util;
+    t.transfer_frac =
+        rec->exec_time_s > 0 ? rec->transfer_time_s / rec->exec_time_s : 0.0;
+    t.mem_bw_gbps = rec->mem_bw_gbps;
+  }
+  return t;
+}
+
+/// Picks the GID with minimal score; ties prefer local node, then lower
+/// load, then lower GID (deterministic).
+core::Gid pick_min(const BalanceInput& in,
+                   const std::vector<double>& scores) {
+  assert(in.gmap != nullptr && in.dst != nullptr);
+  core::Gid best = -1;
+  double best_score = std::numeric_limits<double>::max();
+  bool best_local = false;
+  int best_load = std::numeric_limits<int>::max();
+  for (const auto& e : in.gmap->entries()) {
+    const double s = scores[static_cast<std::size_t>(e.gid)];
+    const bool local = e.node == in.origin_node;
+    const int load = in.dst->row(e.gid).load;
+    const bool better =
+        s < best_score - 1e-12 ||
+        (std::abs(s - best_score) <= 1e-12 &&
+         (local > best_local ||
+          (local == best_local &&
+           (load < best_load || (load == best_load && e.gid < best)))));
+    if (best == -1 || better) {
+      best = e.gid;
+      best_score = s;
+      best_local = local;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+const std::vector<std::string>& bound_on(const BalanceInput& in,
+                                         core::Gid gid) {
+  static const std::vector<std::string> kEmpty;
+  if (in.bound_types == nullptr ||
+      static_cast<std::size_t>(gid) >= in.bound_types->size()) {
+    return kEmpty;
+  }
+  return (*in.bound_types)[static_cast<std::size_t>(gid)];
+}
+
+}  // namespace
+
+core::Gid GrrPolicy::select(const BalanceInput& in) {
+  assert(in.gmap != nullptr && in.gmap->size() > 0);
+  const core::Gid gid =
+      static_cast<core::Gid>(next_ % static_cast<std::size_t>(in.gmap->size()));
+  ++next_;
+  return gid;
+}
+
+core::Gid GMinPolicy::select(const BalanceInput& in) {
+  std::vector<double> scores;
+  for (const auto& e : in.gmap->entries()) {
+    scores.push_back(static_cast<double>(in.dst->row(e.gid).load));
+  }
+  return pick_min(in, scores);
+}
+
+core::Gid GWtMinPolicy::select(const BalanceInput& in) {
+  // Post-placement score: the weighted load this device would carry if the
+  // app landed here. (Pre-placement load/weight lets an idle-but-slow
+  // device, e.g. a CPU pseudo-executor, always win at score 0.)
+  std::vector<double> scores;
+  for (const auto& e : in.gmap->entries()) {
+    const auto& row = in.dst->row(e.gid);
+    scores.push_back(static_cast<double>(row.load + 1) /
+                     std::max(row.weight, 1e-9));
+  }
+  return pick_min(in, scores);
+}
+
+core::Gid RtfPolicy::select(const BalanceInput& in) {
+  assert(in.sft != nullptr);
+  std::vector<double> scores;
+  for (const auto& e : in.gmap->entries()) {
+    double pending_runtime = 0.0;
+    for (const auto& t : bound_on(in, e.gid)) {
+      pending_runtime += traits_for(*in.sft, t).exec_time_s;
+    }
+    pending_runtime += traits_for(*in.sft, in.app_type).exec_time_s;
+    scores.push_back(pending_runtime /
+                     std::max(in.dst->row(e.gid).weight, 1e-9));
+  }
+  return pick_min(in, scores);
+}
+
+core::Gid GufPolicy::select(const BalanceInput& in) {
+  assert(in.sft != nullptr);
+  const AppTraits mine = traits_for(*in.sft, in.app_type);
+  std::vector<double> scores;
+  for (const auto& e : in.gmap->entries()) {
+    double util_sum = mine.gpu_util;
+    for (const auto& t : bound_on(in, e.gid)) {
+      util_sum += traits_for(*in.sft, t).gpu_util;
+    }
+    scores.push_back(util_sum);
+  }
+  return pick_min(in, scores);
+}
+
+core::Gid DtfPolicy::select(const BalanceInput& in) {
+  assert(in.sft != nullptr);
+  const AppTraits mine = traits_for(*in.sft, in.app_type);
+  // Similarity score: dot product of (transfer intensity, compute intensity)
+  // against each bound app. Contrasting apps score near zero and win.
+  const double my_t = mine.transfer_frac;
+  const double my_c = mine.gpu_util;
+  std::vector<double> scores;
+  for (const auto& e : in.gmap->entries()) {
+    double sim_sum = 0.0;
+    for (const auto& t : bound_on(in, e.gid)) {
+      const AppTraits other = traits_for(*in.sft, t);
+      sim_sum += my_t * other.transfer_frac + my_c * other.gpu_util;
+    }
+    scores.push_back(sim_sum);
+  }
+  return pick_min(in, scores);
+}
+
+core::Gid MbfPolicy::select(const BalanceInput& in) {
+  assert(in.sft != nullptr);
+  const AppTraits mine = traits_for(*in.sft, in.app_type);
+  std::vector<double> scores;
+  for (const auto& e : in.gmap->entries()) {
+    double bw_sum = mine.mem_bw_gbps;
+    for (const auto& t : bound_on(in, e.gid)) {
+      bw_sum += traits_for(*in.sft, t).mem_bw_gbps;
+    }
+    scores.push_back(bw_sum / e.props.mem_bandwidth_gbps);
+  }
+  return pick_min(in, scores);
+}
+
+namespace {
+std::map<std::string, std::function<std::unique_ptr<BalancingPolicy>()>>&
+custom_balancing_registry() {
+  static std::map<std::string,
+                  std::function<std::unique_ptr<BalancingPolicy>()>>
+      registry;
+  return registry;
+}
+}  // namespace
+
+void register_balancing_policy(
+    const std::string& name,
+    std::function<std::unique_ptr<BalancingPolicy>()> factory) {
+  custom_balancing_registry()[name] = std::move(factory);
+}
+
+std::unique_ptr<BalancingPolicy> make_balancing_policy(
+    const std::string& name) {
+  if (auto it = custom_balancing_registry().find(name);
+      it != custom_balancing_registry().end()) {
+    return it->second();
+  }
+  if (name == "GRR") return std::make_unique<GrrPolicy>();
+  if (name == "GMin") return std::make_unique<GMinPolicy>();
+  if (name == "GWtMin") return std::make_unique<GWtMinPolicy>();
+  if (name == "RTF") return std::make_unique<RtfPolicy>();
+  if (name == "GUF") return std::make_unique<GufPolicy>();
+  if (name == "DTF") return std::make_unique<DtfPolicy>();
+  if (name == "MBF") return std::make_unique<MbfPolicy>();
+  throw std::invalid_argument("unknown balancing policy: " + name);
+}
+
+}  // namespace strings::policies

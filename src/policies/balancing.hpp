@@ -1,0 +1,110 @@
+// Workload-balancing policies of the GPU Affinity Mapper (paper §IV-A/C).
+//
+// Static policies (GRR, GMin, GWtMin) use only the Device Status Table;
+// feedback policies (RTF, GUF, DTF, MBF) additionally consult the Scheduler
+// Feedback Table that device-level Request Monitors populate. All policies
+// are pure decision logic over a BalanceInput snapshot, so they are unit
+// testable without the full stack.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/gpool.hpp"
+#include "core/tables.hpp"
+
+namespace strings::policies {
+
+struct BalanceInput {
+  const core::GMap* gmap = nullptr;
+  const core::DeviceStatusTable* dst = nullptr;
+  const core::SchedulerFeedbackTable* sft = nullptr;
+  /// App types currently bound to each GID (index = gid).
+  const std::vector<std::vector<std::string>>* bound_types = nullptr;
+  std::string app_type;
+  core::NodeId origin_node = 0;
+};
+
+class BalancingPolicy {
+ public:
+  virtual ~BalancingPolicy() = default;
+  virtual const char* name() const = 0;
+  /// True if the policy is useless without SFT data (the Policy Arbiter
+  /// falls back to a static policy until feedback arrives).
+  virtual bool needs_feedback() const { return false; }
+  virtual core::Gid select(const BalanceInput& in) = 0;
+};
+
+/// Global Round Robin.
+class GrrPolicy final : public BalancingPolicy {
+ public:
+  const char* name() const override { return "GRR"; }
+  core::Gid select(const BalanceInput& in) override;
+
+ private:
+  std::size_t next_ = 0;
+};
+
+/// Least-loaded GPU; ties prefer local over remote GPUs.
+class GMinPolicy final : public BalancingPolicy {
+ public:
+  const char* name() const override { return "GMin"; }
+  core::Gid select(const BalanceInput& in) override;
+};
+
+/// Weighted least-loaded: min(load / static weight); ties prefer local.
+class GWtMinPolicy final : public BalancingPolicy {
+ public:
+  const char* name() const override { return "GWtMin"; }
+  core::Gid select(const BalanceInput& in) override;
+};
+
+/// Runtime Feedback: balance the sum of measured mean runtimes of the apps
+/// bound to each device, scaled by device weight.
+class RtfPolicy final : public BalancingPolicy {
+ public:
+  const char* name() const override { return "RTF"; }
+  bool needs_feedback() const override { return true; }
+  core::Gid select(const BalanceInput& in) override;
+};
+
+/// GPU Utilization Feedback: avoid collocating high-GPU-utilization apps.
+class GufPolicy final : public BalancingPolicy {
+ public:
+  const char* name() const override { return "GUF"; }
+  bool needs_feedback() const override { return true; }
+  core::Gid select(const BalanceInput& in) override;
+};
+
+/// Data Transfer Feedback: collocate apps with contrasting transfer vs
+/// compute intensity to keep copy and compute engines concurrently busy.
+class DtfPolicy final : public BalancingPolicy {
+ public:
+  const char* name() const override { return "DTF"; }
+  bool needs_feedback() const override { return true; }
+  core::Gid select(const BalanceInput& in) override;
+};
+
+/// Memory Bandwidth Feedback: avoid collocating bandwidth-bound apps so
+/// compute-bound neighbours can hide their memory latency.
+class MbfPolicy final : public BalancingPolicy {
+ public:
+  const char* name() const override { return "MBF"; }
+  bool needs_feedback() const override { return true; }
+  core::Gid select(const BalanceInput& in) override;
+};
+
+/// Factory by policy name ("GRR", "GMin", "GWtMin", "RTF", "GUF", "DTF",
+/// "MBF", or any name registered via register_balancing_policy); throws
+/// std::invalid_argument for unknown names.
+std::unique_ptr<BalancingPolicy> make_balancing_policy(const std::string& name);
+
+/// Registers a user-defined balancing policy under `name` (overrides
+/// built-ins of the same name). The factory is called per AffinityMapper.
+void register_balancing_policy(
+    const std::string& name,
+    std::function<std::unique_ptr<BalancingPolicy>()> factory);
+
+}  // namespace strings::policies

@@ -1,0 +1,142 @@
+#include "policies/device_policies.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace strings::policies {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kKernelLaunch: return "KL";
+    case Phase::kH2D: return "H2D";
+    case Phase::kD2H: return "D2H";
+    case Phase::kDefault: return "DFL";
+  }
+  return "?";
+}
+
+std::vector<std::uint64_t> AllAwakePolicy::pick_awake(
+    const std::vector<RcbSnapshot>& rcb) {
+  std::vector<std::uint64_t> out;
+  out.reserve(rcb.size());
+  for (const auto& r : rcb) out.push_back(r.key);
+  return out;
+}
+
+std::vector<std::uint64_t> TfsPolicy::pick_awake(
+    const std::vector<RcbSnapshot>& rcb) {
+  // Wake the backlogged thread with the largest deficit (entitlement minus
+  // attained service). A thread that overshot its share in earlier epochs
+  // carries a negative deficit and is automatically penalized; unused shares
+  // of idle tenants flow to backlogged ones (work conservation).
+  const RcbSnapshot* best = nullptr;
+  double best_deficit = 0.0;
+  for (const auto& r : rcb) {
+    if (!r.backlogged) continue;
+    const double deficit =
+        static_cast<double>(r.entitled) - static_cast<double>(r.total_service);
+    if (best == nullptr || deficit > best_deficit) {
+      best = &r;
+      best_deficit = deficit;
+    }
+  }
+  if (best == nullptr) return {};
+  return {best->key};
+}
+
+std::vector<std::uint64_t> LasPolicy::pick_awake(
+    const std::vector<RcbSnapshot>& rcb) {
+  // Greedy: raise the priority of threads with the least decayed cumulative
+  // service by admitting only the top-k of them each epoch (k matches PS's
+  // three engine slots, so LAS forgoes no overlap). Short-episode jobs
+  // finish sooner, minimizing total CPU stall time — at the cost of starving
+  // long-episode jobs outside the window (the paper calls LAS "extremely
+  // greedy" and unfair).
+  std::vector<const RcbSnapshot*> backlogged;
+  for (const auto& r : rcb) {
+    if (r.backlogged) backlogged.push_back(&r);
+  }
+  std::stable_sort(backlogged.begin(), backlogged.end(),
+                   [](const RcbSnapshot* a, const RcbSnapshot* b) {
+                     return a->cgs < b->cgs;
+                   });
+  std::vector<std::uint64_t> awake;
+  for (std::size_t i = 0; i < backlogged.size() && i < 3; ++i) {
+    awake.push_back(backlogged[i]->key);
+  }
+  return awake;
+}
+
+std::vector<std::uint64_t> PsPolicy::pick_awake(
+    const std::vector<RcbSnapshot>& rcb) {
+  // One thread per GPU phase so kernel + H2D + D2H engines run concurrently.
+  // Within a phase, prefer least attained service (fairness inside the
+  // relaxed TFS invariant). If a phase has no candidate, fill remaining
+  // slots by phase priority KL > H2D = D2H > DFL.
+  std::vector<const RcbSnapshot*> backlogged;
+  for (const auto& r : rcb) {
+    if (r.backlogged) backlogged.push_back(&r);
+  }
+  if (backlogged.empty()) return {};
+  std::stable_sort(backlogged.begin(), backlogged.end(),
+                   [](const RcbSnapshot* a, const RcbSnapshot* b) {
+                     return a->total_service < b->total_service;
+                   });
+
+  std::vector<std::uint64_t> awake;
+  auto take_phase = [&](Phase p) -> bool {
+    for (const auto* r : backlogged) {
+      if (r->phase != p) continue;
+      if (std::find(awake.begin(), awake.end(), r->key) != awake.end()) {
+        continue;
+      }
+      awake.push_back(r->key);
+      return true;
+    }
+    return false;
+  };
+  int slots = 3;
+  if (take_phase(Phase::kKernelLaunch)) --slots;
+  if (take_phase(Phase::kH2D)) --slots;
+  if (take_phase(Phase::kD2H)) --slots;
+  // Fill leftover slots by priority order (more kernel work first, then
+  // transfers, then default-phase threads).
+  const Phase priority[] = {Phase::kKernelLaunch, Phase::kH2D, Phase::kD2H,
+                            Phase::kDefault};
+  for (Phase p : priority) {
+    while (slots > 0 && take_phase(p)) --slots;
+    if (slots == 0) break;
+  }
+  return awake;
+}
+
+namespace {
+std::map<std::string, std::function<std::unique_ptr<DeviceSchedPolicy>()>>&
+custom_device_registry() {
+  static std::map<std::string,
+                  std::function<std::unique_ptr<DeviceSchedPolicy>()>>
+      registry;
+  return registry;
+}
+}  // namespace
+
+void register_device_policy(
+    const std::string& name,
+    std::function<std::unique_ptr<DeviceSchedPolicy>()> factory) {
+  custom_device_registry()[name] = std::move(factory);
+}
+
+std::unique_ptr<DeviceSchedPolicy> make_device_policy(const std::string& name) {
+  if (auto it = custom_device_registry().find(name);
+      it != custom_device_registry().end()) {
+    return it->second();
+  }
+  if (name == "AllAwake") return std::make_unique<AllAwakePolicy>();
+  if (name == "TFS") return std::make_unique<TfsPolicy>();
+  if (name == "LAS") return std::make_unique<LasPolicy>();
+  if (name == "PS") return std::make_unique<PsPolicy>();
+  throw std::invalid_argument("unknown device policy: " + name);
+}
+
+}  // namespace strings::policies

@@ -1,0 +1,99 @@
+// Per-device GPU scheduling policies (paper §IV-B).
+//
+// The Dispatcher evaluates one of these policies every scheduling epoch to
+// decide which backend threads stay awake (may issue GPU work). Policies are
+// pure functions over RCB snapshots so they are unit testable in isolation.
+//
+//   TFS — true fair share: weighted per-tenant shares with history-based
+//         penalties for overshoot; at most one thread awake.
+//   LAS — least attained service: wakes the thread with the smallest
+//         decayed cumulative GPU service (CGSn = k*GSn + (1-k)*CGSn-1).
+//   PS  — phase selection: wakes one thread per GPU-usage phase so the
+//         kernel engine and both copy engines run concurrently
+//         (priority KL > H2D = D2H > DFL).
+//   AllAwake — no device-level scheduling (pure sharing baseline).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "simcore/sim_time.hpp"
+
+namespace strings::policies {
+
+/// The GPU-usage phase a backend thread reports to the scheduler.
+enum class Phase { kKernelLaunch, kH2D, kD2H, kDefault };
+
+const char* phase_name(Phase p);
+
+/// Read-only view of one Request Control Block entry at epoch boundary.
+struct RcbSnapshot {
+  std::uint64_t key = 0;  // registration (signal) id
+  std::string tenant;
+  double tenant_weight = 1.0;
+  /// Total GPU service attained since registration.
+  sim::SimTime total_service = 0;
+  /// Service attained in the last epoch (GSn).
+  sim::SimTime epoch_service = 0;
+  /// Decayed cumulative service (CGSn), maintained by the scheduler.
+  double cgs = 0.0;
+  /// Accumulated fair-share entitlement (TFS bookkeeping).
+  sim::SimTime entitled = 0;
+  Phase phase = Phase::kDefault;
+  /// True if the thread has queued or in-flight work.
+  bool backlogged = false;
+};
+
+class DeviceSchedPolicy {
+ public:
+  virtual ~DeviceSchedPolicy() = default;
+  virtual const char* name() const = 0;
+  /// Returns the keys of the threads to keep awake next epoch.
+  virtual std::vector<std::uint64_t> pick_awake(
+      const std::vector<RcbSnapshot>& rcb) = 0;
+};
+
+/// Everything awake — the behaviour of plain GPU sharing with no
+/// device-level scheduler.
+class AllAwakePolicy final : public DeviceSchedPolicy {
+ public:
+  const char* name() const override { return "AllAwake"; }
+  std::vector<std::uint64_t> pick_awake(
+      const std::vector<RcbSnapshot>& rcb) override;
+};
+
+class TfsPolicy final : public DeviceSchedPolicy {
+ public:
+  const char* name() const override { return "TFS"; }
+  std::vector<std::uint64_t> pick_awake(
+      const std::vector<RcbSnapshot>& rcb) override;
+};
+
+class LasPolicy final : public DeviceSchedPolicy {
+ public:
+  const char* name() const override { return "LAS"; }
+  std::vector<std::uint64_t> pick_awake(
+      const std::vector<RcbSnapshot>& rcb) override;
+};
+
+class PsPolicy final : public DeviceSchedPolicy {
+ public:
+  const char* name() const override { return "PS"; }
+  std::vector<std::uint64_t> pick_awake(
+      const std::vector<RcbSnapshot>& rcb) override;
+};
+
+/// Factory by name ("AllAwake", "TFS", "LAS", "PS", or any name registered
+/// via register_device_policy); throws std::invalid_argument otherwise.
+std::unique_ptr<DeviceSchedPolicy> make_device_policy(const std::string& name);
+
+/// Registers a user-defined device policy under `name` (overrides built-ins
+/// of the same name). The factory is called once per GpuScheduler.
+void register_device_policy(
+    const std::string& name,
+    std::function<std::unique_ptr<DeviceSchedPolicy>()> factory);
+
+}  // namespace strings::policies

@@ -1,0 +1,35 @@
+#include "rpc/call_ids.hpp"
+
+namespace strings::rpc {
+
+const char* call_name(CallId id) {
+  switch (id) {
+    case CallId::kGetDeviceCount: return "cudaGetDeviceCount";
+    case CallId::kGetDeviceProperties: return "cudaGetDeviceProperties";
+    case CallId::kSetDevice: return "cudaSetDevice";
+    case CallId::kMalloc: return "cudaMalloc";
+    case CallId::kFree: return "cudaFree";
+    case CallId::kMemcpy: return "cudaMemcpy";
+    case CallId::kMemcpyAsync: return "cudaMemcpyAsync";
+    case CallId::kConfigureCall: return "cudaConfigureCall";
+    case CallId::kLaunch: return "cudaLaunch";
+    case CallId::kStreamCreate: return "cudaStreamCreate";
+    case CallId::kStreamDestroy: return "cudaStreamDestroy";
+    case CallId::kStreamSynchronize: return "cudaStreamSynchronize";
+    case CallId::kDeviceSynchronize: return "cudaDeviceSynchronize";
+    case CallId::kThreadExit: return "cudaThreadExit";
+    case CallId::kEventCreate: return "cudaEventCreate";
+    case CallId::kEventRecord: return "cudaEventRecord";
+    case CallId::kEventSynchronize: return "cudaEventSynchronize";
+    case CallId::kEventElapsedTime: return "cudaEventElapsedTime";
+    case CallId::kEventDestroy: return "cudaEventDestroy";
+    case CallId::kSelectDevice: return "strings.selectDevice";
+    case CallId::kRegisterApp: return "strings.registerApp";
+    case CallId::kDeviceInfo: return "strings.deviceInfo";
+    case CallId::kFeedback: return "strings.feedback";
+    case CallId::kResponse: return "response";
+  }
+  return "unknown";
+}
+
+}  // namespace strings::rpc

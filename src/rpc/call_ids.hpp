@@ -1,0 +1,42 @@
+// Identifiers for every RPC the interposer can send.
+#pragma once
+
+#include <cstdint>
+
+namespace strings::rpc {
+
+enum class CallId : std::uint32_t {
+  // Intercepted CUDA runtime calls, dispatched to a backend worker.
+  kGetDeviceCount = 1,
+  kGetDeviceProperties,
+  kSetDevice,   // after GID resolution: binds the app to a backend/GPU
+  kMalloc,
+  kFree,
+  kMemcpy,       // synchronous (has output: completion)
+  kMemcpyAsync,  // no output parameters: may be posted one-way
+  kConfigureCall,
+  kLaunch,
+  kStreamCreate,
+  kStreamDestroy,
+  kStreamSynchronize,
+  kDeviceSynchronize,
+  kThreadExit,   // carries piggybacked feedback in the response
+  kEventCreate,
+  kEventRecord,
+  kEventSynchronize,
+  kEventElapsedTime,
+  kEventDestroy,
+
+  // Scheduler-infrastructure calls.
+  kSelectDevice,      // frontend -> GPU Affinity Mapper: pick a GID
+  kRegisterApp,       // backend thread -> Request Manager (3-way handshake)
+  kDeviceInfo,        // backend daemon -> gPool Creator at startup
+  kFeedback,          // Feedback Engine -> Policy Arbiter
+
+  kResponse = 0xFFFF,
+};
+
+/// Returns a printable name (tracing and tests).
+const char* call_name(CallId id);
+
+}  // namespace strings::rpc

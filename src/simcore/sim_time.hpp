@@ -1,0 +1,34 @@
+// Virtual-time primitives for the Strings discrete-event kernel.
+//
+// All simulation time is kept in integer nanoseconds so that event ordering
+// is exact and runs are bit-reproducible across platforms.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace strings::sim {
+
+/// Absolute virtual time or a duration, in nanoseconds.
+using SimTime = std::int64_t;
+
+/// Sentinel meaning "never" (used for infinite timeouts and idle engines).
+inline constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
+constexpr SimTime nsec(std::int64_t n) { return n; }
+constexpr SimTime usec(std::int64_t n) { return n * 1'000; }
+constexpr SimTime msec(std::int64_t n) { return n * 1'000'000; }
+constexpr SimTime sec(std::int64_t n) { return n * 1'000'000'000; }
+
+/// Converts a duration in (possibly fractional) seconds to SimTime.
+constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Converts SimTime to fractional seconds (for reporting only).
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) * 1e-9; }
+
+/// Converts SimTime to fractional milliseconds (for reporting only).
+constexpr double to_millis(SimTime t) { return static_cast<double>(t) * 1e-6; }
+
+}  // namespace strings::sim

@@ -1,0 +1,244 @@
+#include "simcore/simulation.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace strings::sim {
+
+// ---------------------------------------------------------------- Process --
+
+Process::Process(Simulation& sim, std::string name, std::function<void()> body)
+    : sim_(sim), name_(std::move(name)), body_(std::move(body)) {}
+
+Process::~Process() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Process::start() {
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void Process::thread_main() {
+  {
+    // Wait for the first baton from the kernel.
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return process_turn_; });
+    if (killed_) {
+      state_ = State::kFinished;
+      process_turn_ = false;
+      cv_.notify_all();
+      return;
+    }
+  }
+  try {
+    body_();
+  } catch (const ProcessKilled&) {
+    // Normal teardown path.
+  } catch (...) {
+    error_ = std::current_exception();
+  }
+  std::unique_lock lock(mutex_);
+  state_ = State::kFinished;
+  process_turn_ = false;
+  cv_.notify_all();
+}
+
+void Process::resume() {
+  std::unique_lock lock(mutex_);
+  process_turn_ = true;
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return !process_turn_; });
+}
+
+void Process::suspend() {
+  std::unique_lock lock(mutex_);
+  process_turn_ = false;
+  cv_.notify_all();
+  cv_.wait(lock, [this] { return process_turn_; });
+  if (killed_) throw ProcessKilled{};
+}
+
+// ------------------------------------------------------------- Simulation --
+
+Simulation::Simulation() = default;
+
+Simulation::~Simulation() { terminate_processes(); }
+
+void Simulation::terminate_processes() {
+  tearing_down_ = true;
+  // Unblock every unfinished process so its thread can unwind via
+  // ProcessKilled, then join.
+  for (auto& p : processes_) {
+    if (p->state_ == Process::State::kFinished) continue;
+    {
+      std::unique_lock lock(p->mutex_);
+      p->killed_ = true;
+    }
+    if (p->state_ == Process::State::kCreated) {
+      // Never started: hand it a baton once so thread_main can exit.
+      p->start();
+    }
+    p->resume();
+    if (p->thread_.joinable()) p->thread_.join();
+  }
+}
+
+Process& Simulation::spawn(std::string name, std::function<void()> body) {
+  // make_unique cannot reach the private constructor; Simulation is a friend.
+  std::unique_ptr<Process> proc(
+      new Process(*this, std::move(name), std::move(body)));
+  Process& p = *proc;
+  processes_.push_back(std::move(proc));
+  ++live_processes_;
+  schedule(0, [this, &p] {
+    if (p.state_ == Process::State::kCreated) {
+      p.state_ = Process::State::kRunnable;
+      p.start();
+      Process* prev = current_;
+      current_ = &p;
+      p.resume();
+      current_ = prev;
+      if (p.finished()) --live_processes_;
+    }
+  });
+  return p;
+}
+
+Process& Simulation::spawn_daemon(std::string name, std::function<void()> body) {
+  Process& p = spawn(std::move(name), std::move(body));
+  p.set_daemon(true);
+  return p;
+}
+
+void Simulation::schedule(SimTime delay, std::function<void()> fn) {
+  assert(delay >= 0 && "cannot schedule into the past");
+  queue_.push(QueuedEvent{now_ + delay, next_seq_++, std::move(fn)});
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  QueuedEvent ev = std::move(const_cast<QueuedEvent&>(queue_.top()));
+  queue_.pop();
+  assert(ev.time >= now_);
+  now_ = ev.time;
+  ev.fn();
+  // Surface process failures immediately, at the point in virtual time where
+  // they happened.
+  for (auto& p : processes_) {
+    if (p->error_) {
+      auto err = p->error_;
+      p->error_ = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+  return true;
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+  check_deadlock();
+}
+
+bool Simulation::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) step();
+  if (now_ < t) now_ = t;
+  return !queue_.empty();
+}
+
+void Simulation::check_deadlock() const {
+  std::vector<const Process*> stuck;
+  for (const auto& p : processes_) {
+    if (p->state_ == Process::State::kBlocked && !p->daemon()) {
+      stuck.push_back(p.get());
+    }
+  }
+  if (stuck.empty()) return;
+  std::ostringstream os;
+  os << "simulation deadlock: " << stuck.size()
+     << " process(es) blocked with an empty event queue:";
+  for (const auto* p : stuck) os << ' ' << p->name();
+  throw DeadlockError(os.str());
+}
+
+void Simulation::schedule_resume(Process& p, SimTime delay) {
+  schedule(delay, [this, &p] {
+    if (p.state_ != Process::State::kBlocked) return;
+    p.state_ = Process::State::kRunnable;
+    Process* prev = current_;
+    current_ = &p;
+    p.resume();
+    current_ = prev;
+    if (p.finished()) --live_processes_;
+  });
+}
+
+void Simulation::block_current() {
+  Process* p = current_;
+  assert(p != nullptr && "blocking call outside process context");
+  p->state_ = Process::State::kBlocked;
+  ++p->wait_epoch_;
+  p->suspend();
+}
+
+void Simulation::wait_for(SimTime delay) {
+  Process* p = current_;
+  assert(p != nullptr && "wait_for outside process context");
+  assert(delay >= 0);
+  schedule_resume(*p, delay);
+  // schedule_resume only resumes kBlocked processes; mark *after* queuing so
+  // the state transition is atomic w.r.t. the event queue.
+  p->state_ = Process::State::kBlocked;
+  ++p->wait_epoch_;
+  p->suspend();
+}
+
+// ------------------------------------------------------------------ Event --
+
+void Event::wait() { wait_for(kNever); }
+
+bool Event::wait_for(SimTime timeout) {
+  Process* p = sim_.current();
+  assert(p != nullptr && "Event::wait outside process context");
+  auto cell = std::make_shared<WaitCell>();
+  cell->proc = p;
+  waiters_.push_back(cell);
+  if (timeout != kNever) {
+    const std::uint64_t epoch = p->wait_epoch_ + 1;  // epoch of this wait
+    sim_.schedule(timeout, [this, cell, p, epoch] {
+      if (cell->woken || cell->proc == nullptr) return;      // already served
+      if (p->wait_epoch_ != epoch || p->finished()) return;  // stale
+      cell->proc = nullptr;  // cancel: notify must skip this cell
+      std::erase_if(waiters_, [&](const auto& w) { return w == cell; });
+      sim_.schedule_resume(*p, 0);
+    });
+  }
+  sim_.block_current();
+  return cell->woken;
+}
+
+void Event::notify_all() {
+  auto pending = std::move(waiters_);
+  waiters_.clear();
+  for (auto& cell : pending) {
+    if (cell->proc == nullptr) continue;
+    cell->woken = true;
+    sim_.schedule_resume(*cell->proc, 0);
+    cell->proc = nullptr;
+  }
+}
+
+void Event::notify_one() {
+  while (!waiters_.empty()) {
+    auto cell = waiters_.front();
+    waiters_.erase(waiters_.begin());
+    if (cell->proc == nullptr) continue;
+    cell->woken = true;
+    sim_.schedule_resume(*cell->proc, 0);
+    cell->proc = nullptr;
+    return;
+  }
+}
+
+}  // namespace strings::sim

@@ -1,0 +1,264 @@
+// Deterministic cooperative discrete-event simulation kernel.
+//
+// The kernel owns a priority queue of timed events and a set of processes.
+// A process is user code running on its own OS thread, but the kernel lets at
+// most one process run at any instant and hands control back and forth with a
+// two-phase handshake, so the whole simulation is single-threaded in effect:
+// no data races, and a fixed seed gives a bit-identical run.
+//
+// Inside a process body, code may call Simulation::wait_for(), block on an
+// Event / Mailbox, or simply return (which ends the process). Plain callback
+// events (Simulation::schedule) run on the kernel thread and must not block.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "simcore/sim_time.hpp"
+
+namespace strings::sim {
+
+class Simulation;
+
+/// Thrown inside a process body when the simulation tears it down early
+/// (e.g. the Simulation is destroyed while the process is blocked). Process
+/// bodies should let it propagate; RAII handles cleanup.
+struct ProcessKilled {};
+
+/// Thrown by Simulation::run() when every live process is blocked on an
+/// Event and no timed event can ever wake one of them.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A cooperative process: user code on a dedicated thread, scheduled by the
+/// kernel. Created via Simulation::spawn(); lifetime is managed by the
+/// Simulation.
+class Process {
+ public:
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  ~Process();
+
+  const std::string& name() const { return name_; }
+  bool finished() const { return state_ == State::kFinished; }
+
+  /// Daemon processes may remain blocked when the event queue drains without
+  /// triggering deadlock detection (analogous to daemon threads). Used for
+  /// server loops such as backend daemons.
+  void set_daemon(bool daemon) { daemon_ = daemon; }
+  bool daemon() const { return daemon_; }
+
+ private:
+  friend class Simulation;
+  friend class Event;
+  enum class State { kCreated, kRunnable, kBlocked, kFinished };
+
+  Process(Simulation& sim, std::string name, std::function<void()> body);
+
+  void start();
+  // Kernel side: give the baton to the process and wait until it yields.
+  void resume();
+  // Process side: give the baton back to the kernel and wait to be resumed.
+  void suspend();
+  void thread_main();
+
+  Simulation& sim_;
+  std::string name_;
+  std::function<void()> body_;
+  std::thread thread_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool process_turn_ = false;  // baton: true => process may run
+  bool killed_ = false;
+
+  State state_ = State::kCreated;
+  bool daemon_ = false;
+  std::exception_ptr error_;
+  std::uint64_t wait_epoch_ = 0;  // invalidates stale timeout events
+};
+
+/// The simulation kernel. Not copyable or movable; components hold references.
+class Simulation {
+ public:
+  Simulation();
+  ~Simulation();
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Creates a process that starts running at the current virtual time
+  /// (after already-scheduled events with the same timestamp).
+  Process& spawn(std::string name, std::function<void()> body);
+
+  /// Like spawn(), but the process is a daemon: it may stay blocked forever
+  /// without tripping deadlock detection when the simulation drains.
+  Process& spawn_daemon(std::string name, std::function<void()> body);
+
+  /// Schedules a kernel-context callback `delay` from now. The callback must
+  /// not block; it may send to mailboxes, notify events, and spawn processes.
+  void schedule(SimTime delay, std::function<void()> fn);
+
+  /// Runs until no events remain. Throws DeadlockError if live processes
+  /// remain blocked with an empty event queue, and rethrows the first
+  /// exception that escaped a process body.
+  void run();
+
+  /// Runs events with timestamp <= t, then sets now() = t.
+  /// Returns true if events remain after t.
+  bool run_until(SimTime t);
+
+  /// The process currently holding the baton, or nullptr in kernel context.
+  Process* current() const { return current_; }
+
+  /// Blocks the calling process for `delay` of virtual time. Must be called
+  /// from process context.
+  void wait_for(SimTime delay);
+
+  /// Reschedules the calling process after all events already queued at the
+  /// current timestamp.
+  void yield() { wait_for(0); }
+
+  /// Number of processes that have not yet finished.
+  int live_processes() const { return live_processes_; }
+
+  /// True while the Simulation destructor is unwinding blocked processes.
+  /// Long-lived components use this to skip blocking work in destructors.
+  bool tearing_down() const { return tearing_down_; }
+
+  /// Kills every unfinished process (each unwinds via ProcessKilled) and
+  /// joins its thread. Idempotent; the destructor calls it as a fallback.
+  /// Call it explicitly before destroying objects that live processes still
+  /// reference, when ending a simulation early (e.g. fixed-horizon runs).
+  void terminate_processes();
+
+ private:
+  friend class Process;
+  friend class Event;
+
+  struct QueuedEvent {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const QueuedEvent& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  // Runs one event; returns false when the queue is empty.
+  bool step();
+  void check_deadlock() const;
+  // Schedules a resume of `p` at now()+delay. Used by wait_for and Event.
+  void schedule_resume(Process& p, SimTime delay);
+  // Process-context helper: marks p blocked and suspends until resumed.
+  void block_current();
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>,
+                      std::greater<QueuedEvent>>
+      queue_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  Process* current_ = nullptr;
+  int live_processes_ = 0;
+  bool tearing_down_ = false;
+};
+
+/// A virtual-time condition variable. Processes block on it; any context may
+/// notify. Notification resumes waiters at the current timestamp (after
+/// events already queued there).
+class Event {
+ public:
+  explicit Event(Simulation& sim) : sim_(sim) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  /// Blocks the calling process until notified.
+  void wait();
+
+  /// Blocks until notified or `timeout` elapses; returns false on timeout.
+  /// Pass kNever for an infinite wait.
+  bool wait_for(SimTime timeout);
+
+  /// Wakes every waiter.
+  void notify_all();
+
+  /// Wakes the longest-waiting waiter, if any.
+  void notify_one();
+
+  int waiter_count() const { return static_cast<int>(waiters_.size()); }
+
+ private:
+  struct WaitCell {
+    Process* proc;
+    bool woken = false;
+  };
+  Simulation& sim_;
+  std::vector<std::shared_ptr<WaitCell>> waiters_;
+};
+
+/// An unbounded FIFO channel. send() never blocks; receive() blocks the
+/// calling process until a value is available.
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Simulation& sim) : sim_(sim), ready_(sim) {}
+
+  void send(T value) {
+    items_.push(std::move(value));
+    ready_.notify_one();
+  }
+
+  T receive() {
+    while (items_.empty()) ready_.wait();
+    T v = std::move(items_.front());
+    items_.pop();
+    return v;
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> try_receive() {
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop();
+    return v;
+  }
+
+  /// Blocking receive with a deadline: returns std::nullopt if no value
+  /// arrives within `timeout` of virtual time.
+  std::optional<T> receive_for(SimTime timeout) {
+    const SimTime deadline = sim_.now() + timeout;
+    while (items_.empty()) {
+      const SimTime remaining = deadline - sim_.now();
+      if (remaining <= 0) return std::nullopt;
+      if (!ready_.wait_for(remaining) && items_.empty()) return std::nullopt;
+    }
+    T v = std::move(items_.front());
+    items_.pop();
+    return v;
+  }
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+
+ private:
+  Simulation& sim_;
+  Event ready_;
+  std::queue<T> items_;
+};
+
+}  // namespace strings::sim

@@ -1,0 +1,117 @@
+// Higher-level synchronization primitives for simulation processes, built on
+// sim::Event: counting semaphore, barrier, and latch. Used by multi-stage
+// experiment drivers and available to library users writing their own
+// scenarios.
+#pragma once
+
+#include <cassert>
+
+#include "simcore/simulation.hpp"
+
+namespace strings::sim {
+
+/// Counting semaphore: acquire() blocks while the count is zero.
+class Semaphore {
+ public:
+  Semaphore(Simulation& sim, int initial)
+      : available_(sim), count_(initial) {
+    assert(initial >= 0);
+  }
+
+  /// Blocks the calling process until a permit is available, then takes it.
+  void acquire() {
+    while (count_ == 0) available_.wait();
+    --count_;
+  }
+
+  /// Takes a permit if one is available without blocking.
+  bool try_acquire() {
+    if (count_ == 0) return false;
+    --count_;
+    return true;
+  }
+
+  /// Returns a permit; wakes one waiter.
+  void release() {
+    ++count_;
+    available_.notify_one();
+  }
+
+  int available() const { return count_; }
+
+ private:
+  Event available_;
+  int count_;
+};
+
+/// RAII permit holder for Semaphore.
+class SemaphoreGuard {
+ public:
+  explicit SemaphoreGuard(Semaphore& sem) : sem_(sem) { sem_.acquire(); }
+  ~SemaphoreGuard() { sem_.release(); }
+  SemaphoreGuard(const SemaphoreGuard&) = delete;
+  SemaphoreGuard& operator=(const SemaphoreGuard&) = delete;
+
+ private:
+  Semaphore& sem_;
+};
+
+/// Cyclic barrier: the n-th arriving process releases everyone, and the
+/// barrier resets for the next round.
+class Barrier {
+ public:
+  Barrier(Simulation& sim, int parties)
+      : released_(sim), parties_(parties) {
+    assert(parties >= 1);
+  }
+
+  /// Blocks until `parties` processes have arrived; returns the arrival
+  /// index within the round (parties-1 for the releasing process).
+  int arrive_and_wait() {
+    const int my_generation = generation_;
+    const int index = arrived_++;
+    if (arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      released_.notify_all();
+      return index;
+    }
+    while (generation_ == my_generation) released_.wait();
+    return index;
+  }
+
+  int parties() const { return parties_; }
+
+ private:
+  Event released_;
+  int parties_;
+  int arrived_ = 0;
+  int generation_ = 0;
+};
+
+/// Single-use countdown latch.
+class Latch {
+ public:
+  Latch(Simulation& sim, int count) : zero_(sim), count_(count) {
+    assert(count >= 0);
+  }
+
+  /// Decrements the count; at zero every waiter is released.
+  void count_down() {
+    assert(count_ > 0);
+    if (--count_ == 0) zero_.notify_all();
+  }
+
+  /// Blocks until the count reaches zero (returns immediately if already 0).
+  void wait() {
+    while (count_ > 0) zero_.wait();
+  }
+
+  int remaining() const { return count_; }
+
+ private:
+  Event zero_;
+  int count_;
+};
+
+}  // namespace strings::sim

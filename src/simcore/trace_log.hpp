@@ -1,0 +1,84 @@
+// Structured event tracing for simulation components.
+//
+// A TraceLog is a bounded ring of (virtual time, component, event, detail)
+// entries. Components take an optional TraceLog* and record state changes —
+// the Affinity Mapper logs selections and Policy Arbiter switches, the GPU
+// scheduler logs the registration handshake and dispatcher decisions — so
+// tests and tools can assert on protocol sequences and operators can see
+// what the scheduler did and why.
+#pragma once
+
+#include <deque>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "simcore/simulation.hpp"
+
+namespace strings::sim {
+
+class TraceLog {
+ public:
+  struct Entry {
+    SimTime time = 0;
+    std::string component;
+    std::string event;
+    std::string detail;
+  };
+
+  explicit TraceLog(Simulation& sim, std::size_t capacity = 65536)
+      : sim_(sim), capacity_(capacity) {}
+
+  void log(std::string component, std::string event,
+           std::string detail = "") {
+    entries_.push_back(Entry{sim_.now(), std::move(component),
+                             std::move(event), std::move(detail)});
+    ++total_logged_;
+    if (entries_.size() > capacity_) entries_.pop_front();
+  }
+
+  const std::deque<Entry>& entries() const { return entries_; }
+  std::uint64_t total_logged() const { return total_logged_; }
+
+  /// Entries whose component and event contain the given substrings
+  /// (empty matches everything).
+  std::vector<Entry> query(const std::string& component_substr,
+                           const std::string& event_substr = "") const {
+    std::vector<Entry> out;
+    for (const auto& e : entries_) {
+      if (!component_substr.empty() &&
+          e.component.find(component_substr) == std::string::npos) {
+        continue;
+      }
+      if (!event_substr.empty() &&
+          e.event.find(event_substr) == std::string::npos) {
+        continue;
+      }
+      out.push_back(e);
+    }
+    return out;
+  }
+
+  /// Human-readable rendering of the last `max_entries` entries.
+  std::string dump(std::size_t max_entries = 100) const {
+    std::ostringstream os;
+    const std::size_t start =
+        entries_.size() > max_entries ? entries_.size() - max_entries : 0;
+    for (std::size_t i = start; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      os << '[' << to_millis(e.time) << "ms] " << e.component << ": "
+         << e.event;
+      if (!e.detail.empty()) os << " (" << e.detail << ')';
+      os << '\n';
+    }
+    return os.str();
+  }
+
+ private:
+  Simulation& sim_;
+  std::size_t capacity_;
+  std::deque<Entry> entries_;
+  std::uint64_t total_logged_ = 0;
+};
+
+}  // namespace strings::sim

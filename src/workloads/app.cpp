@@ -1,0 +1,62 @@
+#include "workloads/app.hpp"
+
+#include <algorithm>
+
+namespace strings::workloads {
+
+using cuda::cudaError_t;
+using cuda::cudaMemcpyKind;
+
+AppRunResult run_app(sim::Simulation& sim, frontend::GpuApi& api,
+                     const AppProfile& p, int programmed_device) {
+  AppRunResult result;
+  result.started = sim.now();
+  auto check = [&result](cudaError_t err) {
+    if (err != cudaError_t::cudaSuccess) ++result.errors;
+  };
+
+  check(api.cudaSetDevice(programmed_device));
+  cuda::DevPtr buf = 0;
+  check(api.cudaMalloc(&buf, p.alloc_bytes));
+
+  // Streams transfers through the resident buffer in alloc-sized chunks.
+  auto copy_chunked = [&](std::size_t total, cudaMemcpyKind kind) {
+    std::size_t left = total;
+    while (left > 0) {
+      const std::size_t n = std::min(left, p.alloc_bytes);
+      check(api.cudaMemcpy(buf, n, kind));
+      left -= n;
+    }
+  };
+
+  cuda::KernelLaunch kl;
+  kl.name = p.name;
+  kl.desc = p.kernel;
+
+  const auto cpu_before = static_cast<sim::SimTime>(
+      static_cast<double>(p.cpu_per_iter) * (1.0 - p.cpu_after_upload));
+  const auto cpu_after = p.cpu_per_iter - cpu_before;
+  for (int iter = 0; iter < p.iterations; ++iter) {
+    // Input preparation on the host.
+    if (cpu_before > 0) sim.wait_for(cpu_before);
+    if (p.h2d_bytes_per_iter > 0) {
+      copy_chunked(p.h2d_bytes_per_iter, cudaMemcpyKind::cudaMemcpyHostToDevice);
+    }
+    // Host-side compute; under MOT's async conversion this overlaps the
+    // upload still in flight.
+    if (cpu_after > 0) sim.wait_for(cpu_after);
+    for (int k = 0; k < p.kernels_per_iter; ++k) check(api.cudaLaunch(kl));
+    // CUDA-SDK style barrier before touching results.
+    check(api.cudaDeviceSynchronize());
+    if (p.d2h_bytes_per_iter > 0) {
+      copy_chunked(p.d2h_bytes_per_iter, cudaMemcpyKind::cudaMemcpyDeviceToHost);
+    }
+  }
+
+  check(api.cudaFree(buf));
+  check(api.cudaThreadExit());
+  result.finished = sim.now();
+  return result;
+}
+
+}  // namespace strings::workloads

@@ -1,0 +1,30 @@
+// The application body: what one GPU-accelerated service request executes.
+//
+// Mirrors the iterative structure of the CUDA SDK / Rodinia benchmarks:
+// per iteration a host-only phase, a (chunked) host-to-device upload,
+// kernel launches, and a device-to-host download, all against the
+// GpuApi — so the same body runs unchanged on the bare CUDA runtime,
+// on Rain, and on Strings.
+#pragma once
+
+#include "frontend/gpu_api.hpp"
+#include "simcore/simulation.hpp"
+#include "workloads/profiles.hpp"
+
+namespace strings::workloads {
+
+struct AppRunResult {
+  sim::SimTime started = 0;
+  sim::SimTime finished = 0;
+  int errors = 0;
+  sim::SimTime elapsed() const { return finished - started; }
+};
+
+/// Runs one instance of `p` to completion on `api` (must be called from a
+/// simulation process). `programmed_device` is the device ordinal the
+/// application source code selects — honoured by the bare CUDA runtime,
+/// overridden by the Strings interposer.
+AppRunResult run_app(sim::Simulation& sim, frontend::GpuApi& api,
+                     const AppProfile& p, int programmed_device = 0);
+
+}  // namespace strings::workloads

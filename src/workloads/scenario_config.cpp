@@ -1,0 +1,221 @@
+#include "workloads/scenario_config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "workloads/profiles.hpp"
+
+namespace strings::workloads {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw ScenarioParseError("scenario line " + std::to_string(line) + ": " +
+                           what);
+}
+
+int to_int(int line, const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const int out = std::stoi(v, &pos);
+    if (pos != v.size()) fail(line, "trailing characters in integer '" + v + "'");
+    return out;
+  } catch (const ScenarioParseError&) {
+    throw;
+  } catch (...) {
+    fail(line, "not an integer: '" + v + "'");
+  }
+}
+
+double to_double(int line, const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(v, &pos);
+    if (pos != v.size()) fail(line, "trailing characters in number '" + v + "'");
+    return out;
+  } catch (const ScenarioParseError&) {
+    throw;
+  } catch (...) {
+    fail(line, "not a number: '" + v + "'");
+  }
+}
+
+bool to_bool(int line, const std::string& v) {
+  const std::string l = lower(v);
+  if (l == "true" || l == "1" || l == "yes" || l == "on") return true;
+  if (l == "false" || l == "0" || l == "no" || l == "off") return false;
+  fail(line, "not a boolean: '" + v + "'");
+}
+
+Mode to_mode(int line, const std::string& v) {
+  const std::string l = lower(v);
+  if (l == "cuda") return Mode::kCudaBaseline;
+  if (l == "rain") return Mode::kRain;
+  if (l == "strings") return Mode::kStrings;
+  if (l == "design2") return Mode::kDesign2;
+  fail(line, "unknown mode '" + v + "' (cuda|rain|strings|design2)");
+}
+
+std::vector<std::vector<gpu::DeviceProps>> to_topology(int line,
+                                                       const std::string& v) {
+  const std::string l = lower(v);
+  if (l == "small") return small_server();
+  if (l == "supernode") return supernode();
+  // "NxM": N homogeneous nodes with M reference GPUs each.
+  const auto x = l.find('x');
+  if (x != std::string::npos) {
+    const int nodes = to_int(line, l.substr(0, x));
+    const int gpus = to_int(line, l.substr(x + 1));
+    if (nodes < 1 || gpus < 1) fail(line, "topology sizes must be >= 1");
+    std::vector<std::vector<gpu::DeviceProps>> topo;
+    for (int n = 0; n < nodes; ++n) {
+      topo.emplace_back(static_cast<std::size_t>(gpus),
+                        gpu::reference_device());
+    }
+    return topo;
+  }
+  fail(line, "unknown topology '" + v + "' (small|supernode|NxM)");
+}
+
+rpc::LinkModel to_link(int line, const std::string& v) {
+  const std::string l = lower(v);
+  if (l == "numa") return rpc::LinkModel::numa_like();
+  if (l == "gige") return rpc::LinkModel::gigabit_ethernet();
+  if (l == "shm") return rpc::LinkModel::shared_memory();
+  fail(line, "unknown link '" + v + "' (numa|gige|shm)");
+}
+
+}  // namespace
+
+ScenarioConfig parse_scenario(std::istream& in) {
+  ScenarioConfig cfg;
+  ArrivalConfig* stream = nullptr;
+  std::string raw;
+  int line = 0;
+  std::uint32_t default_seed = 1;
+
+  while (std::getline(in, raw)) {
+    ++line;
+    // Strip comments, then whitespace.
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::string text = trim(raw);
+    if (text.empty()) continue;
+
+    if (text == "[stream]") {
+      cfg.streams.emplace_back();
+      stream = &cfg.streams.back();
+      stream->seed = default_seed++;
+      continue;
+    }
+    if (text.front() == '[') fail(line, "unknown section " + text);
+
+    const auto eq = text.find('=');
+    if (eq == std::string::npos) fail(line, "expected key = value");
+    const std::string key = lower(trim(text.substr(0, eq)));
+    const std::string value = trim(text.substr(eq + 1));
+    if (value.empty()) fail(line, "empty value for '" + key + "'");
+
+    if (stream == nullptr) {
+      // Global (testbed) section.
+      if (key == "mode") {
+        cfg.testbed.mode = to_mode(line, value);
+      } else if (key == "topology") {
+        cfg.testbed.nodes = to_topology(line, value);
+      } else if (key == "balancing") {
+        cfg.testbed.balancing_policy = value;
+      } else if (key == "feedback") {
+        cfg.testbed.feedback_policy = value;
+      } else if (key == "device_policy") {
+        cfg.testbed.device_policy = value;
+      } else if (key == "remote_link") {
+        cfg.testbed.remote_link = to_link(line, value);
+      } else if (key == "shared_network") {
+        cfg.testbed.shared_network = to_bool(line, value);
+      } else if (key == "epoch_ms") {
+        cfg.testbed.sched_epoch = sim::msec(to_int(line, value));
+      } else if (key == "trace_devices") {
+        cfg.testbed.trace_devices = to_bool(line, value);
+      } else if (key == "trace_events") {
+        cfg.testbed.trace_events = to_bool(line, value);
+      } else if (key == "cpu_fallback") {
+        cfg.testbed.cpu_fallback_devices = to_bool(line, value);
+      } else {
+        fail(line, "unknown global key '" + key + "'");
+      }
+    } else {
+      if (key == "app") {
+        profile(value);  // validates; throws std::invalid_argument if bad
+        stream->app = value;
+      } else if (key == "origin") {
+        stream->origin = to_int(line, value);
+      } else if (key == "requests") {
+        stream->requests = to_int(line, value);
+      } else if (key == "lambda_scale") {
+        stream->lambda_scale = to_double(line, value);
+      } else if (key == "server_threads") {
+        stream->server_threads = to_int(line, value);
+      } else if (key == "seed") {
+        stream->seed = static_cast<std::uint32_t>(to_int(line, value));
+      } else if (key == "tenant") {
+        stream->tenant = value;
+      } else if (key == "weight") {
+        stream->tenant_weight = to_double(line, value);
+      } else {
+        fail(line, "unknown stream key '" + key + "'");
+      }
+    }
+  }
+
+  if (cfg.streams.empty()) {
+    throw ScenarioParseError("scenario defines no [stream] sections");
+  }
+  for (std::size_t i = 0; i < cfg.streams.size(); ++i) {
+    if (cfg.streams[i].app.empty()) {
+      throw ScenarioParseError("stream " + std::to_string(i + 1) +
+                               " has no app");
+    }
+    const int max_node = static_cast<int>(
+        (cfg.testbed.nodes.empty() ? small_server() : cfg.testbed.nodes)
+            .size());
+    if (cfg.streams[i].origin < 0 || cfg.streams[i].origin >= max_node) {
+      throw ScenarioParseError("stream " + std::to_string(i + 1) +
+                               " origin out of range");
+    }
+  }
+  return cfg;
+}
+
+ScenarioConfig parse_scenario(const std::string& text) {
+  std::istringstream in(text);
+  return parse_scenario(in);
+}
+
+ScenarioConfig load_scenario(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ScenarioParseError("cannot open scenario file: " + path);
+  return parse_scenario(in);
+}
+
+std::vector<StreamStats> run_scenario_config(const ScenarioConfig& cfg) {
+  sim::Simulation sim;
+  Testbed bed(sim, cfg.testbed);
+  return run_streams(bed, cfg.streams);
+}
+
+}  // namespace strings::workloads

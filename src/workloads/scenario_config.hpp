@@ -1,0 +1,66 @@
+// Declarative experiment descriptions.
+//
+// A scenario file is a small line-oriented text format (INI-like) that
+// describes a full experiment — topology, mode, policies, request streams —
+// so users can run custom workloads without recompiling:
+//
+//   # comment
+//   mode = strings            # cuda | rain | strings | design2
+//   topology = supernode      # small | supernode | NxM (nodes x gpus)
+//   balancing = GWtMin
+//   feedback = MBF            # optional: Policy Arbiter target
+//   device_policy = PS
+//   remote_link = numa        # numa | gige | shm
+//   shared_network = false
+//
+//   [stream]
+//   app = MC                  # Table I abbreviation
+//   origin = 0
+//   requests = 10
+//   lambda_scale = 0.25
+//   server_threads = 8
+//   seed = 42
+//   tenant = pricing-svc
+//   weight = 2.0
+//
+//   [stream]
+//   app = DC
+//   ...
+//
+// Parsed into a ScenarioConfig, which converts to TestbedConfig + arrival
+// streams. See bench/run_scenario for the command-line driver.
+#pragma once
+
+#include <istream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "workloads/service.hpp"
+#include "workloads/testbed.hpp"
+
+namespace strings::workloads {
+
+/// Thrown on malformed scenario text, with a line number in the message.
+class ScenarioParseError : public std::runtime_error {
+ public:
+  explicit ScenarioParseError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct ScenarioConfig {
+  TestbedConfig testbed;
+  std::vector<ArrivalConfig> streams;
+};
+
+/// Parses scenario text. Throws ScenarioParseError on bad input.
+ScenarioConfig parse_scenario(std::istream& in);
+ScenarioConfig parse_scenario(const std::string& text);
+
+/// Loads a scenario file from disk.
+ScenarioConfig load_scenario(const std::string& path);
+
+/// Runs a parsed scenario to completion and returns the stream stats.
+std::vector<StreamStats> run_scenario_config(const ScenarioConfig& cfg);
+
+}  // namespace strings::workloads

@@ -1,0 +1,201 @@
+#include "workloads/testbed.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace strings::workloads {
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kCudaBaseline: return "CUDA";
+    case Mode::kRain: return "Rain";
+    case Mode::kStrings: return "Strings";
+    case Mode::kDesign2: return "Design-II";
+  }
+  return "?";
+}
+
+std::vector<gpu::DeviceProps> paper_node_a() {
+  return {gpu::quadro2000(), gpu::tesla_c2050()};
+}
+
+std::vector<gpu::DeviceProps> paper_node_b() {
+  return {gpu::quadro4000(), gpu::tesla_c2070()};
+}
+
+std::vector<std::vector<gpu::DeviceProps>> small_server() {
+  return {paper_node_a()};
+}
+
+std::vector<std::vector<gpu::DeviceProps>> supernode() {
+  return {paper_node_a(), paper_node_b()};
+}
+
+Testbed::Testbed(sim::Simulation& sim, TestbedConfig config)
+    : sim_(sim), config_(std::move(config)) {
+  if (config_.nodes.empty()) config_.nodes = small_server();
+  if (config_.cpu_fallback_devices) {
+    for (auto& node : config_.nodes) node.push_back(gpu::cpu_executor());
+  }
+
+  if (config_.trace_events) {
+    trace_log_ = std::make_unique<sim::TraceLog>(sim_);
+  }
+  core::AffinityMapper::Config mcfg;
+  mcfg.static_policy = config_.balancing_policy;
+  mcfg.feedback_policy = config_.feedback_policy;
+  mapper_ = std::make_unique<core::AffinityMapper>(mcfg);
+  mapper_->set_trace_log(trace_log_.get());
+
+  std::vector<std::vector<core::Gid>> node_gids;
+  for (std::size_t n = 0; n < config_.nodes.size(); ++n) {
+    devices_.emplace_back();
+    std::vector<gpu::GpuDevice*> ptrs;
+    for (std::size_t d = 0; d < config_.nodes[n].size(); ++d) {
+      devices_[n].push_back(std::make_unique<gpu::GpuDevice>(
+          sim_, static_cast<int>(d), config_.nodes[n][d],
+          config_.trace_devices));
+      ptrs.push_back(devices_[n].back().get());
+    }
+    runtimes_.push_back(std::make_unique<cuda::CudaRuntime>(sim_, ptrs));
+    node_gids.push_back(mapper_->report_node(static_cast<core::NodeId>(n),
+                                             config_.nodes[n]));
+  }
+  mapper_->finalize();
+
+  if (config_.mode == Mode::kCudaBaseline) {
+    // No scheduling stack; observe device ops directly for fairness
+    // accounting (pid -> tenant is recorded in make_api).
+    for (auto& rt : runtimes_) {
+      rt->set_op_observer([this](cuda::ProcessId pid, cuda::cudaStream_t,
+                                 const gpu::GpuDevice::Op& op) {
+        auto it = baseline_pid_tenant_.find(pid);
+        if (it == baseline_pid_tenant_.end()) return;
+        baseline_tenant_service_[it->second] += op.completed - op.started;
+      });
+    }
+    return;
+  }
+
+  backend::BackendConfig bcfg;
+  bcfg.sched.epoch = config_.sched_epoch;
+  bcfg.device_policy = config_.device_policy;
+  bcfg.use_device_scheduler = config_.use_device_scheduler;
+  bcfg.packer.convert_sync_to_async = config_.convert_sync_to_async;
+  bcfg.packer.convert_device_sync = config_.convert_device_sync;
+  switch (config_.mode) {
+    case Mode::kRain:
+      bcfg.design = backend::Design::kProcessPerApp;
+      bcfg.packer.convert_sync_to_async = false;
+      bcfg.packer.convert_device_sync = false;
+      bcfg.sched.measure_includes_wait = true;
+      break;
+    case Mode::kStrings:
+      bcfg.design = backend::Design::kThreadPerApp;
+      break;
+    case Mode::kDesign2:
+      bcfg.design = backend::Design::kSingleMaster;
+      break;
+    case Mode::kCudaBaseline:
+      break;
+  }
+  for (std::size_t n = 0; n < runtimes_.size(); ++n) {
+    daemons_.push_back(std::make_unique<backend::BackendDaemon>(
+        sim_, static_cast<core::NodeId>(n), *runtimes_[n], node_gids[n],
+        bcfg));
+    if (trace_log_ != nullptr) {
+      for (std::size_t d = 0; d < config_.nodes[n].size(); ++d) {
+        daemons_.back()->scheduler(static_cast<int>(d))
+            .set_trace_log(trace_log_.get());
+      }
+    }
+  }
+}
+
+Testbed::~Testbed() = default;
+
+std::unique_ptr<frontend::GpuApi> Testbed::make_api(
+    const backend::AppDescriptor& app) {
+  if (config_.mode == Mode::kCudaBaseline) {
+    auto api = std::make_unique<frontend::DirectApi>(runtime(app.origin_node));
+    baseline_pid_tenant_[api->pid()] = app.tenant;
+    return api;
+  }
+  backend::AppDescriptor desc = app;
+  if (desc.app_id == 0) desc.app_id = next_app_id_++;
+  frontend::InterposerConfig icfg;
+  icfg.nonblocking_rpc =
+      config_.mode != Mode::kRain && config_.nonblocking_rpc;
+  return std::make_unique<frontend::Interposer>(*this, desc, icfg);
+}
+
+core::Gid Testbed::select_device(const std::string& app_type,
+                                 core::NodeId origin) {
+  return mapper_->select_device(app_type, origin);
+}
+
+const core::GpuEntry& Testbed::resolve(core::Gid gid) {
+  return mapper_->gmap().entry(gid);
+}
+
+backend::BackendDaemon& Testbed::daemon(core::NodeId node) {
+  return *daemons_.at(static_cast<std::size_t>(node));
+}
+
+void Testbed::unbind(core::Gid gid, const std::string& app_type) {
+  mapper_->unbind(gid, app_type);
+}
+
+void Testbed::report_feedback(const core::FeedbackRecord& rec) {
+  mapper_->on_feedback(rec);
+}
+
+rpc::LinkModel Testbed::link_between(core::NodeId origin, core::NodeId node) {
+  return origin == node ? config_.local_link : config_.remote_link;
+}
+
+std::pair<std::shared_ptr<rpc::SharedLink>, std::shared_ptr<rpc::SharedLink>>
+Testbed::wires_between(core::NodeId origin, core::NodeId node) {
+  if (!config_.shared_network || origin == node) return {nullptr, nullptr};
+  const auto key = std::minmax(origin, node);
+  auto it = wires_.find({key.first, key.second});
+  if (it == wires_.end()) {
+    it = wires_
+             .emplace(std::make_pair(key.first, key.second),
+                      std::make_pair(std::make_shared<rpc::SharedLink>(),
+                                     std::make_shared<rpc::SharedLink>()))
+             .first;
+  }
+  // Direction matters: origin->node traffic uses .first, the reverse .second.
+  if (origin < node) return it->second;
+  return {it->second.second, it->second.first};
+}
+
+double Testbed::attained_service_s(const std::string& tenant) const {
+  if (config_.mode == Mode::kCudaBaseline) {
+    auto it = baseline_tenant_service_.find(tenant);
+    return it == baseline_tenant_service_.end() ? 0.0
+                                                : sim::to_seconds(it->second);
+  }
+  sim::SimTime total = 0;
+  for (const auto& d : daemons_) {
+    for (int dev = 0; dev < static_cast<int>(
+                                config_.nodes[static_cast<std::size_t>(
+                                                  d->node())].size());
+         ++dev) {
+      const auto& per_tenant = d->scheduler(dev).tenant_service();
+      auto it = per_tenant.find(tenant);
+      if (it != per_tenant.end()) total += it->second;
+    }
+  }
+  return sim::to_seconds(total);
+}
+
+gpu::GpuDevice& Testbed::device(core::Gid gid) {
+  const core::GpuEntry& e = mapper_->gmap().entry(gid);
+  return *devices_.at(static_cast<std::size_t>(e.node))
+              .at(static_cast<std::size_t>(e.local_device));
+}
+
+}  // namespace strings::workloads

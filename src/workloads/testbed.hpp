@@ -1,0 +1,138 @@
+// Testbed: assembles a complete simulated deployment — nodes with GPUs and
+// CUDA runtimes, backend daemons, the GPU Affinity Mapper — and hands out
+// application-facing GpuApi instances per execution mode:
+//
+//   kCudaBaseline — bare CUDA runtime; static provisioning (paper baseline)
+//   kRain         — the authors' earlier scheduler: Design I backends
+//                   (process per app), no context packing, coarse service
+//                   accounting
+//   kStrings      — the paper's system: Design III backends, context
+//                   packing, async conversions, non-blocking RPC
+//   kDesign2      — the single-master-thread alternative of Fig. 5
+//
+// Standard topologies mirror the paper's testbed: NodeA = Quadro 2000 +
+// Tesla C2050, NodeB = Quadro 4000 + Tesla C2070; small server = NodeA,
+// supernode = NodeA + NodeB over Gigabit Ethernet.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/backend_daemon.hpp"
+#include "core/affinity_mapper.hpp"
+#include "cudart/cuda_runtime.hpp"
+#include "frontend/direct_api.hpp"
+#include "frontend/interposer.hpp"
+#include "gpu/gpu_device.hpp"
+#include "simcore/simulation.hpp"
+
+namespace strings::workloads {
+
+enum class Mode { kCudaBaseline, kRain, kStrings, kDesign2 };
+
+const char* mode_name(Mode m);
+
+struct TestbedConfig {
+  Mode mode = Mode::kStrings;
+  /// Device properties per node.
+  std::vector<std::vector<gpu::DeviceProps>> nodes;
+  std::string balancing_policy = "GMin";
+  /// Feedback policy for the Policy Arbiter; empty disables switching.
+  std::string feedback_policy;
+  std::string device_policy = "AllAwake";
+  sim::SimTime sched_epoch = sim::msec(10);
+  bool trace_devices = false;
+  /// Structured event tracing of scheduler decisions (Testbed::trace_log).
+  bool trace_events = false;
+  /// Ablation knobs (apply to Strings / Design-II modes; Rain always runs
+  /// without conversions and with blocking RPC, as the real Rain did).
+  bool convert_sync_to_async = true;
+  bool convert_device_sync = true;
+  bool nonblocking_rpc = true;
+  bool use_device_scheduler = true;
+  rpc::LinkModel local_link = rpc::LinkModel::shared_memory();
+  /// Default follows the paper's SIII-A idealization (remote GPUs as NUMA
+  /// memory); swap in LinkModel::gigabit_ethernet() to model the physical
+  /// link honestly (see bench/ablation_transport, ablation_supernode_scale).
+  rpc::LinkModel remote_link = rpc::LinkModel::numa_like();
+  /// Model the inter-node network as one shared full-duplex wire per node
+  /// pair (scale-out contention) instead of a dedicated link per binding.
+  bool shared_network = false;
+  /// Adds a CPU pseudo-device to every node's pool (the paper's future-work
+  /// CPU/GPU mapping): under runtime-aware policies (RTF) the balancer
+  /// spills work to host cores only when every GPU queue is deep enough
+  /// that a ~20x-slower executor still wins.
+  bool cpu_fallback_devices = false;
+};
+
+/// NodeA of the paper's testbed.
+std::vector<gpu::DeviceProps> paper_node_a();
+/// NodeB of the paper's testbed.
+std::vector<gpu::DeviceProps> paper_node_b();
+/// Single small-scale server (2 GPUs).
+std::vector<std::vector<gpu::DeviceProps>> small_server();
+/// Emulated 4-GPU supernode (2 nodes x 2 GPUs).
+std::vector<std::vector<gpu::DeviceProps>> supernode();
+
+class Testbed final : public frontend::SchedulerDirectory {
+ public:
+  Testbed(sim::Simulation& sim, TestbedConfig config);
+  ~Testbed() override;
+
+  /// Creates the application-facing API for one app instance (request).
+  std::unique_ptr<frontend::GpuApi> make_api(
+      const backend::AppDescriptor& app);
+
+  // ---- SchedulerDirectory ----
+  core::Gid select_device(const std::string& app_type,
+                          core::NodeId origin) override;
+  const core::GpuEntry& resolve(core::Gid gid) override;
+  backend::BackendDaemon& daemon(core::NodeId node) override;
+  void unbind(core::Gid gid, const std::string& app_type) override;
+  void report_feedback(const core::FeedbackRecord& rec) override;
+  rpc::LinkModel link_between(core::NodeId origin,
+                              core::NodeId node) override;
+  std::pair<std::shared_ptr<rpc::SharedLink>,
+            std::shared_ptr<rpc::SharedLink>>
+  wires_between(core::NodeId origin, core::NodeId node) override;
+
+  // ---- introspection ----
+  sim::Simulation& simulation() { return sim_; }
+  const TestbedConfig& config() const { return config_; }
+  core::AffinityMapper& mapper() { return *mapper_; }
+  /// Populated when TestbedConfig::trace_events is set; nullptr otherwise.
+  sim::TraceLog* trace_log() { return trace_log_.get(); }
+  cuda::CudaRuntime& runtime(core::NodeId node) {
+    return *runtimes_.at(static_cast<std::size_t>(node));
+  }
+  gpu::GpuDevice& device(core::Gid gid);
+  int gpu_count() const { return mapper_->gmap().size(); }
+  int node_count() const { return static_cast<int>(runtimes_.size()); }
+
+  /// Cumulative GPU service (seconds) attained by a tenant across the whole
+  /// deployment — the quantity Jain's fairness is computed over. In
+  /// scheduled modes this comes from the per-device Request Monitors; in
+  /// baseline mode the testbed observes device ops directly.
+  double attained_service_s(const std::string& tenant) const;
+
+ private:
+  sim::Simulation& sim_;
+  TestbedConfig config_;
+  std::vector<std::vector<std::unique_ptr<gpu::GpuDevice>>> devices_;
+  std::vector<std::unique_ptr<cuda::CudaRuntime>> runtimes_;
+  std::unique_ptr<core::AffinityMapper> mapper_;
+  std::unique_ptr<sim::TraceLog> trace_log_;
+  std::vector<std::unique_ptr<backend::BackendDaemon>> daemons_;
+  std::uint64_t next_app_id_ = 1;
+  // Baseline-mode service accounting (no schedulers exist to measure it).
+  std::map<cuda::ProcessId, std::string> baseline_pid_tenant_;
+  std::map<std::string, sim::SimTime> baseline_tenant_service_;
+  // One physical wire pair per ordered node pair when shared_network is on.
+  std::map<std::pair<core::NodeId, core::NodeId>,
+           std::pair<std::shared_ptr<rpc::SharedLink>,
+                     std::shared_ptr<rpc::SharedLink>>>
+      wires_;
+};
+
+}  // namespace strings::workloads

@@ -1,0 +1,370 @@
+// Unit tests for the core Strings infrastructure: gMap/gPool, DST, SFT,
+// Affinity Mapper (with Policy Arbiter switching), and the per-device GPU
+// scheduler (RM handshake, dispatcher gating, RMO accounting, FE records).
+#include "core/affinity_mapper.hpp"
+#include "core/gpu_scheduler.hpp"
+#include "core/gpool.hpp"
+#include "core/tables.hpp"
+
+#include <gtest/gtest.h>
+
+namespace strings::core {
+namespace {
+
+using policies::Phase;
+using sim::msec;
+using sim::sec;
+
+TEST(GMap, AssignsSequentialGids) {
+  GMap m;
+  auto a = m.add_node(0, {gpu::quadro2000(), gpu::tesla_c2050()});
+  auto b = m.add_node(1, {gpu::quadro4000()});
+  EXPECT_EQ(a, (std::vector<Gid>{0, 1}));
+  EXPECT_EQ(b, (std::vector<Gid>{2}));
+  EXPECT_EQ(m.size(), 3);
+  EXPECT_EQ(m.entry(2).node, 1);
+  EXPECT_EQ(m.entry(2).local_device, 0);
+  EXPECT_EQ(m.entry(0).props.name, "Quadro 2000");
+  EXPECT_THROW(m.entry(5), std::out_of_range);
+}
+
+TEST(GMap, GidsOnNode) {
+  GMap m;
+  m.add_node(0, {gpu::quadro2000(), gpu::tesla_c2050()});
+  m.add_node(1, {gpu::quadro4000(), gpu::tesla_c2070()});
+  EXPECT_EQ(m.gids_on_node(0), (std::vector<Gid>{0, 1}));
+  EXPECT_EQ(m.gids_on_node(1), (std::vector<Gid>{2, 3}));
+}
+
+TEST(GMap, WeightsTrackComputeScore) {
+  GMap m;
+  m.add_node(0, {gpu::quadro2000(), gpu::tesla_c2050()});
+  EXPECT_DOUBLE_EQ(m.entry(0).weight, 0.47);
+  EXPECT_DOUBLE_EQ(m.entry(1).weight, 1.0);
+}
+
+TEST(DeviceStatusTable, BindUnbindTracksLoad) {
+  GMap m;
+  m.add_node(0, {gpu::tesla_c2050(), gpu::tesla_c2070()});
+  DeviceStatusTable dst(m);
+  dst.on_bind(0);
+  dst.on_bind(0);
+  dst.on_bind(1);
+  EXPECT_EQ(dst.row(0).load, 2);
+  EXPECT_EQ(dst.row(1).load, 1);
+  EXPECT_EQ(dst.row(0).total_bound, 2);
+  dst.on_unbind(0);
+  EXPECT_EQ(dst.row(0).load, 1);
+  dst.on_unbind(0);
+  dst.on_unbind(0);  // extra unbind must not go negative
+  EXPECT_EQ(dst.row(0).load, 0);
+}
+
+TEST(SchedulerFeedbackTable, FirstRecordStoredVerbatim) {
+  SchedulerFeedbackTable sft;
+  FeedbackRecord r;
+  r.app_type = "MC";
+  r.exec_time_s = 4.0;
+  r.gpu_util = 0.8;
+  sft.update(r);
+  auto got = sft.lookup("MC");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DOUBLE_EQ(got->exec_time_s, 4.0);
+  EXPECT_DOUBLE_EQ(got->gpu_util, 0.8);
+  EXPECT_EQ(sft.samples("MC"), 1);
+  EXPECT_FALSE(sft.lookup("BS").has_value());
+}
+
+TEST(SchedulerFeedbackTable, EwmaSmoothsSubsequentRecords) {
+  SchedulerFeedbackTable sft(0.5);
+  FeedbackRecord r;
+  r.app_type = "MC";
+  r.exec_time_s = 4.0;
+  sft.update(r);
+  r.exec_time_s = 8.0;
+  sft.update(r);
+  EXPECT_DOUBLE_EQ(sft.lookup("MC")->exec_time_s, 6.0);
+  EXPECT_EQ(sft.samples("MC"), 2);
+}
+
+struct MapperFixture {
+  MapperFixture(const std::string& stat, const std::string& fb) {
+    AffinityMapper::Config cfg;
+    cfg.static_policy = stat;
+    cfg.feedback_policy = fb;
+    mapper = std::make_unique<AffinityMapper>(cfg);
+    mapper->report_node(0, {gpu::quadro2000(), gpu::tesla_c2050()});
+    mapper->report_node(1, {gpu::quadro4000(), gpu::tesla_c2070()});
+    mapper->finalize();
+  }
+  std::unique_ptr<AffinityMapper> mapper;
+};
+
+TEST(AffinityMapper, SelectBindsAndUnbindReleases) {
+  MapperFixture f("GMin", "");
+  const Gid g1 = f.mapper->select_device("MC", 0);
+  EXPECT_EQ(f.mapper->dst().row(g1).load, 1);
+  EXPECT_EQ(f.mapper->bound_types()[static_cast<std::size_t>(g1)].size(), 1u);
+  f.mapper->unbind(g1, "MC");
+  EXPECT_EQ(f.mapper->dst().row(g1).load, 0);
+  EXPECT_TRUE(f.mapper->bound_types()[static_cast<std::size_t>(g1)].empty());
+}
+
+TEST(AffinityMapper, GMinSpreadsLoad) {
+  MapperFixture f("GMin", "");
+  std::vector<int> loads(4, 0);
+  for (int i = 0; i < 8; ++i) {
+    ++loads[static_cast<std::size_t>(f.mapper->select_device("MC", 0))];
+  }
+  for (int l : loads) EXPECT_EQ(l, 2);
+}
+
+TEST(AffinityMapper, ArbiterSwitchesToFeedbackPolicyAfterFirstRecord) {
+  MapperFixture f("GWtMin", "MBF");
+  EXPECT_STREQ(f.mapper->active_policy_name("MC"), "GWtMin");
+  f.mapper->select_device("MC", 0);
+  EXPECT_EQ(f.mapper->static_selections(), 1);
+
+  FeedbackRecord r;
+  r.app_type = "MC";
+  r.exec_time_s = 2.0;
+  r.gpu_time_s = 1.5;
+  r.gpu_util = 0.75;
+  r.mem_bw_gbps = 120.0;
+  f.mapper->on_feedback(r);
+
+  EXPECT_STREQ(f.mapper->active_policy_name("MC"), "MBF");
+  EXPECT_STREQ(f.mapper->active_policy_name("BS"), "GWtMin");  // no data yet
+  f.mapper->select_device("MC", 0);
+  EXPECT_EQ(f.mapper->feedback_selections(), 1);
+}
+
+TEST(AffinityMapper, ArbiterHonorsMinSampleThreshold) {
+  AffinityMapper::Config cfg;
+  cfg.static_policy = "GWtMin";
+  cfg.feedback_policy = "RTF";
+  cfg.min_feedback_samples = 3;
+  AffinityMapper m(cfg);
+  m.report_node(0, {gpu::tesla_c2050(), gpu::tesla_c2070()});
+  m.finalize();
+  FeedbackRecord r;
+  r.app_type = "MC";
+  r.exec_time_s = 1.0;
+  m.on_feedback(r);
+  m.on_feedback(r);
+  EXPECT_STREQ(m.active_policy_name("MC"), "GWtMin");  // 2 of 3 samples
+  m.on_feedback(r);
+  EXPECT_STREQ(m.active_policy_name("MC"), "RTF");
+}
+
+TEST(AffinityMapper, FinalizeWithNoDevicesThrows) {
+  AffinityMapper::Config cfg;
+  AffinityMapper m(cfg);
+  EXPECT_THROW(m.finalize(), std::logic_error);
+}
+
+TEST(AffinityMapper, ReportAfterFinalizeThrows) {
+  MapperFixture f("GRR", "");
+  EXPECT_THROW(f.mapper->report_node(2, {gpu::tesla_c2050()}),
+               std::logic_error);
+}
+
+// ------------------------------------------------------------ scheduler --
+
+struct SchedFixture {
+  SchedFixture(const std::string& policy_name,
+               GpuScheduler::Config cfg = GpuScheduler::Config{})
+      : sched(sim, 0, policies::make_device_policy(policy_name), cfg) {}
+  sim::Simulation sim;
+  GpuScheduler sched;
+};
+
+gpu::GpuDevice::Op make_op(gpu::GpuDevice::OpKind kind, sim::SimTime start,
+                           sim::SimTime end, double bw = 0.0,
+                           sim::SimTime nominal = 0) {
+  gpu::GpuDevice::Op op;
+  op.kind = kind;
+  op.submitted = start;
+  op.started = start;
+  op.completed = end;
+  op.kernel.bw_demand_gbps = bw;
+  op.kernel.nominal_duration = nominal;
+  return op;
+}
+
+TEST(GpuScheduler, RegistrationHandshake) {
+  SchedFixture f("AllAwake");
+  WakeGate gate(f.sim);
+  GpuScheduler::RcbInit init;
+  init.app_type = "MC";
+  init.tenant = "A";
+  init.gate = &gate;
+  const int id = f.sched.register_app(init);
+  EXPECT_GT(id, 0);
+  EXPECT_EQ(f.sched.registered_count(), 1);
+  // Before ack, the entry does not participate in dispatching.
+  EXPECT_TRUE(f.sched.snapshot().empty());
+  f.sched.ack(id);
+  EXPECT_EQ(f.sched.snapshot().size(), 1u);
+  const auto rec = f.sched.unregister_app(id);
+  EXPECT_EQ(rec.app_type, "MC");
+  EXPECT_EQ(f.sched.registered_count(), 0);
+}
+
+TEST(GpuScheduler, MonitorAccumulatesServiceByKind) {
+  SchedFixture f("AllAwake");
+  WakeGate gate(f.sim);
+  GpuScheduler::RcbInit init;
+  init.app_type = "MC";
+  init.gate = &gate;
+  const int id = f.sched.register_app(init);
+  f.sched.ack(id);
+  f.sched.on_op_complete(
+      id, make_op(gpu::GpuDevice::OpKind::kKernel, 0, msec(10), 100.0, msec(10)));
+  f.sched.on_op_complete(id,
+                         make_op(gpu::GpuDevice::OpKind::kH2D, msec(10), msec(14)));
+  EXPECT_EQ(f.sched.service_attained(id), msec(14));
+  const auto rec = f.sched.unregister_app(id);
+  EXPECT_DOUBLE_EQ(rec.gpu_time_s, 0.010);
+  EXPECT_DOUBLE_EQ(rec.transfer_time_s, 0.004);
+  // bytes = 100 GB/s * 10ms = 1e9 bytes over 10ms gpu time = 100 GB/s.
+  EXPECT_NEAR(rec.mem_bw_gbps, 100.0, 1e-9);
+}
+
+TEST(GpuScheduler, RainAccountingIncludesQueueingTime) {
+  GpuScheduler::Config cfg;
+  cfg.measure_includes_wait = true;
+  SchedFixture f("AllAwake", cfg);
+  WakeGate gate(f.sim);
+  GpuScheduler::RcbInit init;
+  init.gate = &gate;
+  const int id = f.sched.register_app(init);
+  f.sched.ack(id);
+  auto op = make_op(gpu::GpuDevice::OpKind::kKernel, msec(5), msec(10));
+  op.submitted = 0;  // waited 5ms behind another context
+  f.sched.on_op_complete(id, op);
+  EXPECT_EQ(f.sched.service_attained(id), msec(10));  // includes the wait
+}
+
+TEST(GpuScheduler, FeedbackSinkInvokedOnUnregister) {
+  SchedFixture f("AllAwake");
+  std::vector<FeedbackRecord> got;
+  f.sched.set_feedback_sink([&](const FeedbackRecord& r) { got.push_back(r); });
+  WakeGate gate(f.sim);
+  GpuScheduler::RcbInit init;
+  init.app_type = "BS";
+  init.gate = &gate;
+  const int id = f.sched.register_app(init);
+  f.sched.ack(id);
+  f.sched.unregister_app(id);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].app_type, "BS");
+  EXPECT_EQ(got[0].gid, 0);
+}
+
+TEST(GpuScheduler, TfsDispatcherKeepsOneAwake) {
+  GpuScheduler::Config cfg;
+  cfg.epoch = msec(10);
+  SchedFixture f("TFS", cfg);
+  WakeGate g1(f.sim), g2(f.sim);
+  GpuScheduler::RcbInit i1, i2;
+  i1.tenant = "A";
+  i1.gate = &g1;
+  i1.backlog_probe = [] { return 1; };
+  i2.tenant = "B";
+  i2.gate = &g2;
+  i2.backlog_probe = [] { return 1; };
+  const int id1 = f.sched.register_app(i1);
+  const int id2 = f.sched.register_app(i2);
+  f.sched.ack(id1);
+  f.sched.ack(id2);
+  f.sim.run_until(msec(35));
+  EXPECT_GE(f.sched.epochs_run(), 3);
+  // Exactly one gate open under TFS.
+  EXPECT_EQ((g1.awake() ? 1 : 0) + (g2.awake() ? 1 : 0), 1);
+}
+
+TEST(GpuScheduler, TfsAlternatesWithEqualWeights) {
+  GpuScheduler::Config cfg;
+  cfg.epoch = msec(10);
+  SchedFixture f("TFS", cfg);
+  WakeGate g1(f.sim), g2(f.sim);
+  sim::SimTime g1_awake_time = 0, g2_awake_time = 0;
+  GpuScheduler::RcbInit i1, i2;
+  i1.tenant = "A";
+  i1.gate = &g1;
+  i1.backlog_probe = [] { return 1; };
+  i2.tenant = "B";
+  i2.gate = &g2;
+  i2.backlog_probe = [] { return 1; };
+  const int id1 = f.sched.register_app(i1);
+  const int id2 = f.sched.register_app(i2);
+  f.sched.ack(id1);
+  f.sched.ack(id2);
+  // Simulate service accrual proportional to awake time by feeding ops.
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    f.sim.run_until(msec(10) * (epoch + 1));
+    const int awake_id = g1.awake() ? id1 : id2;
+    (g1.awake() ? g1_awake_time : g2_awake_time) += msec(10);
+    f.sched.on_op_complete(
+        awake_id, make_op(gpu::GpuDevice::OpKind::kKernel,
+                          f.sim.now() - msec(10), f.sim.now()));
+  }
+  // Equal weights: both tenants should see comparable awake time.
+  EXPECT_NEAR(static_cast<double>(g1_awake_time),
+              static_cast<double>(g2_awake_time),
+              static_cast<double>(msec(20)));
+}
+
+TEST(GpuScheduler, UnregisterLeavesGateOpen) {
+  GpuScheduler::Config cfg;
+  cfg.epoch = msec(10);
+  SchedFixture f("TFS", cfg);
+  WakeGate g1(f.sim), g2(f.sim);
+  GpuScheduler::RcbInit i1, i2;
+  i1.gate = &g1;
+  i1.backlog_probe = [] { return 1; };
+  i1.tenant = "A";
+  i2.gate = &g2;
+  i2.backlog_probe = [] { return 1; };
+  i2.tenant = "B";
+  const int id1 = f.sched.register_app(i1);
+  const int id2 = f.sched.register_app(i2);
+  f.sched.ack(id1);
+  f.sched.ack(id2);
+  f.sim.run_until(msec(15));
+  f.sched.unregister_app(id1);
+  f.sched.unregister_app(id2);
+  EXPECT_TRUE(g1.awake());
+  EXPECT_TRUE(g2.awake());
+}
+
+TEST(WakeGate, BlocksUntilOpened) {
+  sim::Simulation sim;
+  WakeGate gate(sim);
+  gate.set(false);
+  sim::SimTime woke_at = -1;
+  sim.spawn("worker", [&] {
+    gate.wait_until_awake();
+    woke_at = sim.now();
+  });
+  sim.schedule(msec(7), [&] { gate.set(true); });
+  sim.run();
+  EXPECT_EQ(woke_at, msec(7));
+}
+
+TEST(WakeGate, OpenGateDoesNotBlock) {
+  sim::Simulation sim;
+  WakeGate gate(sim);
+  bool ran = false;
+  sim.spawn("worker", [&] {
+    gate.wait_until_awake();
+    ran = true;
+  });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), 0);
+}
+
+}  // namespace
+}  // namespace strings::core

@@ -1,0 +1,142 @@
+// Fuzz-style property test of the simulated CUDA runtime: random sequences
+// of API calls from multiple host processes must never corrupt accounting —
+// memory balances, all work drains, no crashes or stuck streams.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cudart/cuda_runtime.hpp"
+#include "gpu/device_props.hpp"
+#include "simcore/simulation.hpp"
+
+namespace strings::cuda {
+namespace {
+
+using sim::msec;
+using E = cudaError_t;
+
+class CudartFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CudartFuzz, RandomApiSequencesKeepInvariants) {
+  sim::Simulation sim;
+  auto props = gpu::tesla_c2050();
+  props.ctx_switch = sim::usec(100);
+  std::vector<std::unique_ptr<gpu::GpuDevice>> devices;
+  devices.push_back(std::make_unique<gpu::GpuDevice>(sim, 0, props));
+  devices.push_back(std::make_unique<gpu::GpuDevice>(sim, 1, props));
+  CudaRuntime rt(sim, {devices[0].get(), devices[1].get()});
+
+  constexpr int kProcs = 3;
+  constexpr int kOpsPerProc = 40;
+  int finished = 0;
+
+  for (int pi = 0; pi < kProcs; ++pi) {
+    sim.spawn("proc" + std::to_string(pi), [&, pi] {
+      std::mt19937 rng(GetParam() * 100 + static_cast<unsigned>(pi));
+      const ProcessId pid = rt.create_process();
+      std::vector<DevPtr> ptrs;
+      std::vector<cudaStream_t> streams;
+      std::vector<cudaEvent_t> events;
+
+      for (int op = 0; op < kOpsPerProc; ++op) {
+        switch (rng() % 10) {
+          case 0: {  // set device
+            EXPECT_EQ(rt.cudaSetDevice(pid, static_cast<int>(rng() % 2)),
+                      E::cudaSuccess);
+            break;
+          }
+          case 1: {  // malloc
+            DevPtr p = 0;
+            if (rt.cudaMalloc(pid, &p, 1 + rng() % (1 << 20)) ==
+                E::cudaSuccess) {
+              ptrs.push_back(p);
+            }
+            break;
+          }
+          case 2: {  // free
+            if (!ptrs.empty()) {
+              const std::size_t i = rng() % ptrs.size();
+              // May fail if the pointer belongs to the other device's
+              // context — the error itself must be clean.
+              rt.cudaFree(pid, ptrs[i]);
+              ptrs.erase(ptrs.begin() + static_cast<std::ptrdiff_t>(i));
+            }
+            break;
+          }
+          case 3: {  // stream create
+            cudaStream_t s = 0;
+            EXPECT_EQ(rt.cudaStreamCreate(pid, &s), E::cudaSuccess);
+            streams.push_back(s);
+            break;
+          }
+          case 4: {  // launch on random stream (maybe default)
+            const cudaStream_t s =
+                streams.empty() || rng() % 3 == 0
+                    ? cudaStreamDefault
+                    : streams[rng() % streams.size()];
+            KernelLaunch kl{"fuzz",
+                            gpu::KernelDesc{sim::usec(100 + rng() % 5000),
+                                            0.1 + 0.1 * (rng() % 9), 5.0}};
+            rt.cudaLaunchKernel(pid, kl, s);
+            break;
+          }
+          case 5: {  // memcpy async
+            if (!ptrs.empty()) {
+              const cudaStream_t s =
+                  streams.empty() ? cudaStreamDefault
+                                  : streams[rng() % streams.size()];
+              rt.cudaMemcpyAsync(pid, ptrs[rng() % ptrs.size()], 64,
+                                 rng() % 2 == 0
+                                     ? cudaMemcpyKind::cudaMemcpyHostToDevice
+                                     : cudaMemcpyKind::cudaMemcpyDeviceToHost,
+                                 s, rng() % 2 == 0);
+            }
+            break;
+          }
+          case 6: {  // stream synchronize
+            const cudaStream_t s =
+                streams.empty() ? cudaStreamDefault
+                                : streams[rng() % streams.size()];
+            rt.cudaStreamSynchronize(pid, s);
+            break;
+          }
+          case 7: {  // device synchronize
+            rt.cudaDeviceSynchronize(pid);
+            break;
+          }
+          case 8: {  // event record + maybe sync
+            cudaEvent_t ev = 0;
+            EXPECT_EQ(rt.cudaEventCreate(pid, &ev), E::cudaSuccess);
+            const cudaStream_t s =
+                streams.empty() ? cudaStreamDefault
+                                : streams[rng() % streams.size()];
+            rt.cudaEventRecord(pid, ev, s);
+            if (rng() % 2 == 0) rt.cudaEventSynchronize(pid, ev);
+            events.push_back(ev);
+            break;
+          }
+          case 9: {  // small host pause
+            sim.wait_for(sim::usec(rng() % 2000));
+            break;
+          }
+        }
+      }
+      rt.destroy_process(pid);
+      ++finished;
+    });
+  }
+  sim.run();
+
+  EXPECT_EQ(finished, kProcs);
+  // All device memory reclaimed, all work drained.
+  for (const auto& dev : devices) {
+    EXPECT_EQ(dev->memory_used(), 0u);
+    EXPECT_EQ(dev->ops_in_flight(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CudartFuzz,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace strings::cuda

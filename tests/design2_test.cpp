@@ -1,0 +1,183 @@
+// Tests for Design II (single master thread per GPU) — the paper's Fig. 5
+// middle option — including its documented shortcoming: a blocking call
+// made on behalf of one application stalls every application the master
+// serves. SST mitigates (device sync becomes stream sync) but D2H copies
+// still block the master.
+#include <gtest/gtest.h>
+
+#include "backend/backend_daemon.hpp"
+#include "gpu/device_props.hpp"
+#include "simcore/simulation.hpp"
+
+namespace strings::backend {
+namespace {
+
+using cuda::cudaError_t;
+using cuda::cudaMemcpyKind;
+using rpc::CallId;
+using sim::msec;
+using sim::SimTime;
+
+constexpr std::size_t kMB = 1u << 20;
+
+struct Fixture {
+  explicit Fixture(bool convert_device_sync = true) {
+    auto props = gpu::tesla_c2050();
+    props.copy_latency = 0;
+    props.crowding_alpha = 0;
+    devices.push_back(std::make_unique<gpu::GpuDevice>(sim, 0, props));
+    rt = std::make_unique<cuda::CudaRuntime>(
+        sim, std::vector<gpu::GpuDevice*>{devices[0].get()});
+    BackendConfig cfg;
+    cfg.design = Design::kSingleMaster;
+    cfg.packer.convert_device_sync = convert_device_sync;
+    daemon = std::make_unique<BackendDaemon>(sim, 0, *rt,
+                                             std::vector<core::Gid>{0}, cfg);
+  }
+  rpc::RpcClient connect(std::uint64_t app_id) {
+    AppDescriptor app;
+    app.app_id = app_id;
+    app.app_type = "T" + std::to_string(app_id);
+    app.tenant = "T";
+    return rpc::RpcClient(
+        daemon->connect(app, 0, rpc::LinkModel::shared_memory()));
+  }
+  sim::Simulation sim;
+  std::vector<std::unique_ptr<gpu::GpuDevice>> devices;
+  std::unique_ptr<cuda::CudaRuntime> rt;
+  std::unique_ptr<BackendDaemon> daemon;
+};
+
+cuda::KernelLaunch kernel(SimTime dur) {
+  return {"k", gpu::KernelDesc{dur, 0.4, 0.0}};
+}
+
+TEST(Design2, AppsShareOneContextViaStreams) {
+  Fixture f;
+  int done = 0;
+  for (int a = 1; a <= 2; ++a) {
+    f.sim.spawn("app" + std::to_string(a), [&f, &done, a] {
+      auto client = f.connect(static_cast<std::uint64_t>(a));
+      rpc::Unmarshal l(
+          client.call(CallId::kLaunch, encode_launch(kernel(msec(20)))));
+      EXPECT_EQ(l.get_enum<cudaError_t>(), cudaError_t::cudaSuccess);
+      rpc::Unmarshal s(client.call(CallId::kDeviceSynchronize, rpc::Marshal{}));
+      EXPECT_EQ(s.get_enum<cudaError_t>(), cudaError_t::cudaSuccess);
+      client.call(CallId::kThreadExit, rpc::Marshal{});
+      ++done;
+    });
+  }
+  f.sim.run();
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(f.devices[0]->counters().context_switches, 0);
+  EXPECT_EQ(f.devices[0]->counters().kernels_completed, 2);
+}
+
+TEST(Design2, BlockingD2HStallsOtherApps) {
+  // App 1 does a big synchronous D2H (master blocks on the stream sync
+  // inside MOT's D2H path); app 2's tiny kernel launch, sent while the
+  // master is blocked, has to wait even though the compute engine is idle.
+  Fixture f;
+  SimTime app2_launch_acked = -1;
+  f.sim.spawn("app1", [&f] {
+    auto client = f.connect(1);
+    rpc::Unmarshal m(client.call(CallId::kMalloc, encode_malloc(120 * kMB)));
+    ASSERT_EQ(m.get_enum<cudaError_t>(), cudaError_t::cudaSuccess);
+    const cuda::DevPtr ptr = m.get_u64();
+    // 120 MB D2H at 6 GB/s = 20ms of master-blocking time.
+    client.call(CallId::kMemcpy,
+                encode_memcpy(ptr, 120'000'000,
+                              cudaMemcpyKind::cudaMemcpyDeviceToHost));
+    client.call(CallId::kThreadExit, rpc::Marshal{});
+  });
+  f.sim.spawn("app2", [&f, &app2_launch_acked] {
+    auto client = f.connect(2);
+    f.sim.wait_for(msec(1));  // arrive while app1's D2H is in flight
+    rpc::Unmarshal l(
+        client.call(CallId::kLaunch, encode_launch(kernel(msec(1)))));
+    EXPECT_EQ(l.get_enum<cudaError_t>(), cudaError_t::cudaSuccess);
+    app2_launch_acked = f.sim.now();
+    client.call(CallId::kThreadExit, rpc::Marshal{});
+  });
+  f.sim.run();
+  // The ack could only come after app1's ~20ms copy released the master.
+  EXPECT_GE(app2_launch_acked, msec(19));
+}
+
+TEST(Design2, ThreadPerAppDoesNotStall) {
+  // Same scenario under Design III: app2's launch is acked immediately.
+  sim::Simulation sim;
+  auto props = gpu::tesla_c2050();
+  props.copy_latency = 0;
+  props.crowding_alpha = 0;
+  auto dev = std::make_unique<gpu::GpuDevice>(sim, 0, props);
+  cuda::CudaRuntime rt(sim, {dev.get()});
+  BackendConfig cfg;
+  cfg.design = Design::kThreadPerApp;
+  BackendDaemon daemon(sim, 0, rt, {0}, cfg);
+
+  SimTime app2_launch_acked = -1;
+  sim.spawn("app1", [&] {
+    AppDescriptor app;
+    app.app_id = 1;
+    rpc::RpcClient client(
+        daemon.connect(app, 0, rpc::LinkModel::shared_memory()));
+    rpc::Unmarshal m(client.call(CallId::kMalloc, encode_malloc(120 * kMB)));
+    const cuda::DevPtr ptr = m.get_u64();
+    client.call(CallId::kMemcpy,
+                encode_memcpy(ptr, 120'000'000,
+                              cudaMemcpyKind::cudaMemcpyDeviceToHost));
+    client.call(CallId::kThreadExit, rpc::Marshal{});
+  });
+  sim.spawn("app2", [&] {
+    AppDescriptor app;
+    app.app_id = 2;
+    rpc::RpcClient client(
+        daemon.connect(app, 0, rpc::LinkModel::shared_memory()));
+    sim.wait_for(msec(1));
+    rpc::Unmarshal l(
+        client.call(CallId::kLaunch, encode_launch(kernel(msec(1)))));
+    EXPECT_EQ(l.get_enum<cudaError_t>(), cudaError_t::cudaSuccess);
+    app2_launch_acked = sim.now();
+    client.call(CallId::kThreadExit, rpc::Marshal{});
+  });
+  sim.run();
+  EXPECT_LT(app2_launch_acked, msec(5));
+}
+
+TEST(Design2, SstNarrowsTheSyncBarrierScope) {
+  // App 2 launches a 100ms kernel and goes quiet; app 1 launches a 20ms
+  // kernel and calls cudaDeviceSynchronize. With SST the sync waits only
+  // for app 1's own stream (~21ms); without SST it is a context-wide
+  // barrier that also waits for app 2's kernel (~100ms). (Either way the
+  // master thread is blocked while waiting — Design II's flaw, shown in
+  // BlockingD2HStallsOtherApps.)
+  auto sync_time = [](bool sst) {
+    Fixture f(/*convert_device_sync=*/sst);
+    SimTime sync_done = -1;
+    f.sim.spawn("app2-long", [&f] {
+      auto client = f.connect(2);
+      client.call(CallId::kLaunch, encode_launch(kernel(msec(100))));
+      f.sim.wait_for(msec(200));  // quiet until well after app1 finishes
+      client.call(CallId::kThreadExit, rpc::Marshal{});
+    });
+    f.sim.spawn("app1-short", [&f, &sync_done] {
+      auto client = f.connect(1);
+      f.sim.wait_for(msec(1));
+      client.call(CallId::kLaunch, encode_launch(kernel(msec(20))));
+      client.call(CallId::kDeviceSynchronize, rpc::Marshal{});
+      sync_done = f.sim.now();
+      client.call(CallId::kThreadExit, rpc::Marshal{});
+    });
+    f.sim.run();
+    return sync_done;
+  };
+  const SimTime with_sst = sync_time(true);
+  const SimTime without_sst = sync_time(false);
+  EXPECT_GE(with_sst, msec(20));
+  EXPECT_LT(with_sst, msec(60));
+  EXPECT_GE(without_sst, msec(95));
+}
+
+}  // namespace
+}  // namespace strings::backend

@@ -1,0 +1,352 @@
+// Unit tests for the frontend: DirectApi (bare runtime semantics) and the
+// Interposer (device-selection override, lazy binding, one-way posting,
+// feedback forwarding), against a scripted SchedulerDirectory.
+#include "frontend/direct_api.hpp"
+#include "frontend/interposer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "backend/backend_daemon.hpp"
+#include "gpu/device_props.hpp"
+#include "simcore/simulation.hpp"
+
+namespace strings::frontend {
+namespace {
+
+using cuda::cudaError_t;
+using cuda::cudaMemcpyKind;
+using sim::msec;
+using sim::SimTime;
+
+struct Stack {
+  explicit Stack(backend::Design design = backend::Design::kThreadPerApp) {
+    auto props = gpu::tesla_c2050();
+    props.copy_latency = 0;
+    props.crowding_alpha = 0;
+    for (int i = 0; i < 2; ++i) {
+      devices.push_back(std::make_unique<gpu::GpuDevice>(sim, i, props));
+    }
+    rt = std::make_unique<cuda::CudaRuntime>(
+        sim, std::vector<gpu::GpuDevice*>{devices[0].get(), devices[1].get()});
+    backend::BackendConfig cfg;
+    cfg.design = design;
+    daemon = std::make_unique<backend::BackendDaemon>(
+        sim, 0, *rt, std::vector<core::Gid>{0, 1}, cfg);
+  }
+  sim::Simulation sim;
+  std::vector<std::unique_ptr<gpu::GpuDevice>> devices;
+  std::unique_ptr<cuda::CudaRuntime> rt;
+  std::unique_ptr<backend::BackendDaemon> daemon;
+};
+
+/// Scripted directory: always selects `gid_to_return`, records interactions.
+class FakeDirectory final : public SchedulerDirectory {
+ public:
+  explicit FakeDirectory(Stack& stack) : stack_(stack) {
+    gmap_.add_node(0, {stack.devices[0]->props(), stack.devices[1]->props()});
+  }
+  core::Gid select_device(const std::string& app_type,
+                          core::NodeId origin) override {
+    ++selections;
+    last_app_type = app_type;
+    last_origin = origin;
+    return gid_to_return;
+  }
+  const core::GpuEntry& resolve(core::Gid gid) override {
+    return gmap_.entry(gid);
+  }
+  backend::BackendDaemon& daemon(core::NodeId) override {
+    return *stack_.daemon;
+  }
+  void unbind(core::Gid gid, const std::string& app) override {
+    unbinds.emplace_back(gid, app);
+  }
+  void report_feedback(const core::FeedbackRecord& rec) override {
+    feedback.push_back(rec);
+  }
+  rpc::LinkModel link_between(core::NodeId, core::NodeId) override {
+    return rpc::LinkModel::shared_memory();
+  }
+
+  Stack& stack_;
+  core::GMap gmap_;
+  core::Gid gid_to_return = 0;
+  int selections = 0;
+  std::string last_app_type;
+  core::NodeId last_origin = -1;
+  std::vector<std::pair<core::Gid, std::string>> unbinds;
+  std::vector<core::FeedbackRecord> feedback;
+};
+
+backend::AppDescriptor make_app(const std::string& type = "MC") {
+  backend::AppDescriptor app;
+  app.app_id = 77;
+  app.app_type = type;
+  app.tenant = "T";
+  app.origin_node = 0;
+  return app;
+}
+
+TEST(DirectApi, HonorsExplicitDeviceSelection) {
+  Stack s;
+  s.sim.spawn("app", [&] {
+    DirectApi api(*s.rt);
+    ASSERT_EQ(api.cudaSetDevice(1), cudaError_t::cudaSuccess);
+    cuda::DevPtr p = 0;
+    ASSERT_EQ(api.cudaMalloc(&p, 1024), cudaError_t::cudaSuccess);
+    ASSERT_EQ(api.cudaLaunch({"k", gpu::KernelDesc{msec(5), 0.5, 0}}),
+              cudaError_t::cudaSuccess);
+    ASSERT_EQ(api.cudaDeviceSynchronize(), cudaError_t::cudaSuccess);
+    ASSERT_EQ(api.cudaThreadExit(), cudaError_t::cudaSuccess);
+  });
+  s.sim.run();
+  EXPECT_EQ(s.devices[1]->counters().kernels_completed, 1);
+  EXPECT_EQ(s.devices[0]->counters().kernels_completed, 0);
+}
+
+TEST(Interposer, OverridesDeviceSelection) {
+  Stack s;
+  FakeDirectory dir(s);
+  dir.gid_to_return = 1;  // balancer picks device 1
+  s.sim.spawn("app", [&] {
+    Interposer api(dir, make_app("EV"), InterposerConfig{});
+    ASSERT_EQ(api.cudaSetDevice(0), cudaError_t::cudaSuccess);  // app wants 0
+    ASSERT_EQ(api.cudaLaunch({"k", gpu::KernelDesc{msec(5), 0.5, 0}}),
+              cudaError_t::cudaSuccess);
+    ASSERT_EQ(api.cudaDeviceSynchronize(), cudaError_t::cudaSuccess);
+    ASSERT_EQ(api.cudaThreadExit(), cudaError_t::cudaSuccess);
+    EXPECT_EQ(api.bound_gid(), 1);
+  });
+  s.sim.run();
+  EXPECT_EQ(dir.selections, 1);
+  EXPECT_EQ(dir.last_app_type, "EV");
+  EXPECT_EQ(s.devices[1]->counters().kernels_completed, 1);
+  EXPECT_EQ(s.devices[0]->counters().kernels_completed, 0);
+}
+
+TEST(Interposer, BindsLazilyOnFirstCall) {
+  Stack s;
+  FakeDirectory dir(s);
+  s.sim.spawn("app", [&] {
+    Interposer api(dir, make_app(), InterposerConfig{});
+    EXPECT_EQ(dir.selections, 0);  // no binding yet
+    cuda::DevPtr p = 0;
+    ASSERT_EQ(api.cudaMalloc(&p, 1024), cudaError_t::cudaSuccess);
+    EXPECT_EQ(dir.selections, 1);  // bound without an explicit cudaSetDevice
+    ASSERT_EQ(api.cudaThreadExit(), cudaError_t::cudaSuccess);
+  });
+  s.sim.run();
+}
+
+TEST(Interposer, SetDeviceBindsOnlyOnce) {
+  Stack s;
+  FakeDirectory dir(s);
+  s.sim.spawn("app", [&] {
+    Interposer api(dir, make_app(), InterposerConfig{});
+    api.cudaSetDevice(0);
+    api.cudaSetDevice(1);
+    api.cudaSetDevice(0);
+    EXPECT_EQ(dir.selections, 1);
+    api.cudaThreadExit();
+  });
+  s.sim.run();
+}
+
+TEST(Interposer, NonBlockingPostsReturnImmediately) {
+  Stack s;
+  FakeDirectory dir(s);
+  SimTime after_launch = -1, after_sync = -1;
+  s.sim.spawn("app", [&] {
+    InterposerConfig cfg;
+    cfg.nonblocking_rpc = true;
+    Interposer api(dir, make_app(), cfg);
+    api.cudaSetDevice(0);
+    const SimTime before = s.sim.now();
+    ASSERT_EQ(api.cudaLaunch({"k", gpu::KernelDesc{msec(50), 0.5, 0}}),
+              cudaError_t::cudaSuccess);
+    after_launch = s.sim.now() - before;
+    ASSERT_EQ(api.cudaDeviceSynchronize(), cudaError_t::cudaSuccess);
+    after_sync = s.sim.now() - before;
+    api.cudaThreadExit();
+  });
+  s.sim.run();
+  EXPECT_EQ(after_launch, 0);       // one-way post
+  EXPECT_GE(after_sync, msec(50));  // sync waited for the kernel
+}
+
+TEST(Interposer, BlockingRpcWaitsForEachResponse) {
+  Stack s;
+  FakeDirectory dir(s);
+  SimTime after_launch = -1;
+  s.sim.spawn("app", [&] {
+    InterposerConfig cfg;
+    cfg.nonblocking_rpc = false;
+    Interposer api(dir, make_app(), cfg);
+    api.cudaSetDevice(0);
+    const SimTime before = s.sim.now();
+    ASSERT_EQ(api.cudaLaunch({"k", gpu::KernelDesc{msec(50), 0.5, 0}}),
+              cudaError_t::cudaSuccess);
+    after_launch = s.sim.now() - before;
+    api.cudaDeviceSynchronize();
+    api.cudaThreadExit();
+  });
+  s.sim.run();
+  // Round trip through the channel takes nonzero virtual time, but the
+  // launch itself is still asynchronous on the device.
+  EXPECT_GT(after_launch, 0);
+  EXPECT_LT(after_launch, msec(50));
+}
+
+TEST(Interposer, ThreadExitForwardsFeedbackAndUnbinds) {
+  Stack s;
+  FakeDirectory dir(s);
+  dir.gid_to_return = 0;
+  s.sim.spawn("app", [&] {
+    Interposer api(dir, make_app("HI"), InterposerConfig{});
+    api.cudaSetDevice(0);
+    api.cudaLaunch({"k", gpu::KernelDesc{msec(20), 0.5, 10.0}});
+    api.cudaDeviceSynchronize();
+    ASSERT_EQ(api.cudaThreadExit(), cudaError_t::cudaSuccess);
+    ASSERT_TRUE(api.last_feedback().has_value());
+    EXPECT_EQ(api.last_feedback()->app_type, "HI");
+    EXPECT_NEAR(api.last_feedback()->gpu_time_s, 0.020, 1e-3);
+  });
+  s.sim.run();
+  ASSERT_EQ(dir.feedback.size(), 1u);
+  EXPECT_EQ(dir.feedback[0].app_type, "HI");
+  ASSERT_EQ(dir.unbinds.size(), 1u);
+  EXPECT_EQ(dir.unbinds[0], std::make_pair(core::Gid{0}, std::string("HI")));
+}
+
+TEST(Interposer, ThreadExitIsIdempotent) {
+  Stack s;
+  FakeDirectory dir(s);
+  s.sim.spawn("app", [&] {
+    Interposer api(dir, make_app(), InterposerConfig{});
+    api.cudaSetDevice(0);
+    EXPECT_EQ(api.cudaThreadExit(), cudaError_t::cudaSuccess);
+    EXPECT_EQ(api.cudaThreadExit(), cudaError_t::cudaSuccess);
+  });
+  s.sim.run();
+  EXPECT_EQ(dir.unbinds.size(), 1u);
+}
+
+TEST(Interposer, ExitWithoutBindingIsNoOp) {
+  Stack s;
+  FakeDirectory dir(s);
+  s.sim.spawn("app", [&] {
+    Interposer api(dir, make_app(), InterposerConfig{});
+    EXPECT_EQ(api.cudaThreadExit(), cudaError_t::cudaSuccess);
+  });
+  s.sim.run();
+  EXPECT_EQ(dir.selections, 0);
+  EXPECT_TRUE(dir.unbinds.empty());
+}
+
+TEST(Interposer, MallocNullPointerRejected) {
+  Stack s;
+  FakeDirectory dir(s);
+  s.sim.spawn("app", [&] {
+    Interposer api(dir, make_app(), InterposerConfig{});
+    EXPECT_EQ(api.cudaMalloc(nullptr, 100), cudaError_t::cudaErrorInvalidValue);
+  });
+  s.sim.run();
+  EXPECT_EQ(dir.selections, 0);  // invalid call must not bind
+}
+
+TEST(Interposer, OneWayPostsPreserveProgramOrder) {
+  // Paper SIII-B-2: non-blocking RPC keeps per-application order because
+  // the channel is FIFO and the worker serves sequentially. A blocking D2H
+  // issued right after one-way H2D + launch must observe both.
+  Stack s;
+  FakeDirectory dir(s);
+  SimTime d2h_done = -1;
+  s.sim.spawn("app", [&] {
+    Interposer api(dir, make_app(), InterposerConfig{});
+    api.cudaSetDevice(0);
+    cuda::DevPtr p = 0;
+    ASSERT_EQ(api.cudaMalloc(&p, 60'000'000), cudaError_t::cudaSuccess);
+    const SimTime before = s.sim.now();
+    // One-way: 60MB upload (10ms on the wire) and a 30ms kernel.
+    api.cudaMemcpy(p, 60'000'000, cudaMemcpyKind::cudaMemcpyHostToDevice);
+    api.cudaLaunch({"k", gpu::KernelDesc{msec(30), 0.5, 0}});
+    // Blocking download: same stream, so it runs after upload + kernel.
+    ASSERT_EQ(api.cudaMemcpy(p, 6'000'000,
+                             cudaMemcpyKind::cudaMemcpyDeviceToHost),
+              cudaError_t::cudaSuccess);
+    d2h_done = s.sim.now() - before;
+    api.cudaThreadExit();
+  });
+  s.sim.run();
+  // >= upload(10ms) + kernel(30ms) + download(1ms); well below if order
+  // were violated.
+  EXPECT_GE(d2h_done, msec(41));
+  EXPECT_LT(d2h_done, msec(60));
+}
+
+TEST(Interposer, EventsTimeGpuWorkAcrossTheStack) {
+  Stack s;
+  FakeDirectory dir(s);
+  double ms = 0.0;
+  s.sim.spawn("app", [&] {
+    Interposer api(dir, make_app(), InterposerConfig{});
+    api.cudaSetDevice(0);
+    cuda::cudaEvent_t start = 0, stop = 0;
+    ASSERT_EQ(api.cudaEventCreate(&start), cudaError_t::cudaSuccess);
+    ASSERT_EQ(api.cudaEventCreate(&stop), cudaError_t::cudaSuccess);
+    EXPECT_NE(start, stop);
+    ASSERT_EQ(api.cudaEventRecord(start), cudaError_t::cudaSuccess);
+    ASSERT_EQ(api.cudaLaunch({"k", gpu::KernelDesc{msec(30), 0.5, 0}}),
+              cudaError_t::cudaSuccess);
+    ASSERT_EQ(api.cudaEventRecord(stop), cudaError_t::cudaSuccess);
+    ASSERT_EQ(api.cudaEventSynchronize(stop), cudaError_t::cudaSuccess);
+    ASSERT_EQ(api.cudaEventElapsedTime(&ms, start, stop),
+              cudaError_t::cudaSuccess);
+    api.cudaEventDestroy(start);
+    api.cudaEventDestroy(stop);
+    api.cudaThreadExit();
+  });
+  s.sim.run();
+  // Measured on the app's own stream (AST); sub-par-microsecond slack for
+  // worker processing between the record and the launch.
+  EXPECT_NEAR(ms, 30.0, 0.01);
+}
+
+TEST(DirectApi, EventsWorkOnDefaultStream) {
+  Stack s;
+  double ms = 0.0;
+  s.sim.spawn("app", [&] {
+    DirectApi api(*s.rt);
+    api.cudaSetDevice(0);
+    cuda::cudaEvent_t start = 0, stop = 0;
+    ASSERT_EQ(api.cudaEventCreate(&start), cudaError_t::cudaSuccess);
+    ASSERT_EQ(api.cudaEventCreate(&stop), cudaError_t::cudaSuccess);
+    api.cudaEventRecord(start);
+    api.cudaLaunch({"k", gpu::KernelDesc{msec(12), 0.5, 0}});
+    api.cudaEventRecord(stop);
+    ASSERT_EQ(api.cudaEventSynchronize(stop), cudaError_t::cudaSuccess);
+    ASSERT_EQ(api.cudaEventElapsedTime(&ms, start, stop),
+              cudaError_t::cudaSuccess);
+  });
+  s.sim.run();
+  EXPECT_DOUBLE_EQ(ms, 12.0);
+}
+
+TEST(Interposer, MemcpyErrorsSurfaceOnBlockingPath) {
+  Stack s;
+  FakeDirectory dir(s);
+  s.sim.spawn("app", [&] {
+    InterposerConfig cfg;
+    cfg.nonblocking_rpc = false;  // errors come back on the response
+    Interposer api(dir, make_app(), cfg);
+    api.cudaSetDevice(0);
+    // No allocation: the backend rejects the pointer.
+    EXPECT_EQ(api.cudaMemcpy(0xBAD, 64, cudaMemcpyKind::cudaMemcpyHostToDevice),
+              cudaError_t::cudaErrorInvalidDevicePointer);
+    api.cudaThreadExit();
+  });
+  s.sim.run();
+}
+
+}  // namespace
+}  // namespace strings::frontend

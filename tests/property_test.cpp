@@ -1,0 +1,188 @@
+// Randomized end-to-end property tests: for arbitrary workload mixes and
+// modes, the system must uphold structural invariants — no lost or
+// duplicated requests, device memory fully reclaimed, service conservation,
+// determinism, and fairness bounds.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "metrics/metrics.hpp"
+#include "workloads/service.hpp"
+#include "workloads/testbed.hpp"
+
+namespace strings::workloads {
+namespace {
+
+struct RandomScenario {
+  Mode mode;
+  std::string balancing;
+  std::string device_policy;
+  std::vector<ArrivalConfig> arrivals;
+};
+
+RandomScenario make_scenario(std::mt19937& rng) {
+  static const Mode kModes[] = {Mode::kCudaBaseline, Mode::kRain,
+                                Mode::kStrings, Mode::kDesign2};
+  static const char* kBalancing[] = {"GRR", "GMin", "GWtMin"};
+  static const char* kDevicePolicies[] = {"AllAwake", "TFS", "LAS", "PS"};
+  static const char* kApps[] = {"BS", "MC", "GA", "SN"};  // short apps only
+
+  RandomScenario s;
+  s.mode = kModes[rng() % 4];
+  s.balancing = kBalancing[rng() % 3];
+  s.device_policy = kDevicePolicies[rng() % 4];
+  const int streams = 1 + static_cast<int>(rng() % 3);
+  for (int i = 0; i < streams; ++i) {
+    ArrivalConfig a;
+    a.app = kApps[rng() % 4];
+    a.requests = 2 + static_cast<int>(rng() % 4);
+    a.lambda_scale = 0.3 + 0.1 * static_cast<double>(rng() % 5);
+    a.server_threads = 1 + static_cast<int>(rng() % 4);
+    a.seed = static_cast<std::uint32_t>(rng());
+    a.tenant = "tenant" + std::to_string(i);
+    a.tenant_weight = 1.0 + static_cast<double>(rng() % 3);
+    s.arrivals.push_back(std::move(a));
+  }
+  return s;
+}
+
+struct RunResult {
+  std::vector<StreamStats> stats;
+  std::size_t total_memory_used = 0;
+  double total_service_s = 0.0;
+  sim::SimTime makespan = 0;
+  int gpu_count = 0;
+};
+
+RunResult run(const RandomScenario& s) {
+  sim::Simulation sim;
+  TestbedConfig cfg;
+  cfg.mode = s.mode;
+  cfg.nodes = small_server();
+  cfg.balancing_policy = s.balancing;
+  cfg.device_policy = s.device_policy;
+  Testbed bed(sim, cfg);
+  RunResult r;
+  r.stats = run_streams(bed, s.arrivals);
+  r.gpu_count = bed.gpu_count();
+  for (core::Gid g = 0; g < bed.gpu_count(); ++g) {
+    r.total_memory_used += bed.device(g).memory_used();
+  }
+  for (const auto& a : s.arrivals) {
+    r.total_service_s += bed.attained_service_s(a.tenant);
+  }
+  for (const auto& st : r.stats) {
+    r.makespan = std::max(r.makespan, st.makespan);
+  }
+  return r;
+}
+
+class EndToEndProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EndToEndProperty, StructuralInvariantsHold) {
+  std::mt19937 rng(GetParam());
+  for (int round = 0; round < 4; ++round) {
+    const RandomScenario s = make_scenario(rng);
+    SCOPED_TRACE("mode=" + std::string(mode_name(s.mode)) + " bal=" +
+                 s.balancing + " dev=" + s.device_policy);
+    const RunResult r = run(s);
+
+    // 1. Every request completes exactly once, without errors.
+    for (std::size_t i = 0; i < s.arrivals.size(); ++i) {
+      EXPECT_EQ(r.stats[i].completed, s.arrivals[i].requests);
+      EXPECT_EQ(r.stats[i].errors, 0);
+      EXPECT_EQ(r.stats[i].response_times.size(),
+                static_cast<std::size_t>(s.arrivals[i].requests));
+    }
+    // 2. Device memory fully reclaimed after all apps exit.
+    EXPECT_EQ(r.total_memory_used, 0u);
+    // 3. Service conservation: total GPU service cannot exceed
+    //    makespan x device count (engines: compute + 2 copies -> x3 bound).
+    EXPECT_LE(r.total_service_s,
+              3.0 * sim::to_seconds(r.makespan) * r.gpu_count + 1e-6);
+    // 4. Response times are positive and at least the pure service time
+    //    of the fastest possible run is positive.
+    for (const auto& st : r.stats) {
+      for (const auto t : st.response_times) EXPECT_GT(t, 0);
+      EXPECT_GE(st.total_response, st.total_service);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EndToEndProperty,
+                         ::testing::Values(11u, 23u, 37u, 58u, 71u, 90u));
+
+class DeterminismProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DeterminismProperty, IdenticalScenariosGiveIdenticalTraces) {
+  std::mt19937 rng(GetParam());
+  const RandomScenario s = make_scenario(rng);
+  const RunResult a = run(s);
+  const RunResult b = run(s);
+  ASSERT_EQ(a.stats.size(), b.stats.size());
+  for (std::size_t i = 0; i < a.stats.size(); ++i) {
+    EXPECT_EQ(a.stats[i].response_times, b.stats[i].response_times);
+    EXPECT_EQ(a.stats[i].makespan, b.stats[i].makespan);
+  }
+  EXPECT_DOUBLE_EQ(a.total_service_s, b.total_service_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismProperty,
+                         ::testing::Values(3u, 19u, 42u));
+
+TEST(WeightedFairShare, TfsRespectsTenantWeights) {
+  // Two identical saturating streams with 3:1 weights sharing one GPU under
+  // TFS: attained service should split roughly 3:1.
+  sim::Simulation sim;
+  TestbedConfig cfg;
+  cfg.mode = Mode::kStrings;
+  cfg.nodes = {{gpu::tesla_c2050()}};
+  cfg.device_policy = "TFS";
+  Testbed bed(sim, cfg);
+  ArrivalConfig heavy;
+  heavy.app = "MC";
+  heavy.requests = 30;
+  heavy.lambda_scale = 0.02;
+  heavy.server_threads = 2;
+  heavy.seed = 5;
+  heavy.tenant = "gold";
+  heavy.tenant_weight = 3.0;
+  ArrivalConfig light = heavy;
+  light.seed = 6;
+  light.tenant = "bronze";
+  light.tenant_weight = 1.0;
+  auto stats = start_streams(bed, {heavy, light});
+  sim.run_until(sim::sec(30));
+  const double gold = bed.attained_service_s("gold");
+  const double bronze = bed.attained_service_s("bronze");
+  sim.terminate_processes();
+  ASSERT_GT(bronze, 0.0);
+  const double ratio = gold / bronze;
+  EXPECT_GT(ratio, 2.0) << "gold=" << gold << " bronze=" << bronze;
+  EXPECT_LT(ratio, 4.5) << "gold=" << gold << " bronze=" << bronze;
+}
+
+TEST(WorkConservation, DeviceNeverIdlesWithBacklog) {
+  // A saturating single-app stream on one GPU: compute-engine busy time
+  // must dominate the makespan (no scheduler-induced idling).
+  sim::Simulation sim;
+  TestbedConfig cfg;
+  cfg.mode = Mode::kStrings;
+  cfg.nodes = {{gpu::tesla_c2050()}};
+  cfg.device_policy = "TFS";
+  Testbed bed(sim, cfg);
+  ArrivalConfig a;
+  a.app = "DC";  // 90% GPU
+  a.requests = 4;
+  a.lambda_scale = 0.01;  // all queued immediately
+  a.server_threads = 4;
+  a.seed = 2;
+  const auto stats = run_streams(bed, {a});
+  const double busy =
+      sim::to_seconds(bed.device(0).counters().compute_busy_time);
+  const double span = sim::to_seconds(stats[0].makespan);
+  EXPECT_GT(busy / span, 0.75);
+}
+
+}  // namespace
+}  // namespace strings::workloads

@@ -1,0 +1,159 @@
+// Tests for the declarative scenario format: parsing, validation, error
+// reporting, and end-to-end execution.
+#include "workloads/scenario_config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace strings::workloads {
+namespace {
+
+TEST(ScenarioParse, FullScenarioRoundTrip) {
+  const char* text = R"(
+# full example
+mode = strings
+topology = supernode
+balancing = GWtMin
+feedback = MBF
+device_policy = PS
+remote_link = gige
+shared_network = true
+epoch_ms = 20
+trace_devices = true
+
+[stream]
+app = MC
+origin = 1
+requests = 7
+lambda_scale = 0.4
+server_threads = 5
+seed = 99
+tenant = pricing
+weight = 2.5
+)";
+  const ScenarioConfig cfg = parse_scenario(std::string(text));
+  EXPECT_EQ(cfg.testbed.mode, Mode::kStrings);
+  EXPECT_EQ(cfg.testbed.nodes.size(), 2u);
+  EXPECT_EQ(cfg.testbed.balancing_policy, "GWtMin");
+  EXPECT_EQ(cfg.testbed.feedback_policy, "MBF");
+  EXPECT_EQ(cfg.testbed.device_policy, "PS");
+  EXPECT_TRUE(cfg.testbed.shared_network);
+  EXPECT_TRUE(cfg.testbed.trace_devices);
+  EXPECT_EQ(cfg.testbed.sched_epoch, sim::msec(20));
+  EXPECT_DOUBLE_EQ(cfg.testbed.remote_link.bandwidth_gbps, 0.117);
+  ASSERT_EQ(cfg.streams.size(), 1u);
+  const ArrivalConfig& s = cfg.streams[0];
+  EXPECT_EQ(s.app, "MC");
+  EXPECT_EQ(s.origin, 1);
+  EXPECT_EQ(s.requests, 7);
+  EXPECT_DOUBLE_EQ(s.lambda_scale, 0.4);
+  EXPECT_EQ(s.server_threads, 5);
+  EXPECT_EQ(s.seed, 99u);
+  EXPECT_EQ(s.tenant, "pricing");
+  EXPECT_DOUBLE_EQ(s.tenant_weight, 2.5);
+}
+
+TEST(ScenarioParse, DefaultsApplyWhenOmitted) {
+  const ScenarioConfig cfg = parse_scenario(std::string(R"(
+[stream]
+app = GA
+)"));
+  EXPECT_EQ(cfg.testbed.mode, Mode::kStrings);
+  EXPECT_EQ(cfg.streams[0].requests, 16);  // ArrivalConfig default
+  EXPECT_EQ(cfg.streams[0].seed, 1u);      // auto-assigned per stream
+}
+
+TEST(ScenarioParse, AutoSeedsDifferPerStream) {
+  const ScenarioConfig cfg = parse_scenario(std::string(R"(
+[stream]
+app = GA
+[stream]
+app = BS
+)"));
+  EXPECT_NE(cfg.streams[0].seed, cfg.streams[1].seed);
+}
+
+TEST(ScenarioParse, NxMTopology) {
+  const ScenarioConfig cfg = parse_scenario(std::string(R"(
+topology = 3x4
+[stream]
+app = GA
+)"));
+  ASSERT_EQ(cfg.testbed.nodes.size(), 3u);
+  EXPECT_EQ(cfg.testbed.nodes[0].size(), 4u);
+  EXPECT_EQ(cfg.testbed.nodes[2][3].name, "Tesla C2050");
+}
+
+TEST(ScenarioParse, CommentsAndBlankLinesIgnored) {
+  const ScenarioConfig cfg = parse_scenario(std::string(R"(
+# leading comment
+
+mode = rain   # trailing comment
+
+[stream]
+app = SN      # another
+)"));
+  EXPECT_EQ(cfg.testbed.mode, Mode::kRain);
+  EXPECT_EQ(cfg.streams[0].app, "SN");
+}
+
+TEST(ScenarioParse, ErrorsCarryLineNumbers) {
+  try {
+    parse_scenario(std::string("mode = strings\nbogus_key = 1\n"));
+    FAIL() << "expected ScenarioParseError";
+  } catch (const ScenarioParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ScenarioParse, RejectsMalformedInput) {
+  EXPECT_THROW(parse_scenario(std::string("just text\n[stream]\napp = GA\n")),
+               ScenarioParseError);
+  EXPECT_THROW(parse_scenario(std::string("mode = warp\n[stream]\napp = GA\n")),
+               ScenarioParseError);
+  EXPECT_THROW(parse_scenario(std::string("[bogus]\n")), ScenarioParseError);
+  EXPECT_THROW(parse_scenario(std::string("[stream]\nrequests = ten\n")),
+               ScenarioParseError);
+  EXPECT_THROW(
+      parse_scenario(std::string("[stream]\napp = GA\nweight = 2kg\n")),
+      ScenarioParseError);
+  EXPECT_THROW(parse_scenario(std::string("topology = 0x4\n[stream]\napp=GA\n")),
+               ScenarioParseError);
+}
+
+TEST(ScenarioParse, RejectsEmptyOrIncompleteScenarios) {
+  EXPECT_THROW(parse_scenario(std::string("mode = strings\n")),
+               ScenarioParseError);
+  EXPECT_THROW(parse_scenario(std::string("[stream]\nrequests = 2\n")),
+               ScenarioParseError);
+  // Unknown app is validated at parse time.
+  EXPECT_THROW(parse_scenario(std::string("[stream]\napp = ZZ\n")),
+               std::invalid_argument);
+  // Origin beyond the topology.
+  EXPECT_THROW(
+      parse_scenario(std::string("topology = small\n[stream]\napp = GA\norigin = 3\n")),
+      ScenarioParseError);
+}
+
+TEST(ScenarioParse, LoadMissingFileThrows) {
+  EXPECT_THROW(load_scenario("/nonexistent/path.scenario"),
+               ScenarioParseError);
+}
+
+TEST(ScenarioRun, ExecutesEndToEnd) {
+  const ScenarioConfig cfg = parse_scenario(std::string(R"(
+mode = strings
+topology = small
+balancing = GMin
+[stream]
+app = GA
+requests = 3
+lambda_scale = 0.5
+)"));
+  const auto stats = run_scenario_config(cfg);
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].completed, 3);
+  EXPECT_EQ(stats[0].errors, 0);
+}
+
+}  // namespace
+}  // namespace strings::workloads

@@ -1,0 +1,122 @@
+// Tests for the simulation synchronization primitives (Semaphore, Barrier,
+// Latch).
+#include "simcore/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace strings::sim {
+namespace {
+
+TEST(Semaphore, LimitsConcurrency) {
+  Simulation sim;
+  Semaphore sem(sim, 2);
+  int inside = 0, peak = 0, done = 0;
+  for (int i = 0; i < 5; ++i) {
+    sim.spawn("w" + std::to_string(i), [&] {
+      SemaphoreGuard guard(sem);
+      peak = std::max(peak, ++inside);
+      sim.wait_for(msec(10));
+      --inside;
+      ++done;
+    });
+  }
+  sim.run();
+  EXPECT_EQ(done, 5);
+  EXPECT_EQ(peak, 2);
+  EXPECT_EQ(sem.available(), 2);
+}
+
+TEST(Semaphore, TryAcquireNonBlocking) {
+  Simulation sim;
+  Semaphore sem(sim, 1);
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_FALSE(sem.try_acquire());
+  sem.release();
+  EXPECT_TRUE(sem.try_acquire());
+}
+
+TEST(Semaphore, FifoWakeOrder) {
+  Simulation sim;
+  Semaphore sem(sim, 0);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn("w" + std::to_string(i), [&sem, &order, i] {
+      sem.acquire();
+      order.push_back(i);
+    });
+  }
+  sim.schedule(msec(1), [&] { sem.release(); });
+  sim.schedule(msec(2), [&] { sem.release(); });
+  sim.schedule(msec(3), [&] { sem.release(); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Barrier, ReleasesAllAtOnce) {
+  Simulation sim;
+  Barrier barrier(sim, 3);
+  std::vector<SimTime> released;
+  for (int i = 0; i < 3; ++i) {
+    sim.spawn("w" + std::to_string(i), [&sim, &barrier, &released, i] {
+      sim.wait_for(msec(10 * (i + 1)));  // staggered arrivals
+      barrier.arrive_and_wait();
+      released.push_back(sim.now());
+    });
+  }
+  sim.run();
+  ASSERT_EQ(released.size(), 3u);
+  for (const SimTime t : released) EXPECT_EQ(t, msec(30));
+}
+
+TEST(Barrier, CyclesAcrossRounds) {
+  Simulation sim;
+  Barrier barrier(sim, 2);
+  int rounds_done = 0;
+  for (int i = 0; i < 2; ++i) {
+    sim.spawn("w" + std::to_string(i), [&sim, &barrier, &rounds_done, i] {
+      for (int round = 0; round < 3; ++round) {
+        sim.wait_for(msec(i + 1));
+        barrier.arrive_and_wait();
+      }
+      ++rounds_done;
+    });
+  }
+  sim.run();
+  EXPECT_EQ(rounds_done, 2);
+}
+
+TEST(Latch, ReleasesWhenCountReachesZero) {
+  Simulation sim;
+  Latch latch(sim, 3);
+  SimTime released_at = -1;
+  sim.spawn("waiter", [&] {
+    latch.wait();
+    released_at = sim.now();
+  });
+  for (int i = 1; i <= 3; ++i) {
+    sim.schedule(msec(i), [&] { latch.count_down(); });
+  }
+  sim.run();
+  EXPECT_EQ(released_at, msec(3));
+  EXPECT_EQ(latch.remaining(), 0);
+}
+
+TEST(Latch, WaitAfterZeroReturnsImmediately) {
+  Simulation sim;
+  Latch latch(sim, 1);
+  latch.count_down();
+  bool ran = false;
+  sim.spawn("w", [&] {
+    latch.wait();
+    ran = true;
+  });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), 0);
+}
+
+}  // namespace
+}  // namespace strings::sim

@@ -1,0 +1,137 @@
+// Tests for the ASCII timeline renderer and the tracer reducers it uses.
+#include "metrics/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_device.hpp"
+#include "simcore/simulation.hpp"
+
+namespace strings::metrics {
+namespace {
+
+using sim::msec;
+
+gpu::UtilizationSample sample(sim::SimTime t, double compute, int resident,
+                              bool switching = false, double bw = 0.0) {
+  gpu::UtilizationSample s;
+  s.time = t;
+  s.compute_util = compute;
+  s.bw_util = bw;
+  s.resident_kernels = resident;
+  s.switching = switching;
+  return s;
+}
+
+TEST(Timeline, IdleTraceRendersSpaces) {
+  gpu::UtilizationTracer tr(true);
+  tr.record(sample(0, 0.0, 0));
+  TimelineOptions opt;
+  opt.columns = 10;
+  opt.end = msec(10);
+  EXPECT_EQ(render_utilization_row(tr, opt), std::string(10, ' '));
+}
+
+TEST(Timeline, BusyHalfShowsLoadGlyphs) {
+  gpu::UtilizationTracer tr(true);
+  tr.record(sample(0, 1.0, 1));
+  tr.record(sample(msec(5), 0.0, 0));
+  TimelineOptions opt;
+  opt.columns = 10;
+  opt.end = msec(10);
+  const std::string row = render_utilization_row(tr, opt);
+  ASSERT_EQ(row.size(), 10u);
+  EXPECT_EQ(row.substr(0, 5), "@@@@@");
+  EXPECT_EQ(row.substr(5), "     ");
+}
+
+TEST(Timeline, SwitchingShowsGlitchGlyph) {
+  gpu::UtilizationTracer tr(true);
+  tr.record(sample(0, 0.0, 0, /*switching=*/true));
+  tr.record(sample(msec(5), 1.0, 1));
+  TimelineOptions opt;
+  opt.columns = 10;
+  opt.end = msec(10);
+  const std::string row = render_utilization_row(tr, opt);
+  EXPECT_EQ(row[0], 'x');
+  EXPECT_EQ(row[9], '@');
+}
+
+TEST(Timeline, CopyOnlyShowsDash) {
+  gpu::UtilizationTracer tr(true);
+  tr.record(sample(0, 0.0, 0, false, /*bw=*/0.5));
+  TimelineOptions opt;
+  opt.columns = 4;
+  opt.end = msec(4);
+  EXPECT_EQ(render_utilization_row(tr, opt), "----");
+}
+
+TEST(Timeline, MultiDeviceRowsAlignWithLabels) {
+  gpu::UtilizationTracer a(true), b(true);
+  a.record(sample(0, 1.0, 1));
+  a.record(sample(msec(10), 0.0, 0));
+  b.record(sample(0, 0.0, 0));
+  TimelineOptions opt;
+  opt.columns = 8;
+  opt.end = msec(10);
+  const std::string out = render_timeline({{"gpu0", &a}, {"g1", &b}}, opt);
+  EXPECT_NE(out.find("gpu0 |@@@@@@@@|"), std::string::npos);
+  EXPECT_NE(out.find("g1   |        |"), std::string::npos);
+  EXPECT_NE(out.find("legend"), std::string::npos);
+  EXPECT_NE(out.find("0.010s"), std::string::npos);
+}
+
+TEST(Timeline, EndToEndWithRealDevice) {
+  sim::Simulation sim;
+  auto props = gpu::tesla_c2050();
+  props.copy_latency = 0;
+  gpu::GpuDevice dev(sim, 0, props, /*trace=*/true);
+  sim.spawn("app", [&] {
+    auto op = dev.submit_kernel(1, gpu::KernelDesc{msec(10), 0.9, 0});
+    dev.wait(op);
+    sim.wait_for(msec(10));
+  });
+  sim.run();
+  TimelineOptions opt;
+  opt.columns = 20;
+  opt.end = msec(20);
+  const std::string row = render_utilization_row(dev.tracer(), opt);
+  // Busy first half, idle second half.
+  EXPECT_NE(row[2], ' ');
+  EXPECT_EQ(row[15], ' ');
+}
+
+TEST(Tracer, IdleGapCountFindsGaps) {
+  gpu::UtilizationTracer tr(true);
+  tr.record(sample(0, 1.0, 1));
+  tr.record(sample(msec(10), 0.0, 0));  // gap 10..30 (20ms)
+  tr.record(sample(msec(30), 1.0, 1));
+  tr.record(sample(msec(40), 0.0, 0));  // gap 40..42 (2ms: below min)
+  tr.record(sample(msec(42), 1.0, 1));
+  tr.record(sample(msec(50), 0.0, 0));  // tail gap 50..60 (10ms)
+  EXPECT_EQ(tr.idle_gap_count(0, msec(60), msec(5)), 2);
+  EXPECT_EQ(tr.idle_gap_count(0, msec(60), msec(1)), 3);
+}
+
+TEST(Tracer, CovZeroForConstantUtilization) {
+  gpu::UtilizationTracer tr(true);
+  tr.record(sample(0, 0.5, 1));
+  EXPECT_NEAR(tr.compute_util_cov(0, msec(100), msec(10)), 0.0, 1e-12);
+}
+
+TEST(Tracer, CovPositiveForBurstyUtilization) {
+  gpu::UtilizationTracer tr(true);
+  tr.record(sample(0, 1.0, 1));
+  tr.record(sample(msec(50), 0.0, 0));
+  // Half busy, half idle on a 10ms grid: CoV = 1.
+  EXPECT_NEAR(tr.compute_util_cov(0, msec(100), msec(10)), 1.0, 1e-9);
+}
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  gpu::UtilizationTracer tr(false);
+  tr.record(sample(0, 1.0, 1));
+  EXPECT_TRUE(tr.samples().empty());
+  EXPECT_DOUBLE_EQ(tr.mean_compute_util(0, msec(10)), 0.0);
+}
+
+}  // namespace
+}  // namespace strings::metrics

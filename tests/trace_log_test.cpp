@@ -1,0 +1,143 @@
+// Tests for the structured trace log and the protocol sequences components
+// record into it: the Request Manager's three-way handshake (paper Fig. 7a),
+// dispatcher wake/sleep decisions, TGS selections, and the Policy Arbiter's
+// dynamic switch.
+#include "simcore/trace_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/service.hpp"
+#include "workloads/testbed.hpp"
+
+namespace strings {
+namespace {
+
+using sim::msec;
+
+TEST(TraceLog, RecordsTimestampedEntries) {
+  sim::Simulation sim;
+  sim::TraceLog log(sim);
+  log.log("compA", "start");
+  sim.run_until(msec(5));
+  log.log("compB", "stop", "reason=done");
+  ASSERT_EQ(log.entries().size(), 2u);
+  EXPECT_EQ(log.entries()[0].time, 0);
+  EXPECT_EQ(log.entries()[1].time, msec(5));
+  EXPECT_EQ(log.entries()[1].detail, "reason=done");
+}
+
+TEST(TraceLog, QueryFiltersBySubstring) {
+  sim::Simulation sim;
+  sim::TraceLog log(sim);
+  log.log("gpusched/0", "rm.register");
+  log.log("gpusched/1", "rm.register");
+  log.log("mapper", "tgs.select");
+  EXPECT_EQ(log.query("gpusched").size(), 2u);
+  EXPECT_EQ(log.query("gpusched/1").size(), 1u);
+  EXPECT_EQ(log.query("", "rm.").size(), 2u);
+  EXPECT_EQ(log.query("mapper", "tgs.select").size(), 1u);
+  EXPECT_TRUE(log.query("nothing").empty());
+}
+
+TEST(TraceLog, BoundedCapacityDropsOldest) {
+  sim::Simulation sim;
+  sim::TraceLog log(sim, /*capacity=*/3);
+  for (int i = 0; i < 5; ++i) {
+    log.log("c", "e" + std::to_string(i));
+  }
+  ASSERT_EQ(log.entries().size(), 3u);
+  EXPECT_EQ(log.entries().front().event, "e2");
+  EXPECT_EQ(log.total_logged(), 5u);
+}
+
+TEST(TraceLog, DumpRendersReadably) {
+  sim::Simulation sim;
+  sim::TraceLog log(sim);
+  log.log("mapper", "tgs.select", "app=MC gid=1");
+  const std::string out = log.dump();
+  EXPECT_NE(out.find("mapper: tgs.select (app=MC gid=1)"), std::string::npos);
+}
+
+struct TracedRun {
+  explicit TracedRun(int requests = 2) {
+    workloads::TestbedConfig cfg;
+    cfg.mode = workloads::Mode::kStrings;
+    cfg.nodes = workloads::small_server();
+    cfg.balancing_policy = "GWtMin";
+    cfg.device_policy = "TFS";
+    cfg.feedback_policy = "MBF";
+    cfg.trace_events = true;
+    bed = std::make_unique<workloads::Testbed>(sim, cfg);
+    workloads::ArrivalConfig a;
+    a.app = "BS";
+    a.requests = requests;
+    a.lambda_scale = 1.5;  // sequential: feedback lands between requests
+    a.seed = 7;
+    stats = workloads::run_streams(*bed, {a});
+  }
+  sim::Simulation sim;
+  std::unique_ptr<workloads::Testbed> bed;
+  std::vector<workloads::StreamStats> stats;
+};
+
+TEST(TracedStack, HandshakeSequencePerRegistration) {
+  TracedRun run;
+  sim::TraceLog* log = run.bed->trace_log();
+  ASSERT_NE(log, nullptr);
+  // Fig. 7a: every registration produces register -> signal_id -> ack in
+  // that order.
+  const auto regs = log->query("gpusched", "rm.register");
+  const auto sigs = log->query("gpusched", "rm.signal_id");
+  const auto acks = log->query("gpusched", "rm.ack");
+  EXPECT_EQ(regs.size(), 2u);  // one per request
+  EXPECT_EQ(sigs.size(), regs.size());
+  EXPECT_EQ(acks.size(), regs.size());
+  // Feedback Engine records on exit, one per app.
+  EXPECT_EQ(log->query("gpusched", "fe.feedback").size(), regs.size());
+}
+
+TEST(TracedStack, MapperLogsSelectionsAndArbiterSwitch) {
+  TracedRun run(/*requests=*/3);
+  sim::TraceLog* log = run.bed->trace_log();
+  ASSERT_NE(log, nullptr);
+  const auto selects = log->query("mapper", "tgs.select");
+  ASSERT_EQ(selects.size(), 3u);
+  // First selection used the static policy; the Arbiter switched to MBF
+  // after the first feedback record, so a later one names MBF.
+  EXPECT_NE(selects.front().detail.find("policy=GWtMin"), std::string::npos);
+  EXPECT_EQ(log->query("mapper", "pa.switch_policy").size(), 1u);
+  EXPECT_NE(selects.back().detail.find("policy=MBF"), std::string::npos);
+}
+
+TEST(TracedStack, TfsDispatcherLogsWakeSleepTransitions) {
+  sim::Simulation sim;
+  workloads::TestbedConfig cfg;
+  cfg.mode = workloads::Mode::kStrings;
+  cfg.nodes = {{gpu::tesla_c2050()}};
+  cfg.device_policy = "TFS";
+  cfg.trace_events = true;
+  workloads::Testbed bed(sim, cfg);
+  workloads::ArrivalConfig a;
+  a.app = "MC";
+  a.requests = 3;
+  a.lambda_scale = 0.05;  // pile up: TFS must arbitrate
+  a.server_threads = 3;
+  a.seed = 3;
+  workloads::run_streams(bed, {a});
+  sim::TraceLog* log = bed.trace_log();
+  ASSERT_NE(log, nullptr);
+  EXPECT_GT(log->query("gpusched", "dispatch.sleep").size(), 0u);
+  EXPECT_GT(log->query("gpusched", "dispatch.wake").size(), 0u);
+}
+
+TEST(TracedStack, TracingOffByDefault) {
+  sim::Simulation sim;
+  workloads::TestbedConfig cfg;
+  cfg.mode = workloads::Mode::kStrings;
+  cfg.nodes = workloads::small_server();
+  workloads::Testbed bed(sim, cfg);
+  EXPECT_EQ(bed.trace_log(), nullptr);
+}
+
+}  // namespace
+}  // namespace strings

@@ -1,0 +1,331 @@
+// Tests for the workload layer: application phase structure, the service
+// model (exponential arrivals, finite servers, queueing), and testbed
+// configuration mapping.
+#include "workloads/app.hpp"
+#include "workloads/profiles.hpp"
+#include "workloads/service.hpp"
+#include "workloads/testbed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace strings::workloads {
+namespace {
+
+using sim::msec;
+using sim::sec;
+using sim::SimTime;
+
+TEST(Profiles, CharacteristicsMatchTableOneWithinTolerance) {
+  // Measured-analog check of the calibration targets (fractions of the
+  // synchronous standalone runtime). BO/MC are deliberately rescaled.
+  struct Target {
+    const char* app;
+    double gpu_pct;
+    double xfer_pct;
+  };
+  const Target targets[] = {
+      {"DC", 89.31, 0.005}, {"SC", 10.73, 24.99}, {"MM", 80.13, 0.01},
+      {"HI", 86.51, 0.17},  {"EV", 41.92, 0.73},  {"BS", 24.51, 6.23},
+      {"GA", 1.14, 0.32},   {"SN", 2.05, 26.68},
+  };
+  for (const auto& t : targets) {
+    const AppProfile& p = profile(t.app);
+    const double total = static_cast<double>(standalone_runtime(p));
+    const double gpu = static_cast<double>(
+        p.iterations * p.kernels_per_iter * p.kernel.nominal_duration);
+    const double xfer =
+        static_cast<double>(p.iterations) *
+        static_cast<double>(p.h2d_bytes_per_iter + p.d2h_bytes_per_iter) / 6.0;
+    EXPECT_NEAR(100.0 * gpu / total, t.gpu_pct, t.gpu_pct * 0.12 + 0.2)
+        << t.app;
+    EXPECT_NEAR(100.0 * xfer / total, t.xfer_pct, t.xfer_pct * 0.15 + 0.2)
+        << t.app;
+  }
+}
+
+TEST(Profiles, MemoryBandwidthMatchesTableOne) {
+  // Kernel bandwidth demand is the Table I "memory bandwidth" column
+  // (MB/s -> GB/s).
+  EXPECT_NEAR(profile("HI").kernel.bw_demand_gbps, 13.736, 1e-3);
+  EXPECT_NEAR(profile("GA").kernel.bw_demand_gbps, 0.018, 1e-3);
+  EXPECT_NEAR(profile("BO").kernel.bw_demand_gbps, 3.764, 1e-3);
+}
+
+TEST(Profiles, BuffersFitTheSmallestGpu) {
+  // Streaming buffers must fit even the 1 GiB Quadro 2000 with several
+  // tenants packed (paper's memory-pressure assumption).
+  for (const auto& p : all_profiles()) {
+    EXPECT_LE(p.alloc_bytes, 64u << 20) << p.name;
+  }
+}
+
+TEST(RunApp, ExecutesFullPhaseStructure) {
+  sim::Simulation sim;
+  TestbedConfig cfg;
+  cfg.mode = Mode::kCudaBaseline;
+  cfg.nodes = {{gpu::tesla_c2050()}};
+  Testbed bed(sim, cfg);
+  AppProfile p;
+  p.name = "X";
+  p.iterations = 3;
+  p.cpu_per_iter = msec(10);
+  p.h2d_bytes_per_iter = 12'000'000;  // 2ms at 6 GB/s
+  p.d2h_bytes_per_iter = 6'000'000;   // 1ms
+  p.kernels_per_iter = 2;
+  p.kernel = gpu::KernelDesc{msec(5), 0.5, 0};
+  p.alloc_bytes = 16'000'000;
+  AppRunResult r;
+  sim.spawn("app", [&] {
+    backend::AppDescriptor desc;
+    desc.app_type = "X";
+    auto api = bed.make_api(desc);
+    r = run_app(sim, *api, p);
+  });
+  sim.run();
+  EXPECT_EQ(r.errors, 0);
+  const auto& c = bed.device(0).counters();
+  EXPECT_EQ(c.kernels_completed, 6);
+  EXPECT_EQ(c.copies_completed, 6);  // 1 H2D chunk + 1 D2H chunk per iter
+  // Roughly: 3 * (10 cpu + 2 h2d + 2*5 kernels + 1 d2h) = 69ms + latencies.
+  EXPECT_GE(r.elapsed(), msec(69));
+  EXPECT_LE(r.elapsed(), msec(75));
+}
+
+TEST(RunApp, ChunksLargeTransfers) {
+  sim::Simulation sim;
+  TestbedConfig cfg;
+  cfg.mode = Mode::kCudaBaseline;
+  cfg.nodes = {{gpu::tesla_c2050()}};
+  Testbed bed(sim, cfg);
+  AppProfile p;
+  p.name = "X";
+  p.iterations = 1;
+  p.cpu_per_iter = 0;
+  p.h2d_bytes_per_iter = 10'000'000;
+  p.d2h_bytes_per_iter = 0;
+  p.kernels_per_iter = 1;
+  p.kernel = gpu::KernelDesc{msec(1), 0.5, 0};
+  p.alloc_bytes = 3'000'000;  // forces 4 chunks (3+3+3+1 MB)
+  sim.spawn("app", [&] {
+    backend::AppDescriptor desc;
+    auto api = bed.make_api(desc);
+    run_app(sim, *api, p);
+  });
+  sim.run();
+  EXPECT_EQ(bed.device(0).counters().copies_completed, 4);
+  EXPECT_EQ(bed.device(0).memory_used(), 0u);  // freed on exit
+}
+
+TEST(Service, CompletesExactlyTheRequestedNumber) {
+  sim::Simulation sim;
+  TestbedConfig cfg;
+  cfg.mode = Mode::kStrings;
+  cfg.nodes = small_server();
+  Testbed bed(sim, cfg);
+  ArrivalConfig a;
+  a.app = "GA";
+  a.requests = 9;
+  a.server_threads = 3;
+  a.seed = 2;
+  const auto stats = run_streams(bed, {a});
+  EXPECT_EQ(stats[0].completed, 9);
+  EXPECT_EQ(stats[0].response_times.size(), 9u);
+}
+
+TEST(Service, InterArrivalTimesFollowExponentialMean) {
+  // Statistical check of eq. (4): empirical mean gap ~ lambda.
+  sim::Simulation sim;
+  TestbedConfig cfg;
+  cfg.mode = Mode::kCudaBaseline;
+  cfg.nodes = {{gpu::tesla_c2050()}};
+  Testbed bed(sim, cfg);
+  // Tiny app so service time is negligible versus inter-arrival gaps.
+  ArrivalConfig a;
+  a.app = "GA";
+  a.requests = 200;
+  a.lambda_scale = 1.0;
+  a.server_threads = 64;
+  a.seed = 31;
+  const auto stats = run_streams(bed, {a});
+  const double expected_gap_s =
+      sim::to_seconds(standalone_runtime(profile("GA")));
+  const double observed_span_s = sim::to_seconds(stats[0].makespan);
+  // Sum of 200 exponential gaps concentrates near 200 * lambda (CV ~ 7%).
+  EXPECT_NEAR(observed_span_s, 200 * expected_gap_s,
+              0.25 * 200 * expected_gap_s);
+}
+
+TEST(Service, FiniteServersQueueRequests) {
+  // One server thread: requests serialize, so later requests' response
+  // times include queueing.
+  auto run_with_servers = [](int servers) {
+    sim::Simulation sim;
+    TestbedConfig cfg;
+    cfg.mode = Mode::kStrings;
+    cfg.nodes = small_server();
+    Testbed bed(sim, cfg);
+    ArrivalConfig a;
+    a.app = "GA";
+    a.requests = 6;
+    a.lambda_scale = 0.1;  // near-simultaneous arrivals
+    a.server_threads = servers;
+    a.seed = 8;
+    return run_streams(bed, {a})[0].mean_response_s();
+  };
+  EXPECT_GT(run_with_servers(1), run_with_servers(6) * 1.5);
+}
+
+TEST(Service, ResponseIncludesQueueWait) {
+  sim::Simulation sim;
+  TestbedConfig cfg;
+  cfg.mode = Mode::kStrings;
+  cfg.nodes = small_server();
+  Testbed bed(sim, cfg);
+  ArrivalConfig a;
+  a.app = "BS";
+  a.requests = 5;
+  a.lambda_scale = 0.05;
+  a.server_threads = 1;
+  a.seed = 4;
+  const auto stats = run_streams(bed, {a});
+  EXPECT_GT(stats[0].total_response, stats[0].total_service);
+}
+
+TEST(Service, SeedChangesArrivalPattern) {
+  auto run_seed = [](std::uint32_t seed) {
+    sim::Simulation sim;
+    TestbedConfig cfg;
+    cfg.mode = Mode::kStrings;
+    cfg.nodes = small_server();
+    Testbed bed(sim, cfg);
+    ArrivalConfig a;
+    a.app = "GA";
+    a.requests = 5;
+    a.seed = seed;
+    return run_streams(bed, {a})[0].makespan;
+  };
+  EXPECT_NE(run_seed(1), run_seed(2));
+}
+
+TEST(Testbed, SharedNetworkAddsContention) {
+  // Two transfer-heavy remote requests, node 1 -> node 0 GPUs. With a
+  // shared wire they serialize on the network; with dedicated links they
+  // overlap.
+  auto makespan = [](bool shared) {
+    sim::Simulation sim;
+    TestbedConfig cfg;
+    cfg.mode = Mode::kStrings;
+    cfg.nodes = {{gpu::tesla_c2050(), gpu::tesla_c2070()}, {}};
+    cfg.remote_link = rpc::LinkModel::gigabit_ethernet();
+    cfg.shared_network = shared;
+    Testbed bed(sim, cfg);
+    AppProfile p;
+    p.name = "X";
+    p.iterations = 1;
+    p.cpu_per_iter = 0;
+    p.h2d_bytes_per_iter = 23'400'000;  // ~200ms on GigE
+    p.d2h_bytes_per_iter = 0;
+    p.kernels_per_iter = 1;
+    p.kernel = gpu::KernelDesc{sim::msec(1), 0.5, 0};
+    p.alloc_bytes = 32'000'000;
+    sim::SimTime last = 0;
+    for (int i = 0; i < 2; ++i) {
+      sim.spawn("app" + std::to_string(i), [&bed, &sim, &last, p] {
+        backend::AppDescriptor desc;
+        desc.app_type = "X";
+        desc.origin_node = 1;
+        auto api = bed.make_api(desc);
+        run_app(sim, *api, p);
+        last = std::max(last, sim.now());
+      });
+    }
+    sim.run();
+    return last;
+  };
+  const sim::SimTime dedicated = makespan(false);
+  const sim::SimTime shared = makespan(true);
+  EXPECT_GT(shared, dedicated + sim::msec(100));
+}
+
+TEST(Testbed, ModeNames) {
+  EXPECT_STREQ(mode_name(Mode::kCudaBaseline), "CUDA");
+  EXPECT_STREQ(mode_name(Mode::kRain), "Rain");
+  EXPECT_STREQ(mode_name(Mode::kStrings), "Strings");
+  EXPECT_STREQ(mode_name(Mode::kDesign2), "Design-II");
+}
+
+TEST(Testbed, StandardTopologies) {
+  EXPECT_EQ(small_server().size(), 1u);
+  EXPECT_EQ(small_server()[0].size(), 2u);
+  EXPECT_EQ(supernode().size(), 2u);
+  EXPECT_EQ(paper_node_a()[0].name, "Quadro 2000");
+  EXPECT_EQ(paper_node_b()[1].name, "Tesla C2070");
+}
+
+TEST(Testbed, RainDisablesConversionsAndUsesCoarseAccounting) {
+  sim::Simulation sim;
+  TestbedConfig cfg;
+  cfg.mode = Mode::kRain;
+  cfg.nodes = small_server();
+  Testbed bed(sim, cfg);
+  const auto& bcfg = bed.daemon(0).config();
+  EXPECT_EQ(bcfg.design, backend::Design::kProcessPerApp);
+  EXPECT_FALSE(bcfg.packer.convert_sync_to_async);
+  EXPECT_FALSE(bcfg.packer.convert_device_sync);
+  EXPECT_TRUE(bcfg.sched.measure_includes_wait);
+}
+
+TEST(Testbed, AttainedServiceTracksTenants) {
+  sim::Simulation sim;
+  TestbedConfig cfg;
+  cfg.mode = Mode::kStrings;
+  cfg.nodes = small_server();
+  Testbed bed(sim, cfg);
+  ArrivalConfig a;
+  a.app = "BS";
+  a.requests = 2;
+  a.tenant = "alpha";
+  a.seed = 3;
+  run_streams(bed, {a});
+  EXPECT_GT(bed.attained_service_s("alpha"), 0.0);
+  EXPECT_DOUBLE_EQ(bed.attained_service_s("nobody"), 0.0);
+}
+
+TEST(Testbed, BaselineAttainedServiceViaObserver) {
+  sim::Simulation sim;
+  TestbedConfig cfg;
+  cfg.mode = Mode::kCudaBaseline;
+  cfg.nodes = small_server();
+  Testbed bed(sim, cfg);
+  ArrivalConfig a;
+  a.app = "BS";
+  a.requests = 2;
+  a.tenant = "beta";
+  a.seed = 3;
+  run_streams(bed, {a});
+  EXPECT_GT(bed.attained_service_s("beta"), 0.0);
+}
+
+TEST(StartStreams, HorizonSamplingLeavesWorkInFlight) {
+  sim::Simulation sim;
+  TestbedConfig cfg;
+  cfg.mode = Mode::kStrings;
+  cfg.nodes = {{gpu::tesla_c2050()}};
+  Testbed bed(sim, cfg);
+  ArrivalConfig a;
+  a.app = "DC";  // ~12s per request
+  a.requests = 10;
+  a.lambda_scale = 0.01;
+  a.server_threads = 1;
+  a.seed = 5;
+  auto stats = start_streams(bed, {a});
+  sim.run_until(sec(5));
+  EXPECT_EQ((*stats)[0].completed, 0);  // first request still running
+  EXPECT_GT(bed.attained_service_s("tenantA"), 0.0);
+  sim.terminate_processes();
+}
+
+}  // namespace
+}  // namespace strings::workloads
