@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_arbiter_learning"
+  "../bench/ablation_arbiter_learning.pdb"
+  "CMakeFiles/ablation_arbiter_learning.dir/ablation_arbiter_learning.cpp.o"
+  "CMakeFiles/ablation_arbiter_learning.dir/ablation_arbiter_learning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_arbiter_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_async_conversion"
+  "../bench/ablation_async_conversion.pdb"
+  "CMakeFiles/ablation_async_conversion.dir/ablation_async_conversion.cpp.o"
+  "CMakeFiles/ablation_async_conversion.dir/ablation_async_conversion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_async_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_designs.cpp" "bench-build/CMakeFiles/ablation_designs.dir/ablation_designs.cpp.o" "gcc" "bench-build/CMakeFiles/ablation_designs.dir/ablation_designs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/strings_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/strings_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/strings_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/strings_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/strings_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudart/CMakeFiles/strings_cudart.dir/DependInfo.cmake"
+  "/root/repo/build/src/policies/CMakeFiles/strings_policies.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/strings_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/strings_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/strings_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

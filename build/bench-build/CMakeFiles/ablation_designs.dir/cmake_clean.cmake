@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_designs"
+  "../bench/ablation_designs.pdb"
+  "CMakeFiles/ablation_designs.dir/ablation_designs.cpp.o"
+  "CMakeFiles/ablation_designs.dir/ablation_designs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

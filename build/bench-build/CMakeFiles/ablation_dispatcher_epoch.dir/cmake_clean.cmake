@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_dispatcher_epoch"
+  "../bench/ablation_dispatcher_epoch.pdb"
+  "CMakeFiles/ablation_dispatcher_epoch.dir/ablation_dispatcher_epoch.cpp.o"
+  "CMakeFiles/ablation_dispatcher_epoch.dir/ablation_dispatcher_epoch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dispatcher_epoch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

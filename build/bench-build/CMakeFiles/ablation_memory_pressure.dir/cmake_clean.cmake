@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_memory_pressure"
+  "../bench/ablation_memory_pressure.pdb"
+  "CMakeFiles/ablation_memory_pressure.dir/ablation_memory_pressure.cpp.o"
+  "CMakeFiles/ablation_memory_pressure.dir/ablation_memory_pressure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_memory_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

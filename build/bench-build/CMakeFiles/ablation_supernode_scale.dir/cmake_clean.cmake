@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_supernode_scale"
+  "../bench/ablation_supernode_scale.pdb"
+  "CMakeFiles/ablation_supernode_scale.dir/ablation_supernode_scale.cpp.o"
+  "CMakeFiles/ablation_supernode_scale.dir/ablation_supernode_scale.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_supernode_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_transport"
+  "../bench/ablation_transport.pdb"
+  "CMakeFiles/ablation_transport.dir/ablation_transport.cpp.o"
+  "CMakeFiles/ablation_transport.dir/ablation_transport.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_gpu_sharing"
+  "../bench/fig10_gpu_sharing.pdb"
+  "CMakeFiles/fig10_gpu_sharing.dir/fig10_gpu_sharing.cpp.o"
+  "CMakeFiles/fig10_gpu_sharing.dir/fig10_gpu_sharing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_gpu_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

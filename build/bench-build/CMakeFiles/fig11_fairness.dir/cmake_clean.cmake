@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_fairness"
+  "../bench/fig11_fairness.pdb"
+  "CMakeFiles/fig11_fairness.dir/fig11_fairness.cpp.o"
+  "CMakeFiles/fig11_fairness.dir/fig11_fairness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_gpu_scheduling"
+  "../bench/fig12_gpu_scheduling.pdb"
+  "CMakeFiles/fig12_gpu_scheduling.dir/fig12_gpu_scheduling.cpp.o"
+  "CMakeFiles/fig12_gpu_scheduling.dir/fig12_gpu_scheduling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_gpu_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_scheduling_only"
+  "../bench/fig13_scheduling_only.pdb"
+  "CMakeFiles/fig13_scheduling_only.dir/fig13_scheduling_only.cpp.o"
+  "CMakeFiles/fig13_scheduling_only.dir/fig13_scheduling_only.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_scheduling_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

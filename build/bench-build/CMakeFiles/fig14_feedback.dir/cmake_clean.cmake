@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_feedback"
+  "../bench/fig14_feedback.pdb"
+  "CMakeFiles/fig14_feedback.dir/fig14_feedback.cpp.o"
+  "CMakeFiles/fig14_feedback.dir/fig14_feedback.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

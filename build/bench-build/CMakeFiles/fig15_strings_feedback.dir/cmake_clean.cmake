@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_strings_feedback"
+  "../bench/fig15_strings_feedback.pdb"
+  "CMakeFiles/fig15_strings_feedback.dir/fig15_strings_feedback.cpp.o"
+  "CMakeFiles/fig15_strings_feedback.dir/fig15_strings_feedback.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_strings_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

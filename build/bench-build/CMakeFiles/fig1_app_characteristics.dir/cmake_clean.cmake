@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_app_characteristics"
+  "../bench/fig1_app_characteristics.pdb"
+  "CMakeFiles/fig1_app_characteristics.dir/fig1_app_characteristics.cpp.o"
+  "CMakeFiles/fig1_app_characteristics.dir/fig1_app_characteristics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_app_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_workload_balancing"
+  "../bench/fig9_workload_balancing.pdb"
+  "CMakeFiles/fig9_workload_balancing.dir/fig9_workload_balancing.cpp.o"
+  "CMakeFiles/fig9_workload_balancing.dir/fig9_workload_balancing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_workload_balancing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

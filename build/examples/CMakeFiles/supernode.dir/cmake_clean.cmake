@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supernode.dir/supernode.cpp.o"
+  "CMakeFiles/supernode.dir/supernode.cpp.o.d"
+  "supernode"
+  "supernode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supernode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

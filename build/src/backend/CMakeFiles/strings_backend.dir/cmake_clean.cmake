@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strings_backend.dir/backend_daemon.cpp.o"
+  "CMakeFiles/strings_backend.dir/backend_daemon.cpp.o.d"
+  "CMakeFiles/strings_backend.dir/context_packer.cpp.o"
+  "CMakeFiles/strings_backend.dir/context_packer.cpp.o.d"
+  "libstrings_backend.a"
+  "libstrings_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strings_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strings_core.dir/affinity_mapper.cpp.o"
+  "CMakeFiles/strings_core.dir/affinity_mapper.cpp.o.d"
+  "CMakeFiles/strings_core.dir/gpu_scheduler.cpp.o"
+  "CMakeFiles/strings_core.dir/gpu_scheduler.cpp.o.d"
+  "libstrings_core.a"
+  "libstrings_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strings_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

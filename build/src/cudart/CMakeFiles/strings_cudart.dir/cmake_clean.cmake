@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strings_cudart.dir/cuda_runtime.cpp.o"
+  "CMakeFiles/strings_cudart.dir/cuda_runtime.cpp.o.d"
+  "libstrings_cudart.a"
+  "libstrings_cudart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strings_cudart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strings_frontend.dir/interposer.cpp.o"
+  "CMakeFiles/strings_frontend.dir/interposer.cpp.o.d"
+  "libstrings_frontend.a"
+  "libstrings_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strings_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strings_gpu.dir/gpu_device.cpp.o"
+  "CMakeFiles/strings_gpu.dir/gpu_device.cpp.o.d"
+  "CMakeFiles/strings_gpu.dir/utilization.cpp.o"
+  "CMakeFiles/strings_gpu.dir/utilization.cpp.o.d"
+  "libstrings_gpu.a"
+  "libstrings_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strings_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

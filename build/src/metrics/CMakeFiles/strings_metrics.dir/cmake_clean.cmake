@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strings_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/strings_metrics.dir/metrics.cpp.o.d"
+  "CMakeFiles/strings_metrics.dir/timeline.cpp.o"
+  "CMakeFiles/strings_metrics.dir/timeline.cpp.o.d"
+  "libstrings_metrics.a"
+  "libstrings_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strings_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policies/balancing.cpp" "src/policies/CMakeFiles/strings_policies.dir/balancing.cpp.o" "gcc" "src/policies/CMakeFiles/strings_policies.dir/balancing.cpp.o.d"
+  "/root/repo/src/policies/device_policies.cpp" "src/policies/CMakeFiles/strings_policies.dir/device_policies.cpp.o" "gcc" "src/policies/CMakeFiles/strings_policies.dir/device_policies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/strings_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/strings_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

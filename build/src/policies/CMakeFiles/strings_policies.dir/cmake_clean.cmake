@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strings_policies.dir/balancing.cpp.o"
+  "CMakeFiles/strings_policies.dir/balancing.cpp.o.d"
+  "CMakeFiles/strings_policies.dir/device_policies.cpp.o"
+  "CMakeFiles/strings_policies.dir/device_policies.cpp.o.d"
+  "libstrings_policies.a"
+  "libstrings_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strings_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

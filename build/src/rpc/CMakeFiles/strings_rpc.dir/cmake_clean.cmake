@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strings_rpc.dir/call_ids.cpp.o"
+  "CMakeFiles/strings_rpc.dir/call_ids.cpp.o.d"
+  "libstrings_rpc.a"
+  "libstrings_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strings_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

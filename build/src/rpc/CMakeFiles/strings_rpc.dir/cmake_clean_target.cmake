@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstrings_rpc.a"
+)

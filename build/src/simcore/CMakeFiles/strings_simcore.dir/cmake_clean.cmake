@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strings_simcore.dir/simulation.cpp.o"
+  "CMakeFiles/strings_simcore.dir/simulation.cpp.o.d"
+  "libstrings_simcore.a"
+  "libstrings_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strings_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

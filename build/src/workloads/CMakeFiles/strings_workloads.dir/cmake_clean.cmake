@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strings_workloads.dir/app.cpp.o"
+  "CMakeFiles/strings_workloads.dir/app.cpp.o.d"
+  "CMakeFiles/strings_workloads.dir/profiles.cpp.o"
+  "CMakeFiles/strings_workloads.dir/profiles.cpp.o.d"
+  "CMakeFiles/strings_workloads.dir/scenario_config.cpp.o"
+  "CMakeFiles/strings_workloads.dir/scenario_config.cpp.o.d"
+  "CMakeFiles/strings_workloads.dir/service.cpp.o"
+  "CMakeFiles/strings_workloads.dir/service.cpp.o.d"
+  "CMakeFiles/strings_workloads.dir/testbed.cpp.o"
+  "CMakeFiles/strings_workloads.dir/testbed.cpp.o.d"
+  "libstrings_workloads.a"
+  "libstrings_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strings_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

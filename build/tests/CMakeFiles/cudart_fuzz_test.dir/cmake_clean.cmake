@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cudart_fuzz_test.dir/cudart_fuzz_test.cpp.o"
+  "CMakeFiles/cudart_fuzz_test.dir/cudart_fuzz_test.cpp.o.d"
+  "cudart_fuzz_test"
+  "cudart_fuzz_test.pdb"
+  "cudart_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cudart_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

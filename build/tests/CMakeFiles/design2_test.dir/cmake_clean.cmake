@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design2_test.dir/design2_test.cpp.o"
+  "CMakeFiles/design2_test.dir/design2_test.cpp.o.d"
+  "design2_test"
+  "design2_test.pdb"
+  "design2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
