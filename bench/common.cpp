@@ -52,11 +52,13 @@ workloads::TestbedConfig to_testbed_config(const RunConfig& cfg) {
   tcfg.use_device_scheduler = cfg.use_device_scheduler;
   tcfg.remote_link = cfg.remote_link;
   tcfg.shared_network = cfg.shared_network;
+  tcfg.control_plane = cfg.control_plane;
   return tcfg;
 }
 
 void collect(const RunConfig& cfg, workloads::Testbed& bed,
              const std::vector<StreamSpec>& streams, RunOutput& out) {
+  out.control_plane = bed.control_plane_stats();
   for (const auto& s : streams) {
     out.tenant_service_s[s.tenant] = bed.attained_service_s(s.tenant);
   }
@@ -110,6 +112,29 @@ RunOutput run_scenario(const RunConfig& cfg,
 
 double mean_response(const RunOutput& out, std::size_t idx) {
   return out.streams.at(idx).mean_response_s();
+}
+
+metrics::ControlPlaneSummary control_plane_summary(const std::string& label,
+                                                   const RunOutput& out) {
+  const core::ControlPlaneStats& s = out.control_plane;
+  metrics::ControlPlaneSummary sum;
+  sum.label = label;
+  sum.select_rpcs = s.select_rpcs;
+  sum.unbind_rpcs = s.unbind_rpcs;
+  sum.sync_rpcs = s.sync_rpcs;
+  sum.oneway_msgs = s.oneway_msgs;
+  sum.feedback_records = s.feedback_records;
+  sum.feedback_batches = s.feedback_batches;
+  sum.stale_hits = s.stale_hits;
+  sum.direct_calls = s.direct_calls;
+  sum.bytes = s.bytes_sent;
+  sum.packets = s.packets_sent;
+  sum.max_snapshot_age_ms = sim::to_millis(s.max_snapshot_age);
+  sum.placement_latencies_ms.reserve(s.placement_latencies.size());
+  for (const sim::SimTime t : s.placement_latencies) {
+    sum.placement_latencies_ms.push_back(sim::to_millis(t));
+  }
+  return sum;
 }
 
 std::vector<RunConfig> balancing_matrix(

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/control_plane.hpp"
 #include "metrics/metrics.hpp"
 #include "rpc/channel.hpp"
 #include "workloads/service.hpp"
@@ -38,6 +39,8 @@ struct RunConfig {
   bool use_device_scheduler = true;
   rpc::LinkModel remote_link = rpc::LinkModel::numa_like();
   bool shared_network = false;  // one physical wire per node pair
+  /// Affinity Mapper deployment (PlacementService + per-node agents).
+  core::ControlPlaneConfig control_plane;
 };
 
 /// One request stream (maps onto workloads::ArrivalConfig).
@@ -70,8 +73,15 @@ struct RunOutput {
   std::vector<gpu::DeviceCounters> device_counters;
   /// Filled when RunConfig::trace_devices is set.
   std::vector<DeviceUtilSummary> device_util;
+  /// Aggregated control-plane counters (RPCs, bytes, staleness, per-select
+  /// latency) plus the authoritative placement log.
+  core::ControlPlaneStats control_plane;
   sim::SimTime makespan = 0;
 };
+
+/// Flattens control-plane counters for metrics::control_plane_table.
+metrics::ControlPlaneSummary control_plane_summary(const std::string& label,
+                                                   const RunOutput& out);
 
 /// Builds a testbed from `cfg`, runs all streams, and collects results.
 RunOutput run_scenario(const RunConfig& cfg,

@@ -89,24 +89,24 @@ void BM_BalancingPolicySelect(benchmark::State& state) {
   core::GMap gmap;
   gmap.add_node(0, {gpu::quadro2000(), gpu::tesla_c2050()});
   gmap.add_node(1, {gpu::quadro4000(), gpu::tesla_c2070()});
-  core::DeviceStatusTable dst(gmap);
-  core::SchedulerFeedbackTable sft;
-  std::vector<std::vector<std::string>> bound(4);
+  core::DstSnapshot view;
+  view.dst = core::DeviceStatusTable(gmap);
+  view.bound_types.resize(4);
   for (int g = 0; g < 4; ++g) {
-    for (int i = 0; i < 8; ++i) bound[static_cast<std::size_t>(g)].push_back("MC");
+    for (int i = 0; i < 8; ++i) {
+      view.bound_types[static_cast<std::size_t>(g)].push_back("MC");
+    }
   }
   core::FeedbackRecord rec;
   rec.app_type = "MC";
   rec.exec_time_s = 5;
   rec.gpu_util = 0.6;
   rec.mem_bw_gbps = 3.0;
-  sft.update(rec);
+  view.sft.update(rec);
   auto policy = policies::make_balancing_policy("MBF");
   policies::BalanceInput in;
   in.gmap = &gmap;
-  in.dst = &dst;
-  in.sft = &sft;
-  in.bound_types = &bound;
+  in.view = &view;
   in.app_type = "MC";
   for (auto _ : state) {
     benchmark::DoNotOptimize(policy->select(in));

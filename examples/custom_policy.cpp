@@ -5,7 +5,7 @@
 // opposite of GMin — useful when idle GPUs should be power-gated), and
 // (ii) a user-defined device policy that round-robins wake-ups among
 // backend threads. Both plug in by name through the policy registries, so
-// the whole stack (Testbed, AffinityMapper, GpuScheduler) picks them up
+// the whole stack (Testbed, PlacementService, GpuScheduler) picks them up
 // without modification.
 //
 //   $ ./examples/custom_policy
@@ -32,7 +32,7 @@ class ConsolidatePolicy final : public policies::BalancingPolicy {
     core::Gid fallback = -1;
     int fallback_load = 1 << 30;
     for (const auto& e : in.gmap->entries()) {
-      const int load = in.dst->row(e.gid).load;
+      const int load = in.view->dst.row(e.gid).load;
       if (load < kMaxPerGpu && load > best_load) {
         best = e.gid;
         best_load = load;

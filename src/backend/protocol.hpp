@@ -7,6 +7,7 @@
 
 #include <string>
 
+#include "core/control_plane.hpp"
 #include "core/tables.hpp"
 #include "cudart/cuda_types.hpp"
 #include "rpc/marshal.hpp"
@@ -63,26 +64,10 @@ inline cuda::KernelLaunch decode_launch(rpc::Unmarshal& u) {
   return kl;
 }
 
-inline void encode_feedback(rpc::Marshal& m, const core::FeedbackRecord& r) {
-  m.put_string(r.app_type);
-  m.put_double(r.exec_time_s);
-  m.put_double(r.gpu_time_s);
-  m.put_double(r.transfer_time_s);
-  m.put_double(r.mem_bw_gbps);
-  m.put_double(r.gpu_util);
-  m.put_i32(r.gid);
-}
-
-inline core::FeedbackRecord decode_feedback(rpc::Unmarshal& u) {
-  core::FeedbackRecord r;
-  r.app_type = u.get_string();
-  r.exec_time_s = u.get_double();
-  r.gpu_time_s = u.get_double();
-  r.transfer_time_s = u.get_double();
-  r.mem_bw_gbps = u.get_double();
-  r.gpu_util = u.get_double();
-  r.gid = u.get_i32();
-  return r;
-}
+// The feedback record encoding is shared with the control plane (agents
+// batch the same records in kFeedbackBatch); core/control_plane.hpp is its
+// canonical home, re-exported here for the backend/frontend call sites.
+using core::decode_feedback;
+using core::encode_feedback;
 
 }  // namespace strings::backend

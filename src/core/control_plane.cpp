@@ -1,0 +1,51 @@
+#include "core/control_plane.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace strings::core {
+
+namespace {
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+}  // namespace
+
+const char* placement_mode_name(PlacementMode m) {
+  switch (m) {
+    case PlacementMode::kCentralized: return "centralized";
+    case PlacementMode::kDistributed: return "distributed";
+  }
+  return "unknown";
+}
+
+const char* control_transport_name(ControlTransport t) {
+  switch (t) {
+    case ControlTransport::kDirect: return "direct";
+    case ControlTransport::kZeroCost: return "zero_cost";
+    case ControlTransport::kDataPlane: return "data_plane";
+  }
+  return "unknown";
+}
+
+PlacementMode parse_placement_mode(const std::string& s) {
+  const std::string l = lower(s);
+  if (l == "centralized") return PlacementMode::kCentralized;
+  if (l == "distributed") return PlacementMode::kDistributed;
+  throw std::invalid_argument("unknown placement mode: " + s);
+}
+
+ControlTransport parse_control_transport(const std::string& s) {
+  const std::string l = lower(s);
+  if (l == "direct") return ControlTransport::kDirect;
+  if (l == "zero_cost" || l == "zerocost") return ControlTransport::kZeroCost;
+  if (l == "data_plane" || l == "dataplane") {
+    return ControlTransport::kDataPlane;
+  }
+  throw std::invalid_argument("unknown control transport: " + s);
+}
+
+}  // namespace strings::core

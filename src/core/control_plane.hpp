@@ -1,0 +1,190 @@
+// Shared definitions of the distributed Affinity Mapper control plane.
+//
+// The control plane splits the paper's monolithic GPU Affinity Mapper into a
+// PlacementService (authoritative DST/SFT, hosted on one node) and per-node
+// MapperAgents (cached gMap replica + staleness-bounded DstSnapshot). This
+// header holds what both sides agree on: deployment knobs, the wire encoding
+// of feedback records and snapshots, and the counters every component
+// reports into.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/dst_snapshot.hpp"
+#include "core/gpool.hpp"
+#include "core/tables.hpp"
+#include "rpc/marshal.hpp"
+#include "simcore/sim_time.hpp"
+
+namespace strings::core {
+
+/// Who makes placement decisions.
+enum class PlacementMode {
+  /// Every select/unbind is answered by the PlacementService itself (agents
+  /// forward verbatim). Decisions always see the authoritative DST.
+  kCentralized,
+  /// Each node's MapperAgent decides locally over its cached DstSnapshot
+  /// and reports the bind back one-way (optimistic replication).
+  kDistributed,
+};
+
+/// How control-plane messages travel between agents and the service.
+enum class ControlTransport {
+  /// Plain function calls, zero simulated cost — the pre-refactor oracle.
+  kDirect,
+  /// Timed rpc::Channels with a zero-latency, infinite-bandwidth link: the
+  /// full message machinery runs but costs nothing (equivalence testing).
+  kZeroCost,
+  /// Channels with real link models; remote agents pay the network and,
+  /// under shared_network, contend with data-plane GPU traffic.
+  kDataPlane,
+};
+
+const char* placement_mode_name(PlacementMode m);
+const char* control_transport_name(ControlTransport t);
+/// Parses "centralized"/"distributed" (case-insensitive); throws
+/// std::invalid_argument otherwise.
+PlacementMode parse_placement_mode(const std::string& s);
+/// Parses "direct"/"zero_cost"/"data_plane"; throws std::invalid_argument.
+ControlTransport parse_control_transport(const std::string& s);
+
+struct ControlPlaneConfig {
+  PlacementMode placement = PlacementMode::kCentralized;
+  ControlTransport transport = ControlTransport::kZeroCost;
+  /// Node hosting the PlacementService (its agent talks over a local link).
+  NodeId service_node = 0;
+  /// Distributed mode: maximum age of the cached DstSnapshot before a
+  /// select triggers a kDstSync pull. 0 = refresh before every decision
+  /// ("fresh"); larger values trade decision quality for sync traffic.
+  sim::SimTime refresh_epoch = 0;
+  /// Feedback records buffered per agent before a kFeedbackBatch ships.
+  int feedback_batch_size = 1;
+  /// A partial batch is flushed this long after its first record arrives.
+  sim::SimTime feedback_max_delay = sim::msec(1);
+};
+
+/// Counters reported by each MapperAgent (and aggregated by the Testbed).
+struct ControlPlaneStats {
+  std::int64_t select_rpcs = 0;     // kSelectDevice round trips
+  std::int64_t unbind_rpcs = 0;     // kUnbindDevice round trips
+  std::int64_t sync_rpcs = 0;       // kDstSync round trips
+  std::int64_t oneway_msgs = 0;     // kBindReport + kFeedbackBatch posts
+  std::int64_t feedback_records = 0;
+  std::int64_t feedback_batches = 0;
+  /// Distributed selects decided over a cached (non-refreshed) snapshot.
+  std::int64_t stale_hits = 0;
+  /// Calls answered by plain function call (kDirect, or kernel-context
+  /// fallback when no process context exists to block in).
+  std::int64_t direct_calls = 0;
+  std::uint64_t bytes_sent = 0;    // request-direction channel bytes
+  std::uint64_t packets_sent = 0;
+  sim::SimTime max_snapshot_age = 0;
+  /// Virtual-time cost of each select_device as seen by the caller.
+  std::vector<sim::SimTime> placement_latencies;
+  /// Every placement in decision order: (app type, chosen GID). The
+  /// equivalence tests compare these across deployments bit-for-bit.
+  std::vector<std::pair<std::string, Gid>> placements;
+
+  void merge(const ControlPlaneStats& o) {
+    select_rpcs += o.select_rpcs;
+    unbind_rpcs += o.unbind_rpcs;
+    sync_rpcs += o.sync_rpcs;
+    oneway_msgs += o.oneway_msgs;
+    feedback_records += o.feedback_records;
+    feedback_batches += o.feedback_batches;
+    stale_hits += o.stale_hits;
+    direct_calls += o.direct_calls;
+    bytes_sent += o.bytes_sent;
+    packets_sent += o.packets_sent;
+    max_snapshot_age = std::max(max_snapshot_age, o.max_snapshot_age);
+    placement_latencies.insert(placement_latencies.end(),
+                               o.placement_latencies.begin(),
+                               o.placement_latencies.end());
+    placements.insert(placements.end(), o.placements.begin(),
+                      o.placements.end());
+  }
+};
+
+// ---- wire encodings (canonical home; backend/protocol.hpp delegates) ----
+
+inline void encode_feedback(rpc::Marshal& m, const FeedbackRecord& r) {
+  m.put_string(r.app_type);
+  m.put_double(r.exec_time_s);
+  m.put_double(r.gpu_time_s);
+  m.put_double(r.transfer_time_s);
+  m.put_double(r.mem_bw_gbps);
+  m.put_double(r.gpu_util);
+  m.put_i32(r.gid);
+}
+
+inline FeedbackRecord decode_feedback(rpc::Unmarshal& u) {
+  FeedbackRecord r;
+  r.app_type = u.get_string();
+  r.exec_time_s = u.get_double();
+  r.gpu_time_s = u.get_double();
+  r.transfer_time_s = u.get_double();
+  r.mem_bw_gbps = u.get_double();
+  r.gpu_util = u.get_double();
+  r.gid = u.get_i32();
+  return r;
+}
+
+inline void encode_snapshot(rpc::Marshal& m, const DstSnapshot& s) {
+  m.put_u64(s.version);
+  m.put_i64(s.taken_at);
+  m.put_u32(static_cast<std::uint32_t>(s.dst.rows().size()));
+  for (const auto& row : s.dst.rows()) {
+    m.put_i32(row.gid);
+    m.put_double(row.weight);
+    m.put_i32(row.load);
+    m.put_i64(row.total_bound);
+  }
+  m.put_u32(static_cast<std::uint32_t>(s.bound_types.size()));
+  for (const auto& types : s.bound_types) {
+    m.put_u32(static_cast<std::uint32_t>(types.size()));
+    for (const auto& t : types) m.put_string(t);
+  }
+  const auto entries = s.sft.entries();
+  m.put_u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& e : entries) {
+    encode_feedback(m, e.rec);
+    m.put_i32(e.samples);
+  }
+}
+
+inline DstSnapshot decode_snapshot(rpc::Unmarshal& u) {
+  DstSnapshot s;
+  s.version = u.get_u64();
+  s.taken_at = u.get_i64();
+  const std::uint32_t n_rows = u.get_u32();
+  for (std::uint32_t i = 0; i < n_rows; ++i) {
+    DeviceStatus row;
+    row.gid = u.get_i32();
+    row.weight = u.get_double();
+    row.load = u.get_i32();
+    row.total_bound = u.get_i64();
+    s.dst.load_row(row);
+  }
+  const std::uint32_t n_bound = u.get_u32();
+  s.bound_types.resize(n_bound);
+  for (std::uint32_t i = 0; i < n_bound; ++i) {
+    const std::uint32_t n_types = u.get_u32();
+    s.bound_types[i].reserve(n_types);
+    for (std::uint32_t j = 0; j < n_types; ++j) {
+      s.bound_types[i].push_back(u.get_string());
+    }
+  }
+  const std::uint32_t n_sft = u.get_u32();
+  for (std::uint32_t i = 0; i < n_sft; ++i) {
+    SchedulerFeedbackTable::Entry e;
+    e.rec = decode_feedback(u);
+    e.samples = u.get_i32();
+    s.sft.load(e);
+  }
+  return s;
+}
+
+}  // namespace strings::core

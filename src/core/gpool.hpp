@@ -45,6 +45,10 @@ class GMap {
       e.local_device = static_cast<int>(i);
       e.props = devices[i];
       e.weight = devices[i].compute_score;
+      if (node >= 0 && static_cast<std::size_t>(node) >= by_node_.size()) {
+        by_node_.resize(static_cast<std::size_t>(node) + 1);
+      }
+      by_node_[static_cast<std::size_t>(node)].push_back(e.gid);
       entries_.push_back(std::move(e));
       gids.push_back(entries_.back().gid);
     }
@@ -61,17 +65,19 @@ class GMap {
   const std::vector<GpuEntry>& entries() const { return entries_; }
   int size() const { return static_cast<int>(entries_.size()); }
 
-  /// All GIDs hosted on `node`.
-  std::vector<Gid> gids_on_node(NodeId node) const {
-    std::vector<Gid> out;
-    for (const auto& e : entries_) {
-      if (e.node == node) out.push_back(e.gid);
+  /// All GIDs hosted on `node`, from the per-node index maintained by
+  /// add_node (no linear scan — this sits on the placement hot path).
+  const std::vector<Gid>& gids_on_node(NodeId node) const {
+    static const std::vector<Gid> kEmpty;
+    if (node < 0 || static_cast<std::size_t>(node) >= by_node_.size()) {
+      return kEmpty;
     }
-    return out;
+    return by_node_[static_cast<std::size_t>(node)];
   }
 
  private:
   std::vector<GpuEntry> entries_;
+  std::vector<std::vector<Gid>> by_node_;  // node id -> gids
 };
 
 }  // namespace strings::core

@@ -1,0 +1,161 @@
+#include "core/mapper_agent.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "rpc/call_ids.hpp"
+#include "rpc/marshal.hpp"
+
+namespace strings::core {
+
+MapperAgent::MapperAgent(sim::Simulation& sim, NodeId node,
+                         PlacementService& service, ControlPlaneConfig config,
+                         rpc::DuplexChannel* channel)
+    : sim_(sim),
+      node_(node),
+      service_(service),
+      config_(config),
+      channel_(channel),
+      gmap_(service.gmap()),
+      static_policy_(
+          policies::make_balancing_policy(service.config().static_policy)) {
+  if (channel_ != nullptr) {
+    client_ = std::make_unique<rpc::RpcClient>(*channel_);
+  }
+  if (!service.config().feedback_policy.empty()) {
+    feedback_policy_ =
+        policies::make_balancing_policy(service.config().feedback_policy);
+  }
+}
+
+bool MapperAgent::use_rpc() const {
+  // A blocking RPC needs a process to suspend; kernel-context calls (and
+  // the kDirect oracle transport) go straight to the service object.
+  return client_ != nullptr &&
+         config_.transport != ControlTransport::kDirect &&
+         sim_.current() != nullptr;
+}
+
+Gid MapperAgent::select_device(const std::string& app_type) {
+  const sim::SimTime t0 = sim_.now();
+  Gid gid = -1;
+  if (!use_rpc()) {
+    ++stats_.direct_calls;
+    gid = service_.select_device(app_type, node_);
+  } else if (config_.placement == PlacementMode::kCentralized) {
+    ++stats_.select_rpcs;
+    rpc::Marshal m;
+    m.put_string(app_type);
+    m.put_i32(node_);
+    rpc::Unmarshal u(client_->call(rpc::CallId::kSelectDevice, std::move(m)));
+    gid = u.get_i32();
+  } else {
+    refresh_snapshot_if_stale();
+    const bool feedback =
+        feedback_policy_ != nullptr &&
+        snapshot_.sft.samples(app_type) >=
+            service_.config().min_feedback_samples;
+    policies::BalanceInput in;
+    in.gmap = &gmap_;
+    in.view = &snapshot_;
+    in.app_type = app_type;
+    in.origin_node = node_;
+    gid = (feedback ? *feedback_policy_ : *static_policy_).select(in);
+    assert(gid >= 0 && gid < gmap_.size());
+    // Optimistic local bind: later local decisions within the same epoch
+    // must see this node's own placements even before the next sync.
+    snapshot_.dst.on_bind(gid);
+    snapshot_.bound_types[static_cast<std::size_t>(gid)].push_back(app_type);
+    ++stats_.oneway_msgs;
+    rpc::Marshal m;
+    m.put_i32(gid);
+    m.put_string(app_type);
+    client_->post(rpc::CallId::kBindReport, std::move(m));
+  }
+  stats_.placement_latencies.push_back(sim_.now() - t0);
+  return gid;
+}
+
+void MapperAgent::refresh_snapshot_if_stale() {
+  const sim::SimTime age = sim_.now() - snapshot_.taken_at;
+  if (snapshot_valid_ && age < config_.refresh_epoch) {
+    ++stats_.stale_hits;
+    stats_.max_snapshot_age = std::max(stats_.max_snapshot_age, age);
+    return;
+  }
+  ++stats_.sync_rpcs;
+  rpc::Unmarshal u(client_->call(rpc::CallId::kDstSync, rpc::Marshal{}));
+  snapshot_ = decode_snapshot(u);
+  snapshot_valid_ = true;
+}
+
+void MapperAgent::unbind(Gid gid, const std::string& app_type) {
+  if (!use_rpc()) {
+    ++stats_.direct_calls;
+    service_.unbind(gid, app_type);
+    return;
+  }
+  if (snapshot_valid_) {
+    // Keep the cache coherent with this node's own lifecycle events.
+    snapshot_.dst.on_unbind(gid);
+    auto& bound = snapshot_.bound_types[static_cast<std::size_t>(gid)];
+    auto it = std::find(bound.begin(), bound.end(), app_type);
+    if (it != bound.end()) bound.erase(it);
+  }
+  ++stats_.unbind_rpcs;
+  rpc::Marshal m;
+  m.put_i32(gid);
+  m.put_string(app_type);
+  client_->call(rpc::CallId::kUnbindDevice, std::move(m));
+}
+
+void MapperAgent::report_feedback(const FeedbackRecord& rec) {
+  if (!use_rpc()) {
+    ++stats_.direct_calls;
+    service_.on_feedback(rec);
+    return;
+  }
+  ++stats_.feedback_records;
+  pending_feedback_.push_back(rec);
+  if (static_cast<int>(pending_feedback_.size()) >=
+      config_.feedback_batch_size) {
+    flush_feedback();
+  } else {
+    arm_flush_timer();
+  }
+}
+
+void MapperAgent::arm_flush_timer() {
+  if (flush_armed_) return;
+  flush_armed_ = true;
+  // One-shot: re-armed by the next buffered record, so an idle agent adds
+  // no events and the simulation still drains to completion.
+  sim_.schedule(config_.feedback_max_delay, [this] {
+    flush_armed_ = false;
+    flush_feedback();
+  });
+}
+
+void MapperAgent::flush_feedback() {
+  if (pending_feedback_.empty() || client_ == nullptr) return;
+  ++stats_.feedback_batches;
+  ++stats_.oneway_msgs;
+  rpc::Marshal m;
+  m.put_u32(static_cast<std::uint32_t>(pending_feedback_.size()));
+  for (const auto& rec : pending_feedback_) encode_feedback(m, rec);
+  pending_feedback_.clear();
+  client_->post(rpc::CallId::kFeedbackBatch, std::move(m));
+}
+
+ControlPlaneStats MapperAgent::stats() const {
+  ControlPlaneStats s = stats_;
+  if (channel_ != nullptr) {
+    s.bytes_sent =
+        channel_->request.bytes_sent() + channel_->response.bytes_sent();
+    s.packets_sent =
+        channel_->request.packets_sent() + channel_->response.packets_sent();
+  }
+  return s;
+}
+
+}  // namespace strings::core

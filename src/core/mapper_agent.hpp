@@ -1,0 +1,83 @@
+// MapperAgent: the per-node caching half of the distributed Affinity Mapper.
+//
+// Frontends/interposers on a node call their local agent instead of a
+// global mapper object. Depending on the deployment the agent either
+// forwards every call to the PlacementService over a timed rpc::Channel
+// (centralized placement), or decides locally over a cached gMap replica
+// and a staleness-bounded DstSnapshot, reporting binds back one-way and
+// batching feedback records before shipping them (distributed placement).
+//
+// Two escape hatches keep the agent usable everywhere the old monolithic
+// mapper was:
+//   - ControlTransport::kDirect skips channels entirely and calls the
+//     service as a plain C++ object (the pre-refactor oracle).
+//   - Calls arriving in kernel context (no sim process to block in) always
+//     take the direct path, since a blocking RPC needs a process.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/control_plane.hpp"
+#include "core/dst_snapshot.hpp"
+#include "core/gpool.hpp"
+#include "core/placement_service.hpp"
+#include "core/tables.hpp"
+#include "rpc/channel.hpp"
+#include "simcore/simulation.hpp"
+
+namespace strings::core {
+
+class MapperAgent {
+ public:
+  /// `channel` is the duplex pair returned by
+  /// PlacementService::connect_agent, or nullptr for kDirect transport.
+  /// Construct only after the service is finalized (the agent copies the
+  /// gMap replica the gPool Creator "broadcasts").
+  MapperAgent(sim::Simulation& sim, NodeId node, PlacementService& service,
+              ControlPlaneConfig config, rpc::DuplexChannel* channel);
+
+  /// Picks a GID for an app arriving on this node.
+  Gid select_device(const std::string& app_type);
+  /// Releases a binding (application exit).
+  void unbind(Gid gid, const std::string& app_type);
+  /// Buffers a Feedback Engine record; ships a kFeedbackBatch when
+  /// `feedback_batch_size` records accumulate or `feedback_max_delay`
+  /// passes since the first buffered record.
+  void report_feedback(const FeedbackRecord& rec);
+  /// Ships any buffered feedback immediately.
+  void flush_feedback();
+
+  NodeId node() const { return node_; }
+  /// The node-local gMap replica (immutable after the gPool broadcast).
+  const GMap& gmap() const { return gmap_; }
+  /// The cached snapshot the last distributed decision used (test seam).
+  const DstSnapshot& cached_snapshot() const { return snapshot_; }
+  /// Counters including this agent's channel byte/packet totals.
+  ControlPlaneStats stats() const;
+
+ private:
+  bool use_rpc() const;
+  void refresh_snapshot_if_stale();
+  void arm_flush_timer();
+
+  sim::Simulation& sim_;
+  NodeId node_;
+  PlacementService& service_;
+  ControlPlaneConfig config_;
+  rpc::DuplexChannel* channel_ = nullptr;
+  std::unique_ptr<rpc::RpcClient> client_;
+  GMap gmap_;
+  DstSnapshot snapshot_;
+  bool snapshot_valid_ = false;
+  /// Distributed mode: this node's own policy instances, evaluated over
+  /// the cached snapshot.
+  std::unique_ptr<policies::BalancingPolicy> static_policy_;
+  std::unique_ptr<policies::BalancingPolicy> feedback_policy_;
+  std::vector<FeedbackRecord> pending_feedback_;
+  bool flush_armed_ = false;
+  ControlPlaneStats stats_;
+};
+
+}  // namespace strings::core

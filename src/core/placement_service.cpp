@@ -1,0 +1,182 @@
+#include "core/placement_service.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "rpc/call_ids.hpp"
+#include "rpc/marshal.hpp"
+
+namespace strings::core {
+
+PlacementService::PlacementService(Config config)
+    : config_(std::move(config)),
+      static_policy_(policies::make_balancing_policy(config_.static_policy)) {
+  if (!config_.feedback_policy.empty()) {
+    feedback_policy_ =
+        policies::make_balancing_policy(config_.feedback_policy);
+  }
+}
+
+std::vector<Gid> PlacementService::report_node(
+    NodeId node, const std::vector<gpu::DeviceProps>& devices) {
+  if (finalized_) {
+    throw std::logic_error("report_node after gPool finalization");
+  }
+  return gmap_.add_node(node, devices);
+}
+
+void PlacementService::finalize() {
+  if (finalized_) return;
+  if (gmap_.size() == 0) throw std::logic_error("gPool has no devices");
+  state_.dst = DeviceStatusTable(gmap_);
+  state_.bound_types.assign(static_cast<std::size_t>(gmap_.size()), {});
+  finalized_ = true;
+}
+
+bool PlacementService::use_feedback_for(const std::string& app_type) const {
+  return feedback_policy_ != nullptr &&
+         state_.sft.samples(app_type) >= config_.min_feedback_samples;
+}
+
+const char* PlacementService::active_policy_name(
+    const std::string& app_type) const {
+  return use_feedback_for(app_type) ? feedback_policy_->name()
+                                    : static_policy_->name();
+}
+
+Gid PlacementService::select_device(const std::string& app_type,
+                                    NodeId origin_node) {
+  assert(finalized_ && "select_device before finalize()");
+  policies::BalanceInput in;
+  in.gmap = &gmap_;
+  in.view = &state_;
+  in.app_type = app_type;
+  in.origin_node = origin_node;
+
+  Gid gid = -1;
+  const bool feedback = use_feedback_for(app_type);
+  if (feedback) {
+    gid = feedback_policy_->select(in);
+    ++feedback_selections_;
+  } else {
+    gid = static_policy_->select(in);
+    ++static_selections_;
+  }
+  assert(gid >= 0 && gid < gmap_.size());
+  if (trace_ != nullptr) {
+    trace_->log("mapper", "tgs.select",
+                "app=" + app_type + " gid=" + std::to_string(gid) +
+                    " policy=" +
+                    (feedback ? feedback_policy_->name()
+                              : static_policy_->name()));
+  }
+  apply_bind(gid, app_type);
+  return gid;
+}
+
+void PlacementService::apply_bind(Gid gid, const std::string& app_type) {
+  assert(finalized_);
+  state_.dst.on_bind(gid);
+  state_.bound_types[static_cast<std::size_t>(gid)].push_back(app_type);
+  ++state_.version;
+  placements_.emplace_back(app_type, gid);
+}
+
+void PlacementService::unbind(Gid gid, const std::string& app_type) {
+  assert(finalized_);
+  state_.dst.on_unbind(gid);
+  auto& bound = state_.bound_types[static_cast<std::size_t>(gid)];
+  auto it = std::find(bound.begin(), bound.end(), app_type);
+  if (it != bound.end()) bound.erase(it);
+  ++state_.version;
+}
+
+void PlacementService::on_feedback(const FeedbackRecord& rec) {
+  const bool was_static = !use_feedback_for(rec.app_type);
+  state_.sft.update(rec);
+  ++state_.version;
+  if (trace_ != nullptr) {
+    trace_->log("mapper", "pa.feedback", "app=" + rec.app_type);
+    if (was_static && use_feedback_for(rec.app_type)) {
+      // The paper's dynamic policy switching point.
+      trace_->log("mapper", "pa.switch_policy",
+                  "app=" + rec.app_type + " to=" + feedback_policy_->name());
+    }
+  }
+}
+
+DstSnapshot PlacementService::snapshot(sim::SimTime now) const {
+  assert(finalized_ && "snapshot before finalize()");
+  DstSnapshot s = state_;
+  s.taken_at = now;
+  return s;
+}
+
+rpc::DuplexChannel& PlacementService::connect_agent(
+    sim::Simulation& sim, NodeId agent_node, rpc::LinkModel link,
+    std::shared_ptr<rpc::SharedLink> tx, std::shared_ptr<rpc::SharedLink> rx) {
+  auto conn = std::make_unique<AgentConn>();
+  conn->node = agent_node;
+  conn->channel = std::make_unique<rpc::DuplexChannel>(sim, link,
+                                                       std::move(tx),
+                                                       std::move(rx));
+  AgentConn& c = *conn;
+  conns_.push_back(std::move(conn));
+  sim.spawn_daemon("placement/agent" + std::to_string(agent_node),
+                   [this, &sim, &c] { serve_loop(sim, c); });
+  return *c.channel;
+}
+
+void PlacementService::serve_loop(sim::Simulation& sim, AgentConn& conn) {
+  for (;;) {
+    rpc::Packet req = conn.channel->request.receive();
+    ++rpcs_served_;
+    rpc::Marshal reply;
+    switch (req.call) {
+      case rpc::CallId::kSelectDevice: {
+        rpc::Unmarshal u(req.body);
+        const std::string app_type = u.get_string();
+        const NodeId origin = u.get_i32();
+        reply.put_i32(select_device(app_type, origin));
+        break;
+      }
+      case rpc::CallId::kUnbindDevice: {
+        rpc::Unmarshal u(req.body);
+        const Gid gid = u.get_i32();
+        unbind(gid, u.get_string());
+        break;
+      }
+      case rpc::CallId::kDstSync: {
+        encode_snapshot(reply, snapshot(sim.now()));
+        break;
+      }
+      case rpc::CallId::kBindReport: {
+        rpc::Unmarshal u(req.body);
+        const Gid gid = u.get_i32();
+        apply_bind(gid, u.get_string());
+        break;
+      }
+      case rpc::CallId::kFeedbackBatch: {
+        rpc::Unmarshal u(req.body);
+        const std::uint32_t n = u.get_u32();
+        for (std::uint32_t i = 0; i < n; ++i) {
+          on_feedback(decode_feedback(u));
+        }
+        break;
+      }
+      default:
+        throw std::logic_error("placement service: unexpected call " +
+                               std::string(rpc::call_name(req.call)));
+    }
+    if (!req.oneway) {
+      rpc::Packet resp;
+      resp.call = rpc::CallId::kResponse;
+      resp.seq = req.seq;
+      resp.body = std::move(reply).take();
+      conn.channel->response.send(std::move(resp));
+    }
+  }
+}
+
+}  // namespace strings::core

@@ -1,0 +1,139 @@
+// PlacementService: the authoritative half of the distributed GPU Affinity
+// Mapper (paper §III-C, Fig. 6, split into a control plane).
+//
+//   gPool Creator (GC)      — report_node()/finalize(): collects device
+//     info from every backend daemon, assigns GIDs, builds the gMap, and
+//     assigns static device weights into the Device Status Table.
+//   Target GPU Selector (TGS) — select_device(): answers each intercepted
+//     cudaSetDevice() with a GID chosen by the active policy over DST + SFT.
+//   Policy Arbiter (PA)     — on_feedback(): folds Feedback Engine records
+//     into the SFT and switches from the static policy to the feedback
+//     policy for an app type once enough history exists ("dynamic policy
+//     switching").
+//
+// The service is hosted on one node and owns the authoritative DST/SFT
+// (kept as a versioned DstSnapshot). Per-node MapperAgents reach it two
+// ways: the direct C++ API below (the zero-cost oracle, also the seam unit
+// tests use), or over timed rpc::Channels via connect_agent(), which spawns
+// a daemon serve loop per agent connection handling the control-plane
+// CallIds (kSelectDevice / kUnbindDevice / kDstSync / kBindReport /
+// kFeedbackBatch).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/control_plane.hpp"
+#include "core/dst_snapshot.hpp"
+#include "core/gpool.hpp"
+#include "core/tables.hpp"
+#include "policies/balancing.hpp"
+#include "rpc/channel.hpp"
+#include "simcore/simulation.hpp"
+#include "simcore/trace_log.hpp"
+
+namespace strings::core {
+
+class PlacementService {
+ public:
+  struct Config {
+    /// Policy used when no feedback history exists for an app type.
+    std::string static_policy = "GWtMin";
+    /// Feedback policy the Arbiter switches to; empty disables switching.
+    std::string feedback_policy;
+    /// Completed-run records required before switching for an app type.
+    int min_feedback_samples = 1;
+  };
+
+  explicit PlacementService(Config config);
+
+  // ---- gPool Creator ----
+  /// Registers one node's devices; returns their GIDs. Call once per node
+  /// during system initialization, then finalize().
+  std::vector<Gid> report_node(NodeId node,
+                               const std::vector<gpu::DeviceProps>& devices);
+  /// Builds the DST from the completed gMap ("broadcasts" it).
+  void finalize();
+
+  // ---- Target GPU Selector (authoritative / oracle path) ----
+  /// Picks a GID for an arriving application and records the binding.
+  Gid select_device(const std::string& app_type, NodeId origin_node);
+  /// Releases a binding (application exit / cudaThreadExit).
+  void unbind(Gid gid, const std::string& app_type);
+  /// Installs a binding decided remotely by a distributed MapperAgent
+  /// (kBindReport); also records it in the placement log.
+  void apply_bind(Gid gid, const std::string& app_type);
+
+  // ---- Policy Arbiter ----
+  void on_feedback(const FeedbackRecord& rec);
+
+  // ---- replication ----
+  /// A self-consistent copy of the authoritative state, stamped with the
+  /// current version and `now` (what kDstSync ships to agents).
+  DstSnapshot snapshot(sim::SimTime now) const;
+  /// Bumped on every bind/unbind/feedback mutation.
+  std::uint64_t version() const { return state_.version; }
+
+  /// Accepts a MapperAgent connection over a link of the given model;
+  /// spawns the per-connection daemon serve loop and returns the channel
+  /// the agent should attach its RpcClient to. Optional SharedLink handles
+  /// make control traffic contend with data-plane wires.
+  rpc::DuplexChannel& connect_agent(
+      sim::Simulation& sim, NodeId agent_node, rpc::LinkModel link,
+      std::shared_ptr<rpc::SharedLink> tx = nullptr,
+      std::shared_ptr<rpc::SharedLink> rx = nullptr);
+
+  // ---- introspection ----
+  const Config& config() const { return config_; }
+  const GMap& gmap() const { return gmap_; }
+  const DeviceStatusTable& dst() const { return state_.dst; }
+  const SchedulerFeedbackTable& sft() const { return state_.sft; }
+  const std::vector<std::vector<std::string>>& bound_types() const {
+    return state_.bound_types;
+  }
+  /// Every placement in decision order: (app type, chosen GID). Includes
+  /// remote binds applied via kBindReport, so two deployments of the same
+  /// workload can be compared bit-for-bit.
+  const std::vector<std::pair<std::string, Gid>>& placements() const {
+    return placements_;
+  }
+  /// How many selections used the feedback policy vs the static one
+  /// (selections made *at the service*; distributed agents decide locally).
+  std::int64_t feedback_selections() const { return feedback_selections_; }
+  std::int64_t static_selections() const { return static_selections_; }
+  /// The policy that would be used for `app_type` right now.
+  const char* active_policy_name(const std::string& app_type) const;
+  /// Control-plane requests served over channels, by kind.
+  std::int64_t rpcs_served() const { return rpcs_served_; }
+
+  /// Optional structured tracing of selections and Arbiter switches.
+  void set_trace_log(sim::TraceLog* log) { trace_ = log; }
+
+ private:
+  struct AgentConn {
+    NodeId node = -1;
+    std::unique_ptr<rpc::DuplexChannel> channel;
+  };
+
+  bool use_feedback_for(const std::string& app_type) const;
+  void serve_loop(sim::Simulation& sim, AgentConn& conn);
+
+  Config config_;
+  GMap gmap_;
+  /// Authoritative DST + bound-app lists + SFT; `version` bumped per
+  /// mutation, `taken_at` stamped only on copies handed to agents.
+  DstSnapshot state_;
+  std::vector<std::pair<std::string, Gid>> placements_;
+  std::unique_ptr<policies::BalancingPolicy> static_policy_;
+  std::unique_ptr<policies::BalancingPolicy> feedback_policy_;
+  std::vector<std::unique_ptr<AgentConn>> conns_;
+  std::int64_t feedback_selections_ = 0;
+  std::int64_t static_selections_ = 0;
+  std::int64_t rpcs_served_ = 0;
+  bool finalized_ = false;
+  sim::TraceLog* trace_ = nullptr;
+};
+
+}  // namespace strings::core

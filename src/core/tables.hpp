@@ -30,10 +30,21 @@ struct DeviceStatus {
 
 class DeviceStatusTable {
  public:
+  /// Empty table; rows arrive via load_row() (control-plane DST sync).
+  DeviceStatusTable() = default;
+
   explicit DeviceStatusTable(const GMap& gmap) {
     for (const auto& e : gmap.entries()) {
       rows_.push_back(DeviceStatus{e.gid, e.weight, 0, 0});
     }
+  }
+
+  /// Overwrites (or appends) one row verbatim — used when decoding a DST
+  /// snapshot received from the PlacementService.
+  void load_row(const DeviceStatus& row) {
+    const auto idx = static_cast<std::size_t>(row.gid);
+    if (idx >= rows_.size()) rows_.resize(idx + 1);
+    rows_[idx] = row;
   }
 
   DeviceStatus& row(Gid gid) { return rows_.at(static_cast<std::size_t>(gid)); }
@@ -106,6 +117,26 @@ class SchedulerFeedbackTable {
   }
 
   std::size_t size() const { return rows_.size(); }
+
+  /// One smoothed row with its sample count, for snapshot serialization.
+  struct Entry {
+    FeedbackRecord rec;
+    int samples = 0;
+  };
+
+  /// All rows in key order (deterministic wire encoding).
+  std::vector<Entry> entries() const {
+    std::vector<Entry> out;
+    out.reserve(rows_.size());
+    for (const auto& [type, row] : rows_) {
+      out.push_back(Entry{row.rec, row.samples});
+    }
+    return out;
+  }
+
+  /// Installs a row verbatim (decoding a snapshot), replacing any existing
+  /// row for the same app type.
+  void load(const Entry& e) { rows_[e.rec.app_type] = Row{e.rec, e.samples}; }
 
  private:
   struct Row {

@@ -193,10 +193,10 @@ cuda::cudaError_t Interposer::cudaThreadExit() {
     // Feedback Engine record piggybacked on the response: forward it to
     // the Policy Arbiter.
     feedback_ = backend::decode_feedback(u);
-    directory_.report_feedback(*feedback_);
+    directory_.report_feedback(*feedback_, app_.origin_node);
   }
   assert(gid_.has_value());
-  directory_.unbind(*gid_, app_.app_type);
+  directory_.unbind(*gid_, app_.app_type, app_.origin_node);
   exited_ = true;
   return err;
 }

@@ -27,7 +27,9 @@ namespace strings::frontend {
 
 /// How a frontend reaches the scheduling infrastructure: device selection,
 /// gMap resolution, backend daemons, and the feedback path. Implemented by
-/// the experiment testbed.
+/// the experiment testbed, which routes every call through the origin
+/// node's MapperAgent — so all three carry the caller's node and may cost
+/// simulated control-plane time.
 class SchedulerDirectory {
  public:
   virtual ~SchedulerDirectory() = default;
@@ -35,8 +37,10 @@ class SchedulerDirectory {
                                   core::NodeId origin) = 0;
   virtual const core::GpuEntry& resolve(core::Gid gid) = 0;
   virtual backend::BackendDaemon& daemon(core::NodeId node) = 0;
-  virtual void unbind(core::Gid gid, const std::string& app_type) = 0;
-  virtual void report_feedback(const core::FeedbackRecord& rec) = 0;
+  virtual void unbind(core::Gid gid, const std::string& app_type,
+                      core::NodeId origin) = 0;
+  virtual void report_feedback(const core::FeedbackRecord& rec,
+                               core::NodeId origin) = 0;
   /// Link model between `origin` and `node` (shared memory vs network).
   virtual rpc::LinkModel link_between(core::NodeId origin,
                                       core::NodeId node) = 0;

@@ -37,7 +37,7 @@ AppTraits traits_for(const core::SchedulerFeedbackTable& sft,
 /// load, then lower GID (deterministic).
 core::Gid pick_min(const BalanceInput& in,
                    const std::vector<double>& scores) {
-  assert(in.gmap != nullptr && in.dst != nullptr);
+  assert(in.gmap != nullptr && in.view != nullptr);
   core::Gid best = -1;
   double best_score = std::numeric_limits<double>::max();
   bool best_local = false;
@@ -45,7 +45,7 @@ core::Gid pick_min(const BalanceInput& in,
   for (const auto& e : in.gmap->entries()) {
     const double s = scores[static_cast<std::size_t>(e.gid)];
     const bool local = e.node == in.origin_node;
-    const int load = in.dst->row(e.gid).load;
+    const int load = in.view->dst.row(e.gid).load;
     const bool better =
         s < best_score - 1e-12 ||
         (std::abs(s - best_score) <= 1e-12 &&
@@ -65,11 +65,7 @@ core::Gid pick_min(const BalanceInput& in,
 const std::vector<std::string>& bound_on(const BalanceInput& in,
                                          core::Gid gid) {
   static const std::vector<std::string> kEmpty;
-  if (in.bound_types == nullptr ||
-      static_cast<std::size_t>(gid) >= in.bound_types->size()) {
-    return kEmpty;
-  }
-  return (*in.bound_types)[static_cast<std::size_t>(gid)];
+  return in.view != nullptr ? in.view->bound_on(gid) : kEmpty;
 }
 
 }  // namespace
@@ -85,7 +81,7 @@ core::Gid GrrPolicy::select(const BalanceInput& in) {
 core::Gid GMinPolicy::select(const BalanceInput& in) {
   std::vector<double> scores;
   for (const auto& e : in.gmap->entries()) {
-    scores.push_back(static_cast<double>(in.dst->row(e.gid).load));
+    scores.push_back(static_cast<double>(in.view->dst.row(e.gid).load));
   }
   return pick_min(in, scores);
 }
@@ -96,7 +92,7 @@ core::Gid GWtMinPolicy::select(const BalanceInput& in) {
   // device, e.g. a CPU pseudo-executor, always win at score 0.)
   std::vector<double> scores;
   for (const auto& e : in.gmap->entries()) {
-    const auto& row = in.dst->row(e.gid);
+    const auto& row = in.view->dst.row(e.gid);
     scores.push_back(static_cast<double>(row.load + 1) /
                      std::max(row.weight, 1e-9));
   }
@@ -104,28 +100,28 @@ core::Gid GWtMinPolicy::select(const BalanceInput& in) {
 }
 
 core::Gid RtfPolicy::select(const BalanceInput& in) {
-  assert(in.sft != nullptr);
+  assert(in.view != nullptr);
   std::vector<double> scores;
   for (const auto& e : in.gmap->entries()) {
     double pending_runtime = 0.0;
     for (const auto& t : bound_on(in, e.gid)) {
-      pending_runtime += traits_for(*in.sft, t).exec_time_s;
+      pending_runtime += traits_for(in.view->sft, t).exec_time_s;
     }
-    pending_runtime += traits_for(*in.sft, in.app_type).exec_time_s;
+    pending_runtime += traits_for(in.view->sft, in.app_type).exec_time_s;
     scores.push_back(pending_runtime /
-                     std::max(in.dst->row(e.gid).weight, 1e-9));
+                     std::max(in.view->dst.row(e.gid).weight, 1e-9));
   }
   return pick_min(in, scores);
 }
 
 core::Gid GufPolicy::select(const BalanceInput& in) {
-  assert(in.sft != nullptr);
-  const AppTraits mine = traits_for(*in.sft, in.app_type);
+  assert(in.view != nullptr);
+  const AppTraits mine = traits_for(in.view->sft, in.app_type);
   std::vector<double> scores;
   for (const auto& e : in.gmap->entries()) {
     double util_sum = mine.gpu_util;
     for (const auto& t : bound_on(in, e.gid)) {
-      util_sum += traits_for(*in.sft, t).gpu_util;
+      util_sum += traits_for(in.view->sft, t).gpu_util;
     }
     scores.push_back(util_sum);
   }
@@ -133,8 +129,8 @@ core::Gid GufPolicy::select(const BalanceInput& in) {
 }
 
 core::Gid DtfPolicy::select(const BalanceInput& in) {
-  assert(in.sft != nullptr);
-  const AppTraits mine = traits_for(*in.sft, in.app_type);
+  assert(in.view != nullptr);
+  const AppTraits mine = traits_for(in.view->sft, in.app_type);
   // Similarity score: dot product of (transfer intensity, compute intensity)
   // against each bound app. Contrasting apps score near zero and win.
   const double my_t = mine.transfer_frac;
@@ -143,7 +139,7 @@ core::Gid DtfPolicy::select(const BalanceInput& in) {
   for (const auto& e : in.gmap->entries()) {
     double sim_sum = 0.0;
     for (const auto& t : bound_on(in, e.gid)) {
-      const AppTraits other = traits_for(*in.sft, t);
+      const AppTraits other = traits_for(in.view->sft, t);
       sim_sum += my_t * other.transfer_frac + my_c * other.gpu_util;
     }
     scores.push_back(sim_sum);
@@ -152,13 +148,13 @@ core::Gid DtfPolicy::select(const BalanceInput& in) {
 }
 
 core::Gid MbfPolicy::select(const BalanceInput& in) {
-  assert(in.sft != nullptr);
-  const AppTraits mine = traits_for(*in.sft, in.app_type);
+  assert(in.view != nullptr);
+  const AppTraits mine = traits_for(in.view->sft, in.app_type);
   std::vector<double> scores;
   for (const auto& e : in.gmap->entries()) {
     double bw_sum = mine.mem_bw_gbps;
     for (const auto& t : bound_on(in, e.gid)) {
-      bw_sum += traits_for(*in.sft, t).mem_bw_gbps;
+      bw_sum += traits_for(in.view->sft, t).mem_bw_gbps;
     }
     scores.push_back(bw_sum / e.props.mem_bandwidth_gbps);
   }

@@ -3,8 +3,10 @@
 // Static policies (GRR, GMin, GWtMin) use only the Device Status Table;
 // feedback policies (RTF, GUF, DTF, MBF) additionally consult the Scheduler
 // Feedback Table that device-level Request Monitors populate. All policies
-// are pure decision logic over a BalanceInput snapshot, so they are unit
-// testable without the full stack.
+// are pure decision logic over a BalanceInput — an immutable DstSnapshot
+// view plus the gMap — so they are unit testable without the full stack,
+// and a decision over a stale agent-side cache is exactly the decision the
+// centralized mapper would have made when the snapshot was taken.
 #pragma once
 
 #include <functional>
@@ -12,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/dst_snapshot.hpp"
 #include "core/gpool.hpp"
 #include "core/tables.hpp"
 
@@ -19,10 +22,8 @@ namespace strings::policies {
 
 struct BalanceInput {
   const core::GMap* gmap = nullptr;
-  const core::DeviceStatusTable* dst = nullptr;
-  const core::SchedulerFeedbackTable* sft = nullptr;
-  /// App types currently bound to each GID (index = gid).
-  const std::vector<std::vector<std::string>>* bound_types = nullptr;
+  /// DST + bound-app lists + SFT, as one self-consistent snapshot.
+  const core::DstSnapshot* view = nullptr;
   std::string app_type;
   core::NodeId origin_node = 0;
 };

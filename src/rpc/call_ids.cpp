@@ -27,6 +27,10 @@ const char* call_name(CallId id) {
     case CallId::kRegisterApp: return "strings.registerApp";
     case CallId::kDeviceInfo: return "strings.deviceInfo";
     case CallId::kFeedback: return "strings.feedback";
+    case CallId::kUnbindDevice: return "strings.unbindDevice";
+    case CallId::kBindReport: return "strings.bindReport";
+    case CallId::kFeedbackBatch: return "strings.feedbackBatch";
+    case CallId::kDstSync: return "strings.dstSync";
     case CallId::kResponse: return "response";
   }
   return "unknown";

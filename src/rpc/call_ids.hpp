@@ -33,6 +33,13 @@ enum class CallId : std::uint32_t {
   kDeviceInfo,        // backend daemon -> gPool Creator at startup
   kFeedback,          // Feedback Engine -> Policy Arbiter
 
+  // Control-plane calls between a node's MapperAgent and the
+  // PlacementService (distributed Affinity Mapper).
+  kUnbindDevice,      // agent -> service: app exited, decrement DST load
+  kBindReport,        // agent -> service (one-way): optimistic local bind
+  kFeedbackBatch,     // agent -> service (one-way): batched feedback records
+  kDstSync,           // agent -> service: pull a fresh DstSnapshot
+
   kResponse = 0xFFFF,
 };
 

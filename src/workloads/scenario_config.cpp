@@ -155,6 +155,32 @@ ScenarioConfig parse_scenario(std::istream& in) {
         cfg.testbed.trace_events = to_bool(line, value);
       } else if (key == "cpu_fallback") {
         cfg.testbed.cpu_fallback_devices = to_bool(line, value);
+      } else if (key == "placement") {
+        // centralized | distributed
+        try {
+          cfg.testbed.control_plane.placement =
+              core::parse_placement_mode(value);
+        } catch (const std::invalid_argument& e) {
+          fail(line, e.what());
+        }
+      } else if (key == "control_transport") {
+        // direct | zero_cost | data_plane
+        try {
+          cfg.testbed.control_plane.transport =
+              core::parse_control_transport(value);
+        } catch (const std::invalid_argument& e) {
+          fail(line, e.what());
+        }
+      } else if (key == "service_node") {
+        cfg.testbed.control_plane.service_node = to_int(line, value);
+      } else if (key == "refresh_epoch_ms") {
+        cfg.testbed.control_plane.refresh_epoch =
+            sim::msec(to_int(line, value));
+      } else if (key == "feedback_batch") {
+        cfg.testbed.control_plane.feedback_batch_size = to_int(line, value);
+      } else if (key == "feedback_flush_ms") {
+        cfg.testbed.control_plane.feedback_max_delay =
+            sim::msec(to_int(line, value));
       } else {
         fail(line, "unknown global key '" + key + "'");
       }
@@ -184,6 +210,13 @@ ScenarioConfig parse_scenario(std::istream& in) {
 
   if (cfg.streams.empty()) {
     throw ScenarioParseError("scenario defines no [stream] sections");
+  }
+  const int node_count = static_cast<int>(
+      (cfg.testbed.nodes.empty() ? small_server() : cfg.testbed.nodes)
+          .size());
+  if (cfg.testbed.control_plane.service_node < 0 ||
+      cfg.testbed.control_plane.service_node >= node_count) {
+    throw ScenarioParseError("service_node out of range for topology");
   }
   for (std::size_t i = 0; i < cfg.streams.size(); ++i) {
     if (cfg.streams[i].app.empty()) {

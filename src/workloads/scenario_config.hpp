@@ -12,6 +12,12 @@
 //   device_policy = PS
 //   remote_link = numa        # numa | gige | shm
 //   shared_network = false
+//   placement = centralized   # centralized | distributed mapper agents
+//   control_transport = zero_cost  # direct | zero_cost | data_plane
+//   service_node = 0          # node hosting the PlacementService
+//   refresh_epoch_ms = 0      # DstSnapshot staleness bound (distributed)
+//   feedback_batch = 1        # records per kFeedbackBatch
+//   feedback_flush_ms = 1     # partial-batch flush delay
 //
 //   [stream]
 //   app = MC                  # Table I abbreviation

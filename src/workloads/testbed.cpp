@@ -38,18 +38,24 @@ Testbed::Testbed(sim::Simulation& sim, TestbedConfig config)
   if (config_.cpu_fallback_devices) {
     for (auto& node : config_.nodes) node.push_back(gpu::cpu_executor());
   }
+  const auto node_count = config_.nodes.size();
+  if (config_.control_plane.service_node < 0 ||
+      static_cast<std::size_t>(config_.control_plane.service_node) >=
+          node_count) {
+    throw std::invalid_argument("control-plane service_node out of range");
+  }
 
   if (config_.trace_events) {
     trace_log_ = std::make_unique<sim::TraceLog>(sim_);
   }
-  core::AffinityMapper::Config mcfg;
+  core::PlacementService::Config mcfg;
   mcfg.static_policy = config_.balancing_policy;
   mcfg.feedback_policy = config_.feedback_policy;
-  mapper_ = std::make_unique<core::AffinityMapper>(mcfg);
-  mapper_->set_trace_log(trace_log_.get());
+  service_ = std::make_unique<core::PlacementService>(mcfg);
+  service_->set_trace_log(trace_log_.get());
 
   std::vector<std::vector<core::Gid>> node_gids;
-  for (std::size_t n = 0; n < config_.nodes.size(); ++n) {
+  for (std::size_t n = 0; n < node_count; ++n) {
     devices_.emplace_back();
     std::vector<gpu::GpuDevice*> ptrs;
     for (std::size_t d = 0; d < config_.nodes[n].size(); ++d) {
@@ -59,10 +65,50 @@ Testbed::Testbed(sim::Simulation& sim, TestbedConfig config)
       ptrs.push_back(devices_[n].back().get());
     }
     runtimes_.push_back(std::make_unique<cuda::CudaRuntime>(sim_, ptrs));
-    node_gids.push_back(mapper_->report_node(static_cast<core::NodeId>(n),
-                                             config_.nodes[n]));
+    node_gids.push_back(service_->report_node(static_cast<core::NodeId>(n),
+                                              config_.nodes[n]));
   }
-  mapper_->finalize();
+  service_->finalize();
+
+  // Precompute the shared-wire matrix (one full-duplex pair per unordered
+  // node pair) so wires_between is a flat index on the binding hot path.
+  if (config_.shared_network) {
+    wires_.resize(node_count * node_count);
+    for (std::size_t a = 0; a < node_count; ++a) {
+      for (std::size_t b = a + 1; b < node_count; ++b) {
+        auto fwd = std::make_shared<rpc::SharedLink>();
+        auto rev = std::make_shared<rpc::SharedLink>();
+        wires_[a * node_count + b] = {fwd, rev};
+        wires_[b * node_count + a] = {rev, fwd};
+      }
+    }
+  }
+
+  // Stand up the control plane: one caching MapperAgent per node, talking
+  // to the PlacementService on service_node. Under kDirect (and in the
+  // unscheduled baseline mode) agents call the service object directly;
+  // otherwise each agent gets a timed channel whose serve loop the service
+  // hosts as a daemon process.
+  const bool use_channels =
+      config_.mode != Mode::kCudaBaseline &&
+      config_.control_plane.transport != core::ControlTransport::kDirect;
+  for (std::size_t n = 0; n < node_count; ++n) {
+    const auto node = static_cast<core::NodeId>(n);
+    rpc::DuplexChannel* channel = nullptr;
+    if (use_channels) {
+      // Only data-plane transport contends on the shared wires; zero-cost
+      // channels must stay free of data traffic to preserve equivalence.
+      auto [tx, rx] =
+          config_.control_plane.transport == core::ControlTransport::kDataPlane
+              ? wires_between(node, config_.control_plane.service_node)
+              : std::pair<std::shared_ptr<rpc::SharedLink>,
+                          std::shared_ptr<rpc::SharedLink>>{nullptr, nullptr};
+      channel = &service_->connect_agent(sim_, node, control_link_for(node),
+                                         std::move(tx), std::move(rx));
+    }
+    agents_.push_back(std::make_unique<core::MapperAgent>(
+        sim_, node, *service_, config_.control_plane, channel));
+  }
 
   if (config_.mode == Mode::kCudaBaseline) {
     // No scheduling stack; observe device ops directly for fairness
@@ -115,6 +161,19 @@ Testbed::Testbed(sim::Simulation& sim, TestbedConfig config)
 
 Testbed::~Testbed() = default;
 
+rpc::LinkModel Testbed::control_link_for(core::NodeId node) const {
+  switch (config_.control_plane.transport) {
+    case core::ControlTransport::kDirect:
+    case core::ControlTransport::kZeroCost:
+      // Full message machinery, zero simulated cost.
+      return rpc::LinkModel{0, 0.0};
+    case core::ControlTransport::kDataPlane:
+      return node == config_.control_plane.service_node ? config_.local_link
+                                                        : config_.remote_link;
+  }
+  return rpc::LinkModel{0, 0.0};
+}
+
 std::unique_ptr<frontend::GpuApi> Testbed::make_api(
     const backend::AppDescriptor& app) {
   if (config_.mode == Mode::kCudaBaseline) {
@@ -132,23 +191,34 @@ std::unique_ptr<frontend::GpuApi> Testbed::make_api(
 
 core::Gid Testbed::select_device(const std::string& app_type,
                                  core::NodeId origin) {
-  return mapper_->select_device(app_type, origin);
+  return agent(origin).select_device(app_type);
 }
 
 const core::GpuEntry& Testbed::resolve(core::Gid gid) {
-  return mapper_->gmap().entry(gid);
+  // Resolution uses the caller-side gMap replica semantics: the map is
+  // immutable after the gPool broadcast, so any node's copy is current.
+  return service_->gmap().entry(gid);
 }
 
 backend::BackendDaemon& Testbed::daemon(core::NodeId node) {
   return *daemons_.at(static_cast<std::size_t>(node));
 }
 
-void Testbed::unbind(core::Gid gid, const std::string& app_type) {
-  mapper_->unbind(gid, app_type);
+void Testbed::unbind(core::Gid gid, const std::string& app_type,
+                     core::NodeId origin) {
+  agent(origin).unbind(gid, app_type);
 }
 
-void Testbed::report_feedback(const core::FeedbackRecord& rec) {
-  mapper_->on_feedback(rec);
+void Testbed::report_feedback(const core::FeedbackRecord& rec,
+                              core::NodeId origin) {
+  agent(origin).report_feedback(rec);
+}
+
+core::ControlPlaneStats Testbed::control_plane_stats() const {
+  core::ControlPlaneStats total;
+  for (const auto& a : agents_) total.merge(a->stats());
+  total.placements = service_->placements();
+  return total;
 }
 
 rpc::LinkModel Testbed::link_between(core::NodeId origin, core::NodeId node) {
@@ -158,18 +228,9 @@ rpc::LinkModel Testbed::link_between(core::NodeId origin, core::NodeId node) {
 std::pair<std::shared_ptr<rpc::SharedLink>, std::shared_ptr<rpc::SharedLink>>
 Testbed::wires_between(core::NodeId origin, core::NodeId node) {
   if (!config_.shared_network || origin == node) return {nullptr, nullptr};
-  const auto key = std::minmax(origin, node);
-  auto it = wires_.find({key.first, key.second});
-  if (it == wires_.end()) {
-    it = wires_
-             .emplace(std::make_pair(key.first, key.second),
-                      std::make_pair(std::make_shared<rpc::SharedLink>(),
-                                     std::make_shared<rpc::SharedLink>()))
-             .first;
-  }
   // Direction matters: origin->node traffic uses .first, the reverse .second.
-  if (origin < node) return it->second;
-  return {it->second.second, it->second.first};
+  return wires_[static_cast<std::size_t>(origin) * config_.nodes.size() +
+                static_cast<std::size_t>(node)];
 }
 
 double Testbed::attained_service_s(const std::string& tenant) const {
@@ -193,7 +254,7 @@ double Testbed::attained_service_s(const std::string& tenant) const {
 }
 
 gpu::GpuDevice& Testbed::device(core::Gid gid) {
-  const core::GpuEntry& e = mapper_->gmap().entry(gid);
+  const core::GpuEntry& e = service_->gmap().entry(gid);
   return *devices_.at(static_cast<std::size_t>(e.node))
               .at(static_cast<std::size_t>(e.local_device));
 }

@@ -1,5 +1,6 @@
 // Testbed: assembles a complete simulated deployment — nodes with GPUs and
-// CUDA runtimes, backend daemons, the GPU Affinity Mapper — and hands out
+// CUDA runtimes, backend daemons, the distributed Affinity Mapper control
+// plane (PlacementService + per-node MapperAgents) — and hands out
 // application-facing GpuApi instances per execution mode:
 //
 //   kCudaBaseline — bare CUDA runtime; static provisioning (paper baseline)
@@ -20,7 +21,9 @@
 #include <vector>
 
 #include "backend/backend_daemon.hpp"
-#include "core/affinity_mapper.hpp"
+#include "core/control_plane.hpp"
+#include "core/mapper_agent.hpp"
+#include "core/placement_service.hpp"
 #include "cudart/cuda_runtime.hpp"
 #include "frontend/direct_api.hpp"
 #include "frontend/interposer.hpp"
@@ -64,6 +67,13 @@ struct TestbedConfig {
   /// spills work to host cores only when every GPU queue is deep enough
   /// that a ~20x-slower executor still wins.
   bool cpu_fallback_devices = false;
+  /// Deployment of the Affinity Mapper control plane: who decides
+  /// (centralized service vs per-node agents over cached snapshots) and
+  /// what the decisions cost (direct oracle, zero-cost channels, or real
+  /// data-plane links). The default — centralized over zero-cost channels —
+  /// reproduces the pre-split monolithic mapper bit-for-bit while still
+  /// exercising the message machinery.
+  core::ControlPlaneConfig control_plane;
 };
 
 /// NodeA of the paper's testbed.
@@ -84,13 +94,15 @@ class Testbed final : public frontend::SchedulerDirectory {
   std::unique_ptr<frontend::GpuApi> make_api(
       const backend::AppDescriptor& app);
 
-  // ---- SchedulerDirectory ----
+  // ---- SchedulerDirectory (routed through the origin node's agent) ----
   core::Gid select_device(const std::string& app_type,
                           core::NodeId origin) override;
   const core::GpuEntry& resolve(core::Gid gid) override;
   backend::BackendDaemon& daemon(core::NodeId node) override;
-  void unbind(core::Gid gid, const std::string& app_type) override;
-  void report_feedback(const core::FeedbackRecord& rec) override;
+  void unbind(core::Gid gid, const std::string& app_type,
+              core::NodeId origin) override;
+  void report_feedback(const core::FeedbackRecord& rec,
+                       core::NodeId origin) override;
   rpc::LinkModel link_between(core::NodeId origin,
                               core::NodeId node) override;
   std::pair<std::shared_ptr<rpc::SharedLink>,
@@ -100,14 +112,23 @@ class Testbed final : public frontend::SchedulerDirectory {
   // ---- introspection ----
   sim::Simulation& simulation() { return sim_; }
   const TestbedConfig& config() const { return config_; }
-  core::AffinityMapper& mapper() { return *mapper_; }
+  /// The authoritative side of the control plane (gPool Creator + Target
+  /// GPU Selector + Policy Arbiter).
+  core::PlacementService& mapper() { return *service_; }
+  /// This node's caching agent (the object interposers actually call).
+  core::MapperAgent& agent(core::NodeId node) {
+    return *agents_.at(static_cast<std::size_t>(node));
+  }
+  /// Aggregated control-plane counters across all agents, with the
+  /// service's authoritative placement log attached.
+  core::ControlPlaneStats control_plane_stats() const;
   /// Populated when TestbedConfig::trace_events is set; nullptr otherwise.
   sim::TraceLog* trace_log() { return trace_log_.get(); }
   cuda::CudaRuntime& runtime(core::NodeId node) {
     return *runtimes_.at(static_cast<std::size_t>(node));
   }
   gpu::GpuDevice& device(core::Gid gid);
-  int gpu_count() const { return mapper_->gmap().size(); }
+  int gpu_count() const { return service_->gmap().size(); }
   int node_count() const { return static_cast<int>(runtimes_.size()); }
 
   /// Cumulative GPU service (seconds) attained by a tenant across the whole
@@ -117,21 +138,27 @@ class Testbed final : public frontend::SchedulerDirectory {
   double attained_service_s(const std::string& tenant) const;
 
  private:
+  /// Link model between a node's agent and the service host.
+  rpc::LinkModel control_link_for(core::NodeId node) const;
+
   sim::Simulation& sim_;
   TestbedConfig config_;
   std::vector<std::vector<std::unique_ptr<gpu::GpuDevice>>> devices_;
   std::vector<std::unique_ptr<cuda::CudaRuntime>> runtimes_;
-  std::unique_ptr<core::AffinityMapper> mapper_;
+  std::unique_ptr<core::PlacementService> service_;
+  /// Declared after service_: agents hold channels the service owns.
+  std::vector<std::unique_ptr<core::MapperAgent>> agents_;
   std::unique_ptr<sim::TraceLog> trace_log_;
   std::vector<std::unique_ptr<backend::BackendDaemon>> daemons_;
   std::uint64_t next_app_id_ = 1;
   // Baseline-mode service accounting (no schedulers exist to measure it).
   std::map<cuda::ProcessId, std::string> baseline_pid_tenant_;
   std::map<std::string, sim::SimTime> baseline_tenant_service_;
-  // One physical wire pair per ordered node pair when shared_network is on.
-  std::map<std::pair<core::NodeId, core::NodeId>,
-           std::pair<std::shared_ptr<rpc::SharedLink>,
-                     std::shared_ptr<rpc::SharedLink>>>
+  // Physical wire pairs, one per ordered node pair, precomputed at
+  // construction when shared_network is on ([origin * nodes + dest]; the
+  // old lazy map did a lookup per binding on the hot path).
+  std::vector<std::pair<std::shared_ptr<rpc::SharedLink>,
+                        std::shared_ptr<rpc::SharedLink>>>
       wires_;
 };
 

@@ -1,7 +1,8 @@
 // Unit tests for the core Strings infrastructure: gMap/gPool, DST, SFT,
-// Affinity Mapper (with Policy Arbiter switching), and the per-device GPU
-// scheduler (RM handshake, dispatcher gating, RMO accounting, FE records).
-#include "core/affinity_mapper.hpp"
+// the PlacementService (Target GPU Selector + Policy Arbiter, exercised via
+// its direct oracle API), and the per-device GPU scheduler (RM handshake,
+// dispatcher gating, RMO accounting, FE records).
+#include "core/placement_service.hpp"
 #include "core/gpu_scheduler.hpp"
 #include "core/gpool.hpp"
 #include "core/tables.hpp"
@@ -89,18 +90,18 @@ TEST(SchedulerFeedbackTable, EwmaSmoothsSubsequentRecords) {
 
 struct MapperFixture {
   MapperFixture(const std::string& stat, const std::string& fb) {
-    AffinityMapper::Config cfg;
+    PlacementService::Config cfg;
     cfg.static_policy = stat;
     cfg.feedback_policy = fb;
-    mapper = std::make_unique<AffinityMapper>(cfg);
+    mapper = std::make_unique<PlacementService>(cfg);
     mapper->report_node(0, {gpu::quadro2000(), gpu::tesla_c2050()});
     mapper->report_node(1, {gpu::quadro4000(), gpu::tesla_c2070()});
     mapper->finalize();
   }
-  std::unique_ptr<AffinityMapper> mapper;
+  std::unique_ptr<PlacementService> mapper;
 };
 
-TEST(AffinityMapper, SelectBindsAndUnbindReleases) {
+TEST(PlacementService, SelectBindsAndUnbindReleases) {
   MapperFixture f("GMin", "");
   const Gid g1 = f.mapper->select_device("MC", 0);
   EXPECT_EQ(f.mapper->dst().row(g1).load, 1);
@@ -110,7 +111,7 @@ TEST(AffinityMapper, SelectBindsAndUnbindReleases) {
   EXPECT_TRUE(f.mapper->bound_types()[static_cast<std::size_t>(g1)].empty());
 }
 
-TEST(AffinityMapper, GMinSpreadsLoad) {
+TEST(PlacementService, GMinSpreadsLoad) {
   MapperFixture f("GMin", "");
   std::vector<int> loads(4, 0);
   for (int i = 0; i < 8; ++i) {
@@ -119,7 +120,7 @@ TEST(AffinityMapper, GMinSpreadsLoad) {
   for (int l : loads) EXPECT_EQ(l, 2);
 }
 
-TEST(AffinityMapper, ArbiterSwitchesToFeedbackPolicyAfterFirstRecord) {
+TEST(PlacementService, ArbiterSwitchesToFeedbackPolicyAfterFirstRecord) {
   MapperFixture f("GWtMin", "MBF");
   EXPECT_STREQ(f.mapper->active_policy_name("MC"), "GWtMin");
   f.mapper->select_device("MC", 0);
@@ -139,12 +140,12 @@ TEST(AffinityMapper, ArbiterSwitchesToFeedbackPolicyAfterFirstRecord) {
   EXPECT_EQ(f.mapper->feedback_selections(), 1);
 }
 
-TEST(AffinityMapper, ArbiterHonorsMinSampleThreshold) {
-  AffinityMapper::Config cfg;
+TEST(PlacementService, ArbiterHonorsMinSampleThreshold) {
+  PlacementService::Config cfg;
   cfg.static_policy = "GWtMin";
   cfg.feedback_policy = "RTF";
   cfg.min_feedback_samples = 3;
-  AffinityMapper m(cfg);
+  PlacementService m(cfg);
   m.report_node(0, {gpu::tesla_c2050(), gpu::tesla_c2070()});
   m.finalize();
   FeedbackRecord r;
@@ -157,13 +158,13 @@ TEST(AffinityMapper, ArbiterHonorsMinSampleThreshold) {
   EXPECT_STREQ(m.active_policy_name("MC"), "RTF");
 }
 
-TEST(AffinityMapper, FinalizeWithNoDevicesThrows) {
-  AffinityMapper::Config cfg;
-  AffinityMapper m(cfg);
+TEST(PlacementService, FinalizeWithNoDevicesThrows) {
+  PlacementService::Config cfg;
+  PlacementService m(cfg);
   EXPECT_THROW(m.finalize(), std::logic_error);
 }
 
-TEST(AffinityMapper, ReportAfterFinalizeThrows) {
+TEST(PlacementService, ReportAfterFinalizeThrows) {
   MapperFixture f("GRR", "");
   EXPECT_THROW(f.mapper->report_node(2, {gpu::tesla_c2050()}),
                std::logic_error);

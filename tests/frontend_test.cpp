@@ -58,11 +58,15 @@ class FakeDirectory final : public SchedulerDirectory {
   backend::BackendDaemon& daemon(core::NodeId) override {
     return *stack_.daemon;
   }
-  void unbind(core::Gid gid, const std::string& app) override {
+  void unbind(core::Gid gid, const std::string& app,
+              core::NodeId origin) override {
     unbinds.emplace_back(gid, app);
+    last_origin = origin;
   }
-  void report_feedback(const core::FeedbackRecord& rec) override {
+  void report_feedback(const core::FeedbackRecord& rec,
+                       core::NodeId origin) override {
     feedback.push_back(rec);
+    last_origin = origin;
   }
   rpc::LinkModel link_between(core::NodeId, core::NodeId) override {
     return rpc::LinkModel::shared_memory();

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/dst_snapshot.hpp"
 #include "core/gpool.hpp"
 #include "core/tables.hpp"
 
@@ -20,22 +21,20 @@ struct MapperFixture {
   MapperFixture() {
     gmap.add_node(0, {gpu::quadro2000(), gpu::tesla_c2050()});
     gmap.add_node(1, {gpu::quadro4000(), gpu::tesla_c2070()});
-    dst = std::make_unique<core::DeviceStatusTable>(gmap);
-    bound.assign(4, {});
+    view.dst = core::DeviceStatusTable(gmap);
+    view.bound_types.assign(4, {});
   }
   BalanceInput input(const std::string& app = "MC", core::NodeId origin = 0) {
     BalanceInput in;
     in.gmap = &gmap;
-    in.dst = dst.get();
-    in.sft = &sft;
-    in.bound_types = &bound;
+    in.view = &view;
     in.app_type = app;
     in.origin_node = origin;
     return in;
   }
   void bind(Gid gid, const std::string& app) {
-    dst->on_bind(gid);
-    bound[static_cast<std::size_t>(gid)].push_back(app);
+    view.dst.on_bind(gid);
+    view.bound_types[static_cast<std::size_t>(gid)].push_back(app);
   }
   FeedbackRecord record(const std::string& app, double exec_s, double util,
                         double transfer_s, double bw) {
@@ -49,9 +48,7 @@ struct MapperFixture {
     return r;
   }
   core::GMap gmap;
-  std::unique_ptr<core::DeviceStatusTable> dst;
-  core::SchedulerFeedbackTable sft;
-  std::vector<std::vector<std::string>> bound;
+  core::DstSnapshot view;
 };
 
 TEST(GrrPolicy, CyclesThroughAllGpus) {
@@ -103,19 +100,17 @@ TEST(GWtMinPolicy, DoesNotDumpOnIdleSlowExecutor) {
   core::GMap gmap;
   auto cpu = gpu::cpu_executor();
   gmap.add_node(0, {gpu::tesla_c2050(), cpu});
-  core::DeviceStatusTable dst(gmap);
-  std::vector<std::vector<std::string>> bound(2);
-  core::SchedulerFeedbackTable sft;
+  core::DstSnapshot view;
+  view.dst = core::DeviceStatusTable(gmap);
+  view.bound_types.resize(2);
   BalanceInput in;
   in.gmap = &gmap;
-  in.dst = &dst;
-  in.sft = &sft;
-  in.bound_types = &bound;
+  in.view = &view;
   in.app_type = "A";
   GWtMinPolicy p;
   for (int i = 0; i < 19; ++i) {
     EXPECT_EQ(p.select(in), 0) << "request " << i;
-    dst.on_bind(0);
+    view.dst.on_bind(0);
   }
   // GPU score (19+1)/1 = 20 == CPU 1/0.05; tie-break: lower load wins (CPU).
   EXPECT_EQ(p.select(in), 1);
@@ -123,8 +118,8 @@ TEST(GWtMinPolicy, DoesNotDumpOnIdleSlowExecutor) {
 
 TEST(RtfPolicy, UsesMeasuredRuntimes) {
   MapperFixture f;
-  f.sft.update(f.record("LONG", 50.0, 0.8, 0.1, 100));
-  f.sft.update(f.record("SHORT", 2.0, 0.8, 0.1, 100));
+  f.view.sft.update(f.record("LONG", 50.0, 0.8, 0.1, 100));
+  f.view.sft.update(f.record("SHORT", 2.0, 0.8, 0.1, 100));
   // gid 3 hosts a long app, gid 2 a short one; equal loads.
   f.bind(3, "LONG");
   f.bind(2, "SHORT");
@@ -137,8 +132,8 @@ TEST(RtfPolicy, UsesMeasuredRuntimes) {
 
 TEST(GufPolicy, AvoidsCollocatingHighUtilizationApps) {
   MapperFixture f;
-  f.sft.update(f.record("HOG", 10.0, 0.95, 0.1, 100));
-  f.sft.update(f.record("LIGHT", 10.0, 0.05, 0.1, 100));
+  f.view.sft.update(f.record("HOG", 10.0, 0.95, 0.1, 100));
+  f.view.sft.update(f.record("LIGHT", 10.0, 0.05, 0.1, 100));
   f.bind(0, "HOG");
   f.bind(1, "LIGHT");
   f.bind(2, "HOG");
@@ -151,9 +146,9 @@ TEST(GufPolicy, AvoidsCollocatingHighUtilizationApps) {
 TEST(DtfPolicy, CollocatesContrastingTransferProfiles) {
   MapperFixture f;
   // Transfer-heavy app: most of exec time in copies, low gpu util.
-  f.sft.update(f.record("XFER", 10.0, 0.1, 9.0, 100));
+  f.view.sft.update(f.record("XFER", 10.0, 0.1, 9.0, 100));
   // Compute-heavy app: negligible transfer.
-  f.sft.update(f.record("COMP", 10.0, 0.9, 0.05, 100));
+  f.view.sft.update(f.record("COMP", 10.0, 0.9, 0.05, 100));
   f.bind(0, "COMP");
   f.bind(1, "XFER");
   f.bind(2, "COMP");
@@ -168,8 +163,8 @@ TEST(DtfPolicy, CollocatesContrastingTransferProfiles) {
 
 TEST(MbfPolicy, SpreadsBandwidthBoundApps) {
   MapperFixture f;
-  f.sft.update(f.record("BWHOG", 10.0, 0.5, 0.1, 130.0));
-  f.sft.update(f.record("CALM", 10.0, 0.5, 0.1, 1.0));
+  f.view.sft.update(f.record("BWHOG", 10.0, 0.5, 0.1, 130.0));
+  f.view.sft.update(f.record("CALM", 10.0, 0.5, 0.1, 1.0));
   f.bind(1, "BWHOG");  // Tesla C2050, 144 GB/s
   f.bind(3, "CALM");   // Tesla C2070, 144 GB/s
   MbfPolicy p;
