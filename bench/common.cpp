@@ -1,9 +1,12 @@
 #include "common.hpp"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+
+#include "obs/export.hpp"
 
 namespace strings::bench {
 
@@ -20,6 +23,41 @@ Options Options::parse(int argc, char** argv) {
 }
 
 namespace {
+// Directory for per-run observability artifacts, or nullptr when the
+// STRINGS_TRACE_DIR env toggle is unset.
+const char* trace_dir() {
+  const char* dir = std::getenv("STRINGS_TRACE_DIR");
+  return (dir != nullptr && dir[0] != '\0') ? dir : nullptr;
+}
+
+std::string sanitize_label(const std::string& label) {
+  std::string out = label.empty() ? std::string("run") : label;
+  for (char& c : out) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '-' &&
+        c != '_' && c != '.') {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+// Writes <dir>/<label>.trace.json and <dir>/<label>.metrics.csv when the
+// STRINGS_TRACE_DIR toggle is active.
+void export_observability(const RunConfig& cfg, workloads::Testbed& bed) {
+  const char* dir = trace_dir();
+  if (dir == nullptr) return;
+  const std::string base = std::string(dir) + "/" + sanitize_label(cfg.label);
+  const std::string trace_path = base + ".trace.json";
+  if (bed.tracer() != nullptr &&
+      !obs::write_chrome_trace_file(*bed.tracer(), trace_path)) {
+    std::fprintf(stderr, "warning: cannot write %s\n", trace_path.c_str());
+  }
+  const std::string metrics_path = base + ".metrics.csv";
+  if (!obs::write_metrics_csv_file(bed.metrics_registry(), metrics_path)) {
+    std::fprintf(stderr, "warning: cannot write %s\n", metrics_path.c_str());
+  }
+}
+
 std::vector<workloads::ArrivalConfig> to_arrivals(
     const std::vector<StreamSpec>& streams) {
   std::vector<workloads::ArrivalConfig> arrivals;
@@ -53,6 +91,7 @@ workloads::TestbedConfig to_testbed_config(const RunConfig& cfg) {
   tcfg.remote_link = cfg.remote_link;
   tcfg.shared_network = cfg.shared_network;
   tcfg.control_plane = cfg.control_plane;
+  tcfg.trace = trace_dir() != nullptr;
   return tcfg;
 }
 
@@ -93,6 +132,7 @@ RunOutput run_scenario_until(const RunConfig& cfg,
   RunOutput out;
   out.streams = *stats;
   collect(cfg, bed, streams, out);
+  export_observability(cfg, bed);
   out.makespan = horizon;
   // Unwind live processes while the testbed they reference is still alive.
   sim.terminate_processes();
@@ -107,6 +147,7 @@ RunOutput run_scenario(const RunConfig& cfg,
   RunOutput out;
   out.streams = workloads::run_streams(bed, to_arrivals(streams));
   collect(cfg, bed, streams, out);
+  export_observability(cfg, bed);
   return out;
 }
 

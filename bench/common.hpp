@@ -84,6 +84,9 @@ metrics::ControlPlaneSummary control_plane_summary(const std::string& label,
                                                    const RunOutput& out);
 
 /// Builds a testbed from `cfg`, runs all streams, and collects results.
+/// When STRINGS_TRACE_DIR is set, the run executes with observability
+/// tracing on and writes <dir>/<label>.trace.json (Chrome trace-event
+/// format, loadable in Perfetto) plus <dir>/<label>.metrics.csv.
 RunOutput run_scenario(const RunConfig& cfg,
                        const std::vector<StreamSpec>& streams);
 

@@ -3,10 +3,16 @@
 // per-stream statistics.
 //
 //   $ ./bench/run_scenario my_experiment.scenario
+//   $ ./bench/run_scenario --trace out.json --metrics out.csv my.scenario
 //
-// Without arguments, runs a built-in demo scenario (so the bench sweep
-// exercises the path end to end).
+// --trace writes a Chrome trace-event JSON (load it at https://ui.perfetto.dev
+// or chrome://tracing) with request-lifecycle spans, per-GPU op tracks and
+// dispatcher wake events; --metrics dumps the testbed's metrics registry as
+// CSV. Without a scenario path, runs a built-in demo scenario (so the bench
+// sweep exercises the path end to end).
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "metrics/metrics.hpp"
 #include "workloads/scenario_config.hpp"
@@ -39,14 +45,78 @@ server_threads = 6
 tenant = pricing-svc
 )";
 
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: run_scenario [options] [scenario-file]\n"
+               "\n"
+               "Runs the scenario described in scenario-file (or a built-in\n"
+               "demo when omitted) and prints per-stream statistics.\n"
+               "\n"
+               "options:\n"
+               "  --trace <out.json>    write a Chrome trace-event JSON of\n"
+               "                        the run (Perfetto / chrome://tracing)\n"
+               "  --metrics <out.csv>   write the metrics registry as CSV\n"
+               "  -h, --help            show this help\n");
+}
+
+struct Args {
+  std::string scenario_path;  // empty = built-in demo
+  std::string trace_path;
+  std::string metrics_path;
+};
+
+// Parses argv into Args. Returns true on success; on failure prints an
+// error plus usage to stderr and leaves `exit_code` set.
+bool parse_args(int argc, char** argv, Args& args, int& exit_code) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      print_usage(stdout);
+      exit_code = 0;
+      return false;
+    }
+    if (arg == "--trace" || arg == "--metrics") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a file argument\n\n",
+                     arg.c_str());
+        print_usage(stderr);
+        exit_code = 2;
+        return false;
+      }
+      (arg == "--trace" ? args.trace_path : args.metrics_path) = argv[++i];
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown flag '%s'\n\n", arg.c_str());
+      print_usage(stderr);
+      exit_code = 2;
+      return false;
+    }
+    if (!args.scenario_path.empty()) {
+      std::fprintf(stderr,
+                   "error: more than one scenario file given ('%s', '%s')\n\n",
+                   args.scenario_path.c_str(), arg.c_str());
+      print_usage(stderr);
+      exit_code = 2;
+      return false;
+    }
+    args.scenario_path = arg;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  Args args;
+  int exit_code = 0;
+  if (!parse_args(argc, argv, args, exit_code)) return exit_code;
+
   workloads::ScenarioConfig cfg;
   try {
-    if (argc > 1) {
-      std::printf("== run_scenario: %s ==\n\n", argv[1]);
-      cfg = workloads::load_scenario(argv[1]);
+    if (!args.scenario_path.empty()) {
+      std::printf("== run_scenario: %s ==\n\n", args.scenario_path.c_str());
+      cfg = workloads::load_scenario(args.scenario_path);
     } else {
       std::printf("== run_scenario (built-in demo; pass a file path to run "
                   "your own) ==\n\n");
@@ -57,7 +127,14 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const auto stats = workloads::run_scenario_config(cfg);
+  std::vector<workloads::StreamStats> stats;
+  try {
+    stats = workloads::run_scenario_config(cfg, args.trace_path,
+                                           args.metrics_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 
   metrics::Table table({"Stream", "Tenant", "Completed", "Errors",
                         "Mean resp(s)", "p95(s)", "Max(s)"});
@@ -71,5 +148,11 @@ int main(int argc, char** argv) {
                    metrics::Table::fmt(sim::to_seconds(s.max_response))});
   }
   table.print();
+  if (!args.trace_path.empty()) {
+    std::printf("(trace written to %s)\n", args.trace_path.c_str());
+  }
+  if (!args.metrics_path.empty()) {
+    std::printf("(metrics written to %s)\n", args.metrics_path.c_str());
+  }
   return 0;
 }

@@ -54,6 +54,24 @@ void BackendDaemon::set_feedback_sink(
   feedback_sink_ = std::move(s);
 }
 
+std::uint64_t BackendDaemon::wire_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& c : conns_) {
+    total += c->channel->request.bytes_sent() +
+             c->channel->response.bytes_sent();
+  }
+  return total;
+}
+
+std::uint64_t BackendDaemon::wire_packets() const {
+  std::uint64_t total = 0;
+  for (const auto& c : conns_) {
+    total += c->channel->request.packets_sent() +
+             c->channel->response.packets_sent();
+  }
+  return total;
+}
+
 void BackendDaemon::route_op(cuda::ProcessId pid, cuda::cudaStream_t stream,
                              const gpu::GpuDevice::Op& op) {
   auto it = routes_.find({pid, stream});
@@ -80,6 +98,15 @@ rpc::DuplexChannel& BackendDaemon::connect(
   conn->channel = std::make_unique<rpc::DuplexChannel>(
       sim_, link, std::move(tx), std::move(rx));
   conn->gate = std::make_unique<core::WakeGate>(sim_);
+  if (tracer_ != nullptr) {
+    // Frontend->backend traffic renders on the directed network tracks.
+    conn->channel->request.set_tracer(tracer_,
+                                      tracer_->link_track(app.origin_node,
+                                                          node_));
+    conn->channel->response.set_tracer(tracer_,
+                                       tracer_->link_track(node_,
+                                                           app.origin_node));
+  }
   Conn& c = *conn;
   conns_.push_back(std::move(conn));
 
@@ -196,6 +223,18 @@ bool BackendDaemon::handle_request(Conn& conn, cuda::ProcessId pid,
   const bool packed = config_.design != Design::kProcessPerApp;
   std::uint64_t response_payload = 0;  // D2H data riding the response
 
+  const int req_track =
+      tracer_ != nullptr ? tracer_->request_track(conn.app.app_id) : -1;
+  const sim::SimTime handle_start = sim_.now();
+  if (tracer_ != nullptr && req.delivered_at >= 0) {
+    // Time the packet spent in the worker's inbox before being picked up.
+    tracer_->request_phase(conn.app.app_id, obs::ReqPhase::kBackendQueue,
+                           req.delivered_at);
+    if (handle_start > req.delivered_at) {
+      tracer_->complete(req_track, "queue", req.delivered_at, handle_start);
+    }
+  }
+
   auto gate_gpu_work = [&] {
     // The dispatcher's RT-signal analog: a sleeping backend worker does not
     // issue new GPU work. Per-app workers exist in Designs I (processes,
@@ -203,7 +242,19 @@ bool BackendDaemon::handle_request(Conn& conn, cuda::ProcessId pid,
     // cannot be gated per application.
     if (conn.gate && config_.design != Design::kSingleMaster &&
         config_.use_device_scheduler) {
+      const sim::SimTime t0 = sim_.now();
+      if (tracer_ != nullptr) {
+        tracer_->request_phase(conn.app.app_id, obs::ReqPhase::kDispatchWait,
+                               t0);
+      }
       conn.gate->wait_until_awake();
+      if (tracer_ != nullptr && sim_.now() > t0) {
+        tracer_->complete(req_track, "gate_wait", t0, sim_.now());
+      }
+    }
+    if (tracer_ != nullptr) {
+      tracer_->request_phase(conn.app.app_id, obs::ReqPhase::kExecute,
+                             sim_.now());
     }
   };
   auto set_phase = [&](Phase p) {
@@ -378,6 +429,10 @@ bool BackendDaemon::handle_request(Conn& conn, cuda::ProcessId pid,
     }
   }
 
+  if (tracer_ != nullptr && sim_.now() > handle_start) {
+    tracer_->complete(req_track, std::string("be ") + rpc::call_name(req.call),
+                      handle_start, sim_.now());
+  }
   if (!req.oneway) {
     rpc::Packet resp;
     resp.seq = req.seq;

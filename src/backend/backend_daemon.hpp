@@ -83,6 +83,16 @@ class BackendDaemon {
   const BackendConfig& config() const { return config_; }
   std::int64_t connections_accepted() const { return connections_; }
 
+  /// Attaches the observability tracer: connection channels get transmit
+  /// spans on the network tracks and every request gets queue / gate-wait /
+  /// handling spans plus lifecycle phases. Must be set before connect().
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Total bytes / packets this daemon's connections have put on the wire
+  /// (both directions), for the metrics registry.
+  std::uint64_t wire_bytes() const;
+  std::uint64_t wire_packets() const;
+
  private:
   struct Conn {
     AppDescriptor app;
@@ -122,6 +132,7 @@ class BackendDaemon {
            std::pair<core::GpuScheduler*, int>>
       routes_;
   std::function<void(const core::FeedbackRecord&)> feedback_sink_;
+  obs::Tracer* tracer_ = nullptr;
   std::int64_t connections_ = 0;
   /// Design II: per-device master inbox of (conn index, packet).
   std::vector<std::unique_ptr<sim::Mailbox<std::pair<Conn*, rpc::Packet>>>>

@@ -23,7 +23,7 @@ int GpuScheduler::register_app(const RcbInit& init) {
   e.registered_at = sim_.now();
   rcb_.emplace(signal_id, std::move(e));
   arm_epoch();
-  if (trace_ != nullptr) {
+  if (trace_ != nullptr && trace_->enabled()) {
     // Handshake steps 1+2 (paper Fig. 7a): registration and signal-id reply.
     trace_->log("gpusched/" + std::to_string(gid_), "rm.register",
                 "app=" + init.app_type + " tenant=" + init.tenant);
@@ -37,12 +37,31 @@ void GpuScheduler::ack(int signal_id) {
   auto it = rcb_.find(signal_id);
   assert(it != rcb_.end() && "ack for unknown signal id");
   it->second.acked = true;
-  if (trace_ != nullptr) {
+  if (trace_ != nullptr && trace_->enabled()) {
     // Handshake step 3: the backend thread installed its handler.
     trace_->log("gpusched/" + std::to_string(gid_), "rm.ack",
                 "signal=" + std::to_string(signal_id));
   }
   run_dispatcher();  // let the new thread take effect immediately
+  // The admit decision is the thread's first wake: gates are born open, so
+  // run_dispatcher above records no transition when the policy keeps the
+  // newcomer running. Count it (and render the instant) here instead;
+  // policies that put the newcomer to sleep already logged the sleep.
+  const RcbEntry& e = it->second;
+  if (e.init.gate != nullptr && e.init.gate->awake()) {
+    ++wakes_;
+    if (trace_ != nullptr && trace_->enabled()) {
+      trace_->log("gpusched/" + std::to_string(gid_), "dispatch.wake",
+                  "signal=" + std::to_string(signal_id) +
+                      " app=" + e.init.app_type + " admit=1");
+    }
+    if (tracer_ != nullptr) {
+      tracer_->dispatcher_event(gid_, /*wake=*/true, sim_.now(),
+                                {{"app", e.init.app_type},
+                                 {"signal", std::to_string(signal_id)},
+                                 {"admit", "1"}});
+    }
+  }
 }
 
 FeedbackRecord GpuScheduler::unregister_app(int signal_id) {
@@ -66,7 +85,7 @@ FeedbackRecord GpuScheduler::unregister_app(int signal_id) {
   // Leave the thread awake on the way out so teardown never blocks.
   if (e.init.gate != nullptr) e.init.gate->set(true);
   rcb_.erase(it);
-  if (trace_ != nullptr) {
+  if (trace_ != nullptr && trace_->enabled()) {
     trace_->log("gpusched/" + std::to_string(gid_), "fe.feedback",
                 "app=" + rec.app_type + " gpu_util=" +
                     std::to_string(rec.gpu_util));
@@ -98,6 +117,16 @@ void GpuScheduler::on_op_complete(int signal_id,
         static_cast<double>(op.kernel.nominal_duration));
   } else {
     e.transfer_time += duration;
+  }
+  if (tracer_ != nullptr) {
+    // Render the op's engine residency on the device's compute/copy track.
+    const char* kind = op.kind == gpu::GpuDevice::OpKind::kKernel ? "KL"
+                       : op.kind == gpu::GpuDevice::OpKind::kH2D ? "H2D"
+                                                                 : "D2H";
+    tracer_->gpu_op(gid_, kind, op.started, op.completed,
+                    {{"app", e.init.app_type},
+                     {"tenant", e.init.tenant},
+                     {"signal", std::to_string(signal_id)}});
   }
 }
 
@@ -180,11 +209,23 @@ void GpuScheduler::run_dispatcher() {
     const bool keep_awake =
         std::find(awake.begin(), awake.end(), static_cast<std::uint64_t>(id)) !=
         awake.end();
-    if (trace_ != nullptr && e.init.gate->awake() != keep_awake) {
-      trace_->log("gpusched/" + std::to_string(gid_),
-                  keep_awake ? "dispatch.wake" : "dispatch.sleep",
-                  "signal=" + std::to_string(id) + " app=" +
-                      e.init.app_type);
+    if (e.init.gate->awake() != keep_awake) {
+      if (keep_awake) {
+        ++wakes_;
+      } else {
+        ++sleeps_;
+      }
+      if (trace_ != nullptr && trace_->enabled()) {
+        trace_->log("gpusched/" + std::to_string(gid_),
+                    keep_awake ? "dispatch.wake" : "dispatch.sleep",
+                    "signal=" + std::to_string(id) + " app=" +
+                        e.init.app_type);
+      }
+      if (tracer_ != nullptr) {
+        tracer_->dispatcher_event(gid_, keep_awake, sim_.now(),
+                                  {{"app", e.init.app_type},
+                                   {"signal", std::to_string(id)}});
+      }
     }
     e.init.gate->set(keep_awake);
   }

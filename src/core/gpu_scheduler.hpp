@@ -23,6 +23,7 @@
 
 #include "core/tables.hpp"
 #include "gpu/gpu_device.hpp"
+#include "obs/trace.hpp"
 #include "policies/device_policies.hpp"
 #include "simcore/simulation.hpp"
 #include "simcore/trace_log.hpp"
@@ -104,6 +105,11 @@ class GpuScheduler {
   /// Optional structured tracing of RM handshakes and dispatcher decisions.
   void set_trace_log(sim::TraceLog* log) { trace_ = log; }
 
+  /// Observability tracer: op-completion spans land on the device's
+  /// compute/copy tracks and dispatcher wake/sleep transitions become
+  /// instants on its dispatch track (register_gpu(gid) must have run).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   // ---- introspection ----
   std::vector<policies::RcbSnapshot> snapshot() const;
   sim::SimTime service_attained(int signal_id) const;
@@ -115,6 +121,9 @@ class GpuScheduler {
   }
   int registered_count() const { return static_cast<int>(rcb_.size()); }
   std::int64_t epochs_run() const { return epochs_; }
+  /// Dispatcher gate transitions since construction (sleep->awake and back).
+  std::int64_t dispatcher_wakes() const { return wakes_; }
+  std::int64_t dispatcher_sleeps() const { return sleeps_; }
   Gid gid() const { return gid_; }
   const policies::DeviceSchedPolicy& policy() const { return *policy_; }
   const Config& config() const { return config_; }
@@ -154,6 +163,9 @@ class GpuScheduler {
   std::int64_t epochs_ = 0;
   std::function<void(const FeedbackRecord&)> feedback_sink_;
   sim::TraceLog* trace_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  std::int64_t wakes_ = 0;
+  std::int64_t sleeps_ = 0;
 };
 
 }  // namespace strings::core

@@ -73,6 +73,9 @@ Gid MapperAgent::select_device(const std::string& app_type) {
     client_->post(rpc::CallId::kBindReport, std::move(m));
   }
   stats_.placement_latencies.push_back(sim_.now() - t0);
+  if (latency_hist_ != nullptr) {
+    latency_hist_->observe(sim::to_millis(sim_.now() - t0));
+  }
   return gid;
 }
 

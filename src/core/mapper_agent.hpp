@@ -24,6 +24,7 @@
 #include "core/gpool.hpp"
 #include "core/placement_service.hpp"
 #include "core/tables.hpp"
+#include "obs/registry.hpp"
 #include "rpc/channel.hpp"
 #include "simcore/simulation.hpp"
 
@@ -57,6 +58,10 @@ class MapperAgent {
   /// Counters including this agent's channel byte/packet totals.
   ControlPlaneStats stats() const;
 
+  /// Optional registry histogram: every placement decision's latency is
+  /// additionally observed into it (milliseconds).
+  void set_latency_histogram(obs::Histogram* h) { latency_hist_ = h; }
+
  private:
   bool use_rpc() const;
   void refresh_snapshot_if_stale();
@@ -78,6 +83,7 @@ class MapperAgent {
   std::vector<FeedbackRecord> pending_feedback_;
   bool flush_armed_ = false;
   ControlPlaneStats stats_;
+  obs::Histogram* latency_hist_ = nullptr;
 };
 
 }  // namespace strings::core

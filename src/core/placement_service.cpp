@@ -64,7 +64,7 @@ Gid PlacementService::select_device(const std::string& app_type,
     ++static_selections_;
   }
   assert(gid >= 0 && gid < gmap_.size());
-  if (trace_ != nullptr) {
+  if (trace_ != nullptr && trace_->enabled()) {
     trace_->log("mapper", "tgs.select",
                 "app=" + app_type + " gid=" + std::to_string(gid) +
                     " policy=" +
@@ -96,7 +96,7 @@ void PlacementService::on_feedback(const FeedbackRecord& rec) {
   const bool was_static = !use_feedback_for(rec.app_type);
   state_.sft.update(rec);
   ++state_.version;
-  if (trace_ != nullptr) {
+  if (trace_ != nullptr && trace_->enabled()) {
     trace_->log("mapper", "pa.feedback", "app=" + rec.app_type);
     if (was_static && use_feedback_for(rec.app_type)) {
       // The paper's dynamic policy switching point.
@@ -121,6 +121,12 @@ rpc::DuplexChannel& PlacementService::connect_agent(
   conn->channel = std::make_unique<rpc::DuplexChannel>(sim, link,
                                                        std::move(tx),
                                                        std::move(rx));
+  if (tracer_ != nullptr) {
+    conn->channel->request.set_tracer(
+        tracer_, tracer_->link_track(agent_node, service_node_));
+    conn->channel->response.set_tracer(
+        tracer_, tracer_->link_track(service_node_, agent_node));
+  }
   AgentConn& c = *conn;
   conns_.push_back(std::move(conn));
   sim.spawn_daemon("placement/agent" + std::to_string(agent_node),

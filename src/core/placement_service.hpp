@@ -111,6 +111,14 @@ class PlacementService {
   /// Optional structured tracing of selections and Arbiter switches.
   void set_trace_log(sim::TraceLog* log) { trace_ = log; }
 
+  /// Observability tracer: control-plane channels created by subsequent
+  /// connect_agent() calls emit transmit spans on the network tracks
+  /// between each agent's node and `service_node`.
+  void set_tracer(obs::Tracer* tracer, NodeId service_node) {
+    tracer_ = tracer;
+    service_node_ = service_node;
+  }
+
  private:
   struct AgentConn {
     NodeId node = -1;
@@ -134,6 +142,8 @@ class PlacementService {
   std::int64_t rpcs_served_ = 0;
   bool finalized_ = false;
   sim::TraceLog* trace_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  NodeId service_node_ = 0;
 };
 
 }  // namespace strings::core

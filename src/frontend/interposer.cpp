@@ -17,11 +17,46 @@ Interposer::~Interposer() {
   // keeps the binding until teardown, mirroring a killed frontend process.
 }
 
+void Interposer::phase(obs::ReqPhase p) {
+  if (tracing()) {
+    config_.tracer->request_phase(app_.app_id, p, config_.sim->now());
+  }
+}
+
+std::vector<std::byte> Interposer::traced_call(rpc::CallId id,
+                                               rpc::Marshal&& args,
+                                               std::uint64_t payload_bytes) {
+  if (!tracing()) return client_->call(id, std::move(args), payload_bytes);
+  const sim::SimTime t0 = config_.sim->now();
+  phase(obs::ReqPhase::kMarshal);
+  phase(obs::ReqPhase::kTransit);
+  auto out = client_->call(id, std::move(args), payload_bytes);
+  config_.tracer->complete(config_.tracer->request_track(app_.app_id),
+                           rpc::call_name(id), t0, config_.sim->now());
+  return out;
+}
+
+void Interposer::traced_post(rpc::CallId id, rpc::Marshal&& args,
+                             std::uint64_t payload_bytes) {
+  if (!tracing()) {
+    client_->post(id, std::move(args), payload_bytes);
+    return;
+  }
+  phase(obs::ReqPhase::kMarshal);
+  phase(obs::ReqPhase::kTransit);
+  client_->post(id, std::move(args), payload_bytes);
+  config_.tracer->instant(config_.tracer->request_track(app_.app_id),
+                          std::string("post ") + rpc::call_name(id),
+                          config_.sim->now());
+}
+
 cuda::cudaError_t Interposer::ensure_bound() {
   if (client_ != nullptr) return cudaError_t::cudaSuccess;
   // (i) forward device selection to the workload balancer; (ii) receive the
   // GID; (iii) resolve node/local ids via the gMap; (iv) bind to the backend
   // over GPU remoting.
+  const sim::SimTime bind_start = tracing() ? config_.sim->now() : 0;
+  phase(obs::ReqPhase::kBind);
   const core::Gid gid =
       directory_.select_device(app_.app_type, app_.origin_node);
   gid_ = gid;
@@ -32,6 +67,13 @@ cuda::cudaError_t Interposer::ensure_bound() {
       directory_.link_between(app_.origin_node, entry.node), std::move(tx),
       std::move(rx));
   client_ = std::make_unique<rpc::RpcClient>(ch);
+  if (tracing()) {
+    config_.tracer->complete(
+        config_.tracer->request_track(app_.app_id), "bind", bind_start,
+        config_.sim->now(),
+        {{"gid", std::to_string(gid)},
+         {"node", std::to_string(entry.node)}});
+  }
   return cudaError_t::cudaSuccess;
 }
 
@@ -46,7 +88,7 @@ cuda::cudaError_t Interposer::cudaMalloc(cuda::DevPtr* ptr,
   if (ptr == nullptr) return cudaError_t::cudaErrorInvalidValue;
   const cudaError_t bind_err = ensure_bound();
   if (bind_err != cudaError_t::cudaSuccess) return bind_err;
-  rpc::Unmarshal u(client_->call(CallId::kMalloc,
+  rpc::Unmarshal u(traced_call(CallId::kMalloc,
                                  backend::encode_malloc(bytes)));
   const auto err = u.get_enum<cudaError_t>();
   *ptr = u.get_u64();
@@ -58,10 +100,10 @@ cuda::cudaError_t Interposer::cudaFree(cuda::DevPtr ptr) {
   if (bind_err != cudaError_t::cudaSuccess) return bind_err;
   if (config_.nonblocking_rpc) {
     // No output parameters: fire and forget.
-    client_->post(CallId::kFree, backend::encode_free(ptr));
+    traced_post(CallId::kFree, backend::encode_free(ptr));
     return cudaError_t::cudaSuccess;
   }
-  rpc::Unmarshal u(client_->call(CallId::kFree, backend::encode_free(ptr)));
+  rpc::Unmarshal u(traced_call(CallId::kFree, backend::encode_free(ptr)));
   return u.get_enum<cudaError_t>();
 }
 
@@ -78,7 +120,7 @@ cuda::cudaError_t Interposer::cudaMemcpy(cuda::DevPtr ptr, std::size_t bytes,
     // The backend's MOT turns this into a staged asynchronous copy, so no
     // output flows back; the RPC itself can be one-way too, hiding the
     // interposition + marshalling overhead (paper §III-B-2).
-    client_->post(CallId::kMemcpy, backend::encode_memcpy(ptr, bytes, kind),
+    traced_post(CallId::kMemcpy, backend::encode_memcpy(ptr, bytes, kind),
                   up_bytes);
     return cudaError_t::cudaSuccess;
   }
@@ -95,11 +137,11 @@ cuda::cudaError_t Interposer::cudaMemcpyAsync(cuda::DevPtr ptr,
   const std::uint64_t up_bytes =
       kind == cuda::cudaMemcpyKind::cudaMemcpyHostToDevice ? bytes : 0;
   if (config_.nonblocking_rpc) {
-    client_->post(CallId::kMemcpyAsync,
+    traced_post(CallId::kMemcpyAsync,
                   backend::encode_memcpy(ptr, bytes, kind), up_bytes);
     return cudaError_t::cudaSuccess;
   }
-  rpc::Unmarshal u(client_->call(CallId::kMemcpyAsync,
+  rpc::Unmarshal u(traced_call(CallId::kMemcpyAsync,
                                  backend::encode_memcpy(ptr, bytes, kind),
                                  up_bytes));
   return u.get_enum<cudaError_t>();
@@ -109,17 +151,17 @@ cuda::cudaError_t Interposer::cudaLaunch(const cuda::KernelLaunch& kl) {
   const cudaError_t bind_err = ensure_bound();
   if (bind_err != cudaError_t::cudaSuccess) return bind_err;
   if (config_.nonblocking_rpc) {
-    client_->post(CallId::kLaunch, backend::encode_launch(kl));
+    traced_post(CallId::kLaunch, backend::encode_launch(kl));
     return cudaError_t::cudaSuccess;
   }
-  rpc::Unmarshal u(client_->call(CallId::kLaunch, backend::encode_launch(kl)));
+  rpc::Unmarshal u(traced_call(CallId::kLaunch, backend::encode_launch(kl)));
   return u.get_enum<cudaError_t>();
 }
 
 cuda::cudaError_t Interposer::cudaDeviceSynchronize() {
   const cudaError_t bind_err = ensure_bound();
   if (bind_err != cudaError_t::cudaSuccess) return bind_err;
-  rpc::Unmarshal u(client_->call(CallId::kDeviceSynchronize, rpc::Marshal{}));
+  rpc::Unmarshal u(traced_call(CallId::kDeviceSynchronize, rpc::Marshal{}));
   return u.get_enum<cudaError_t>();
 }
 
@@ -127,7 +169,7 @@ cuda::cudaError_t Interposer::cudaEventCreate(cuda::cudaEvent_t* event) {
   if (event == nullptr) return cudaError_t::cudaErrorInvalidValue;
   const cudaError_t bind_err = ensure_bound();
   if (bind_err != cudaError_t::cudaSuccess) return bind_err;
-  rpc::Unmarshal u(client_->call(CallId::kEventCreate, rpc::Marshal{}));
+  rpc::Unmarshal u(traced_call(CallId::kEventCreate, rpc::Marshal{}));
   const auto err = u.get_enum<cudaError_t>();
   *event = u.get_u64();
   return err;
@@ -140,10 +182,10 @@ cuda::cudaError_t Interposer::cudaEventRecord(cuda::cudaEvent_t event) {
   m.put_u64(event);
   if (config_.nonblocking_rpc) {
     // Record has no output parameters: fire and forget.
-    client_->post(CallId::kEventRecord, std::move(m));
+    traced_post(CallId::kEventRecord, std::move(m));
     return cudaError_t::cudaSuccess;
   }
-  rpc::Unmarshal u(client_->call(CallId::kEventRecord, std::move(m)));
+  rpc::Unmarshal u(traced_call(CallId::kEventRecord, std::move(m)));
   return u.get_enum<cudaError_t>();
 }
 
@@ -152,7 +194,7 @@ cuda::cudaError_t Interposer::cudaEventSynchronize(cuda::cudaEvent_t event) {
   if (bind_err != cudaError_t::cudaSuccess) return bind_err;
   rpc::Marshal m;
   m.put_u64(event);
-  rpc::Unmarshal u(client_->call(CallId::kEventSynchronize, std::move(m)));
+  rpc::Unmarshal u(traced_call(CallId::kEventSynchronize, std::move(m)));
   return u.get_enum<cudaError_t>();
 }
 
@@ -165,7 +207,7 @@ cuda::cudaError_t Interposer::cudaEventElapsedTime(double* ms,
   rpc::Marshal m;
   m.put_u64(start);
   m.put_u64(end);
-  rpc::Unmarshal u(client_->call(CallId::kEventElapsedTime, std::move(m)));
+  rpc::Unmarshal u(traced_call(CallId::kEventElapsedTime, std::move(m)));
   const auto err = u.get_enum<cudaError_t>();
   *ms = u.get_double();
   return err;
@@ -177,17 +219,17 @@ cuda::cudaError_t Interposer::cudaEventDestroy(cuda::cudaEvent_t event) {
   rpc::Marshal m;
   m.put_u64(event);
   if (config_.nonblocking_rpc) {
-    client_->post(CallId::kEventDestroy, std::move(m));
+    traced_post(CallId::kEventDestroy, std::move(m));
     return cudaError_t::cudaSuccess;
   }
-  rpc::Unmarshal u(client_->call(CallId::kEventDestroy, std::move(m)));
+  rpc::Unmarshal u(traced_call(CallId::kEventDestroy, std::move(m)));
   return u.get_enum<cudaError_t>();
 }
 
 cuda::cudaError_t Interposer::cudaThreadExit() {
   if (exited_) return cudaError_t::cudaSuccess;
   if (client_ == nullptr) return cudaError_t::cudaSuccess;  // never bound
-  rpc::Unmarshal u(client_->call(CallId::kThreadExit, rpc::Marshal{}));
+  rpc::Unmarshal u(traced_call(CallId::kThreadExit, rpc::Marshal{}));
   const auto err = u.get_enum<cudaError_t>();
   if (u.get_bool()) {
     // Feedback Engine record piggybacked on the response: forward it to
@@ -198,6 +240,9 @@ cuda::cudaError_t Interposer::cudaThreadExit() {
   assert(gid_.has_value());
   directory_.unbind(*gid_, app_.app_type, app_.origin_node);
   exited_ = true;
+  if (tracing()) {
+    config_.tracer->end_request(app_.app_id, config_.sim->now());
+  }
   return err;
 }
 

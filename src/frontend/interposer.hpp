@@ -56,6 +56,12 @@ class SchedulerDirectory {
 struct InterposerConfig {
   /// Post output-free calls one-way instead of waiting for a reply.
   bool nonblocking_rpc = true;
+  /// Observability hooks: when both are set, the interposer records
+  /// request-lifecycle phases and per-call spans on the request's track.
+  /// Left null (the default) the instrumentation compiles down to a single
+  /// pointer test per call.
+  sim::Simulation* sim = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 class Interposer final : public GpuApi {
@@ -94,6 +100,19 @@ class Interposer final : public GpuApi {
   /// Binds lazily: apps that skip cudaSetDevice still get balanced on
   /// their first real GPU call (the interposer owns device selection).
   cuda::cudaError_t ensure_bound();
+
+  bool tracing() const {
+    return config_.tracer != nullptr && config_.sim != nullptr;
+  }
+  /// Records a lifecycle phase transition (no-op without a tracer).
+  void phase(obs::ReqPhase p);
+  /// client_->call with marshal/transit phases and a span on the request
+  /// track covering the full blocking round trip.
+  std::vector<std::byte> traced_call(rpc::CallId id, rpc::Marshal&& args,
+                                     std::uint64_t payload_bytes = 0);
+  /// client_->post with phases and an instant marker (one-way, no span).
+  void traced_post(rpc::CallId id, rpc::Marshal&& args,
+                   std::uint64_t payload_bytes = 0);
 
   SchedulerDirectory& directory_;
   backend::AppDescriptor app_;

@@ -30,7 +30,9 @@ double jain_fairness(const std::vector<double>& attained);
 
 double mean(const std::vector<double>& v);
 double geomean(const std::vector<double>& v);
-/// p-th percentile (0..100) by nearest-rank on a copy; 0 for empty input.
+/// p-th percentile (0..100) by linear interpolation between closest ranks
+/// on a sorted copy; 0 for empty input. p is clamped to [0, 100], so p0 is
+/// the minimum and p100 the maximum.
 double percentile(std::vector<double> v, double p);
 /// Population coefficient of variation (stddev / mean); 0 for empty input.
 double coeff_of_variation(const std::vector<double>& v);

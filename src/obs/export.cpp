@@ -1,0 +1,137 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace strings::obs {
+
+namespace {
+
+/// Microseconds with nanosecond precision (Chrome traces use double us).
+std::string fmt_us(sim::SimTime ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  return buf;
+}
+
+void write_args(std::ostream& os, const std::vector<TraceArg>& args) {
+  os << "\"args\":{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '"' << json_escape(args[i].key) << "\":\""
+       << json_escape(args[i].value) << '"';
+  }
+  os << '}';
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_chrome_trace(const Tracer& tracer, std::ostream& os) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+
+  // Metadata: process and thread names + sort order.
+  const auto& procs = tracer.processes();
+  for (std::size_t pid = 0; pid < procs.size(); ++pid) {
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << json_escape(procs[pid].name)
+       << "\"}}";
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"process_sort_index\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"sort_index\":" << procs[pid].sort_index
+       << "}}";
+  }
+  for (const auto& t : tracer.tracks()) {
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << t.pid
+       << ",\"tid\":" << t.tid << ",\"args\":{\"name\":\""
+       << json_escape(t.name) << "\"}}";
+  }
+
+  const auto& tracks = tracer.tracks();
+  for (const auto& e : tracer.events()) {
+    const auto& t = tracks[static_cast<std::size_t>(e.track)];
+    sep();
+    switch (e.type) {
+      case Tracer::EventType::kComplete:
+        os << "{\"ph\":\"X\",\"name\":\"" << json_escape(e.name)
+           << "\",\"pid\":" << t.pid << ",\"tid\":" << t.tid
+           << ",\"ts\":" << fmt_us(e.ts) << ",\"dur\":" << fmt_us(e.dur)
+           << ',';
+        write_args(os, e.args);
+        os << '}';
+        break;
+      case Tracer::EventType::kInstant:
+        os << "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"" << json_escape(e.name)
+           << "\",\"pid\":" << t.pid << ",\"tid\":" << t.tid
+           << ",\"ts\":" << fmt_us(e.ts) << ',';
+        write_args(os, e.args);
+        os << '}';
+        break;
+      case Tracer::EventType::kCounter: {
+        char val[48];
+        std::snprintf(val, sizeof val, "%.17g", e.value);
+        os << "{\"ph\":\"C\",\"name\":\"" << json_escape(e.name)
+           << "\",\"pid\":" << t.pid << ",\"tid\":" << t.tid
+           << ",\"ts\":" << fmt_us(e.ts) << ",\"args\":{\"value\":" << val
+           << "}}";
+        break;
+      }
+    }
+  }
+  os << "\n]}\n";
+}
+
+bool write_chrome_trace_file(const Tracer& tracer, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(tracer, out);
+  return static_cast<bool>(out);
+}
+
+void write_metrics_csv(const Registry& registry, std::ostream& os) {
+  os << registry.to_csv();
+}
+
+bool write_metrics_csv_file(const Registry& registry,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_metrics_csv(registry, out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace strings::obs

@@ -1,0 +1,129 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace strings::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_.assign(bounds_.size() + 1, 0);  // +1: the implicit +inf bucket
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+std::vector<std::int64_t> Histogram::cumulative() const {
+  std::vector<std::int64_t> out(buckets_.size());
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    acc += buckets_[i];
+    out[i] = acc;
+  }
+  return out;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+void Registry::gauge_fn(const std::string& name, std::function<double()> fn) {
+  gauge(name).fn_ = std::move(fn);
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+bool Registry::contains(const std::string& name) const {
+  return counters_.count(name) != 0 || gauges_.count(name) != 0 ||
+         histograms_.count(name) != 0;
+}
+
+std::size_t Registry::size() const {
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::vector<Registry::Sample> Registry::collect() const {
+  // Merge the three name-sorted maps into one lexicographic stream.
+  std::vector<Sample> out;
+  auto c = counters_.begin();
+  auto g = gauges_.begin();
+  auto h = histograms_.begin();
+  auto next_name = [&]() -> const std::string* {
+    const std::string* best = nullptr;
+    if (c != counters_.end()) best = &c->first;
+    if (g != gauges_.end() && (best == nullptr || g->first < *best)) {
+      best = &g->first;
+    }
+    if (h != histograms_.end() && (best == nullptr || h->first < *best)) {
+      best = &h->first;
+    }
+    return best;
+  };
+  auto fmt_bound = [](double b) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", b);
+    return std::string(buf);
+  };
+  while (const std::string* name = next_name()) {
+    if (c != counters_.end() && &c->first == name) {
+      out.push_back({*name, "value", static_cast<double>(c->second->value())});
+      ++c;
+    } else if (g != gauges_.end() && &g->first == name) {
+      out.push_back({*name, "value", g->second->value()});
+      ++g;
+    } else {
+      const Histogram& hist = *h->second;
+      out.push_back({*name, "count", static_cast<double>(hist.count())});
+      out.push_back({*name, "sum", hist.sum()});
+      out.push_back({*name, "min", hist.min()});
+      out.push_back({*name, "max", hist.max()});
+      const auto cum = hist.cumulative();
+      for (std::size_t i = 0; i < hist.bounds().size(); ++i) {
+        out.push_back({*name, "le_" + fmt_bound(hist.bounds()[i]),
+                       static_cast<double>(cum[i])});
+      }
+      out.push_back({*name, "le_inf", static_cast<double>(cum.back())});
+      ++h;
+    }
+  }
+  return out;
+}
+
+std::string Registry::to_csv() const {
+  std::ostringstream os;
+  os << "metric,field,value\n";
+  for (const auto& s : collect()) {
+    char buf[64];
+    // %.17g round-trips doubles; integers render without a trailing ".0".
+    std::snprintf(buf, sizeof buf, "%.17g", s.value);
+    os << s.metric << ',' << s.field << ',' << buf << '\n';
+  }
+  return os.str();
+}
+
+std::vector<double> default_latency_buckets_ms() {
+  return {0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 1000.0};
+}
+
+}  // namespace strings::obs

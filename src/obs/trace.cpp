@@ -1,0 +1,191 @@
+#include "obs/trace.hpp"
+
+namespace strings::obs {
+
+const char* req_phase_name(ReqPhase p) {
+  switch (p) {
+    case ReqPhase::kIssue: return "issue";
+    case ReqPhase::kBind: return "bind";
+    case ReqPhase::kMarshal: return "marshal";
+    case ReqPhase::kTransit: return "transit";
+    case ReqPhase::kBackendQueue: return "backend_queue";
+    case ReqPhase::kDispatchWait: return "dispatch_wait";
+    case ReqPhase::kExecute: return "execute";
+    case ReqPhase::kComplete: return "complete";
+  }
+  return "?";
+}
+
+int RequestTrace::count(ReqPhase p) const {
+  int n = 0;
+  for (const auto& s : steps) {
+    if (s.phase == p) ++n;
+  }
+  return n;
+}
+
+int Tracer::add_process(const std::string& name, int sort_index) {
+  auto it = process_by_name_.find(name);
+  if (it != process_by_name_.end()) return it->second;
+  const int pid = static_cast<int>(processes_.size());
+  processes_.push_back(ProcessInfo{name, sort_index});
+  process_by_name_.emplace(name, pid);
+  return pid;
+}
+
+int Tracer::add_track(int pid, const std::string& name) {
+  Track t;
+  t.pid = pid;
+  // tids are assigned in creation order within the process, so Perfetto
+  // shows tracks in the order the testbed registered them.
+  int tid = 0;
+  for (const auto& existing : tracks_) {
+    if (existing.pid == pid) ++tid;
+  }
+  t.tid = tid;
+  t.name = name;
+  tracks_.push_back(std::move(t));
+  return static_cast<int>(tracks_.size() - 1);
+}
+
+int Tracer::node_process(int node) {
+  return add_process("node" + std::to_string(node), /*sort_index=*/node);
+}
+
+void Tracer::complete(int track, std::string name, sim::SimTime start,
+                      sim::SimTime end, std::vector<TraceArg> args) {
+  if (track < 0) return;
+  Event e;
+  e.type = EventType::kComplete;
+  e.track = track;
+  e.name = std::move(name);
+  e.ts = start;
+  e.dur = end > start ? end - start : 0;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::instant(int track, std::string name, sim::SimTime ts,
+                     std::vector<TraceArg> args) {
+  if (track < 0) return;
+  Event e;
+  e.type = EventType::kInstant;
+  e.track = track;
+  e.name = std::move(name);
+  e.ts = ts;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::counter(int track, std::string name, sim::SimTime ts,
+                     double value) {
+  if (track < 0) return;
+  Event e;
+  e.type = EventType::kCounter;
+  e.track = track;
+  e.name = std::move(name);
+  e.ts = ts;
+  e.value = value;
+  events_.push_back(std::move(e));
+}
+
+void Tracer::register_gpu(int gid, int node, const std::string& label) {
+  if (gpu_tracks_.count(gid) != 0) return;
+  const int pid = node_process(node);
+  const std::string prefix = "gpu" + std::to_string(gid) +
+                             (label.empty() ? "" : " " + label);
+  GpuTracks t;
+  t.compute = add_track(pid, prefix + " compute");
+  t.copy = add_track(pid, prefix + " copy");
+  t.dispatch = add_track(pid, prefix + " dispatch");
+  gpu_tracks_.emplace(gid, t);
+}
+
+void Tracer::gpu_op(int gid, const char* kind, sim::SimTime start,
+                    sim::SimTime end, std::vector<TraceArg> args) {
+  auto it = gpu_tracks_.find(gid);
+  if (it == gpu_tracks_.end()) return;
+  const bool is_kernel = kind != nullptr && kind[0] == 'K';
+  complete(is_kernel ? it->second.compute : it->second.copy, kind, start, end,
+           std::move(args));
+}
+
+void Tracer::dispatcher_event(int gid, bool wake, sim::SimTime ts,
+                              std::vector<TraceArg> args) {
+  auto it = gpu_tracks_.find(gid);
+  if (it == gpu_tracks_.end()) return;
+  instant(it->second.dispatch, wake ? "dispatch.wake" : "dispatch.sleep", ts,
+          std::move(args));
+}
+
+void Tracer::gpu_counter(int gid, const char* name, sim::SimTime ts,
+                         double value) {
+  auto it = gpu_tracks_.find(gid);
+  if (it == gpu_tracks_.end()) return;
+  counter(it->second.dispatch, name, ts, value);
+}
+
+int Tracer::link_track(int from, int to) {
+  const auto key = std::make_pair(from, to);
+  auto it = link_tracks_.find(key);
+  if (it != link_tracks_.end()) return it->second;
+  const int pid = add_process("network", /*sort_index=*/1000);
+  const int track = add_track(pid, "n" + std::to_string(from) + "->n" +
+                                       std::to_string(to));
+  link_tracks_.emplace(key, track);
+  return track;
+}
+
+RequestTrace& Tracer::request_or_create(std::uint64_t app_id) {
+  auto it = requests_.find(app_id);
+  if (it != requests_.end()) return it->second;
+  RequestTrace r;
+  r.app_id = app_id;
+  r.app_type = "app";
+  return requests_.emplace(app_id, std::move(r)).first->second;
+}
+
+RequestTrace& Tracer::begin_request(std::uint64_t app_id,
+                                    const std::string& app_type,
+                                    const std::string& tenant, int origin_node,
+                                    sim::SimTime now) {
+  RequestTrace& r = request_or_create(app_id);
+  r.app_type = app_type;
+  r.tenant = tenant;
+  r.origin_node = origin_node;
+  if (r.issued_at < 0) {
+    r.issued_at = now;
+    r.steps.push_back({ReqPhase::kIssue, now});
+  }
+  return r;
+}
+
+int Tracer::request_track(std::uint64_t app_id) {
+  RequestTrace& r = request_or_create(app_id);
+  if (r.track < 0) {
+    const int pid = node_process(r.origin_node);
+    std::string name = r.app_type + "#" + std::to_string(app_id);
+    if (!r.tenant.empty()) name += " (" + r.tenant + ")";
+    r.track = add_track(pid, name);
+  }
+  return r.track;
+}
+
+void Tracer::request_phase(std::uint64_t app_id, ReqPhase phase,
+                           sim::SimTime now) {
+  RequestTrace& r = request_or_create(app_id);
+  r.steps.push_back({phase, now});
+}
+
+void Tracer::end_request(std::uint64_t app_id, sim::SimTime now) {
+  RequestTrace& r = request_or_create(app_id);
+  if (r.completed_at >= 0) return;
+  r.completed_at = now;
+  r.steps.push_back({ReqPhase::kComplete, now});
+  if (r.issued_at >= 0) {
+    complete(request_track(app_id), "request " + r.app_type, r.issued_at, now,
+             {{"tenant", r.tenant}});
+  }
+}
+
+}  // namespace strings::obs

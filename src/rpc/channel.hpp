@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "rpc/call_ids.hpp"
 #include "rpc/marshal.hpp"
 #include "simcore/simulation.hpp"
@@ -49,6 +50,9 @@ struct Packet {
   /// Bulk data that rides with the packet but is not marshalled into the
   /// body (the memcpy payload of GPU remoting). Costs wire time.
   std::uint64_t payload_bytes = 0;
+  /// Virtual time the channel delivered this packet into the receiver's
+  /// inbox (-1 if never sent). Receivers use it to measure queueing delay.
+  sim::SimTime delivered_at = -1;
 
   std::size_t wire_size() const {
     return body.size() + static_cast<std::size_t>(payload_bytes) + 24;
@@ -76,10 +80,24 @@ class Channel {
     wire_->busy_until = start + xmit;
     const sim::SimTime deliver_at = wire_->busy_until + link_.latency;
     auto shared = std::make_shared<Packet>(std::move(p));
+    shared->delivered_at = deliver_at;
+    if (tracer_ != nullptr) {
+      tracer_->complete(trace_track_, call_name(shared->call), start,
+                        deliver_at,
+                        {{"seq", std::to_string(shared->seq)},
+                         {"bytes", std::to_string(shared->wire_size())}});
+    }
     sim_.schedule(deliver_at - sim_.now(),
                   [this, shared] { inbox_.send(std::move(*shared)); });
     bytes_sent_ += shared->wire_size();
     ++packets_sent_;
+  }
+
+  /// Attaches a tracer: every send emits a transmission span (wire grab to
+  /// delivery) on `track`. Pass nullptr to detach.
+  void set_tracer(obs::Tracer* tracer, int track) {
+    tracer_ = tracer;
+    trace_track_ = track;
   }
 
   /// Blocking receive (process context).
@@ -100,6 +118,8 @@ class Channel {
   sim::Mailbox<Packet> inbox_;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  obs::Tracer* tracer_ = nullptr;
+  int trace_track_ = -1;
 };
 
 /// A request/response pair of channels (one per frontend/backend binding).

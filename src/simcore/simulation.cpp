@@ -113,13 +113,20 @@ Process& Simulation::spawn_daemon(std::string name, std::function<void()> body) 
 
 void Simulation::schedule(SimTime delay, std::function<void()> fn) {
   assert(delay >= 0 && "cannot schedule into the past");
-  queue_.push(QueuedEvent{now_ + delay, next_seq_++, std::move(fn)});
+  queue_.push(QueuedEvent{now_ + delay, next_seq_++, std::move(fn), false});
+  ++real_events_;
+}
+
+void Simulation::schedule_weak(SimTime delay, std::function<void()> fn) {
+  assert(delay >= 0 && "cannot schedule into the past");
+  queue_.push(QueuedEvent{now_ + delay, next_seq_++, std::move(fn), true});
 }
 
 bool Simulation::step() {
   if (queue_.empty()) return false;
   QueuedEvent ev = std::move(const_cast<QueuedEvent&>(queue_.top()));
   queue_.pop();
+  if (!ev.weak) --real_events_;
   assert(ev.time >= now_);
   now_ = ev.time;
   ev.fn();
@@ -136,15 +143,16 @@ bool Simulation::step() {
 }
 
 void Simulation::run() {
-  while (step()) {
-  }
+  // Weak events past the last real event are abandoned, so a self-rearming
+  // sampler does not keep the simulation alive.
+  while (real_events_ > 0) step();
   check_deadlock();
 }
 
 bool Simulation::run_until(SimTime t) {
   while (!queue_.empty() && queue_.top().time <= t) step();
   if (now_ < t) now_ = t;
-  return !queue_.empty();
+  return real_events_ > 0;
 }
 
 void Simulation::check_deadlock() const {

@@ -113,13 +113,19 @@ class Simulation {
   /// not block; it may send to mailboxes, notify events, and spawn processes.
   void schedule(SimTime delay, std::function<void()> fn);
 
-  /// Runs until no events remain. Throws DeadlockError if live processes
-  /// remain blocked with an empty event queue, and rethrows the first
-  /// exception that escaped a process body.
+  /// Like schedule(), but the event is *weak*: it runs if simulation time
+  /// reaches it, yet does not by itself keep run() alive (analogous to
+  /// daemon processes). Used by periodic observers — samplers that re-arm
+  /// themselves weakly stop automatically when the real workload drains.
+  void schedule_weak(SimTime delay, std::function<void()> fn);
+
+  /// Runs until no non-weak events remain. Throws DeadlockError if live
+  /// processes remain blocked with an empty event queue, and rethrows the
+  /// first exception that escaped a process body.
   void run();
 
   /// Runs events with timestamp <= t, then sets now() = t.
-  /// Returns true if events remain after t.
+  /// Returns true if non-weak events remain after t.
   bool run_until(SimTime t);
 
   /// The process currently holding the baton, or nullptr in kernel context.
@@ -154,6 +160,7 @@ class Simulation {
     SimTime time;
     std::uint64_t seq;
     std::function<void()> fn;
+    bool weak = false;
     bool operator>(const QueuedEvent& o) const {
       return time != o.time ? time > o.time : seq > o.seq;
     }
@@ -169,6 +176,7 @@ class Simulation {
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::int64_t real_events_ = 0;  // queued non-weak events
   std::priority_queue<QueuedEvent, std::vector<QueuedEvent>,
                       std::greater<QueuedEvent>>
       queue_;

@@ -29,16 +29,29 @@ class TraceLog {
   explicit TraceLog(Simulation& sim, std::size_t capacity = 65536)
       : sim_(sim), capacity_(capacity) {}
 
+  /// False when the log was built with capacity 0 (recording disabled).
+  /// Callers that build entry strings eagerly should check this first and
+  /// skip the formatting work entirely.
+  bool enabled() const { return capacity_ > 0; }
+
   void log(std::string component, std::string event,
            std::string detail = "") {
+    ++total_logged_;
+    if (!enabled()) return;
     entries_.push_back(Entry{sim_.now(), std::move(component),
                              std::move(event), std::move(detail)});
-    ++total_logged_;
     if (entries_.size() > capacity_) entries_.pop_front();
   }
 
   const std::deque<Entry>& entries() const { return entries_; }
   std::uint64_t total_logged() const { return total_logged_; }
+
+  /// Entries evicted from the ring (or never recorded, when disabled):
+  /// everything logged beyond what the ring retains.
+  std::uint64_t dropped() const {
+    return total_logged_ > entries_.size() ? total_logged_ - entries_.size()
+                                           : 0;
+  }
 
   /// Entries whose component and event contain the given substrings
   /// (empty matches everything).

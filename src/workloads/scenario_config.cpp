@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/export.hpp"
 #include "workloads/profiles.hpp"
 
 namespace strings::workloads {
@@ -153,6 +154,10 @@ ScenarioConfig parse_scenario(std::istream& in) {
         cfg.testbed.trace_devices = to_bool(line, value);
       } else if (key == "trace_events") {
         cfg.testbed.trace_events = to_bool(line, value);
+      } else if (key == "trace") {
+        cfg.testbed.trace = to_bool(line, value);
+      } else if (key == "sampler_epoch_ms") {
+        cfg.testbed.sampler_epoch = sim::msec(to_int(line, value));
       } else if (key == "cpu_fallback") {
         cfg.testbed.cpu_fallback_devices = to_bool(line, value);
       } else if (key == "placement") {
@@ -249,6 +254,25 @@ std::vector<StreamStats> run_scenario_config(const ScenarioConfig& cfg) {
   sim::Simulation sim;
   Testbed bed(sim, cfg.testbed);
   return run_streams(bed, cfg.streams);
+}
+
+std::vector<StreamStats> run_scenario_config(const ScenarioConfig& cfg,
+                                             const std::string& trace_path,
+                                             const std::string& metrics_path) {
+  ScenarioConfig run_cfg = cfg;
+  if (!trace_path.empty()) run_cfg.testbed.trace = true;
+  sim::Simulation sim;
+  Testbed bed(sim, run_cfg.testbed);
+  auto stats = run_streams(bed, run_cfg.streams);
+  if (!trace_path.empty() && bed.tracer() != nullptr &&
+      !obs::write_chrome_trace_file(*bed.tracer(), trace_path)) {
+    throw std::runtime_error("cannot write trace file: " + trace_path);
+  }
+  if (!metrics_path.empty() &&
+      !obs::write_metrics_csv_file(bed.metrics_registry(), metrics_path)) {
+    throw std::runtime_error("cannot write metrics file: " + metrics_path);
+  }
+  return stats;
 }
 
 }  // namespace strings::workloads

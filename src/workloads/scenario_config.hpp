@@ -18,6 +18,8 @@
 //   refresh_epoch_ms = 0      # DstSnapshot staleness bound (distributed)
 //   feedback_batch = 1        # records per kFeedbackBatch
 //   feedback_flush_ms = 1     # partial-batch flush delay
+//   trace = false             # observability spans (run_scenario --trace)
+//   sampler_epoch_ms = 1      # utilization/queue-depth sampling period
 //
 //   [stream]
 //   app = MC                  # Table I abbreviation
@@ -68,5 +70,14 @@ ScenarioConfig load_scenario(const std::string& path);
 
 /// Runs a parsed scenario to completion and returns the stream stats.
 std::vector<StreamStats> run_scenario_config(const ScenarioConfig& cfg);
+
+/// Like run_scenario_config, but additionally exports observability data:
+/// a Chrome trace-event JSON to `trace_path` (forces tracing on when
+/// non-empty) and a metrics-registry CSV to `metrics_path`. Pass "" to
+/// skip either output. Throws std::runtime_error when a file can't be
+/// written.
+std::vector<StreamStats> run_scenario_config(const ScenarioConfig& cfg,
+                                             const std::string& trace_path,
+                                             const std::string& metrics_path);
 
 }  // namespace strings::workloads

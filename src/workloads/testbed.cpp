@@ -48,13 +48,18 @@ Testbed::Testbed(sim::Simulation& sim, TestbedConfig config)
   if (config_.trace_events) {
     trace_log_ = std::make_unique<sim::TraceLog>(sim_);
   }
+  if (config_.trace) {
+    tracer_ = std::make_unique<obs::Tracer>();
+  }
   core::PlacementService::Config mcfg;
   mcfg.static_policy = config_.balancing_policy;
   mcfg.feedback_policy = config_.feedback_policy;
   service_ = std::make_unique<core::PlacementService>(mcfg);
   service_->set_trace_log(trace_log_.get());
+  if (tracer_ != nullptr) {
+    service_->set_tracer(tracer_.get(), config_.control_plane.service_node);
+  }
 
-  std::vector<std::vector<core::Gid>> node_gids;
   for (std::size_t n = 0; n < node_count; ++n) {
     devices_.emplace_back();
     std::vector<gpu::GpuDevice*> ptrs;
@@ -65,10 +70,20 @@ Testbed::Testbed(sim::Simulation& sim, TestbedConfig config)
       ptrs.push_back(devices_[n].back().get());
     }
     runtimes_.push_back(std::make_unique<cuda::CudaRuntime>(sim_, ptrs));
-    node_gids.push_back(service_->report_node(static_cast<core::NodeId>(n),
+    node_gids_.push_back(service_->report_node(static_cast<core::NodeId>(n),
                                               config_.nodes[n]));
   }
   service_->finalize();
+
+  if (tracer_ != nullptr) {
+    // One compute/copy/dispatch track triple per device, grouped by node.
+    for (std::size_t n = 0; n < node_count; ++n) {
+      for (std::size_t d = 0; d < config_.nodes[n].size(); ++d) {
+        tracer_->register_gpu(node_gids_[n][d], static_cast<int>(n),
+                              config_.nodes[n][d].name);
+      }
+    }
+  }
 
   // Precompute the shared-wire matrix (one full-duplex pair per unordered
   // node pair) so wires_between is a flat index on the binding hot path.
@@ -121,6 +136,7 @@ Testbed::Testbed(sim::Simulation& sim, TestbedConfig config)
         baseline_tenant_service_[it->second] += op.completed - op.started;
       });
     }
+    register_metrics();
     return;
   }
 
@@ -148,7 +164,7 @@ Testbed::Testbed(sim::Simulation& sim, TestbedConfig config)
   }
   for (std::size_t n = 0; n < runtimes_.size(); ++n) {
     daemons_.push_back(std::make_unique<backend::BackendDaemon>(
-        sim_, static_cast<core::NodeId>(n), *runtimes_[n], node_gids[n],
+        sim_, static_cast<core::NodeId>(n), *runtimes_[n], node_gids_[n],
         bcfg));
     if (trace_log_ != nullptr) {
       for (std::size_t d = 0; d < config_.nodes[n].size(); ++d) {
@@ -156,7 +172,135 @@ Testbed::Testbed(sim::Simulation& sim, TestbedConfig config)
             .set_trace_log(trace_log_.get());
       }
     }
+    if (tracer_ != nullptr) {
+      daemons_.back()->set_tracer(tracer_.get());
+      for (std::size_t d = 0; d < config_.nodes[n].size(); ++d) {
+        daemons_.back()->scheduler(static_cast<int>(d))
+            .set_tracer(tracer_.get());
+      }
+    }
   }
+
+  register_metrics();
+  if (tracer_ != nullptr && config_.sampler_epoch > 0) {
+    sampled_busy_.assign(static_cast<std::size_t>(service_->gmap().size()), 0);
+    sim_.schedule_weak(config_.sampler_epoch, [this] { sample_tick(); });
+  }
+}
+
+void Testbed::register_metrics() {
+  // Control plane: the service's counters plus one instrument group per
+  // node-local agent. Gauges poll the owning component at collection time,
+  // so registration costs nothing on the simulation's hot paths.
+  registry_.gauge_fn("control_plane/service/rpcs_served",
+                     [this] { return double(service_->rpcs_served()); });
+  registry_.gauge_fn("control_plane/service/static_selections",
+                     [this] { return double(service_->static_selections()); });
+  registry_.gauge_fn("control_plane/service/feedback_selections", [this] {
+    return double(service_->feedback_selections());
+  });
+  registry_.gauge_fn("control_plane/service/dst_version",
+                     [this] { return double(service_->version()); });
+  for (std::size_t n = 0; n < agents_.size(); ++n) {
+    const std::string pre = "control_plane/agent" + std::to_string(n) + "/";
+    core::MapperAgent* a = agents_[n].get();
+    registry_.gauge_fn(pre + "select_rpcs",
+                       [a] { return double(a->stats().select_rpcs); });
+    registry_.gauge_fn(pre + "sync_rpcs",
+                       [a] { return double(a->stats().sync_rpcs); });
+    registry_.gauge_fn(pre + "stale_hits",
+                       [a] { return double(a->stats().stale_hits); });
+    registry_.gauge_fn(pre + "direct_calls",
+                       [a] { return double(a->stats().direct_calls); });
+    registry_.gauge_fn(pre + "oneway_msgs",
+                       [a] { return double(a->stats().oneway_msgs); });
+    registry_.gauge_fn(pre + "bytes_sent",
+                       [a] { return double(a->stats().bytes_sent); });
+    registry_.gauge_fn(pre + "packets_sent",
+                       [a] { return double(a->stats().packets_sent); });
+    a->set_latency_histogram(&registry_.histogram(
+        pre + "placement_latency_ms", obs::default_latency_buckets_ms()));
+  }
+
+  // Devices: one group per GPU under its node.
+  for (std::size_t n = 0; n < devices_.size(); ++n) {
+    for (std::size_t d = 0; d < devices_[n].size(); ++d) {
+      const core::Gid gid = node_gids_[n][d];
+      const std::string pre = "node" + std::to_string(n) + "/gpu" +
+                              std::to_string(gid) + "/";
+      gpu::GpuDevice* dev = devices_[n][d].get();
+      registry_.gauge_fn(pre + "dev/kernels_completed", [dev] {
+        return double(dev->counters().kernels_completed);
+      });
+      registry_.gauge_fn(pre + "dev/copies_completed", [dev] {
+        return double(dev->counters().copies_completed);
+      });
+      registry_.gauge_fn(pre + "dev/compute_busy_ms", [dev] {
+        return sim::to_millis(dev->counters().compute_busy_time);
+      });
+      registry_.gauge_fn(pre + "dev/h2d_busy_ms", [dev] {
+        return sim::to_millis(dev->counters().h2d_busy_time);
+      });
+      registry_.gauge_fn(pre + "dev/d2h_busy_ms", [dev] {
+        return sim::to_millis(dev->counters().d2h_busy_time);
+      });
+    }
+  }
+
+  // Scheduled modes: dispatcher and wire instruments.
+  for (std::size_t n = 0; n < daemons_.size(); ++n) {
+    backend::BackendDaemon* daemon = daemons_[n].get();
+    const std::string npre = "node" + std::to_string(n) + "/";
+    registry_.gauge_fn(npre + "daemon/wire_bytes",
+                       [daemon] { return double(daemon->wire_bytes()); });
+    registry_.gauge_fn(npre + "daemon/wire_packets",
+                       [daemon] { return double(daemon->wire_packets()); });
+    registry_.gauge_fn(npre + "daemon/connections", [daemon] {
+      return double(daemon->connections_accepted());
+    });
+    for (std::size_t d = 0; d < config_.nodes[n].size(); ++d) {
+      core::GpuScheduler& sched = daemon->scheduler(static_cast<int>(d));
+      const std::string pre = npre + "gpu" + std::to_string(sched.gid()) +
+                              "/sched/";
+      registry_.gauge_fn(pre + "wakes", [&sched] {
+        return double(sched.dispatcher_wakes());
+      });
+      registry_.gauge_fn(pre + "sleeps", [&sched] {
+        return double(sched.dispatcher_sleeps());
+      });
+      registry_.gauge_fn(pre + "epochs",
+                         [&sched] { return double(sched.epochs_run()); });
+      registry_.gauge_fn(pre + "registered", [&sched] {
+        return double(sched.registered_count());
+      });
+    }
+  }
+}
+
+void Testbed::sample_tick() {
+  const sim::SimTime now = sim_.now();
+  for (std::size_t n = 0; n < devices_.size(); ++n) {
+    for (std::size_t d = 0; d < devices_[n].size(); ++d) {
+      const core::Gid gid = node_gids_[n][d];
+      const gpu::DeviceCounters& c = devices_[n][d]->counters();
+      const sim::SimTime busy =
+          c.compute_busy_time + c.h2d_busy_time + c.d2h_busy_time;
+      const sim::SimTime prev = sampled_busy_[static_cast<std::size_t>(gid)];
+      sampled_busy_[static_cast<std::size_t>(gid)] = busy;
+      const double util = config_.sampler_epoch > 0
+                              ? std::min(1.0, double(busy - prev) /
+                                                  double(config_.sampler_epoch))
+                              : 0.0;
+      tracer_->gpu_counter(gid, "util", now, util);
+      if (n < daemons_.size()) {
+        tracer_->gpu_counter(
+            gid, "queue_depth", now,
+            double(daemons_[n]->scheduler(static_cast<int>(d))
+                       .registered_count()));
+      }
+    }
+  }
+  sim_.schedule_weak(config_.sampler_epoch, [this] { sample_tick(); });
 }
 
 Testbed::~Testbed() = default;
@@ -186,6 +330,12 @@ std::unique_ptr<frontend::GpuApi> Testbed::make_api(
   frontend::InterposerConfig icfg;
   icfg.nonblocking_rpc =
       config_.mode != Mode::kRain && config_.nonblocking_rpc;
+  if (tracer_ != nullptr) {
+    icfg.sim = &sim_;
+    icfg.tracer = tracer_.get();
+    tracer_->begin_request(desc.app_id, desc.app_type, desc.tenant,
+                           desc.origin_node, sim_.now());
+  }
   return std::make_unique<frontend::Interposer>(*this, desc, icfg);
 }
 

@@ -28,6 +28,8 @@
 #include "frontend/direct_api.hpp"
 #include "frontend/interposer.hpp"
 #include "gpu/gpu_device.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "simcore/simulation.hpp"
 
 namespace strings::workloads {
@@ -48,6 +50,14 @@ struct TestbedConfig {
   bool trace_devices = false;
   /// Structured event tracing of scheduler decisions (Testbed::trace_log).
   bool trace_events = false;
+  /// Unified observability: request-lifecycle spans, per-device tracks and
+  /// the periodic sampler (Testbed::tracer). Off by default — a disabled
+  /// run is bit-for-bit identical to one without instrumentation.
+  bool trace = false;
+  /// Period of the sampler that renders per-GPU utilization and scheduler
+  /// queue depth as counter tracks (only runs when `trace` is set; 0
+  /// disables sampling).
+  sim::SimTime sampler_epoch = sim::msec(1);
   /// Ablation knobs (apply to Strings / Design-II modes; Rain always runs
   /// without conversions and with blocking RPC, as the real Rain did).
   bool convert_sync_to_async = true;
@@ -124,6 +134,13 @@ class Testbed final : public frontend::SchedulerDirectory {
   core::ControlPlaneStats control_plane_stats() const;
   /// Populated when TestbedConfig::trace_events is set; nullptr otherwise.
   sim::TraceLog* trace_log() { return trace_log_.get(); }
+  /// Populated when TestbedConfig::trace is set; nullptr otherwise. Export
+  /// with obs::write_chrome_trace_file after the run.
+  obs::Tracer* tracer() { return tracer_.get(); }
+  /// The deployment's metrics registry (always available). Control-plane,
+  /// scheduler, daemon, and device instruments are registered under the
+  /// node{N}/... and control_plane/... namespaces.
+  obs::Registry& metrics_registry() { return registry_; }
   cuda::CudaRuntime& runtime(core::NodeId node) {
     return *runtimes_.at(static_cast<std::size_t>(node));
   }
@@ -140,17 +157,30 @@ class Testbed final : public frontend::SchedulerDirectory {
  private:
   /// Link model between a node's agent and the service host.
   rpc::LinkModel control_link_for(core::NodeId node) const;
+  /// Registers the standing registry instruments (gauges over component
+  /// counters, the per-agent placement-latency histograms).
+  void register_metrics();
+  /// One sampler tick: emit per-GPU utilization and queue-depth counters
+  /// onto the trace, then weakly re-arm.
+  void sample_tick();
 
   sim::Simulation& sim_;
   TestbedConfig config_;
   std::vector<std::vector<std::unique_ptr<gpu::GpuDevice>>> devices_;
   std::vector<std::unique_ptr<cuda::CudaRuntime>> runtimes_;
+  /// GIDs per (node, local device), from the gPool Creator.
+  std::vector<std::vector<core::Gid>> node_gids_;
   std::unique_ptr<core::PlacementService> service_;
   /// Declared after service_: agents hold channels the service owns.
   std::vector<std::unique_ptr<core::MapperAgent>> agents_;
   std::unique_ptr<sim::TraceLog> trace_log_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  obs::Registry registry_;
   std::vector<std::unique_ptr<backend::BackendDaemon>> daemons_;
   std::uint64_t next_app_id_ = 1;
+  /// Sampler bookkeeping: last-seen busy-time totals per GID, for
+  /// utilization-over-epoch deltas.
+  std::vector<sim::SimTime> sampled_busy_;
   // Baseline-mode service accounting (no schedulers exist to measure it).
   std::map<cuda::ProcessId, std::string> baseline_pid_tenant_;
   std::map<std::string, sim::SimTime> baseline_tenant_service_;

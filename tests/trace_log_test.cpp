@@ -50,6 +50,35 @@ TEST(TraceLog, BoundedCapacityDropsOldest) {
   EXPECT_EQ(log.total_logged(), 5u);
 }
 
+TEST(TraceLog, EnabledReflectsCapacity) {
+  sim::Simulation sim;
+  sim::TraceLog on(sim);
+  EXPECT_TRUE(on.enabled());
+  sim::TraceLog off(sim, /*capacity=*/0);
+  EXPECT_FALSE(off.enabled());
+}
+
+TEST(TraceLog, DisabledLogCountsButKeepsNothing) {
+  sim::Simulation sim;
+  sim::TraceLog log(sim, /*capacity=*/0);
+  log.log("c", "e", "detail");
+  log.log("c", "e2");
+  EXPECT_TRUE(log.entries().empty());
+  EXPECT_EQ(log.total_logged(), 2u);
+  EXPECT_EQ(log.dropped(), 2u);
+}
+
+TEST(TraceLog, DroppedTracksRingEviction) {
+  sim::Simulation sim;
+  sim::TraceLog log(sim, /*capacity=*/3);
+  EXPECT_EQ(log.dropped(), 0u);
+  for (int i = 0; i < 3; ++i) log.log("c", "e");
+  EXPECT_EQ(log.dropped(), 0u);  // exactly full: nothing lost yet
+  for (int i = 0; i < 4; ++i) log.log("c", "e");
+  EXPECT_EQ(log.entries().size(), 3u);
+  EXPECT_EQ(log.dropped(), 4u);
+}
+
 TEST(TraceLog, DumpRendersReadably) {
   sim::Simulation sim;
   sim::TraceLog log(sim);
