@@ -4,12 +4,17 @@
 //
 //   $ ./bench/run_scenario my_experiment.scenario
 //   $ ./bench/run_scenario --trace out.json --metrics out.csv my.scenario
+//   $ ./bench/run_scenario --analyze report.txt my.scenario
 //
 // --trace writes a Chrome trace-event JSON (load it at https://ui.perfetto.dev
 // or chrome://tracing) with request-lifecycle spans, per-GPU op tracks and
 // dispatcher wake events; --metrics dumps the testbed's metrics registry as
-// CSV. Without a scenario path, runs a built-in demo scenario (so the bench
-// sweep exercises the path end to end).
+// CSV; --analyze runs the protocol invariant checker + logical-race
+// analysis and writes its report. Without a scenario path, runs a built-in
+// demo scenario (so the bench sweep exercises the path end to end).
+//
+// Exit codes: 0 success, 1 runtime error, 2 bad flags, 3 the run completed
+// but the analyzer found protocol invariant violations.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -56,13 +61,19 @@ void print_usage(std::FILE* out) {
                "  --trace <out.json>    write a Chrome trace-event JSON of\n"
                "                        the run (Perfetto / chrome://tracing)\n"
                "  --metrics <out.csv>   write the metrics registry as CSV\n"
-               "  -h, --help            show this help\n");
+               "  --analyze <out.txt>   run the protocol invariant checker +\n"
+               "                        logical-race analysis; write report\n"
+               "  -h, --help            show this help\n"
+               "\n"
+               "exit codes: 0 ok, 1 runtime error, 2 bad flags,\n"
+               "            3 invariant violations found by --analyze\n");
 }
 
 struct Args {
   std::string scenario_path;  // empty = built-in demo
   std::string trace_path;
   std::string metrics_path;
+  std::string analysis_path;
 };
 
 // Parses argv into Args. Returns true on success; on failure prints an
@@ -75,7 +86,7 @@ bool parse_args(int argc, char** argv, Args& args, int& exit_code) {
       exit_code = 0;
       return false;
     }
-    if (arg == "--trace" || arg == "--metrics") {
+    if (arg == "--trace" || arg == "--metrics" || arg == "--analyze") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: %s requires a file argument\n\n",
                      arg.c_str());
@@ -83,7 +94,9 @@ bool parse_args(int argc, char** argv, Args& args, int& exit_code) {
         exit_code = 2;
         return false;
       }
-      (arg == "--trace" ? args.trace_path : args.metrics_path) = argv[++i];
+      (arg == "--trace"     ? args.trace_path
+       : arg == "--metrics" ? args.metrics_path
+                            : args.analysis_path) = argv[++i];
       continue;
     }
     if (!arg.empty() && arg[0] == '-') {
@@ -127,10 +140,10 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::vector<workloads::StreamStats> stats;
+  workloads::ScenarioRunResult result;
   try {
-    stats = workloads::run_scenario_config(cfg, args.trace_path,
-                                           args.metrics_path);
+    result = workloads::run_scenario_config_full(
+        cfg, args.trace_path, args.metrics_path, args.analysis_path);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
@@ -138,7 +151,7 @@ int main(int argc, char** argv) {
 
   metrics::Table table({"Stream", "Tenant", "Completed", "Errors",
                         "Mean resp(s)", "p95(s)", "Max(s)"});
-  for (const auto& s : stats) {
+  for (const auto& s : result.streams) {
     std::vector<double> resp_s;
     for (const auto t : s.response_times) resp_s.push_back(sim::to_seconds(t));
     table.add_row({s.app, s.tenant, std::to_string(s.completed),
@@ -153,6 +166,14 @@ int main(int argc, char** argv) {
   }
   if (!args.metrics_path.empty()) {
     std::printf("(metrics written to %s)\n", args.metrics_path.c_str());
+  }
+  if (!args.analysis_path.empty()) {
+    std::printf("(analysis report written to %s: %lld invariant violations, "
+                "%lld logical races)\n",
+                args.analysis_path.c_str(),
+                static_cast<long long>(result.invariant_violations),
+                static_cast<long long>(result.logical_races));
+    if (result.invariant_violations > 0) return 3;
   }
   return 0;
 }

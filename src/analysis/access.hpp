@@ -1,0 +1,91 @@
+// Annotation macros + hook entry points for the protocol analysis layer.
+//
+// This is the only header instrumented code needs. Call sites mark reads
+// and writes of shared scheduler state (DST, SFT, RCB table, gMap, PMT,
+// per-stream queues) with ANALYSIS_ACCESS / ANALYSIS_READ / ANALYSIS_WRITE
+// and feed protocol events to the invariant registry through the inv_*
+// functions. Every entry point is gated on enabled(): with no analyzer
+// installed the macros compile to one pointer load and branch, and the
+// name/argument expressions are never evaluated — analysis off is
+// byte-for-byte invisible (pinned by tests/analysis_zero_overhead_test).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace strings::analysis {
+
+class Analyzer;
+
+namespace detail {
+extern Analyzer* g_analyzer;
+}  // namespace detail
+
+/// True while an Analyzer is installed (run_scenario --analyze, or a test).
+inline bool enabled() { return detail::g_analyzer != nullptr; }
+
+/// The installed analyzer, or nullptr.
+inline Analyzer* current() { return detail::g_analyzer; }
+
+enum class AccessMode { kRead, kWrite };
+
+/// A source location, captured by the annotation macros.
+struct Site {
+  const char* file = "";
+  int line = 0;
+};
+
+/// Records one access to the shared object at address `obj` from the
+/// current execution context. `name` is a stable human-readable identity
+/// ("service/dst", "gpu2/rcb", ...) used in reports — never the address.
+void record_access(const void* obj, const std::string& name, AccessMode mode,
+                   Site site);
+
+// --- invariant registry hooks (see docs/analysis.md for the catalog) -------
+
+/// INV-RCB-1: RCB lifecycle register -> ack -> unregister.
+void inv_rcb_register(int gid, int signal_id, Site site);
+void inv_rcb_ack(int gid, int signal_id, Site site);
+void inv_rcb_unregister(int gid, int signal_id, Site site);
+
+/// INV-HSK-1: kernel dispatch only after the three-way handshake acked.
+void inv_dispatch(int gid, int signal_id, Site site);
+
+/// INV-SST-1/2: per-stream op order and private-stream ownership. `ctx`
+/// identifies the packed GPU context; use a globally unique id (the gid) —
+/// raw ProcessIds restart per node runtime and collide across nodes.
+void inv_stream_op(std::uint64_t ctx, std::uint64_t stream,
+                   std::uint64_t app_id, Site site);
+void inv_sst_sync(std::uint64_t ctx, std::uint64_t stream,
+                  std::uint64_t app_id, Site site);
+void inv_stream_destroyed(std::uint64_t ctx, std::uint64_t stream);
+
+/// INV-DST-1/2: agent snapshot version bounded by the authoritative version
+/// and monotonic per agent.
+void inv_snapshot_install(int node, std::uint64_t snapshot_version,
+                          std::uint64_t authoritative_version, Site site);
+
+/// INV-GRR-1: under round-robin placement the per-device bound-count spread
+/// stays within the number of independent deciders.
+void inv_grr_bind(const std::vector<std::int64_t>& total_bound, Site site);
+
+}  // namespace strings::analysis
+
+#define ANALYSIS_SITE \
+  ::strings::analysis::Site { __FILE__, __LINE__ }
+
+/// Marks an access to shared scheduler state. `mode` is kRead or kWrite;
+/// `name` may be an arbitrary expression — it is only evaluated when an
+/// analyzer is installed.
+#define ANALYSIS_ACCESS(obj, name, mode)                          \
+  do {                                                            \
+    if (::strings::analysis::enabled()) {                         \
+      ::strings::analysis::record_access(                         \
+          (obj), (name), ::strings::analysis::AccessMode::mode,   \
+          ANALYSIS_SITE);                                         \
+    }                                                             \
+  } while (0)
+
+#define ANALYSIS_READ(obj, name) ANALYSIS_ACCESS(obj, name, kRead)
+#define ANALYSIS_WRITE(obj, name) ANALYSIS_ACCESS(obj, name, kWrite)

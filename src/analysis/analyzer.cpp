@@ -1,0 +1,142 @@
+#include "analysis/analyzer.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "simcore/simulation.hpp"
+
+namespace strings::analysis {
+
+namespace detail {
+Analyzer* g_analyzer = nullptr;
+}  // namespace detail
+
+void Analyzer::install(sim::Simulation& sim) {
+  if (detail::g_analyzer != nullptr && detail::g_analyzer != this) {
+    throw std::logic_error("an analyzer is already installed");
+  }
+  sim::set_sim_hooks(this);
+  detail::g_analyzer = this;
+  sim_ = &sim;
+}
+
+void Analyzer::uninstall() {
+  if (detail::g_analyzer == this) {
+    detail::g_analyzer = nullptr;
+    sim::set_sim_hooks(nullptr);
+  }
+  sim_ = nullptr;
+}
+
+sim::SimTime Analyzer::now() const { return sim_ != nullptr ? sim_->now() : 0; }
+
+void Analyzer::render(std::ostream& os) {
+  report_.set_contexts(hb_.clocked_contexts());
+  report_.render(os);
+}
+
+void Analyzer::on_event_scheduled(sim::Simulation& /*sim*/,
+                                  std::uint64_t seq) {
+  hb_.on_event_scheduled(seq);
+}
+
+void Analyzer::on_event_begin(sim::Simulation& sim, std::uint64_t seq) {
+  hb_.on_event_begin(seq, sim.now());
+}
+
+void Analyzer::on_event_end(sim::Simulation& /*sim*/, std::uint64_t seq) {
+  hb_.on_event_end(seq);
+}
+
+void Analyzer::on_process_spawned(sim::Simulation& /*sim*/, sim::Process& p) {
+  hb_.on_process_spawned(&p, p.name());
+}
+
+void Analyzer::on_process_running(sim::Simulation& /*sim*/, sim::Process& p) {
+  hb_.on_process_running(&p, p.name());
+}
+
+void Analyzer::on_process_yielded(sim::Simulation& /*sim*/, sim::Process& p) {
+  hb_.on_process_yielded(&p);
+}
+
+void Analyzer::on_mailbox_send(const void* mailbox) {
+  hb_.on_mailbox_send(mailbox);
+}
+
+void Analyzer::on_mailbox_recv(const void* mailbox) {
+  hb_.on_mailbox_recv(mailbox);
+}
+
+void Analyzer::on_mailbox_destroyed(const void* mailbox) {
+  hb_.on_mailbox_destroyed(mailbox);
+}
+
+// --- free-function entry points used by the ANALYSIS_* macros --------------
+
+void record_access(const void* obj, const std::string& name, AccessMode mode,
+                   Site site) {
+  Analyzer* a = current();
+  if (a == nullptr) return;
+  a->hb().record_access(obj, name, mode, site, a->now());
+}
+
+void inv_rcb_register(int gid, int signal_id, Site site) {
+  if (Analyzer* a = current()) {
+    a->invariants().rcb_register(gid, signal_id, site, a->now());
+  }
+}
+
+void inv_rcb_ack(int gid, int signal_id, Site site) {
+  if (Analyzer* a = current()) {
+    a->invariants().rcb_ack(gid, signal_id, site, a->now());
+  }
+}
+
+void inv_rcb_unregister(int gid, int signal_id, Site site) {
+  if (Analyzer* a = current()) {
+    a->invariants().rcb_unregister(gid, signal_id, site, a->now());
+  }
+}
+
+void inv_dispatch(int gid, int signal_id, Site site) {
+  if (Analyzer* a = current()) {
+    a->invariants().dispatch(gid, signal_id, site, a->now());
+  }
+}
+
+void inv_stream_op(std::uint64_t ctx, std::uint64_t stream,
+                   std::uint64_t app_id, Site site) {
+  if (Analyzer* a = current()) {
+    a->invariants().stream_op(ctx, stream, app_id, site, a->now());
+  }
+}
+
+void inv_sst_sync(std::uint64_t ctx, std::uint64_t stream,
+                  std::uint64_t app_id, Site site) {
+  if (Analyzer* a = current()) {
+    a->invariants().sst_sync(ctx, stream, app_id, site, a->now());
+  }
+}
+
+void inv_stream_destroyed(std::uint64_t ctx, std::uint64_t stream) {
+  if (Analyzer* a = current()) {
+    a->invariants().stream_destroyed(ctx, stream);
+  }
+}
+
+void inv_snapshot_install(int node, std::uint64_t snapshot_version,
+                          std::uint64_t authoritative_version, Site site) {
+  if (Analyzer* a = current()) {
+    a->invariants().snapshot_install(node, snapshot_version,
+                                     authoritative_version, site, a->now());
+  }
+}
+
+void inv_grr_bind(const std::vector<std::int64_t>& total_bound, Site site) {
+  if (Analyzer* a = current()) {
+    a->invariants().grr_bind(total_bound, site, a->now());
+  }
+}
+
+}  // namespace strings::analysis

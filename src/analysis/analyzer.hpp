@@ -1,0 +1,77 @@
+// The analyzer: owns the happens-before tracker, the invariant registry,
+// and the findings report, and bridges them to the simulation kernel via
+// sim::SimHooks.
+//
+// Lifecycle: construct, install(sim) before the components under test
+// schedule work (Testbed does this first thing in its constructor when
+// TestbedConfig::analyze is set), run, then render()/report(). At most one
+// analyzer may be installed process-wide; the destructor uninstalls.
+//
+// The analyzer is a pure observer: it never schedules events, spawns
+// processes, or draws randomness, so an analyzed run follows the exact
+// same virtual timeline as an unanalyzed one.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "analysis/happens_before.hpp"
+#include "analysis/invariants.hpp"
+#include "analysis/report.hpp"
+#include "simcore/hooks.hpp"
+#include "simcore/sim_time.hpp"
+
+namespace strings::sim {
+class Simulation;
+}  // namespace strings::sim
+
+namespace strings::analysis {
+
+class Analyzer : public sim::SimHooks {
+ public:
+  Analyzer() : hb_(report_), inv_(report_) {}
+  ~Analyzer() override { uninstall(); }
+  Analyzer(const Analyzer&) = delete;
+  Analyzer& operator=(const Analyzer&) = delete;
+
+  /// Registers this analyzer as the kernel's hook implementation and the
+  /// target of the ANALYSIS_* macros. Throws std::logic_error if another
+  /// analyzer is already installed.
+  void install(sim::Simulation& sim);
+  void uninstall();
+  bool installed() const { return sim_ != nullptr; }
+
+  Report& report() { return report_; }
+  const Report& report() const { return report_; }
+  InvariantChecker& invariants() { return inv_; }
+  HbTracker& hb() { return hb_; }
+
+  /// See InvariantChecker::set_grr_deciders.
+  void set_grr_deciders(int n) { inv_.set_grr_deciders(n); }
+
+  /// Renders the report (with final stats) to `os`.
+  void render(std::ostream& os);
+
+  /// Virtual time for findings: the installed simulation's clock, or 0.
+  sim::SimTime now() const;
+
+  // sim::SimHooks
+  void on_event_scheduled(sim::Simulation& sim, std::uint64_t seq) override;
+  void on_event_begin(sim::Simulation& sim, std::uint64_t seq) override;
+  void on_event_end(sim::Simulation& sim, std::uint64_t seq) override;
+  void on_process_spawned(sim::Simulation& sim, sim::Process& p) override;
+  void on_process_running(sim::Simulation& sim, sim::Process& p) override;
+  void on_process_yielded(sim::Simulation& sim, sim::Process& p) override;
+  void on_mailbox_send(const void* mailbox) override;
+  void on_mailbox_recv(const void* mailbox) override;
+  void on_mailbox_destroyed(const void* mailbox) override;
+
+ private:
+  sim::Simulation* sim_ = nullptr;
+  Report report_;
+  HbTracker hb_;
+  InvariantChecker inv_;
+};
+
+}  // namespace strings::analysis

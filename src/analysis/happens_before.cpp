@@ -1,0 +1,145 @@
+#include "analysis/happens_before.hpp"
+
+#include "simcore/simulation.hpp"
+
+namespace strings::analysis {
+
+void HbTracker::on_event_scheduled(std::uint64_t seq) {
+  captures_.emplace(seq,
+                    std::make_pair(current().clock, current().desc));
+}
+
+void HbTracker::on_event_begin(std::uint64_t seq, sim::SimTime now) {
+  event_frame_.comp = 0;
+  event_frame_.next_val = 1;
+  event_frame_.clock.clear();
+  auto it = captures_.find(seq);
+  if (it != captures_.end()) {
+    event_frame_.clock = std::move(it->second.first);
+    event_frame_.desc = "event@" + std::to_string(now) + "ns <- " +
+                        it->second.second;
+    captures_.erase(it);
+    report_.count_sync_edge();
+  } else {
+    // Scheduled before the analyzer was installed: no causal history.
+    event_frame_.desc = "event@" + std::to_string(now) + "ns <- pre-analysis";
+  }
+  in_event_ = true;
+  stack_.push_back(&event_frame_);
+}
+
+void HbTracker::on_event_end(std::uint64_t /*seq*/) {
+  if (!in_event_) return;
+  stack_.pop_back();
+  in_event_ = false;
+}
+
+HbTracker::Frame& HbTracker::process_frame(const sim::Process* p,
+                                           const std::string& name) {
+  auto [it, inserted] = processes_.try_emplace(p);
+  if (inserted) it->second.desc = "proc " + name;
+  return it->second;
+}
+
+void HbTracker::on_process_spawned(const sim::Process* p,
+                                   const std::string& name) {
+  process_frame(p, name);
+}
+
+void HbTracker::on_process_running(const sim::Process* p,
+                                   const std::string& name) {
+  Frame& f = process_frame(p, name);
+  // Baton handoff: everything the resuming event knew happens-before the
+  // process's continued execution.
+  f.clock.join(current().clock);
+  report_.count_sync_edge();
+  stack_.push_back(&f);
+}
+
+void HbTracker::on_process_yielded(const sim::Process* p) {
+  auto it = processes_.find(p);
+  if (it == processes_.end() || stack_.size() < 2 ||
+      stack_.back() != &it->second) {
+    // Hook pairing broke (e.g. installed mid-run); drop silently.
+    return;
+  }
+  Frame& f = *stack_.back();
+  stack_.pop_back();
+  // The event's continuation (and every later event) runs after the yield.
+  current().clock.join(f.clock);
+}
+
+void HbTracker::on_mailbox_send(const void* mailbox) {
+  mailboxes_[mailbox].push_back(current().clock);
+}
+
+void HbTracker::on_mailbox_recv(const void* mailbox) {
+  auto it = mailboxes_.find(mailbox);
+  if (it == mailboxes_.end() || it->second.empty()) {
+    return;  // message predates the analyzer
+  }
+  current().clock.join(it->second.front());
+  it->second.pop_front();
+  report_.count_sync_edge();
+}
+
+void HbTracker::on_mailbox_destroyed(const void* mailbox) {
+  mailboxes_.erase(mailbox);
+}
+
+void HbTracker::check_pair(const AccessStamp& prior, const AccessStamp& cur,
+                           const Frame& f, const std::string& obj_name,
+                           sim::SimTime now) {
+  if (prior.comp == 0) return;  // no prior access
+  if (f.clock.ordered_after(prior.comp, prior.val)) return;
+  const char* prior_kind =
+      prior.mode == AccessMode::kWrite ? "write" : "read";
+  const char* cur_kind = cur.mode == AccessMode::kWrite ? "write" : "read";
+  Finding race;
+  race.kind = Finding::Kind::kLogicalRace;
+  race.id = "RACE";
+  race.object = obj_name;
+  race.message = std::string(prior_kind) + "/" + cur_kind + " on " +
+                 obj_name + " not ordered by the event graph";
+  race.site_a = prior.site;
+  race.site_b = cur.site;
+  race.chain_a = prior.chain;
+  race.chain_b = cur.chain;
+  race.first_at = now;
+  report_.add(std::move(race));
+}
+
+void HbTracker::record_access(const void* obj, const std::string& name,
+                              AccessMode mode, Site site, sim::SimTime now) {
+  Frame& f = current();
+  if (f.comp == 0) f.comp = next_component_++;
+  f.clock.set(f.comp, f.next_val);
+
+  AccessStamp cur;
+  cur.comp = f.comp;
+  cur.val = f.next_val;
+  cur.mode = mode;
+  cur.site = format_site(site);
+  cur.chain = f.desc;
+  ++f.next_val;
+
+  ObjectState& state = objects_[obj];
+  if (state.name.empty()) state.name = name;
+  report_.count_access();
+
+  if (mode == AccessMode::kWrite) {
+    // A write conflicts with the previous write and every read since.
+    check_pair(state.last_write, cur, f, state.name, now);
+    for (const auto& [comp, read] : state.reads) {
+      if (comp == cur.comp) continue;  // own earlier read: program order
+      check_pair(read, cur, f, state.name, now);
+    }
+    state.last_write = cur;
+    state.reads.clear();
+  } else {
+    check_pair(state.last_write, cur, f, state.name, now);
+    state.reads[cur.comp] = std::move(cur);
+  }
+}
+
+}  // namespace strings::analysis

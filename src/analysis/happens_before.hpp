@@ -1,0 +1,122 @@
+// Happens-before tracker: reconstructs the causal order of the simulation
+// from kernel hook callbacks and checks annotated shared-state accesses
+// against it.
+//
+// Model. Execution contexts — the main program, each process, and each
+// kernel event execution — carry sparse vector clocks. Causal edges:
+//
+//   * schedule:      the scheduling context's clock is captured with the
+//                    event's sequence number and restored when it runs;
+//   * baton handoff: resuming a process joins the resuming event's clock
+//                    into the process (and back on yield, since events are
+//                    atomic and the continuation runs after the yield);
+//   * messages:      each Mailbox send enqueues the sender's clock; the
+//                    matching FIFO recv joins it into the receiver. All
+//                    cross-context transfers — rpc::Channel packets,
+//                    dispatcher WakeGate signals (sim::Event resumes ride
+//                    the schedule edge), stream sync completions — reduce
+//                    to these edges.
+//
+// Clock components are allocated lazily, only to contexts that perform an
+// annotated access (FastTrack-style epoch stamps), so clocks stay small.
+// Two conflicting accesses (same object, at least one write) whose stamps
+// are not ordered by these edges form a *logical race*: the protocol step
+// is ordered by timing, not by causality — exactly the class of bug the
+// paper's handshake and staleness-bound protocols exist to prevent.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/access.hpp"
+#include "analysis/report.hpp"
+#include "analysis/vector_clock.hpp"
+#include "simcore/sim_time.hpp"
+
+namespace strings::sim {
+class Process;
+}  // namespace strings::sim
+
+namespace strings::analysis {
+
+class HbTracker {
+ public:
+  explicit HbTracker(Report& report) : report_(report) {
+    root_.desc = "main";
+    stack_.push_back(&root_);
+  }
+
+  // --- kernel hook forwarding (see sim::SimHooks) --------------------------
+  void on_event_scheduled(std::uint64_t seq);
+  void on_event_begin(std::uint64_t seq, sim::SimTime now);
+  void on_event_end(std::uint64_t seq);
+  void on_process_spawned(const sim::Process* p, const std::string& name);
+  void on_process_running(const sim::Process* p, const std::string& name);
+  void on_process_yielded(const sim::Process* p);
+  void on_mailbox_send(const void* mailbox);
+  void on_mailbox_recv(const void* mailbox);
+  void on_mailbox_destroyed(const void* mailbox);
+
+  /// Checks one annotated access from the current context against the
+  /// object's access history and reports logical races.
+  void record_access(const void* obj, const std::string& name,
+                     AccessMode mode, Site site, sim::SimTime now);
+
+  /// Number of contexts that performed at least one annotated access.
+  int clocked_contexts() const {
+    return static_cast<int>(next_component_) - 1;
+  }
+
+ private:
+  struct Frame {
+    std::uint32_t comp = 0;      // 0 until the first annotated access
+    std::uint64_t next_val = 1;  // epoch value for the next access
+    VectorClock clock;
+    std::string desc;  // human-readable chain for race reports
+  };
+
+  struct AccessStamp {
+    std::uint32_t comp = 0;  // 0 = no such access yet
+    std::uint64_t val = 0;
+    AccessMode mode = AccessMode::kRead;
+    std::string site;
+    std::string chain;
+  };
+
+  struct ObjectState {
+    std::string name;
+    AccessStamp last_write;
+    // Reads since the last write, one slot per accessing context.
+    std::map<std::uint32_t, AccessStamp> reads;
+  };
+
+  Frame& current() { return *stack_.back(); }
+  Frame& process_frame(const sim::Process* p, const std::string& name);
+  void check_pair(const AccessStamp& prior, const AccessStamp& cur,
+                  const Frame& f, const std::string& obj_name,
+                  sim::SimTime now);
+
+  Report& report_;
+  Frame root_;
+  Frame event_frame_;  // reused: events are atomic and never nest
+  bool in_event_ = false;
+  std::vector<Frame*> stack_;
+  std::uint32_t next_component_ = 1;
+
+  // All three maps are lookup-only indexes; nothing iterates them into
+  // exported output, so their key order never matters.
+  // determinism-lint: allow(pointer-keyed, lookup-only)
+  std::map<const sim::Process*, Frame> processes_;
+  // determinism-lint: allow(pointer-keyed, lookup-only)
+  std::map<const void*, std::deque<VectorClock>> mailboxes_;
+  // determinism-lint: allow(pointer-keyed, lookup-only)
+  std::map<const void*, ObjectState> objects_;
+  // Clock snapshots of scheduled-but-not-yet-run events, keyed by the
+  // kernel's event sequence number, plus the scheduler's chain description.
+  std::map<std::uint64_t, std::pair<VectorClock, std::string>> captures_;
+};
+
+}  // namespace strings::analysis

@@ -1,0 +1,172 @@
+#include "analysis/invariants.hpp"
+
+#include <algorithm>
+
+namespace strings::analysis {
+
+namespace {
+std::string rcb_object(int gid, int signal_id) {
+  return "gpu" + std::to_string(gid) + "/signal" + std::to_string(signal_id);
+}
+std::string stream_object(std::uint64_t ctx, std::uint64_t stream) {
+  return "gpu" + std::to_string(ctx) + "/stream" + std::to_string(stream);
+}
+}  // namespace
+
+void InvariantChecker::violation(const std::string& id,
+                                 const std::string& object,
+                                 const std::string& message, Site site,
+                                 sim::SimTime now) {
+  Finding f;
+  f.kind = Finding::Kind::kInvariantViolation;
+  f.id = id;
+  f.object = object;
+  f.message = message;
+  f.site_a = format_site(site);
+  f.first_at = now;
+  report_.add(std::move(f));
+}
+
+void InvariantChecker::rcb_register(int gid, int signal_id, Site site,
+                                    sim::SimTime now) {
+  auto [it, inserted] =
+      rcb_.emplace(std::make_pair(gid, signal_id), RcbState::kRegistered);
+  if (!inserted) {
+    violation("INV-RCB-1", rcb_object(gid, signal_id),
+              "signal id registered twice without an intervening unregister",
+              site, now);
+  }
+}
+
+void InvariantChecker::rcb_ack(int gid, int signal_id, Site site,
+                               sim::SimTime now) {
+  auto it = rcb_.find({gid, signal_id});
+  if (it == rcb_.end()) {
+    violation("INV-RCB-1", rcb_object(gid, signal_id),
+              "ack for a signal id that is not registered", site, now);
+    return;
+  }
+  if (it->second == RcbState::kAcked) {
+    violation("INV-RCB-1", rcb_object(gid, signal_id),
+              "duplicate ack: handshake step 3 replayed", site, now);
+    return;
+  }
+  it->second = RcbState::kAcked;
+}
+
+void InvariantChecker::rcb_unregister(int gid, int signal_id, Site site,
+                                      sim::SimTime now) {
+  auto it = rcb_.find({gid, signal_id});
+  if (it == rcb_.end()) {
+    violation("INV-RCB-1", rcb_object(gid, signal_id),
+              "unregister for a signal id that is not registered", site, now);
+    return;
+  }
+  if (it->second != RcbState::kAcked) {
+    violation("INV-RCB-1", rcb_object(gid, signal_id),
+              "unregister before the handshake completed", site, now);
+  }
+  rcb_.erase(it);
+}
+
+void InvariantChecker::dispatch(int gid, int signal_id, Site site,
+                                sim::SimTime now) {
+  auto it = rcb_.find({gid, signal_id});
+  if (it == rcb_.end() || it->second != RcbState::kAcked) {
+    violation("INV-HSK-1", rcb_object(gid, signal_id),
+              "kernel dispatch before the RT-signal handshake acked", site,
+              now);
+  }
+}
+
+void InvariantChecker::stream_op(std::uint64_t ctx, std::uint64_t stream,
+                                 std::uint64_t app_id, Site site,
+                                 sim::SimTime now) {
+  stream_op_indexed(ctx, stream, app_id, ++app_ops_[app_id], site, now);
+}
+
+void InvariantChecker::stream_op_indexed(std::uint64_t ctx,
+                                         std::uint64_t stream,
+                                         std::uint64_t app_id,
+                                         std::uint64_t op_index, Site site,
+                                         sim::SimTime now) {
+  auto [it, inserted] = streams_.try_emplace({ctx, stream});
+  StreamState& s = it->second;
+  if (inserted) {
+    s.owner = app_id;
+  } else if (s.owner != app_id) {
+    violation("INV-SST-2", stream_object(ctx, stream),
+              "stream owned by app " + std::to_string(s.owner) +
+                  " received an op from app " + std::to_string(app_id),
+              site, now);
+    return;
+  }
+  if (op_index <= s.last_index) {
+    violation("INV-SST-1", stream_object(ctx, stream),
+              "op index " + std::to_string(op_index) +
+                  " issued after index " + std::to_string(s.last_index) +
+                  ": sync->async translation reordered the stream",
+              site, now);
+    return;
+  }
+  s.last_index = op_index;
+}
+
+void InvariantChecker::sst_sync(std::uint64_t ctx, std::uint64_t stream,
+                                std::uint64_t app_id, Site site,
+                                sim::SimTime now) {
+  auto it = streams_.find({ctx, stream});
+  if (it == streams_.end() || it->second.owner != app_id) {
+    violation("INV-SST-1", stream_object(ctx, stream),
+              "device_synchronize translated to a stream app " +
+                  std::to_string(app_id) + " does not own",
+              site, now);
+  }
+}
+
+void InvariantChecker::stream_destroyed(std::uint64_t ctx,
+                                        std::uint64_t stream) {
+  streams_.erase({ctx, stream});
+}
+
+void InvariantChecker::snapshot_install(int node,
+                                        std::uint64_t snapshot_version,
+                                        std::uint64_t authoritative_version,
+                                        Site site, sim::SimTime now) {
+  const std::string object = "agent" + std::to_string(node) + "/snapshot";
+  if (snapshot_version > authoritative_version) {
+    violation("INV-DST-1", object,
+              "agent snapshot v" + std::to_string(snapshot_version) +
+                  " exceeds the service's authoritative v" +
+                  std::to_string(authoritative_version),
+              site, now);
+  }
+  auto [it, inserted] = agent_versions_.try_emplace(node, snapshot_version);
+  if (!inserted) {
+    if (snapshot_version < it->second) {
+      violation("INV-DST-2", object,
+                "agent snapshot version regressed from v" +
+                    std::to_string(it->second) + " to v" +
+                    std::to_string(snapshot_version),
+                site, now);
+    }
+    it->second = std::max(it->second, snapshot_version);
+  }
+}
+
+void InvariantChecker::grr_bind(const std::vector<std::int64_t>& total_bound,
+                                Site site, sim::SimTime now) {
+  if (total_bound.size() < 2) return;
+  const auto [lo, hi] =
+      std::minmax_element(total_bound.begin(), total_bound.end());
+  const std::int64_t spread = *hi - *lo;
+  if (spread > grr_deciders_) {
+    violation("INV-GRR-1", "service/dst",
+              "round-robin bind spread " + std::to_string(spread) +
+                  " exceeds the documented bound of " +
+                  std::to_string(grr_deciders_) + " decider(s)",
+              site, now);
+  }
+}
+
+}  // namespace strings::analysis

@@ -1,0 +1,80 @@
+// Runtime protocol-invariant registry.
+//
+// Each invariant encodes an ordering or coherence rule the paper's
+// protocols rely on but the type system cannot express. Instrumented code
+// feeds protocol events through the analysis::inv_* entry points
+// (src/analysis/access.hpp); this checker validates them against small
+// state machines and records violations in the Report. The catalog —
+// ids, protocols, paper sections — lives in docs/analysis.md.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/access.hpp"
+#include "analysis/report.hpp"
+#include "simcore/sim_time.hpp"
+
+namespace strings::analysis {
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(Report& report) : report_(report) {}
+
+  /// Number of independent GRR deciders (1 centralized; one per MapperAgent
+  /// distributed). Bounds the legal bind-count spread for INV-GRR-1.
+  void set_grr_deciders(int n) { grr_deciders_ = n < 1 ? 1 : n; }
+
+  // INV-RCB-1: register -> ack -> unregister, each exactly once.
+  void rcb_register(int gid, int signal_id, Site site, sim::SimTime now);
+  void rcb_ack(int gid, int signal_id, Site site, sim::SimTime now);
+  void rcb_unregister(int gid, int signal_id, Site site, sim::SimTime now);
+
+  // INV-HSK-1: dispatch requires a completed (acked) handshake.
+  void dispatch(int gid, int signal_id, Site site, sim::SimTime now);
+
+  // INV-SST-1/2: per-stream order and private-stream ownership. The
+  // indexed variant takes the op's program-order index explicitly (used by
+  // negative-path tests to inject reorders); stream_op derives it from a
+  // per-app counter.
+  void stream_op(std::uint64_t ctx, std::uint64_t stream,
+                 std::uint64_t app_id, Site site, sim::SimTime now);
+  void stream_op_indexed(std::uint64_t ctx, std::uint64_t stream,
+                         std::uint64_t app_id, std::uint64_t op_index,
+                         Site site, sim::SimTime now);
+  void sst_sync(std::uint64_t ctx, std::uint64_t stream,
+                std::uint64_t app_id, Site site, sim::SimTime now);
+  void stream_destroyed(std::uint64_t ctx, std::uint64_t stream);
+
+  // INV-DST-1/2: snapshot version bounded and monotonic per agent.
+  void snapshot_install(int node, std::uint64_t snapshot_version,
+                        std::uint64_t authoritative_version, Site site,
+                        sim::SimTime now);
+
+  // INV-GRR-1: round-robin bind-count spread within the decider bound.
+  void grr_bind(const std::vector<std::int64_t>& total_bound, Site site,
+                sim::SimTime now);
+
+ private:
+  enum class RcbState { kRegistered, kAcked };
+  struct StreamState {
+    std::uint64_t owner = 0;
+    std::uint64_t last_index = 0;
+  };
+
+  void violation(const std::string& id, const std::string& object,
+                 const std::string& message, Site site, sim::SimTime now);
+
+  Report& report_;
+  int grr_deciders_ = 1;
+  std::map<std::pair<int, int>, RcbState> rcb_;  // (gid, signal) -> state
+  std::map<std::pair<std::uint64_t, std::uint64_t>, StreamState>
+      streams_;  // (ctx, stream)
+  std::map<std::uint64_t, std::uint64_t> app_ops_;  // app -> ops issued
+  std::map<int, std::uint64_t> agent_versions_;     // node -> last snapshot
+};
+
+}  // namespace strings::analysis

@@ -1,0 +1,74 @@
+#include "analysis/report.hpp"
+
+#include <cstring>
+#include <ostream>
+
+namespace strings::analysis {
+
+std::string format_site(Site site) {
+  const char* file = site.file != nullptr ? site.file : "";
+  const char* base = std::strrchr(file, '/');
+  return std::string(base != nullptr ? base + 1 : file) + ":" +
+         std::to_string(site.line);
+}
+
+void Report::add(Finding f) {
+  const std::string key =
+      f.id + "|" + f.object + "|" + f.site_a + "|" + f.site_b;
+  auto [it, inserted] = index_.emplace(key, findings_.size());
+  if (!inserted) {
+    ++findings_[it->second].count;
+    return;
+  }
+  if (f.kind == Finding::Kind::kInvariantViolation) {
+    ++invariant_violations_;
+  } else {
+    ++logical_races_;
+  }
+  findings_.push_back(std::move(f));
+}
+
+bool Report::has(const std::string& id, const std::string& site_substr) const {
+  for (const auto& f : findings_) {
+    if (f.id != id) continue;
+    if (site_substr.empty() ||
+        f.site_a.find(site_substr) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Report::render(std::ostream& os) const {
+  os << "# strings analysis report\n";
+  os << "invariant_violations: " << invariant_violations_ << "\n";
+  os << "logical_races: " << logical_races_ << "\n";
+  os << "\n";
+  if (findings_.empty()) {
+    os << "no findings\n";
+  }
+  for (const auto& f : findings_) {
+    os << (f.kind == Finding::Kind::kInvariantViolation ? "[violation] "
+                                                        : "[race] ");
+    os << f.id << " object=" << f.object << " count=" << f.count
+       << " first_at_ns=" << f.first_at << "\n";
+    os << "  " << f.message << "\n";
+    if (!f.site_a.empty()) {
+      os << "  site A: " << f.site_a;
+      if (!f.chain_a.empty()) os << "  (" << f.chain_a << ")";
+      os << "\n";
+    }
+    if (!f.site_b.empty()) {
+      os << "  site B: " << f.site_b;
+      if (!f.chain_b.empty()) os << "  (" << f.chain_b << ")";
+      os << "\n";
+    }
+  }
+  os << "\n";
+  os << "# stats\n";
+  os << "annotated_accesses: " << accesses_ << "\n";
+  os << "sync_edges: " << sync_edges_ << "\n";
+  os << "clocked_contexts: " << contexts_ << "\n";
+}
+
+}  // namespace strings::analysis

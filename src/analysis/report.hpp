@@ -1,0 +1,71 @@
+// Findings collected by the analyzer: invariant violations and logical
+// races. The rendered report is deterministic — findings are recorded in
+// detection order of the (deterministic) simulation, identified by stable
+// names and basenamed source sites, never by addresses.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/access.hpp"
+#include "simcore/sim_time.hpp"
+
+namespace strings::analysis {
+
+/// "file.cpp:123" with the directory part stripped, so reports do not
+/// depend on the checkout path.
+std::string format_site(Site site);
+
+struct Finding {
+  enum class Kind { kInvariantViolation, kLogicalRace };
+
+  Kind kind = Kind::kInvariantViolation;
+  std::string id;       // invariant id ("INV-RCB-1") or "RACE"
+  std::string object;   // protocol entity or shared-state name
+  std::string message;  // one-line description
+  // For races: the two unordered access sites and their event chains.
+  // For invariant violations only site_a is set.
+  std::string site_a;
+  std::string site_b;
+  std::string chain_a;
+  std::string chain_b;
+  sim::SimTime first_at = 0;  // virtual time of first detection
+  int count = 1;              // occurrences of this deduped finding
+};
+
+class Report {
+ public:
+  /// Records a finding, deduping by (id, object, site_a, site_b): repeats
+  /// only bump the count of the first occurrence.
+  void add(Finding f);
+
+  const std::vector<Finding>& findings() const { return findings_; }
+  int invariant_violations() const { return invariant_violations_; }
+  int logical_races() const { return logical_races_; }
+
+  /// True if any recorded finding matches `id` and its site_a contains
+  /// `site_substr` (empty matches anything). Test helper.
+  bool has(const std::string& id, const std::string& site_substr = "") const;
+
+  // Run statistics, rendered into the report footer.
+  void count_access() { ++accesses_; }
+  void count_sync_edge() { ++sync_edges_; }
+  void set_contexts(int n) { contexts_ = n; }
+
+  /// Renders the deterministic text artifact.
+  void render(std::ostream& os) const;
+
+ private:
+  std::vector<Finding> findings_;
+  std::map<std::string, std::size_t> index_;  // dedup key -> findings_ slot
+  int invariant_violations_ = 0;
+  int logical_races_ = 0;
+  std::int64_t accesses_ = 0;
+  std::int64_t sync_edges_ = 0;
+  int contexts_ = 0;
+};
+
+}  // namespace strings::analysis

@@ -1,0 +1,47 @@
+// Sparse vector clocks for the happens-before tracker.
+//
+// Components are allocated lazily: only contexts that actually touch
+// annotated shared state get one (HbTracker hands them out), so clock size
+// is bounded by the number of *accessing* contexts, not by the total event
+// count of the run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace strings::analysis {
+
+class VectorClock {
+ public:
+  /// The component's value, or 0 if absent.
+  std::uint64_t get(std::uint32_t component) const {
+    auto it = values_.find(component);
+    return it == values_.end() ? 0 : it->second;
+  }
+
+  void set(std::uint32_t component, std::uint64_t value) {
+    values_[component] = value;
+  }
+
+  /// Pointwise maximum: afterwards this clock dominates both inputs.
+  void join(const VectorClock& other) {
+    for (const auto& [c, v] : other.values_) {
+      auto [it, inserted] = values_.emplace(c, v);
+      if (!inserted && it->second < v) it->second = v;
+    }
+  }
+
+  /// FastTrack-style epoch test: true iff an access stamped (component,
+  /// value) happens-before the context holding this clock.
+  bool ordered_after(std::uint32_t component, std::uint64_t value) const {
+    return get(component) >= value;
+  }
+
+  std::size_t size() const { return values_.size(); }
+  void clear() { values_.clear(); }
+
+ private:
+  std::map<std::uint32_t, std::uint64_t> values_;
+};
+
+}  // namespace strings::analysis

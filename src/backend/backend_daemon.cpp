@@ -37,7 +37,8 @@ BackendDaemon::BackendDaemon(sim::Simulation& sim, core::NodeId node,
     device_pids_.push_back(rt_.create_process());
     rt_.cudaSetDevice(device_pids_.back(), dev);
     packers_.push_back(std::make_unique<ContextPacker>(
-        sim_, rt_, device_pids_.back(), dev, config_.packer));
+        sim_, rt_, device_pids_.back(), dev, config_.packer,
+        gids_[static_cast<std::size_t>(dev)]));
     master_inbox_.push_back(
         std::make_unique<sim::Mailbox<std::pair<Conn*, rpc::Packet>>>(sim_));
     master_started_.push_back(false);
@@ -252,6 +253,10 @@ bool BackendDaemon::handle_request(Conn& conn, cuda::ProcessId pid,
         tracer_->complete(req_track, "gate_wait", t0, sim_.now());
       }
     }
+    // The worker is past its gate and about to issue GPU work — the
+    // protocol point the analysis layer checks against the three-way
+    // handshake (INV-HSK-1).
+    if (signal_id > 0) sched.notify_dispatch(signal_id);
     if (tracer_ != nullptr) {
       tracer_->request_phase(conn.app.app_id, obs::ReqPhase::kExecute,
                              sim_.now());

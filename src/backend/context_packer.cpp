@@ -3,19 +3,31 @@
 #include <algorithm>
 #include <cassert>
 
+#include "analysis/access.hpp"
+
 namespace strings::backend {
 
 using cuda::cudaError_t;
 using cuda::cudaMemcpyKind;
 
+namespace {
+std::string pmt_name(int gid) {
+  return "gpu" + std::to_string(gid) + "/pmt";
+}
+std::string streams_name(int gid) {
+  return "gpu" + std::to_string(gid) + "/streams";
+}
+}  // namespace
+
 ContextPacker::ContextPacker(sim::Simulation& sim, cuda::CudaRuntime& rt,
                              cuda::ProcessId device_pid, int local_device,
-                             Config config)
+                             Config config, int gid)
     : sim_(sim),
       rt_(rt),
       device_pid_(device_pid),
       local_device_(local_device),
-      config_(config) {}
+      config_(config),
+      gid_(gid) {}
 
 cuda::cudaStream_t ContextPacker::stream_for(std::uint64_t app_id) {
   auto it = streams_.find(app_id);
@@ -25,6 +37,7 @@ cuda::cudaStream_t ContextPacker::stream_for(std::uint64_t app_id) {
   const cudaError_t err = rt_.cudaStreamCreate(device_pid_, &stream);
   assert(err == cudaError_t::cudaSuccess);
   (void)err;
+  ANALYSIS_WRITE(&streams_, streams_name(gid_));
   streams_.emplace(app_id, stream);
   return stream;
 }
@@ -40,12 +53,17 @@ cudaError_t ContextPacker::memcpy_sync(std::uint64_t app_id, cuda::DevPtr ptr,
                                        std::size_t bytes,
                                        cudaMemcpyKind kind) {
   const cuda::cudaStream_t stream = stream_for(app_id);
+  if (analysis::enabled()) {
+    analysis::inv_stream_op(static_cast<std::uint64_t>(gid_), stream, app_id,
+                            ANALYSIS_SITE);
+  }
   rt_.cudaSetDevice(device_pid_, local_device_);
   if (kind == cudaMemcpyKind::cudaMemcpyHostToDevice &&
       config_.convert_sync_to_async) {
     // MOT: host buffer -> pinned staging buffer, then async copy; the app
     // regains the CPU immediately.
     stage_into_pinned(bytes);
+    ANALYSIS_WRITE(&pmt_, pmt_name(gid_));
     pmt_.push_back(PmtEntry{app_id, stream, ptr, bytes, kind});
     pinned_bytes_ += bytes;
     return rt_.cudaMemcpyAsync(device_pid_, ptr, bytes, kind, stream,
@@ -74,6 +92,10 @@ cudaError_t ContextPacker::memcpy_async(std::uint64_t app_id,
                                         cuda::DevPtr ptr, std::size_t bytes,
                                         cudaMemcpyKind kind) {
   const cuda::cudaStream_t stream = stream_for(app_id);
+  if (analysis::enabled()) {
+    analysis::inv_stream_op(static_cast<std::uint64_t>(gid_), stream, app_id,
+                            ANALYSIS_SITE);
+  }
   rt_.cudaSetDevice(device_pid_, local_device_);
   return rt_.cudaMemcpyAsync(device_pid_, ptr, bytes, kind, stream);
 }
@@ -81,6 +103,10 @@ cudaError_t ContextPacker::memcpy_async(std::uint64_t app_id,
 cudaError_t ContextPacker::launch(std::uint64_t app_id,
                                   const cuda::KernelLaunch& kl) {
   const cuda::cudaStream_t stream = stream_for(app_id);
+  if (analysis::enabled()) {
+    analysis::inv_stream_op(static_cast<std::uint64_t>(gid_), stream, app_id,
+                            ANALYSIS_SITE);
+  }
   rt_.cudaSetDevice(device_pid_, local_device_);
   // AST: the app targeted the default stream; retarget via configure+launch.
   rt_.cudaConfigureCall(device_pid_, stream);
@@ -92,6 +118,12 @@ cudaError_t ContextPacker::device_synchronize(std::uint64_t app_id) {
   rt_.cudaSetDevice(device_pid_, local_device_);
   cudaError_t err;
   if (config_.convert_device_sync) {
+    // SST: the device-wide sync narrows to the app's private stream; the
+    // translation is only legal if that stream really is the app's own.
+    if (analysis::enabled()) {
+      analysis::inv_sst_sync(static_cast<std::uint64_t>(gid_), stream, app_id,
+                           ANALYSIS_SITE);
+    }
     err = rt_.cudaStreamSynchronize(device_pid_, stream);
   } else {
     err = rt_.cudaDeviceSynchronize(device_pid_);
@@ -106,12 +138,17 @@ cudaError_t ContextPacker::thread_exit(std::uint64_t app_id) {
   rt_.cudaSetDevice(device_pid_, local_device_);
   const cudaError_t err = rt_.cudaStreamSynchronize(device_pid_, it->second);
   release_pmt_entries(app_id);
+  if (analysis::enabled()) {
+    analysis::inv_stream_destroyed(static_cast<std::uint64_t>(gid_), it->second);
+  }
+  ANALYSIS_WRITE(&streams_, streams_name(gid_));
   rt_.cudaStreamDestroy(device_pid_, it->second);
   streams_.erase(it);
   return err;
 }
 
 void ContextPacker::release_pmt_entries(std::uint64_t app_id) {
+  ANALYSIS_WRITE(&pmt_, pmt_name(gid_));
   for (auto it = pmt_.begin(); it != pmt_.end();) {
     if (it->app_id == app_id) {
       pinned_bytes_ -= it->bytes;

@@ -48,8 +48,12 @@ class ContextPacker {
     bool convert_device_sync = true;
   };
 
+  /// `gid` is the packed context's global GPU id — it names this packer's
+  /// streams and tables in analysis reports (ProcessIds restart per node
+  /// runtime, so they cannot identify a context deployment-wide).
   ContextPacker(sim::Simulation& sim, cuda::CudaRuntime& rt,
-                cuda::ProcessId device_pid, int local_device, Config config);
+                cuda::ProcessId device_pid, int local_device, Config config,
+                int gid = -1);
 
   /// SC: creates (once) and returns the application's private stream.
   cuda::cudaStream_t stream_for(std::uint64_t app_id);
@@ -91,6 +95,7 @@ class ContextPacker {
   cuda::ProcessId device_pid_;
   int local_device_;
   Config config_;
+  int gid_;
   std::map<std::uint64_t, cuda::cudaStream_t> streams_;
   std::vector<PmtEntry> pmt_;
   std::size_t pinned_bytes_ = 0;

@@ -8,6 +8,7 @@
 // reports into.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <utility>

@@ -3,7 +3,15 @@
 #include <algorithm>
 #include <cassert>
 
+#include "analysis/access.hpp"
+
 namespace strings::core {
+
+namespace {
+std::string rcb_name(Gid gid) {
+  return "gpu" + std::to_string(gid) + "/rcb";
+}
+}  // namespace
 
 GpuScheduler::GpuScheduler(sim::Simulation& sim, Gid gid,
                            std::unique_ptr<policies::DeviceSchedPolicy> policy,
@@ -18,6 +26,10 @@ GpuScheduler::GpuScheduler(sim::Simulation& sim, Gid gid,
 
 int GpuScheduler::register_app(const RcbInit& init) {
   const int signal_id = next_signal_++;
+  if (analysis::enabled()) {
+    analysis::inv_rcb_register(gid_, signal_id, ANALYSIS_SITE);
+  }
+  ANALYSIS_WRITE(&rcb_, rcb_name(gid_));
   RcbEntry e;
   e.init = init;
   e.registered_at = sim_.now();
@@ -34,6 +46,10 @@ int GpuScheduler::register_app(const RcbInit& init) {
 }
 
 void GpuScheduler::ack(int signal_id) {
+  if (analysis::enabled()) {
+    analysis::inv_rcb_ack(gid_, signal_id, ANALYSIS_SITE);
+  }
+  ANALYSIS_WRITE(&rcb_, rcb_name(gid_));
   auto it = rcb_.find(signal_id);
   assert(it != rcb_.end() && "ack for unknown signal id");
   it->second.acked = true;
@@ -65,6 +81,10 @@ void GpuScheduler::ack(int signal_id) {
 }
 
 FeedbackRecord GpuScheduler::unregister_app(int signal_id) {
+  if (analysis::enabled()) {
+    analysis::inv_rcb_unregister(gid_, signal_id, ANALYSIS_SITE);
+  }
+  ANALYSIS_WRITE(&rcb_, rcb_name(gid_));
   auto it = rcb_.find(signal_id);
   assert(it != rcb_.end() && "unregister for unknown signal id");
   const RcbEntry& e = it->second;
@@ -95,8 +115,15 @@ FeedbackRecord GpuScheduler::unregister_app(int signal_id) {
   return rec;
 }
 
+void GpuScheduler::notify_dispatch(int signal_id) {
+  if (analysis::enabled()) {
+    analysis::inv_dispatch(gid_, signal_id, ANALYSIS_SITE);
+  }
+}
+
 void GpuScheduler::on_op_complete(int signal_id,
                                   const gpu::GpuDevice::Op& op) {
+  ANALYSIS_WRITE(&rcb_, rcb_name(gid_));
   auto it = rcb_.find(signal_id);
   if (it == rcb_.end()) return;  // late completion after unregister
   RcbEntry& e = it->second;
@@ -131,12 +158,14 @@ void GpuScheduler::on_op_complete(int signal_id,
 }
 
 void GpuScheduler::set_phase(int signal_id, policies::Phase phase) {
+  ANALYSIS_WRITE(&rcb_, rcb_name(gid_));
   auto it = rcb_.find(signal_id);
   if (it == rcb_.end()) return;
   it->second.phase = phase;
 }
 
 std::vector<policies::RcbSnapshot> GpuScheduler::snapshot() const {
+  ANALYSIS_READ(&rcb_, rcb_name(gid_));
   std::vector<policies::RcbSnapshot> out;
   out.reserve(rcb_.size());
   for (const auto& [id, e] : rcb_) {
@@ -170,6 +199,7 @@ void GpuScheduler::arm_epoch() {
 void GpuScheduler::epoch_tick() {
   epoch_armed_ = false;
   if (rcb_.empty()) return;
+  ANALYSIS_WRITE(&rcb_, rcb_name(gid_));
   ++epochs_;
 
   // Dispatcher bookkeeping: per-epoch service (GSn), decayed CGS, and

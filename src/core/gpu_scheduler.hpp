@@ -92,6 +92,11 @@ class GpuScheduler {
   void ack(int signal_id);
   /// Removes the entry and returns the Feedback Engine's summary record.
   FeedbackRecord unregister_app(int signal_id);
+  /// Called by the backend thread as it clears its WakeGate and hands work
+  /// to the GPU. Pure notification (no scheduling effect): it asserts the
+  /// protocol point the analysis layer checks with INV-HSK-1 — dispatch
+  /// only after the three-way handshake acked.
+  void notify_dispatch(int signal_id);
 
   // ---- Request Monitor hooks ----
   void on_op_complete(int signal_id, const gpu::GpuDevice::Op& op);

@@ -3,10 +3,17 @@
 #include <algorithm>
 #include <cassert>
 
+#include "analysis/access.hpp"
 #include "rpc/call_ids.hpp"
 #include "rpc/marshal.hpp"
 
 namespace strings::core {
+
+namespace {
+std::string snapshot_name(NodeId node) {
+  return "agent" + std::to_string(node) + "/snapshot";
+}
+}  // namespace
 
 MapperAgent::MapperAgent(sim::Simulation& sim, NodeId node,
                          PlacementService& service, ControlPlaneConfig config,
@@ -51,6 +58,7 @@ Gid MapperAgent::select_device(const std::string& app_type) {
     gid = u.get_i32();
   } else {
     refresh_snapshot_if_stale();
+    ANALYSIS_READ(&snapshot_, snapshot_name(node_));
     const bool feedback =
         feedback_policy_ != nullptr &&
         snapshot_.sft.samples(app_type) >=
@@ -64,6 +72,7 @@ Gid MapperAgent::select_device(const std::string& app_type) {
     assert(gid >= 0 && gid < gmap_.size());
     // Optimistic local bind: later local decisions within the same epoch
     // must see this node's own placements even before the next sync.
+    ANALYSIS_WRITE(&snapshot_, snapshot_name(node_));
     snapshot_.dst.on_bind(gid);
     snapshot_.bound_types[static_cast<std::size_t>(gid)].push_back(app_type);
     ++stats_.oneway_msgs;
@@ -88,7 +97,16 @@ void MapperAgent::refresh_snapshot_if_stale() {
   }
   ++stats_.sync_rpcs;
   rpc::Unmarshal u(client_->call(rpc::CallId::kDstSync, rpc::Marshal{}));
-  snapshot_ = decode_snapshot(u);
+  install_snapshot(decode_snapshot(u));
+}
+
+void MapperAgent::install_snapshot(DstSnapshot s) {
+  if (analysis::enabled()) {
+    analysis::inv_snapshot_install(node_, s.version, service_.version(),
+                                   ANALYSIS_SITE);
+  }
+  ANALYSIS_WRITE(&snapshot_, snapshot_name(node_));
+  snapshot_ = std::move(s);
   snapshot_valid_ = true;
 }
 
@@ -100,6 +118,7 @@ void MapperAgent::unbind(Gid gid, const std::string& app_type) {
   }
   if (snapshot_valid_) {
     // Keep the cache coherent with this node's own lifecycle events.
+    ANALYSIS_WRITE(&snapshot_, snapshot_name(node_));
     snapshot_.dst.on_unbind(gid);
     auto& bound = snapshot_.bound_types[static_cast<std::size_t>(gid)];
     auto it = std::find(bound.begin(), bound.end(), app_type);

@@ -55,6 +55,11 @@ class MapperAgent {
   const GMap& gmap() const { return gmap_; }
   /// The cached snapshot the last distributed decision used (test seam).
   const DstSnapshot& cached_snapshot() const { return snapshot_; }
+  /// Test-only seam: installs `s` as the cached snapshot exactly as a
+  /// kDstSync reply would, running the same analysis checks (INV-DST-1/2).
+  /// Negative-path tests use it to inject stale or future-versioned
+  /// snapshots; production code must go through refresh_snapshot_if_stale.
+  void debug_install_snapshot(DstSnapshot s) { install_snapshot(std::move(s)); }
   /// Counters including this agent's channel byte/packet totals.
   ControlPlaneStats stats() const;
 
@@ -65,6 +70,7 @@ class MapperAgent {
  private:
   bool use_rpc() const;
   void refresh_snapshot_if_stale();
+  void install_snapshot(DstSnapshot s);
   void arm_flush_timer();
 
   sim::Simulation& sim_;

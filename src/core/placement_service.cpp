@@ -4,6 +4,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "analysis/access.hpp"
 #include "rpc/call_ids.hpp"
 #include "rpc/marshal.hpp"
 
@@ -48,6 +49,8 @@ const char* PlacementService::active_policy_name(
 Gid PlacementService::select_device(const std::string& app_type,
                                     NodeId origin_node) {
   assert(finalized_ && "select_device before finalize()");
+  ANALYSIS_READ(&state_.dst, "service/dst");
+  ANALYSIS_READ(&state_.sft, "service/sft");
   policies::BalanceInput in;
   in.gmap = &gmap_;
   in.view = &state_;
@@ -77,14 +80,25 @@ Gid PlacementService::select_device(const std::string& app_type,
 
 void PlacementService::apply_bind(Gid gid, const std::string& app_type) {
   assert(finalized_);
+  ANALYSIS_WRITE(&state_.dst, "service/dst");
   state_.dst.on_bind(gid);
   state_.bound_types[static_cast<std::size_t>(gid)].push_back(app_type);
   ++state_.version;
   placements_.emplace_back(app_type, gid);
+  // The authoritative DST sees every bind (local selects and kBindReport),
+  // so this is where round-robin divergence becomes observable.
+  if (analysis::enabled() && feedback_policy_ == nullptr &&
+      config_.static_policy == "GRR") {
+    std::vector<std::int64_t> totals;
+    totals.reserve(state_.dst.rows().size());
+    for (const auto& r : state_.dst.rows()) totals.push_back(r.total_bound);
+    analysis::inv_grr_bind(totals, ANALYSIS_SITE);
+  }
 }
 
 void PlacementService::unbind(Gid gid, const std::string& app_type) {
   assert(finalized_);
+  ANALYSIS_WRITE(&state_.dst, "service/dst");
   state_.dst.on_unbind(gid);
   auto& bound = state_.bound_types[static_cast<std::size_t>(gid)];
   auto it = std::find(bound.begin(), bound.end(), app_type);
@@ -93,6 +107,7 @@ void PlacementService::unbind(Gid gid, const std::string& app_type) {
 }
 
 void PlacementService::on_feedback(const FeedbackRecord& rec) {
+  ANALYSIS_WRITE(&state_.sft, "service/sft");
   const bool was_static = !use_feedback_for(rec.app_type);
   state_.sft.update(rec);
   ++state_.version;
@@ -108,6 +123,8 @@ void PlacementService::on_feedback(const FeedbackRecord& rec) {
 
 DstSnapshot PlacementService::snapshot(sim::SimTime now) const {
   assert(finalized_ && "snapshot before finalize()");
+  ANALYSIS_READ(&state_.dst, "service/dst");
+  ANALYSIS_READ(&state_.sft, "service/sft");
   DstSnapshot s = state_;
   s.taken_at = now;
   return s;

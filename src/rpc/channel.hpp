@@ -7,6 +7,7 @@
 // which GMin's tie-breaking and the workload balancer must see.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <utility>

@@ -1,0 +1,62 @@
+// Passive observation points of the simulation kernel.
+//
+// The protocol analysis layer (src/analysis) needs to see causality as it
+// forms: which context scheduled each event, when a process is handed the
+// baton, and which message carried state between contexts. Rather than make
+// simcore depend on the analyzer, the kernel calls out through this narrow
+// hook interface; exactly one implementation may be installed at a time
+// (analysis::Analyzer::install()).
+//
+// Contract: implementations are OBSERVERS ONLY. They must not schedule
+// events, spawn processes, notify sim::Events, or block — the repo's
+// bit-for-bit determinism pin (tests/analysis_zero_overhead_test) holds
+// only because installing hooks never perturbs the event graph. With no
+// hooks installed every call site reduces to one pointer load and branch.
+#pragma once
+
+#include <cstdint>
+
+namespace strings::sim {
+
+class Process;
+class Simulation;
+
+class SimHooks {
+ public:
+  virtual ~SimHooks() = default;
+
+  /// An event was pushed onto the queue with sequence number `seq`, from
+  /// the current execution context (process or kernel event).
+  virtual void on_event_scheduled(Simulation& sim, std::uint64_t seq) = 0;
+  /// The kernel is about to run event `seq` / has finished running it.
+  virtual void on_event_begin(Simulation& sim, std::uint64_t seq) = 0;
+  virtual void on_event_end(Simulation& sim, std::uint64_t seq) = 0;
+
+  /// A process was created (from the current context).
+  virtual void on_process_spawned(Simulation& sim, Process& p) = 0;
+  /// The kernel hands `p` the baton / `p` gave the baton back (blocked,
+  /// yielded, or finished).
+  virtual void on_process_running(Simulation& sim, Process& p) = 0;
+  virtual void on_process_yielded(Simulation& sim, Process& p) = 0;
+
+  /// Message edges: one send pushes a value into a Mailbox, one recv pops
+  /// it (strict FIFO, so hook invocations pair up in order). Every
+  /// cross-context transfer in the stack — rpc::Channel packets, dispatcher
+  /// wake signals, Design-II master inboxes — rides on these.
+  virtual void on_mailbox_send(const void* mailbox) = 0;
+  virtual void on_mailbox_recv(const void* mailbox) = 0;
+  virtual void on_mailbox_destroyed(const void* mailbox) = 0;
+};
+
+namespace detail {
+extern SimHooks* g_sim_hooks;
+}  // namespace detail
+
+/// The installed hooks, or nullptr (the common case).
+inline SimHooks* sim_hooks() { return detail::g_sim_hooks; }
+
+/// Installs `hooks` (or removes them with nullptr). At most one set may be
+/// installed; installing over an existing non-null set throws.
+void set_sim_hooks(SimHooks* hooks);
+
+}  // namespace strings::sim

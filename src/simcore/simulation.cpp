@@ -6,6 +6,20 @@
 
 namespace strings::sim {
 
+// ------------------------------------------------------------------ Hooks --
+
+namespace detail {
+SimHooks* g_sim_hooks = nullptr;
+}  // namespace detail
+
+void set_sim_hooks(SimHooks* hooks) {
+  if (hooks != nullptr && detail::g_sim_hooks != nullptr &&
+      detail::g_sim_hooks != hooks) {
+    throw std::logic_error("sim hooks already installed");
+  }
+  detail::g_sim_hooks = hooks;
+}
+
 // ---------------------------------------------------------------- Process --
 
 Process::Process(Simulation& sim, std::string name, std::function<void()> body)
@@ -91,13 +105,16 @@ Process& Simulation::spawn(std::string name, std::function<void()> body) {
   Process& p = *proc;
   processes_.push_back(std::move(proc));
   ++live_processes_;
+  if (auto* h = sim_hooks()) h->on_process_spawned(*this, p);
   schedule(0, [this, &p] {
     if (p.state_ == Process::State::kCreated) {
       p.state_ = Process::State::kRunnable;
       p.start();
       Process* prev = current_;
       current_ = &p;
+      if (auto* h = sim_hooks()) h->on_process_running(*this, p);
       p.resume();
+      if (auto* h = sim_hooks()) h->on_process_yielded(*this, p);
       current_ = prev;
       if (p.finished()) --live_processes_;
     }
@@ -113,13 +130,17 @@ Process& Simulation::spawn_daemon(std::string name, std::function<void()> body) 
 
 void Simulation::schedule(SimTime delay, std::function<void()> fn) {
   assert(delay >= 0 && "cannot schedule into the past");
-  queue_.push(QueuedEvent{now_ + delay, next_seq_++, std::move(fn), false});
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(QueuedEvent{now_ + delay, seq, std::move(fn), false});
   ++real_events_;
+  if (auto* h = sim_hooks()) h->on_event_scheduled(*this, seq);
 }
 
 void Simulation::schedule_weak(SimTime delay, std::function<void()> fn) {
   assert(delay >= 0 && "cannot schedule into the past");
-  queue_.push(QueuedEvent{now_ + delay, next_seq_++, std::move(fn), true});
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(QueuedEvent{now_ + delay, seq, std::move(fn), true});
+  if (auto* h = sim_hooks()) h->on_event_scheduled(*this, seq);
 }
 
 bool Simulation::step() {
@@ -129,7 +150,9 @@ bool Simulation::step() {
   if (!ev.weak) --real_events_;
   assert(ev.time >= now_);
   now_ = ev.time;
+  if (auto* h = sim_hooks()) h->on_event_begin(*this, ev.seq);
   ev.fn();
+  if (auto* h = sim_hooks()) h->on_event_end(*this, ev.seq);
   // Surface process failures immediately, at the point in virtual time where
   // they happened.
   for (auto& p : processes_) {
@@ -176,7 +199,9 @@ void Simulation::schedule_resume(Process& p, SimTime delay) {
     p.state_ = Process::State::kRunnable;
     Process* prev = current_;
     current_ = &p;
+    if (auto* h = sim_hooks()) h->on_process_running(*this, p);
     p.resume();
+    if (auto* h = sim_hooks()) h->on_process_yielded(*this, p);
     current_ = prev;
     if (p.finished()) --live_processes_;
   });

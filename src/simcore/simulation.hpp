@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "simcore/hooks.hpp"
 #include "simcore/sim_time.hpp"
 
 namespace strings::sim {
@@ -225,9 +226,13 @@ template <typename T>
 class Mailbox {
  public:
   explicit Mailbox(Simulation& sim) : sim_(sim), ready_(sim) {}
+  ~Mailbox() {
+    if (auto* h = sim_hooks()) h->on_mailbox_destroyed(this);
+  }
 
   void send(T value) {
     items_.push(std::move(value));
+    if (auto* h = sim_hooks()) h->on_mailbox_send(this);
     ready_.notify_one();
   }
 
@@ -235,6 +240,7 @@ class Mailbox {
     while (items_.empty()) ready_.wait();
     T v = std::move(items_.front());
     items_.pop();
+    if (auto* h = sim_hooks()) h->on_mailbox_recv(this);
     return v;
   }
 
@@ -243,6 +249,7 @@ class Mailbox {
     if (items_.empty()) return std::nullopt;
     T v = std::move(items_.front());
     items_.pop();
+    if (auto* h = sim_hooks()) h->on_mailbox_recv(this);
     return v;
   }
 
@@ -257,6 +264,7 @@ class Mailbox {
     }
     T v = std::move(items_.front());
     items_.pop();
+    if (auto* h = sim_hooks()) h->on_mailbox_recv(this);
     return v;
   }
 

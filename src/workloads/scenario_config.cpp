@@ -158,6 +158,8 @@ ScenarioConfig parse_scenario(std::istream& in) {
         cfg.testbed.trace = to_bool(line, value);
       } else if (key == "sampler_epoch_ms") {
         cfg.testbed.sampler_epoch = sim::msec(to_int(line, value));
+      } else if (key == "analyze") {
+        cfg.testbed.analyze = to_bool(line, value);
       } else if (key == "cpu_fallback") {
         cfg.testbed.cpu_fallback_devices = to_bool(line, value);
       } else if (key == "placement") {
@@ -259,11 +261,20 @@ std::vector<StreamStats> run_scenario_config(const ScenarioConfig& cfg) {
 std::vector<StreamStats> run_scenario_config(const ScenarioConfig& cfg,
                                              const std::string& trace_path,
                                              const std::string& metrics_path) {
+  return run_scenario_config_full(cfg, trace_path, metrics_path, "").streams;
+}
+
+ScenarioRunResult run_scenario_config_full(const ScenarioConfig& cfg,
+                                           const std::string& trace_path,
+                                           const std::string& metrics_path,
+                                           const std::string& analysis_path) {
   ScenarioConfig run_cfg = cfg;
   if (!trace_path.empty()) run_cfg.testbed.trace = true;
+  if (!analysis_path.empty()) run_cfg.testbed.analyze = true;
   sim::Simulation sim;
   Testbed bed(sim, run_cfg.testbed);
-  auto stats = run_streams(bed, run_cfg.streams);
+  ScenarioRunResult result;
+  result.streams = run_streams(bed, run_cfg.streams);
   if (!trace_path.empty() && bed.tracer() != nullptr &&
       !obs::write_chrome_trace_file(*bed.tracer(), trace_path)) {
     throw std::runtime_error("cannot write trace file: " + trace_path);
@@ -272,7 +283,19 @@ std::vector<StreamStats> run_scenario_config(const ScenarioConfig& cfg,
       !obs::write_metrics_csv_file(bed.metrics_registry(), metrics_path)) {
     throw std::runtime_error("cannot write metrics file: " + metrics_path);
   }
-  return stats;
+  if (bed.analyzer() != nullptr) {
+    result.invariant_violations = bed.analyzer()->report().invariant_violations();
+    result.logical_races = bed.analyzer()->report().logical_races();
+    if (!analysis_path.empty()) {
+      std::ofstream out(analysis_path);
+      if (!out) {
+        throw std::runtime_error("cannot write analysis report: " +
+                                 analysis_path);
+      }
+      bed.analyzer()->render(out);
+    }
+  }
+  return result;
 }
 
 }  // namespace strings::workloads

@@ -20,6 +20,7 @@
 //   feedback_flush_ms = 1     # partial-batch flush delay
 //   trace = false             # observability spans (run_scenario --trace)
 //   sampler_epoch_ms = 1      # utilization/queue-depth sampling period
+//   analyze = false           # invariant checker (run_scenario --analyze)
 //
 //   [stream]
 //   app = MC                  # Table I abbreviation
@@ -79,5 +80,26 @@ std::vector<StreamStats> run_scenario_config(const ScenarioConfig& cfg);
 std::vector<StreamStats> run_scenario_config(const ScenarioConfig& cfg,
                                              const std::string& trace_path,
                                              const std::string& metrics_path);
+
+/// Everything a scenario run produced: per-stream stats plus the analysis
+/// verdict (zero counts when the analyzer was not enabled).
+struct ScenarioRunResult {
+  std::vector<StreamStats> streams;
+  /// Protocol invariant violations (INV-*) — a non-zero count means the
+  /// run broke a state-machine contract and run_scenario exits 3.
+  std::int64_t invariant_violations = 0;
+  /// Logical races (unordered conflicting accesses) — informational; many
+  /// timing-ordered schedules are not causally ordered.
+  std::int64_t logical_races = 0;
+};
+
+/// The full-fat runner behind `run_scenario`: optional Chrome trace JSON,
+/// metrics CSV, and analysis report. A non-empty `analysis_path` forces the
+/// analyzer on and writes its report there. Throws std::runtime_error when
+/// an output file can't be written.
+ScenarioRunResult run_scenario_config_full(const ScenarioConfig& cfg,
+                                           const std::string& trace_path,
+                                           const std::string& metrics_path,
+                                           const std::string& analysis_path);
 
 }  // namespace strings::workloads

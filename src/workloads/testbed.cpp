@@ -45,6 +45,19 @@ Testbed::Testbed(sim::Simulation& sim, TestbedConfig config)
     throw std::invalid_argument("control-plane service_node out of range");
   }
 
+  // The analyzer must observe every event from the first schedule() on, so
+  // it installs before any component is constructed. GRR's divergence bound
+  // scales with the number of independent deciders: one centralized
+  // service, or one optimistic agent per node.
+  if (config_.analyze) {
+    analyzer_ = std::make_unique<analysis::Analyzer>();
+    analyzer_->install(sim_);
+    analyzer_->set_grr_deciders(
+        config_.control_plane.placement == core::PlacementMode::kDistributed
+            ? static_cast<int>(node_count)
+            : 1);
+  }
+
   if (config_.trace_events) {
     trace_log_ = std::make_unique<sim::TraceLog>(sim_);
   }

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.hpp"
 #include "backend/backend_daemon.hpp"
 #include "core/control_plane.hpp"
 #include "core/mapper_agent.hpp"
@@ -54,6 +55,12 @@ struct TestbedConfig {
   /// the periodic sampler (Testbed::tracer). Off by default — a disabled
   /// run is bit-for-bit identical to one without instrumentation.
   bool trace = false;
+  /// Dynamic analysis: install the happens-before tracker and protocol
+  /// invariant checker on the simulation (Testbed::analyzer). Off by
+  /// default — a disabled run is bit-for-bit identical to one without the
+  /// analysis layer, and an enabled run observes without perturbing
+  /// (pinned by tests/analysis_zero_overhead_test).
+  bool analyze = false;
   /// Period of the sampler that renders per-GPU utilization and scheduler
   /// queue depth as counter tracks (only runs when `trace` is set; 0
   /// disables sampling).
@@ -132,6 +139,10 @@ class Testbed final : public frontend::SchedulerDirectory {
   /// Aggregated control-plane counters across all agents, with the
   /// service's authoritative placement log attached.
   core::ControlPlaneStats control_plane_stats() const;
+  /// Populated when TestbedConfig::analyze is set; nullptr otherwise. Holds
+  /// the happens-before tracker and invariant checker; render its report
+  /// with analyzer()->render(os) after the run.
+  analysis::Analyzer* analyzer() { return analyzer_.get(); }
   /// Populated when TestbedConfig::trace_events is set; nullptr otherwise.
   sim::TraceLog* trace_log() { return trace_log_.get(); }
   /// Populated when TestbedConfig::trace is set; nullptr otherwise. Export
@@ -166,6 +177,10 @@ class Testbed final : public frontend::SchedulerDirectory {
 
   sim::Simulation& sim_;
   TestbedConfig config_;
+  /// Declared before every other component so it is destroyed last: the
+  /// analyzer's sim hooks must stay installed while member teardown (e.g.
+  /// channel mailbox destruction) still fires observer callbacks.
+  std::unique_ptr<analysis::Analyzer> analyzer_;
   std::vector<std::vector<std::unique_ptr<gpu::GpuDevice>>> devices_;
   std::vector<std::unique_ptr<cuda::CudaRuntime>> runtimes_;
   /// GIDs per (node, local device), from the gPool Creator.

@@ -1,0 +1,10 @@
+# Asserts a command exits with an exact code (ctest's WILL_FAIL only checks
+# non-zero, which can't tell a flag-parse error (2) from an invariant
+# violation (3)). Usage:
+#   cmake -DCMD=<binary> -DARGS=<;-list> -DEXPECTED=<code> -P check_exit_code.cmake
+execute_process(COMMAND ${CMD} ${ARGS} RESULT_VARIABLE actual
+                OUTPUT_QUIET ERROR_QUIET)
+if(NOT actual EQUAL ${EXPECTED})
+  message(FATAL_ERROR
+          "${CMD} ${ARGS}: expected exit ${EXPECTED}, got ${actual}")
+endif()

@@ -1,0 +1,191 @@
+// determinism_lint: rejects sources of nondeterminism in simulator code.
+//
+// The whole repo rests on one property: a simulation is a pure function of
+// its configuration. Wall-clock reads, unseeded randomness, and iteration
+// over address-ordered or hash-ordered containers all break that silently —
+// the build still passes, but runs stop being reproducible and the
+// equivalence tests (which compare placement logs bit-for-bit across
+// deployments) turn flaky. This lint makes those hazards a build failure.
+//
+//   usage: determinism_lint <file-or-dir>...
+//
+// Scans .hpp/.h/.cpp/.cc files (directories recursively) and reports:
+//
+//   DL001  wall-clock reads (system_clock, steady_clock, gettimeofday, ...)
+//          — virtual time must come from sim::Simulation::now()
+//   DL002  ambient randomness (rand, srand, random_device, ...) — draw from
+//          an explicitly seeded engine owned by the workload
+//   DL003  unordered associative containers — hash iteration order is
+//          implementation-defined; use std::map/std::set or sort first
+//   DL004  pointer-keyed std::map/std::set — iteration follows address
+//          order, which varies run to run
+//   DL005  __DATE__/__TIME__/__TIMESTAMP__ — bake-time stamps differ per
+//          build
+//
+// A finding is suppressed by the marker `determinism-lint: allow(...)` on
+// the same line or the line directly above (use for lookup-only containers
+// whose order never reaches output). Exit: 0 clean, 1 findings, 2 usage or
+// I/O error.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Rule {
+  const char* id;
+  std::regex pattern;
+  const char* message;
+};
+
+std::vector<Rule> build_rules() {
+  std::vector<Rule> rules;
+  auto add = [&rules](const char* id, const char* re, const char* msg) {
+    rules.push_back(Rule{id, std::regex(re), msg});
+  };
+  add("DL001",
+      R"(\b(system_clock|steady_clock|high_resolution_clock)\b)",
+      "wall-clock read; use the simulation's virtual clock (sim.now())");
+  add("DL001", R"(\b(gettimeofday|clock_gettime|timespec_get)\s*\()",
+      "wall-clock read; use the simulation's virtual clock (sim.now())");
+  add("DL001", R"(\btime\s*\(\s*(nullptr|NULL|0)\s*\))",
+      "wall-clock read; use the simulation's virtual clock (sim.now())");
+  add("DL002", R"(\b(rand|srand|rand_r|drand48|lrand48|mrand48)\s*\()",
+      "ambient randomness; use a seeded engine owned by the workload");
+  add("DL002", R"(\brandom_device\b)",
+      "nondeterministic seed source; take the seed from configuration");
+  add("DL003", R"(\bunordered_(map|set|multimap|multiset)\b)",
+      "hash-ordered container; iteration order is not reproducible");
+  add("DL004", R"(\bstd::(map|set)\s*<[^,<>]*\*)",
+      "pointer-keyed container; iteration follows address order");
+  add("DL005", R"(__(DATE|TIME|TIMESTAMP)__)",
+      "build timestamp; output must not depend on when it was compiled");
+  return rules;
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
+}
+
+/// Blanks out block/line comments and string/char literals so tokens inside
+/// them don't trip rules; `in_block` carries /* */ state across lines.
+/// Returns the scannable text (same length as `line`).
+std::string strip_noise(const std::string& line, bool& in_block) {
+  std::string out(line.size(), ' ');
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (in_block) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_block = false;
+        ++i;
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      in_block = true;
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < line.size() && line[i] != quote) {
+        if (line[i] == '\\') ++i;
+        ++i;
+      }
+      continue;
+    }
+    out[i] = c;
+  }
+  return out;
+}
+
+int lint_file(const fs::path& path, const std::vector<Rule>& rules) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "determinism_lint: cannot read %s\n",
+                 path.string().c_str());
+    return -1;
+  }
+  int findings = 0;
+  std::string line;
+  int lineno = 0;
+  bool in_block = false;
+  bool prev_allows = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const bool allows = line.find("determinism-lint: allow") != std::string::npos;
+    const std::string code = strip_noise(line, in_block);
+    if (!allows && !prev_allows) {
+      for (const auto& rule : rules) {
+        std::smatch m;
+        if (std::regex_search(code, m, rule.pattern)) {
+          std::fprintf(stderr, "%s:%d: [%s] %s: '%s'\n",
+                       path.string().c_str(), lineno, rule.id, rule.message,
+                       m.str().c_str());
+          ++findings;
+        }
+      }
+    }
+    prev_allows = allows;
+  }
+  return findings;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: determinism_lint <file-or-dir>...\n");
+    return 2;
+  }
+  const std::vector<Rule> rules = build_rules();
+  int findings = 0;
+  int files = 0;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path root = argv[i];
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      // Collect and sort so reports (and failures) are stable across
+      // filesystems — the lint practices what it preaches.
+      std::vector<fs::path> paths;
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          paths.push_back(entry.path());
+        }
+      }
+      std::sort(paths.begin(), paths.end());
+      for (const auto& p : paths) {
+        const int n = lint_file(p, rules);
+        if (n < 0) return 2;
+        findings += n;
+        ++files;
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      const int n = lint_file(root, rules);
+      if (n < 0) return 2;
+      findings += n;
+      ++files;
+    } else {
+      std::fprintf(stderr, "determinism_lint: no such file or directory: %s\n",
+                   root.string().c_str());
+      return 2;
+    }
+  }
+  if (findings > 0) {
+    std::fprintf(stderr, "determinism_lint: %d finding(s) in %d file(s)\n",
+                 findings, files);
+    return 1;
+  }
+  std::printf("determinism_lint: %d file(s) clean\n", files);
+  return 0;
+}

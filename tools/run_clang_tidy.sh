@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs the repo's curated .clang-tidy profile over every translation unit in
+# src/, treating any diagnostic as an error. CI's static-analysis job calls
+# this; locally it needs clang-tidy on PATH and a build configured with
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON.
+#
+#   usage: tools/run_clang_tidy.sh [build-dir]   (default: build)
+set -u
+
+build_dir="${1:-build}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not found on PATH" >&2
+  exit 2
+fi
+if [ ! -f "$repo_root/$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy: $build_dir/compile_commands.json missing" \
+       "(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)" >&2
+  exit 2
+fi
+
+cd "$repo_root"
+sources=$(find src -name '*.cpp' | sort)
+status=0
+for f in $sources; do
+  if ! clang-tidy -p "$build_dir" --quiet --warnings-as-errors='*' "$f"; then
+    status=1
+  fi
+done
+if [ "$status" -ne 0 ]; then
+  echo "run_clang_tidy: findings above (warnings-as-errors)" >&2
+fi
+exit $status
