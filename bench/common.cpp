@@ -4,7 +4,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <map>
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
 
 #include "obs/export.hpp"
 
@@ -46,6 +52,10 @@ std::string sanitize_label(const std::string& label) {
 void export_observability(const RunConfig& cfg, workloads::Testbed& bed) {
   const char* dir = trace_dir();
   if (dir == nullptr) return;
+  // Pointing STRINGS_TRACE_DIR at a fresh path is the common case in CI;
+  // create it instead of warning once per run.
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
   const std::string base = std::string(dir) + "/" + sanitize_label(cfg.label);
   const std::string trace_path = base + ".trace.json";
   if (bed.tracer() != nullptr &&
@@ -56,6 +66,82 @@ void export_observability(const RunConfig& cfg, workloads::Testbed& bed) {
   if (!obs::write_metrics_csv_file(bed.metrics_registry(), metrics_path)) {
     std::fprintf(stderr, "warning: cannot write %s\n", metrics_path.c_str());
   }
+}
+
+// --- BENCH_report.json recorder (the CI perf-gate input) -----------------
+
+// Report file for the perf gate, or nullptr when the STRINGS_BENCH_REPORT
+// env toggle is unset. Read per call so tests can toggle it at runtime.
+const char* bench_report_path() {
+  const char* p = std::getenv("STRINGS_BENCH_REPORT");
+  return (p != nullptr && p[0] != '\0') ? p : nullptr;
+}
+
+// Entries recorded by this process, keyed "<binary>/<label>[#k]". The
+// binary prefix keeps labels that several benches share (e.g. the
+// balancing_matrix configs) distinct once every bench merges into one
+// file; #k disambiguates repeated labels within one binary.
+std::map<std::string, std::string>& report_entries() {
+  static std::map<std::string, std::string> entries;
+  return entries;
+}
+
+std::string report_binary_name() {
+  static const std::string name = [] {
+#ifdef __linux__
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+      buf[n] = '\0';
+      const char* slash = std::strrchr(buf, '/');
+      return std::string(slash != nullptr ? slash + 1 : buf);
+    }
+#endif
+    return std::string("bench");
+  }();
+  return name;
+}
+
+void record_bench_report(const RunConfig& cfg,
+                         const std::vector<StreamSpec>& streams,
+                         const RunOutput& out) {
+  if (bench_report_path() == nullptr) return;
+  std::vector<double> responses;
+  for (const auto& st : out.streams) {
+    for (const sim::SimTime t : st.response_times) {
+      responses.push_back(sim::to_seconds(t));
+    }
+  }
+  std::vector<double> attained, shares;
+  for (const auto& [tenant, service] : out.tenant_service_s) {
+    attained.push_back(service);
+    double weight = 1.0;
+    for (const auto& s : streams) {
+      if (s.tenant == tenant) {
+        weight = s.tenant_weight;
+        break;
+      }
+    }
+    shares.push_back(weight);
+  }
+  char value[192];
+  std::snprintf(value, sizeof(value),
+                "{\"makespan_s\":%.9f,\"p50_s\":%.9f,\"p99_s\":%.9f,"
+                "\"jain\":%.6f}",
+                sim::to_seconds(out.makespan),
+                metrics::percentile(responses, 50.0),
+                metrics::percentile(responses, 99.0),
+                metrics::jain_fairness(attained, shares));
+  static std::map<std::string, int> key_counts;
+  std::string key = report_binary_name() + "/" + sanitize_label(cfg.label);
+  const int n = ++key_counts[key];
+  if (n > 1) key += "#" + std::to_string(n);
+  report_entries()[key] = value;
+  static const bool registered = [] {
+    std::atexit(flush_bench_report);
+    return true;
+  }();
+  (void)registered;
 }
 
 std::vector<workloads::ArrivalConfig> to_arrivals(
@@ -134,6 +220,7 @@ RunOutput run_scenario_until(const RunConfig& cfg,
   collect(cfg, bed, streams, out);
   export_observability(cfg, bed);
   out.makespan = horizon;
+  record_bench_report(cfg, streams, out);
   // Unwind live processes while the testbed they reference is still alive.
   sim.terminate_processes();
   return out;
@@ -148,6 +235,7 @@ RunOutput run_scenario(const RunConfig& cfg,
   out.streams = workloads::run_streams(bed, to_arrivals(streams));
   collect(cfg, bed, streams, out);
   export_observability(cfg, bed);
+  record_bench_report(cfg, streams, out);
   return out;
 }
 
@@ -225,6 +313,51 @@ void report_table(const std::string& name, const metrics::Table& table) {
   }
   out << table.to_csv();
   std::printf("(csv written to %s)\n", path.c_str());
+}
+
+void flush_bench_report() {
+  const char* path = bench_report_path();
+  if (path == nullptr || report_entries().empty()) return;
+  // The report file is shared by the whole bench sweep: merge with
+  // whatever an earlier binary wrote (same line-oriented schema
+  // tools/bench_gate parses), our entries winning on key collisions.
+  std::map<std::string, std::string> merged;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (in && std::getline(in, line)) {
+      const std::size_t q0 = line.find('"');
+      if (q0 == std::string::npos) continue;
+      const std::size_t q1 = line.find('"', q0 + 1);
+      if (q1 == std::string::npos) continue;
+      const std::size_t brace = line.find('{', q1);
+      const std::size_t close = line.rfind('}');
+      if (brace == std::string::npos || close == std::string::npos ||
+          close < brace) {
+        continue;
+      }
+      merged[line.substr(q0 + 1, q1 - q0 - 1)] =
+          line.substr(brace, close - brace + 1);
+    }
+  }
+  for (const auto& [key, value] : report_entries()) merged[key] = value;
+  std::error_code ec;
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path);
+    return;
+  }
+  out << "{\n";
+  std::size_t i = 0;
+  for (const auto& [key, value] : merged) {
+    out << "  \"" << key << "\": " << value;
+    if (++i < merged.size()) out << ",";
+    out << "\n";
+  }
+  out << "}\n";
 }
 
 void print_header(const std::string& title, const std::string& paper_ref,

@@ -120,4 +120,12 @@ void print_header(const std::string& title, const std::string& paper_ref,
 /// writes it as <dir>/<name>.csv for artifact collection.
 void report_table(const std::string& name, const metrics::Table& table);
 
+/// Perf-gate hook. When STRINGS_BENCH_REPORT names a file, every
+/// run_scenario / run_scenario_until call records an entry
+///   "<bench binary>/<label>": {makespan_s, p50_s, p99_s, jain}
+/// and the process merges its entries into that JSON file at exit, so a
+/// whole bench sweep accumulates one report (tools/bench_gate compares two
+/// such files). Idempotent; exposed so tests can flush without exiting.
+void flush_bench_report();
+
 }  // namespace strings::bench

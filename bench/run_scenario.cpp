@@ -10,11 +10,13 @@
 // or chrome://tracing) with request-lifecycle spans, per-GPU op tracks and
 // dispatcher wake events; --metrics dumps the testbed's metrics registry as
 // CSV; --analyze runs the protocol invariant checker + logical-race
-// analysis and writes its report. Without a scenario path, runs a built-in
-// demo scenario (so the bench sweep exercises the path end to end).
+// analysis and writes its report; --prof runs the critical-path profiler
+// and writes its attribution report (docs/observability.md). Without a
+// scenario path, runs a built-in demo scenario (so the bench sweep
+// exercises the path end to end).
 //
-// Exit codes: 0 success, 1 runtime error, 2 bad flags, 3 the run completed
-// but the analyzer found protocol invariant violations.
+// Exit codes are documented in print_usage below — that usage text is the
+// single source of truth (tests assert every flag and code appears there).
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -63,10 +65,13 @@ void print_usage(std::FILE* out) {
                "  --metrics <out.csv>   write the metrics registry as CSV\n"
                "  --analyze <out.txt>   run the protocol invariant checker +\n"
                "                        logical-race analysis; write report\n"
+               "  --prof <out.txt>      run the critical-path profiler; write\n"
+               "                        latency/fairness attribution report\n"
                "  -h, --help            show this help\n"
                "\n"
                "exit codes: 0 ok, 1 runtime error, 2 bad flags,\n"
-               "            3 invariant violations found by --analyze\n");
+               "            3 invariant violations found by --analyze,\n"
+               "            4 incomplete requests found by --prof\n");
 }
 
 struct Args {
@@ -74,6 +79,7 @@ struct Args {
   std::string trace_path;
   std::string metrics_path;
   std::string analysis_path;
+  std::string prof_path;
 };
 
 // Parses argv into Args. Returns true on success; on failure prints an
@@ -86,7 +92,8 @@ bool parse_args(int argc, char** argv, Args& args, int& exit_code) {
       exit_code = 0;
       return false;
     }
-    if (arg == "--trace" || arg == "--metrics" || arg == "--analyze") {
+    if (arg == "--trace" || arg == "--metrics" || arg == "--analyze" ||
+        arg == "--prof") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: %s requires a file argument\n\n",
                      arg.c_str());
@@ -96,7 +103,8 @@ bool parse_args(int argc, char** argv, Args& args, int& exit_code) {
       }
       (arg == "--trace"     ? args.trace_path
        : arg == "--metrics" ? args.metrics_path
-                            : args.analysis_path) = argv[++i];
+       : arg == "--analyze" ? args.analysis_path
+                            : args.prof_path) = argv[++i];
       continue;
     }
     if (!arg.empty() && arg[0] == '-') {
@@ -142,8 +150,12 @@ int main(int argc, char** argv) {
 
   workloads::ScenarioRunResult result;
   try {
-    result = workloads::run_scenario_config_full(
-        cfg, args.trace_path, args.metrics_path, args.analysis_path);
+    workloads::RunArtifacts artifacts;
+    artifacts.trace_path = args.trace_path;
+    artifacts.metrics_path = args.metrics_path;
+    artifacts.analysis_path = args.analysis_path;
+    artifacts.prof_path = args.prof_path;
+    result = workloads::run_scenario_config_full(cfg, artifacts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
@@ -167,6 +179,9 @@ int main(int argc, char** argv) {
   if (!args.metrics_path.empty()) {
     std::printf("(metrics written to %s)\n", args.metrics_path.c_str());
   }
+  if (!args.prof_path.empty()) {
+    std::printf("(prof report written to %s)\n", args.prof_path.c_str());
+  }
   if (!args.analysis_path.empty()) {
     std::printf("(analysis report written to %s: %lld invariant violations, "
                 "%lld logical races)\n",
@@ -174,6 +189,11 @@ int main(int argc, char** argv) {
                 static_cast<long long>(result.invariant_violations),
                 static_cast<long long>(result.logical_races));
     if (result.invariant_violations > 0) return 3;
+  }
+  if (!args.prof_path.empty() && result.prof_incomplete_requests > 0) {
+    std::fprintf(stderr, "prof: %d requests never completed\n",
+                 result.prof_incomplete_requests);
+    return 4;
   }
   return 0;
 }

@@ -235,6 +235,12 @@ bool BackendDaemon::handle_request(Conn& conn, cuda::ProcessId pid,
       tracer_->complete(req_track, "queue", req.delivered_at, handle_start);
     }
   }
+  if (tracer_ != nullptr) {
+    // Delimits the backend visit for the profiler: queue wait ends here,
+    // service time runs until the matching kBackendDone below.
+    tracer_->request_phase(conn.app.app_id, obs::ReqPhase::kBackendStart,
+                           handle_start);
+  }
 
   auto gate_gpu_work = [&] {
     // The dispatcher's RT-signal analog: a sleeping backend worker does not
@@ -434,9 +440,14 @@ bool BackendDaemon::handle_request(Conn& conn, cuda::ProcessId pid,
     }
   }
 
-  if (tracer_ != nullptr && sim_.now() > handle_start) {
-    tracer_->complete(req_track, std::string("be ") + rpc::call_name(req.call),
-                      handle_start, sim_.now());
+  if (tracer_ != nullptr) {
+    tracer_->request_phase(conn.app.app_id, obs::ReqPhase::kBackendDone,
+                           sim_.now());
+    if (sim_.now() > handle_start) {
+      tracer_->complete(req_track,
+                        std::string("be ") + rpc::call_name(req.call),
+                        handle_start, sim_.now());
+    }
   }
   if (!req.oneway) {
     rpc::Packet resp;

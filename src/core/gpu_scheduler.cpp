@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 #include "analysis/access.hpp"
 
@@ -109,6 +110,17 @@ FeedbackRecord GpuScheduler::unregister_app(int signal_id) {
     trace_->log("gpusched/" + std::to_string(gid_), "fe.feedback",
                 "app=" + rec.app_type + " gpu_util=" +
                     std::to_string(rec.gpu_util));
+  }
+  if (tracer_ != nullptr) {
+    // Attained-service hook for the profiler: snapshot the tenant's engine
+    // residency (the quantity the LAS CGS math accumulates) at departure.
+    char fmt[32];
+    std::snprintf(fmt, sizeof fmt, "%.6f",
+                  sim::to_seconds(tenant_service_[e.init.tenant]));
+    tracer_->gpu_instant(gid_, "fe.departure", sim_.now(),
+                         {{"app", rec.app_type},
+                          {"tenant", e.init.tenant},
+                          {"tenant_attained_s", fmt}});
   }
   if (feedback_sink_) feedback_sink_(rec);
   run_dispatcher();

@@ -68,6 +68,9 @@ cuda::cudaError_t Interposer::ensure_bound() {
       std::move(rx));
   client_ = std::make_unique<rpc::RpcClient>(ch);
   if (tracing()) {
+    // Stamp the placement decision on the lifecycle record so the profiler
+    // blames the right device, dispatcher and link.
+    config_.tracer->request_bound(app_.app_id, gid, entry.node);
     config_.tracer->complete(
         config_.tracer->request_track(app_.app_id), "bind", bind_start,
         config_.sim->now(),

@@ -62,6 +62,19 @@ void write_chrome_trace(const Tracer& tracer, std::ostream& os) {
     os << "\n";
   };
 
+  // Metadata: run-level labels (mode, policies, topology). Offline tools
+  // (tools/strings_prof) read these back so their reports carry the same
+  // header the online profiler prints.
+  if (!tracer.meta().empty()) {
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"strings_run_config\",\"pid\":0,"
+          "\"tid\":0,";
+    std::vector<TraceArg> meta_args;
+    for (const auto& [k, v] : tracer.meta()) meta_args.push_back({k, v});
+    write_args(os, meta_args);
+    os << '}';
+  }
+
   // Metadata: process and thread names + sort order.
   const auto& procs = tracer.processes();
   for (std::size_t pid = 0; pid < procs.size(); ++pid) {
@@ -111,6 +124,29 @@ void write_chrome_trace(const Tracer& tracer, std::ostream& os) {
         break;
       }
     }
+  }
+
+  // Requests that were issued but never completed get no umbrella span
+  // (end_request never ran); emit an instant per straggler so offline
+  // consumers can still account for them.
+  for (const auto& [app_id, r] : tracer.requests()) {
+    if (r.issued_at < 0 || r.completed_at >= 0) continue;
+    int pid = 0, tid = 0;
+    if (r.track >= 0) {
+      const auto& t = tracks[static_cast<std::size_t>(r.track)];
+      pid = t.pid;
+      tid = t.tid;
+    }
+    sep();
+    os << "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"request.incomplete\","
+          "\"pid\":"
+       << pid << ",\"tid\":" << tid << ",\"ts\":" << fmt_us(r.issued_at)
+       << ',';
+    write_args(os, {{"tenant", r.tenant},
+                    {"app_id", std::to_string(app_id)},
+                    {"app", r.app_type},
+                    {"issued", std::to_string(r.issued_at)}});
+    os << '}';
   }
   os << "\n]}\n";
 }

@@ -1,0 +1,470 @@
+#include "obs/prof.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace strings::obs::prof {
+
+namespace {
+
+bool is_frontend_phase(ReqPhase p) {
+  switch (p) {
+    case ReqPhase::kIssue:
+    case ReqPhase::kBind:
+    case ReqPhase::kMarshal:
+    case ReqPhase::kTransit:
+    case ReqPhase::kComplete:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// The concrete resource blamed when `b` dominates a request's wall-clock.
+std::string resource_for(Bucket b, const ProfRequest& req) {
+  switch (b) {
+    case Bucket::kFrontend:
+      return "frontend.host";
+    case Bucket::kBind:
+      return "control_plane.placement";
+    case Bucket::kMarshal:
+      return "frontend.marshal";
+    case Bucket::kTransit:
+      if (req.node < 0) return "link.unknown";
+      if (req.node == req.origin) return "link.local";
+      return "link.n" + std::to_string(req.origin) + "-n" +
+             std::to_string(req.node);
+    case Bucket::kBackendQueue:
+      return req.node >= 0 ? "node" + std::to_string(req.node) + ".daemon"
+                           : "backend.daemon";
+    case Bucket::kDispatchWait:
+      return req.gid >= 0 ? "gpu" + std::to_string(req.gid) + ".dispatcher"
+                          : "gpu.dispatcher";
+    case Bucket::kExecute:
+      return req.gid >= 0 ? "gpu" + std::to_string(req.gid) + ".engines"
+                          : "gpu.engines";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* bucket_name(Bucket b) {
+  switch (b) {
+    case Bucket::kFrontend: return "frontend";
+    case Bucket::kBind: return "bind";
+    case Bucket::kMarshal: return "marshal";
+    case Bucket::kTransit: return "transit";
+    case Bucket::kBackendQueue: return "backend_queue";
+    case Bucket::kDispatchWait: return "dispatch_wait";
+    case Bucket::kExecute: return "execute";
+  }
+  return "?";
+}
+
+int bucket_priority(Bucket b) {
+  switch (b) {
+    case Bucket::kFrontend: return 0;
+    case Bucket::kBind: return 1;
+    case Bucket::kMarshal: return 2;
+    case Bucket::kTransit: return 3;
+    case Bucket::kBackendQueue: return 4;
+    case Bucket::kExecute: return 5;
+    case Bucket::kDispatchWait: return 6;
+  }
+  return 0;
+}
+
+const std::vector<double>& digest_bounds_ms() {
+  static const std::vector<double> bounds = {
+      0.1,  0.25, 0.5,  1.0,    2.5,    5.0,    10.0,    25.0,    50.0,
+      100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 30000.0, 60000.0};
+  return bounds;
+}
+
+Digest::Digest() : counts(digest_bounds_ms().size() + 1, 0) {}
+
+void Digest::observe(double ms) {
+  const auto& bounds = digest_bounds_ms();
+  std::size_t i = 0;
+  while (i < bounds.size() && ms > bounds[i]) ++i;
+  ++counts[i];
+  ++count;
+  sum_ms += ms;
+  if (count == 1 || ms < min_ms) min_ms = ms;
+  if (count == 1 || ms > max_ms) max_ms = ms;
+}
+
+double Digest::mean() const {
+  return count > 0 ? sum_ms / static_cast<double>(count) : 0.0;
+}
+
+double Digest::quantile(double q) const {
+  if (count == 0) return 0.0;
+  const auto& bounds = digest_bounds_ms();
+  const double rank = q * static_cast<double>(count);
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const std::int64_t next = seen + counts[i];
+    if (static_cast<double>(next) >= rank) {
+      // Interpolate within the bucket, clamped to the observed range.
+      double lo = i == 0 ? 0.0 : bounds[i - 1];
+      double hi = i < bounds.size() ? bounds[i] : max_ms;
+      if (lo < min_ms) lo = min_ms;
+      if (hi > max_ms) hi = max_ms;
+      if (hi < lo) hi = lo;
+      const double frac =
+          counts[i] > 0
+              ? (rank - static_cast<double>(seen)) / static_cast<double>(counts[i])
+              : 0.0;
+      return lo + (hi - lo) * (frac < 0.0 ? 0.0 : (frac > 1.0 ? 1.0 : frac));
+    }
+    seen = next;
+  }
+  return max_ms;
+}
+
+ProfInput input_from_tracer(const Tracer& tracer) {
+  ProfInput in;
+  in.meta = tracer.meta();
+  for (const auto& [app_id, r] : tracer.requests()) {
+    if (r.issued_at < 0) continue;  // lazily created record, never issued
+    ProfRequest q;
+    q.app_id = app_id;
+    q.app_type = r.app_type;
+    q.tenant = r.tenant;
+    q.weight = r.tenant_weight;
+    q.origin = r.origin_node;
+    q.gid = r.bound_gid;
+    q.node = r.bound_node;
+    q.issued_at = r.issued_at;
+    q.completed_at = r.completed_at;
+    q.steps = r.steps;
+    in.requests.push_back(std::move(q));
+  }
+  for (const auto& e : tracer.events()) {
+    if (e.type != Tracer::EventType::kComplete) continue;
+    if (e.name != "KL" && e.name != "H2D" && e.name != "D2H") continue;
+    for (const auto& a : e.args) {
+      if (a.key == "tenant") {
+        in.attained_ns[a.value] += e.dur;
+        break;
+      }
+    }
+  }
+  return in;
+}
+
+RequestProfile profile_request(const ProfRequest& req) {
+  RequestProfile out;
+  out.app_id = req.app_id;
+  out.app_type = req.app_type;
+  out.tenant = req.tenant;
+  out.gid = req.gid;
+  const sim::SimTime lo = req.issued_at;
+  const sim::SimTime hi = req.completed_at;
+  if (hi < lo) return out;
+  out.wall = hi - lo;
+
+  // 1. Build phase intervals from the step record. Frontend-side phases
+  // (bind, marshal) end at the next frontend-side stamp; cross-side spans
+  // (transit, backend_queue) FIFO-match sends to deliveries — the channel
+  // is FIFO per connection, so the i-th transit pairs with the i-th
+  // delivery even when the frontend pipelines ahead of the backend.
+  struct Interval {
+    sim::SimTime s, e;
+    Bucket b;
+  };
+  std::vector<Interval> ivs;
+  auto push = [&](sim::SimTime s, sim::SimTime e, Bucket b) {
+    if (s < lo) s = lo;
+    if (e > hi) e = hi;
+    if (e > s) ivs.push_back({s, e, b});
+  };
+  const auto& st = req.steps;
+  for (std::size_t i = 0; i < st.size(); ++i) {
+    if (st[i].phase != ReqPhase::kBind && st[i].phase != ReqPhase::kMarshal)
+      continue;
+    sim::SimTime end = hi;
+    for (std::size_t j = i + 1; j < st.size(); ++j) {
+      if (is_frontend_phase(st[j].phase)) {
+        end = st[j].at;
+        break;
+      }
+    }
+    push(st[i].at, end,
+         st[i].phase == ReqPhase::kBind ? Bucket::kBind : Bucket::kMarshal);
+  }
+  std::vector<sim::SimTime> sends, queued;
+  std::size_t send_head = 0, queue_head = 0;
+  sim::SimTime serve_start = -1, gate_start = -1;
+  for (const auto& s : st) {
+    switch (s.phase) {
+      case ReqPhase::kTransit:
+        sends.push_back(s.at);
+        break;
+      case ReqPhase::kBackendQueue:
+        if (send_head < sends.size())
+          push(sends[send_head++], s.at, Bucket::kTransit);
+        queued.push_back(s.at);
+        break;
+      case ReqPhase::kBackendStart:
+        if (queue_head < queued.size())
+          push(queued[queue_head++], s.at, Bucket::kBackendQueue);
+        serve_start = s.at;
+        break;
+      case ReqPhase::kDispatchWait:
+        gate_start = s.at;
+        break;
+      case ReqPhase::kExecute:
+        if (gate_start >= 0) {
+          push(gate_start, s.at, Bucket::kDispatchWait);
+          gate_start = -1;
+        }
+        break;
+      case ReqPhase::kBackendDone:
+        if (serve_start >= 0) {
+          push(serve_start, s.at, Bucket::kExecute);
+          serve_start = -1;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // 2. Sweep: each instant of [issue, complete] is claimed by the highest-
+  // priority covering interval; uncovered time is frontend/host. Bucket
+  // sums are exclusive and add up exactly to wall-clock.
+  std::vector<sim::SimTime> pts;
+  pts.reserve(ivs.size() * 2 + 2);
+  pts.push_back(lo);
+  pts.push_back(hi);
+  for (const auto& iv : ivs) {
+    pts.push_back(iv.s);
+    pts.push_back(iv.e);
+  }
+  std::sort(pts.begin(), pts.end());
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+    const sim::SimTime a = pts[i], b = pts[i + 1];
+    Bucket best = Bucket::kFrontend;
+    for (const auto& iv : ivs) {
+      if (iv.s <= a && iv.e >= b &&
+          bucket_priority(iv.b) > bucket_priority(best)) {
+        best = iv.b;
+      }
+    }
+    out.by_bucket[static_cast<std::size_t>(best)] += b - a;
+  }
+
+  // 3. Critical path: the bucket with the largest share (first wins ties).
+  Bucket crit = Bucket::kFrontend;
+  for (int i = 0; i < kBucketCount; ++i) {
+    if (out.by_bucket[static_cast<std::size_t>(i)] >
+        out.by_bucket[static_cast<std::size_t>(crit)]) {
+      crit = static_cast<Bucket>(i);
+    }
+  }
+  out.critical = crit;
+  out.resource = resource_for(crit, req);
+  return out;
+}
+
+double TenantAccount::slowdown() const {
+  if (wall_ns <= 0) return 1.0;
+  const sim::SimTime uncontended = wall_ns - contention_ns;
+  if (uncontended <= 0) return 1.0;
+  return static_cast<double>(wall_ns) / static_cast<double>(uncontended);
+}
+
+Report profile(const ProfInput& in) {
+  Report rep;
+  rep.meta = in.meta;
+  for (const auto& req : in.requests) {
+    if (req.issued_at < 0) continue;
+    TenantAccount& acct = rep.tenants[req.tenant];
+    if (acct.requests == 0) acct.weight = req.weight;
+    if (req.completed_at < 0) {
+      ++rep.incomplete_requests;
+      continue;
+    }
+    ++rep.complete_requests;
+    if (rep.first_issue < 0 || req.issued_at < rep.first_issue)
+      rep.first_issue = req.issued_at;
+    if (req.completed_at > rep.last_complete)
+      rep.last_complete = req.completed_at;
+
+    RequestProfile p = profile_request(req);
+    const double wall_ms = sim::to_millis(p.wall);
+    const std::string group_keys[3] = {
+        "tenant/" + req.tenant, "app/" + req.app_type,
+        req.gid >= 0 ? "gpu/gpu" + std::to_string(req.gid) : "gpu/unbound"};
+    for (const auto& key : group_keys) {
+      GroupStats& g = rep.groups[key];
+      ++g.requests;
+      g.digest.observe(wall_ms);
+      g.wall_ns += p.wall;
+      for (int b = 0; b < kBucketCount; ++b)
+        g.bucket_ns[static_cast<std::size_t>(b)] +=
+            p.by_bucket[static_cast<std::size_t>(b)];
+    }
+    for (int b = 0; b < kBucketCount; ++b) {
+      const sim::SimTime t = p.by_bucket[static_cast<std::size_t>(b)];
+      if (t <= 0) continue;
+      rep.blame[resource_for(static_cast<Bucket>(b), req)].total_ns += t;
+    }
+    ResourceBlame& blamed = rep.blame[p.resource];
+    ++blamed.critical_for;
+    blamed.critical_ns += p.by_bucket[static_cast<std::size_t>(p.critical)];
+
+    ++acct.requests;
+    acct.wall_ns += p.wall;
+    acct.contention_ns +=
+        p.by_bucket[static_cast<std::size_t>(Bucket::kBackendQueue)] +
+        p.by_bucket[static_cast<std::size_t>(Bucket::kDispatchWait)];
+    rep.requests.push_back(std::move(p));
+  }
+  for (const auto& [tenant, ns] : in.attained_ns) {
+    rep.tenants[tenant].attained_ns = ns;
+  }
+
+  // Jain's index over weight-normalized attained service — the same
+  // formula as metrics::jain_fairness (pinned equal by prof_test).
+  if (rep.tenants.size() > 1) {
+    double sum = 0.0, sum_sq = 0.0;
+    for (const auto& [tenant, acct] : rep.tenants) {
+      const double x = acct.weight > 0
+                           ? sim::to_seconds(acct.attained_ns) / acct.weight
+                           : 0.0;
+      sum += x;
+      sum_sq += x * x;
+    }
+    rep.jain = sum_sq == 0.0 ? 1.0
+                             : (sum * sum) / (static_cast<double>(
+                                                  rep.tenants.size()) *
+                                              sum_sq);
+  }
+  return rep;
+}
+
+void render(const Report& r, std::ostream& os) {
+  char line[512];
+  os << "== strings profiler ==\n";
+  std::snprintf(line, sizeof line, "requests: %d complete, %d incomplete\n",
+                r.complete_requests, r.incomplete_requests);
+  os << line;
+  std::snprintf(line, sizeof line, "window_s: [%.6f, %.6f]\n",
+                r.first_issue >= 0 ? sim::to_seconds(r.first_issue) : 0.0,
+                r.last_complete >= 0 ? sim::to_seconds(r.last_complete) : 0.0);
+  os << line;
+  if (!r.meta.empty()) {
+    os << "run_config:";
+    for (const auto& [k, v] : r.meta) os << ' ' << k << '=' << v;
+    os << '\n';
+  }
+
+  os << "\n-- latency breakdown (wall-clock share per phase) --\n";
+  std::snprintf(line, sizeof line,
+                "%-32s %5s %10s %10s %10s %6s %6s %6s %6s %6s %6s %6s\n",
+                "group", "n", "mean_ms", "p50_ms", "p99_ms", "front%", "bind%",
+                "mars%", "tran%", "queue%", "gate%", "exec%");
+  os << line;
+  for (const auto& [key, g] : r.groups) {
+    double pct[kBucketCount] = {};
+    for (int b = 0; b < kBucketCount; ++b) {
+      pct[b] = g.wall_ns > 0
+                   ? 100.0 * static_cast<double>(
+                                 g.bucket_ns[static_cast<std::size_t>(b)]) /
+                         static_cast<double>(g.wall_ns)
+                   : 0.0;
+    }
+    std::snprintf(line, sizeof line,
+                  "%-32s %5d %10.3f %10.3f %10.3f %6.1f %6.1f %6.1f %6.1f "
+                  "%6.1f %6.1f %6.1f\n",
+                  key.c_str(), g.requests, g.digest.mean(),
+                  g.digest.quantile(0.50), g.digest.quantile(0.99),
+                  pct[0], pct[1], pct[2], pct[3], pct[4], pct[5], pct[6]);
+    os << line;
+  }
+
+  os << "\n-- critical path (time blocked per resource) --\n";
+  std::snprintf(line, sizeof line, "%-30s %9s %12s %12s\n", "resource",
+                "crit_reqs", "crit_ms", "total_ms");
+  os << line;
+  for (const auto& [name, b] : r.blame) {
+    std::snprintf(line, sizeof line, "%-30s %9d %12.3f %12.3f\n", name.c_str(),
+                  b.critical_for, sim::to_millis(b.critical_ns),
+                  sim::to_millis(b.total_ns));
+    os << line;
+  }
+
+  os << "\n-- per-request critical path --\n";
+  std::snprintf(line, sizeof line, "%-28s %10s %14s %s\n", "request",
+                "wall_ms", "critical", "resource");
+  os << line;
+  constexpr std::size_t kMaxRequestRows = 32;
+  for (std::size_t i = 0; i < r.requests.size() && i < kMaxRequestRows; ++i) {
+    const RequestProfile& p = r.requests[i];
+    const std::string label =
+        p.app_type + "#" + std::to_string(p.app_id) + " (" + p.tenant + ")";
+    std::snprintf(line, sizeof line, "%-28s %10.3f %14s %s\n", label.c_str(),
+                  sim::to_millis(p.wall), bucket_name(p.critical),
+                  p.resource.c_str());
+    os << line;
+  }
+  if (r.requests.size() > kMaxRequestRows) {
+    std::snprintf(line, sizeof line, "  (+%d more not shown)\n",
+                  static_cast<int>(r.requests.size() - kMaxRequestRows));
+    os << line;
+  }
+
+  os << "\n-- per-tenant fairness --\n";
+  std::snprintf(line, sizeof line, "%-24s %8s %12s %8s %9s\n", "tenant",
+                "requests", "attained_s", "weight", "slowdown");
+  os << line;
+  for (const auto& [tenant, acct] : r.tenants) {
+    std::snprintf(line, sizeof line, "%-24s %8d %12.6f %8.2f %9.3f\n",
+                  tenant.c_str(), acct.requests,
+                  sim::to_seconds(acct.attained_ns), acct.weight,
+                  acct.slowdown());
+    os << line;
+  }
+  std::snprintf(line, sizeof line, "jain_fairness_index: %.6f\n", r.jain);
+  os << line;
+}
+
+void export_to_registry(const Report& r, Registry& reg) {
+  reg.gauge("prof/requests/complete")
+      .set(static_cast<double>(r.complete_requests));
+  reg.gauge("prof/requests/incomplete")
+      .set(static_cast<double>(r.incomplete_requests));
+  reg.gauge("prof/fairness/jain").set(r.jain);
+  for (const auto& [tenant, acct] : r.tenants) {
+    reg.gauge("prof/tenant/" + tenant + "/attained_s")
+        .set(sim::to_seconds(acct.attained_ns));
+    reg.gauge("prof/tenant/" + tenant + "/slowdown").set(acct.slowdown());
+    reg.gauge("prof/tenant/" + tenant + "/requests")
+        .set(static_cast<double>(acct.requests));
+  }
+  for (const auto& [name, b] : r.blame) {
+    reg.gauge("prof/resource/" + name + "/critical_ms")
+        .set(sim::to_millis(b.critical_ns));
+    reg.gauge("prof/resource/" + name + "/total_ms")
+        .set(sim::to_millis(b.total_ns));
+  }
+  for (const auto& p : r.requests) {
+    const double wall_ms = sim::to_millis(p.wall);
+    const std::string keys[3] = {
+        "tenant/" + p.tenant, "app/" + p.app_type,
+        p.gid >= 0 ? "gpu/gpu" + std::to_string(p.gid) : "gpu/unbound"};
+    for (const auto& key : keys) {
+      reg.histogram("prof/" + key + "/latency_ms", digest_bounds_ms())
+          .observe(wall_ms);
+    }
+  }
+}
+
+}  // namespace strings::obs::prof

@@ -1,0 +1,159 @@
+// obs::prof — the critical-path profiler (observe-only, off by default).
+//
+// Consumes the Tracer's RequestTrace phase transitions plus the device
+// spans it already emits and derives three artifacts:
+//
+//   1. Per-request latency breakdowns: issue→complete wall-clock is swept
+//      into exclusive buckets (bind, marshal, transit, backend_queue,
+//      dispatch_wait, execute; uncovered time is frontend/host). The sweep
+//      claims each instant for the highest-priority phase interval that
+//      covers it, so overlapping records from the pipelined non-blocking
+//      RPC path (frontend timestamps run ahead of backend delivery) still
+//      sum exactly to wall-clock.
+//   2. Critical-path extraction: the bucket a request spent longest in is
+//      mapped to a concrete resource (gpu{G}.engines, gpu{G}.dispatcher,
+//      node{N}.daemon, link.n{A}-n{B}, control_plane.placement,
+//      frontend.host) with blame totals per resource.
+//   3. Per-tenant fairness accounting: attained service (the engine
+//      residency the LAS CGS math in core/gpu_scheduler accumulates,
+//      re-derived here from KL/H2D/D2H span durations), slowdown vs the
+//      request's own uncontended path (wall minus queue+gate time), and
+//      Jain's fairness index over weight-normalized attained service.
+//
+// The same engine backs the online `run_scenario --prof` report and the
+// offline `tools/strings_prof` CLI: both build a ProfInput (from a live
+// Tracer or from exported trace JSON) and call profile() + render(), so
+// the two reports are byte-for-byte identical — pinned by tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace strings::obs::prof {
+
+/// Exclusive latency buckets, in lifecycle order. kFrontend is the
+/// remainder: wall-clock not claimed by any recorded phase interval.
+enum class Bucket {
+  kFrontend = 0,
+  kBind,
+  kMarshal,
+  kTransit,
+  kBackendQueue,
+  kDispatchWait,
+  kExecute,
+};
+inline constexpr int kBucketCount = 7;
+const char* bucket_name(Bucket b);
+/// Sweep priority: when intervals overlap (pipelining), the instant goes
+/// to the higher-priority bucket. dispatch_wait > execute > backend_queue
+/// > transit > marshal > bind > frontend.
+int bucket_priority(Bucket b);
+
+/// Neutral profiler input record for one request — buildable from a live
+/// Tracer or re-parsed from exported trace JSON.
+struct ProfRequest {
+  std::uint64_t app_id = 0;
+  std::string app_type;
+  std::string tenant;
+  double weight = 1.0;
+  int origin = 0;
+  int gid = -1;
+  int node = -1;
+  sim::SimTime issued_at = -1;
+  sim::SimTime completed_at = -1;  // < 0: incomplete
+  std::vector<RequestTrace::Step> steps;
+};
+
+struct ProfInput {
+  std::vector<ProfRequest> requests;  // ascending app_id
+  /// Per-tenant engine residency in ns (sum of KL/H2D/D2H span durations,
+  /// exactly what GpuScheduler::tenant_service accumulates).
+  std::map<std::string, sim::SimTime> attained_ns;
+  std::map<std::string, std::string> meta;  // run-config labels
+};
+
+/// Builds the profiler input from a live Tracer (online path).
+ProfInput input_from_tracer(const Tracer& tracer);
+
+/// Fixed-bucket latency digest (bounds in ms, shared online/offline so
+/// quantiles are identical). Quantiles interpolate within a bucket.
+struct Digest {
+  Digest();
+  void observe(double ms);
+  double mean() const;
+  double quantile(double q) const;
+
+  std::vector<std::int64_t> counts;  // one per bound + overflow
+  std::int64_t count = 0;
+  double sum_ms = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+};
+const std::vector<double>& digest_bounds_ms();
+
+/// One profiled request: the bucket sweep result + critical-path verdict.
+struct RequestProfile {
+  std::uint64_t app_id = 0;
+  std::string app_type;
+  std::string tenant;
+  int gid = -1;
+  sim::SimTime wall = 0;
+  std::array<sim::SimTime, kBucketCount> by_bucket{};
+  Bucket critical = Bucket::kFrontend;
+  std::string resource;  // resource blamed for `critical`
+};
+
+struct GroupStats {
+  int requests = 0;
+  Digest digest;  // wall-clock latency, ms
+  sim::SimTime wall_ns = 0;
+  std::array<sim::SimTime, kBucketCount> bucket_ns{};
+};
+
+struct ResourceBlame {
+  int critical_for = 0;         // requests whose critical path this was
+  sim::SimTime critical_ns = 0; // their time blocked on it
+  sim::SimTime total_ns = 0;    // time on it across all requests
+};
+
+struct TenantAccount {
+  int requests = 0;
+  double weight = 1.0;
+  sim::SimTime attained_ns = 0;
+  sim::SimTime wall_ns = 0;
+  sim::SimTime contention_ns = 0;  // backend_queue + dispatch_wait
+  /// wall / (wall - contention): how much slower than the request's own
+  /// uncontended path (queue and gate waits removed).
+  double slowdown() const;
+};
+
+struct Report {
+  std::map<std::string, std::string> meta;
+  int complete_requests = 0;
+  int incomplete_requests = 0;
+  sim::SimTime first_issue = -1;
+  sim::SimTime last_complete = -1;
+  std::vector<RequestProfile> requests;           // complete only, app_id asc
+  std::map<std::string, GroupStats> groups;       // "tenant/x","app/x","gpu/x"
+  std::map<std::string, ResourceBlame> blame;
+  std::map<std::string, TenantAccount> tenants;
+  double jain = 1.0;
+};
+
+/// Sweeps one request into exclusive buckets (exposed for tests).
+RequestProfile profile_request(const ProfRequest& req);
+Report profile(const ProfInput& in);
+/// Deterministic, diff-stable text report (identical online/offline).
+void render(const Report& r, std::ostream& os);
+/// Mirrors the report into prof/... registry instruments so --metrics CSV
+/// carries the same attribution (only called when prof is enabled).
+void export_to_registry(const Report& r, Registry& reg);
+
+}  // namespace strings::obs::prof

@@ -1,5 +1,7 @@
 #include "obs/trace.hpp"
 
+#include <cstdio>
+
 namespace strings::obs {
 
 const char* req_phase_name(ReqPhase p) {
@@ -9,11 +11,29 @@ const char* req_phase_name(ReqPhase p) {
     case ReqPhase::kMarshal: return "marshal";
     case ReqPhase::kTransit: return "transit";
     case ReqPhase::kBackendQueue: return "backend_queue";
+    case ReqPhase::kBackendStart: return "backend_start";
     case ReqPhase::kDispatchWait: return "dispatch_wait";
     case ReqPhase::kExecute: return "execute";
+    case ReqPhase::kBackendDone: return "backend_done";
     case ReqPhase::kComplete: return "complete";
   }
   return "?";
+}
+
+bool req_phase_from_name(const std::string& name, ReqPhase* out) {
+  static const ReqPhase kAll[] = {
+      ReqPhase::kIssue,        ReqPhase::kBind,         ReqPhase::kMarshal,
+      ReqPhase::kTransit,      ReqPhase::kBackendQueue, ReqPhase::kBackendStart,
+      ReqPhase::kDispatchWait, ReqPhase::kExecute,      ReqPhase::kBackendDone,
+      ReqPhase::kComplete,
+  };
+  for (ReqPhase p : kAll) {
+    if (name == req_phase_name(p)) {
+      if (out != nullptr) *out = p;
+      return true;
+    }
+  }
+  return false;
 }
 
 int RequestTrace::count(ReqPhase p) const {
@@ -22,6 +42,35 @@ int RequestTrace::count(ReqPhase p) const {
     if (s.phase == p) ++n;
   }
   return n;
+}
+
+std::string RequestTrace::encode_steps() const {
+  std::string out;
+  for (const auto& s : steps) {
+    if (!out.empty()) out += ';';
+    out += req_phase_name(s.phase);
+    out += '@';
+    out += std::to_string(s.at);
+  }
+  return out;
+}
+
+std::vector<RequestTrace::Step> RequestTrace::decode_steps(
+    const std::string& encoded) {
+  std::vector<Step> steps;
+  std::size_t pos = 0;
+  while (pos < encoded.size()) {
+    std::size_t end = encoded.find(';', pos);
+    if (end == std::string::npos) end = encoded.size();
+    const std::string item = encoded.substr(pos, end - pos);
+    pos = end + 1;
+    const std::size_t at = item.find('@');
+    if (at == std::string::npos) continue;
+    ReqPhase phase;
+    if (!req_phase_from_name(item.substr(0, at), &phase)) continue;
+    steps.push_back({phase, std::stoll(item.substr(at + 1))});
+  }
+  return steps;
 }
 
 int Tracer::add_process(const std::string& name, int sort_index) {
@@ -118,6 +167,13 @@ void Tracer::dispatcher_event(int gid, bool wake, sim::SimTime ts,
           std::move(args));
 }
 
+void Tracer::gpu_instant(int gid, const char* name, sim::SimTime ts,
+                         std::vector<TraceArg> args) {
+  auto it = gpu_tracks_.find(gid);
+  if (it == gpu_tracks_.end()) return;
+  instant(it->second.dispatch, name, ts, std::move(args));
+}
+
 void Tracer::gpu_counter(int gid, const char* name, sim::SimTime ts,
                          double value) {
   auto it = gpu_tracks_.find(gid);
@@ -148,10 +204,11 @@ RequestTrace& Tracer::request_or_create(std::uint64_t app_id) {
 RequestTrace& Tracer::begin_request(std::uint64_t app_id,
                                     const std::string& app_type,
                                     const std::string& tenant, int origin_node,
-                                    sim::SimTime now) {
+                                    sim::SimTime now, double tenant_weight) {
   RequestTrace& r = request_or_create(app_id);
   r.app_type = app_type;
   r.tenant = tenant;
+  r.tenant_weight = tenant_weight;
   r.origin_node = origin_node;
   if (r.issued_at < 0) {
     r.issued_at = now;
@@ -177,15 +234,35 @@ void Tracer::request_phase(std::uint64_t app_id, ReqPhase phase,
   r.steps.push_back({phase, now});
 }
 
+void Tracer::request_bound(std::uint64_t app_id, int gid, int node) {
+  RequestTrace& r = request_or_create(app_id);
+  r.bound_gid = gid;
+  r.bound_node = node;
+}
+
 void Tracer::end_request(std::uint64_t app_id, sim::SimTime now) {
   RequestTrace& r = request_or_create(app_id);
   if (r.completed_at >= 0) return;
   r.completed_at = now;
   r.steps.push_back({ReqPhase::kComplete, now});
   if (r.issued_at >= 0) {
+    char weight[32];
+    std::snprintf(weight, sizeof(weight), "%.17g", r.tenant_weight);
     complete(request_track(app_id), "request " + r.app_type, r.issued_at, now,
-             {{"tenant", r.tenant}});
+             {{"tenant", r.tenant},
+              {"app_id", std::to_string(r.app_id)},
+              {"origin", std::to_string(r.origin_node)},
+              {"gid", std::to_string(r.bound_gid)},
+              {"node", std::to_string(r.bound_node)},
+              {"weight", weight},
+              {"issued", std::to_string(r.issued_at)},
+              {"completed", std::to_string(r.completed_at)},
+              {"steps", r.encode_steps()}});
   }
+}
+
+void Tracer::set_meta(const std::string& key, const std::string& value) {
+  meta_[key] = value;
 }
 
 }  // namespace strings::obs

@@ -50,12 +50,16 @@ enum class ReqPhase {
   kMarshal,       // interposer marshalled a call into an RPC packet
   kTransit,       // packet handed to the channel (wire + latency ahead)
   kBackendQueue,  // packet delivered; waiting for the backend worker
+  kBackendStart,  // backend worker picked the call up (queue wait over)
   kDispatchWait,  // backend worker blocked on the dispatcher's WakeGate
   kExecute,       // device op issued to the GPU
+  kBackendDone,   // backend worker finished handling the call
   kComplete,      // cudaThreadExit finished; feedback delivered
 };
 
 const char* req_phase_name(ReqPhase p);
+/// Inverse of req_phase_name; returns false when `name` is unknown.
+bool req_phase_from_name(const std::string& name, ReqPhase* out);
 
 /// Per-request lifecycle record: every phase transition, timestamped in
 /// virtual time. Kept by the Tracer, keyed by AppDescriptor::app_id.
@@ -63,8 +67,11 @@ struct RequestTrace {
   std::uint64_t app_id = 0;
   std::string app_type;
   std::string tenant;
+  double tenant_weight = 1.0;
   int origin_node = 0;
-  int track = -1;  // the request's thread track
+  int bound_gid = -1;   // device the balancer bound this request to
+  int bound_node = -1;  // node hosting that device
+  int track = -1;       // the request's thread track
   struct Step {
     ReqPhase phase;
     sim::SimTime at;
@@ -75,6 +82,13 @@ struct RequestTrace {
 
   /// Number of recorded transitions into `p`.
   int count(ReqPhase p) const;
+
+  /// Compact "phase@ns;phase@ns;..." encoding of `steps`, in append order.
+  /// Carried on the exported umbrella span so offline tools (strings_prof)
+  /// re-derive exactly the record the online profiler saw.
+  std::string encode_steps() const;
+  /// Inverse of encode_steps; unknown phases are skipped.
+  static std::vector<Step> decode_steps(const std::string& encoded);
 };
 
 class Tracer {
@@ -128,6 +142,10 @@ class Tracer {
                         std::vector<TraceArg> args = {});
   /// A sampled counter (utilization, queue depth) on the dispatch track.
   void gpu_counter(int gid, const char* name, sim::SimTime ts, double value);
+  /// A named instant on the device's dispatch track (scheduler milestones
+  /// that are neither wake nor sleep, e.g. feedback-engine departures).
+  void gpu_instant(int gid, const char* name, sim::SimTime ts,
+                   std::vector<TraceArg> args = {});
   bool has_gpu(int gid) const { return gpu_tracks_.count(gid) != 0; }
 
   // ---- network tracks ----
@@ -139,14 +157,25 @@ class Tracer {
   RequestTrace& begin_request(std::uint64_t app_id,
                               const std::string& app_type,
                               const std::string& tenant, int origin_node,
-                              sim::SimTime now);
+                              sim::SimTime now, double tenant_weight = 1.0);
   /// Records a phase transition. Unknown app_ids get a lazily created
   /// record, so backend-only tests can trace without a frontend.
   void request_phase(std::uint64_t app_id, ReqPhase phase, sim::SimTime now);
+  /// Records the placement decision (which device/node the request bound to)
+  /// so attribution can blame the right engine, dispatcher and link.
+  void request_bound(std::uint64_t app_id, int gid, int node);
   /// The request's thread track (lazily created like request_phase).
   int request_track(std::uint64_t app_id);
-  /// Closes the record and emits the umbrella "request" span.
+  /// Closes the record and emits the umbrella "request" span. The span args
+  /// carry the full lifecycle (ids, binding, weight, encoded steps) so the
+  /// exported JSON alone reproduces the profiler's input.
   void end_request(std::uint64_t app_id, sim::SimTime now);
+
+  // ---- run-level metadata ----
+  /// Key/value labels describing the run (mode, policies, topology); the
+  /// export writes them as one metadata event and reports echo them.
+  void set_meta(const std::string& key, const std::string& value);
+  const std::map<std::string, std::string>& meta() const { return meta_; }
 
   // ---- introspection / export ----
   const std::vector<Event>& events() const { return events_; }
@@ -172,6 +201,7 @@ class Tracer {
   std::map<int, GpuTracks> gpu_tracks_;
   std::map<std::pair<int, int>, int> link_tracks_;
   std::map<std::uint64_t, RequestTrace> requests_;
+  std::map<std::string, std::string> meta_;
 };
 
 }  // namespace strings::obs

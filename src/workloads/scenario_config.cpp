@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "obs/export.hpp"
+#include "obs/prof.hpp"
 #include "workloads/profiles.hpp"
 
 namespace strings::workloads {
@@ -265,24 +266,42 @@ std::vector<StreamStats> run_scenario_config(const ScenarioConfig& cfg,
 }
 
 ScenarioRunResult run_scenario_config_full(const ScenarioConfig& cfg,
-                                           const std::string& trace_path,
-                                           const std::string& metrics_path,
-                                           const std::string& analysis_path) {
+                                           const RunArtifacts& artifacts) {
   ScenarioConfig run_cfg = cfg;
-  if (!trace_path.empty()) run_cfg.testbed.trace = true;
-  if (!analysis_path.empty()) run_cfg.testbed.analyze = true;
+  if (!artifacts.trace_path.empty() || !artifacts.prof_path.empty()) {
+    run_cfg.testbed.trace = true;
+  }
+  if (!artifacts.analysis_path.empty()) run_cfg.testbed.analyze = true;
   sim::Simulation sim;
   Testbed bed(sim, run_cfg.testbed);
   ScenarioRunResult result;
   result.streams = run_streams(bed, run_cfg.streams);
-  if (!trace_path.empty() && bed.tracer() != nullptr &&
-      !obs::write_chrome_trace_file(*bed.tracer(), trace_path)) {
-    throw std::runtime_error("cannot write trace file: " + trace_path);
+  if (!artifacts.prof_path.empty() && bed.tracer() != nullptr) {
+    // Profile before the metrics export so prof/... instruments land in
+    // the CSV too.
+    const obs::prof::Report report =
+        obs::prof::profile(obs::prof::input_from_tracer(*bed.tracer()));
+    result.prof_incomplete_requests = report.incomplete_requests;
+    obs::prof::export_to_registry(report, bed.metrics_registry());
+    std::ofstream out(artifacts.prof_path);
+    if (!out) {
+      throw std::runtime_error("cannot write prof report: " +
+                               artifacts.prof_path);
+    }
+    obs::prof::render(report, out);
   }
-  if (!metrics_path.empty() &&
-      !obs::write_metrics_csv_file(bed.metrics_registry(), metrics_path)) {
-    throw std::runtime_error("cannot write metrics file: " + metrics_path);
+  if (!artifacts.trace_path.empty() && bed.tracer() != nullptr &&
+      !obs::write_chrome_trace_file(*bed.tracer(), artifacts.trace_path)) {
+    throw std::runtime_error("cannot write trace file: " +
+                             artifacts.trace_path);
   }
+  if (!artifacts.metrics_path.empty() &&
+      !obs::write_metrics_csv_file(bed.metrics_registry(),
+                                   artifacts.metrics_path)) {
+    throw std::runtime_error("cannot write metrics file: " +
+                             artifacts.metrics_path);
+  }
+  const std::string& analysis_path = artifacts.analysis_path;
   if (bed.analyzer() != nullptr) {
     result.invariant_violations = bed.analyzer()->report().invariant_violations();
     result.logical_races = bed.analyzer()->report().logical_races();
@@ -296,6 +315,17 @@ ScenarioRunResult run_scenario_config_full(const ScenarioConfig& cfg,
     }
   }
   return result;
+}
+
+ScenarioRunResult run_scenario_config_full(const ScenarioConfig& cfg,
+                                           const std::string& trace_path,
+                                           const std::string& metrics_path,
+                                           const std::string& analysis_path) {
+  RunArtifacts artifacts;
+  artifacts.trace_path = trace_path;
+  artifacts.metrics_path = metrics_path;
+  artifacts.analysis_path = analysis_path;
+  return run_scenario_config_full(cfg, artifacts);
 }
 
 }  // namespace strings::workloads

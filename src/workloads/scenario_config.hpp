@@ -91,12 +91,28 @@ struct ScenarioRunResult {
   /// Logical races (unordered conflicting accesses) — informational; many
   /// timing-ordered schedules are not causally ordered.
   std::int64_t logical_races = 0;
+  /// Requests the profiler saw issued but never completed (only populated
+  /// when a prof report was requested) — run_scenario exits 4 on > 0.
+  int prof_incomplete_requests = 0;
+};
+
+/// Output files a scenario run should produce; empty path = skip.
+struct RunArtifacts {
+  std::string trace_path;     // Chrome trace-event JSON (forces trace on)
+  std::string metrics_path;   // metrics-registry CSV
+  std::string analysis_path;  // analysis report (forces the analyzer on)
+  std::string prof_path;      // profiler report (forces trace on)
 };
 
 /// The full-fat runner behind `run_scenario`: optional Chrome trace JSON,
-/// metrics CSV, and analysis report. A non-empty `analysis_path` forces the
-/// analyzer on and writes its report there. Throws std::runtime_error when
-/// an output file can't be written.
+/// metrics CSV, analysis report and profiler report. A non-empty prof path
+/// runs obs::prof over the tracer and registers prof/... metrics before
+/// the CSV export, so --metrics carries the attribution too. Throws
+/// std::runtime_error when an output file can't be written.
+ScenarioRunResult run_scenario_config_full(const ScenarioConfig& cfg,
+                                           const RunArtifacts& artifacts);
+
+/// Back-compat shim for the pre-profiler signature.
 ScenarioRunResult run_scenario_config_full(const ScenarioConfig& cfg,
                                            const std::string& trace_path,
                                            const std::string& metrics_path,

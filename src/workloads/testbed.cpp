@@ -63,6 +63,20 @@ Testbed::Testbed(sim::Simulation& sim, TestbedConfig config)
   }
   if (config_.trace) {
     tracer_ = std::make_unique<obs::Tracer>();
+    // Run-config labels: exported as trace metadata and echoed in the
+    // profiler report header (online and offline alike).
+    tracer_->set_meta("mode", mode_name(config_.mode));
+    tracer_->set_meta("balancing", config_.balancing_policy);
+    tracer_->set_meta("device_policy", config_.device_policy);
+    if (!config_.feedback_policy.empty()) {
+      tracer_->set_meta("feedback", config_.feedback_policy);
+    }
+    tracer_->set_meta(
+        "placement",
+        config_.control_plane.placement == core::PlacementMode::kDistributed
+            ? "distributed"
+            : "centralized");
+    tracer_->set_meta("nodes", std::to_string(node_count));
   }
   core::PlacementService::Config mcfg;
   mcfg.static_policy = config_.balancing_policy;
@@ -347,7 +361,7 @@ std::unique_ptr<frontend::GpuApi> Testbed::make_api(
     icfg.sim = &sim_;
     icfg.tracer = tracer_.get();
     tracer_->begin_request(desc.app_id, desc.app_type, desc.tenant,
-                           desc.origin_node, sim_.now());
+                           desc.origin_node, sim_.now(), desc.tenant_weight);
   }
   return std::make_unique<frontend::Interposer>(*this, desc, icfg);
 }

@@ -1,0 +1,124 @@
+// Tests for the shared bench machinery (bench/common): the observability
+// export must create STRINGS_TRACE_DIR on demand, and the perf-gate
+// recorder must write the BENCH_report.json schema tools/bench_gate
+// consumes, merging with entries other bench binaries already wrote.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common.hpp"
+
+namespace strings {
+namespace {
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* key, const std::string& value) : key_(key) {
+    ::setenv(key, value.c_str(), 1);
+  }
+  ~ScopedEnv() { ::unsetenv(key_); }
+
+ private:
+  const char* key_;
+};
+
+bench::RunConfig tiny_config(const std::string& label) {
+  bench::RunConfig cfg;
+  cfg.label = label;
+  return cfg;  // defaults: strings mode on the small server
+}
+
+std::vector<bench::StreamSpec> tiny_streams() {
+  bench::StreamSpec s;
+  s.app = "MC";
+  s.requests = 2;
+  s.tenant = "tenantA";
+  return {s};
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(BenchCommon, TraceDirIsCreatedOnDemand) {
+  const std::string dir =
+      ::testing::TempDir() + "/bct_trace/nested/does_not_exist_yet";
+  std::filesystem::remove_all(::testing::TempDir() + "/bct_trace");
+  ASSERT_FALSE(std::filesystem::exists(dir));
+  ScopedEnv env("STRINGS_TRACE_DIR", dir);
+  bench::run_scenario(tiny_config("bct-mkdir"), tiny_streams());
+  EXPECT_TRUE(std::filesystem::exists(dir + "/bct-mkdir.trace.json"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/bct-mkdir.metrics.csv"));
+}
+
+TEST(BenchCommon, BenchReportRecordsSchemaAndMerges) {
+  const std::string path =
+      ::testing::TempDir() + "/bct_report/sub/BENCH_report.json";
+  std::filesystem::remove(path);
+  // Pre-seed an entry "another binary" wrote: the flush must keep it.
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path());
+  {
+    std::ofstream out(path);
+    out << "{\n"
+        << "  \"other_bench/foo\": {\"makespan_s\":1.000000000,"
+        << "\"p50_s\":0.5,\"p99_s\":0.9,\"jain\":1.0}\n"
+        << "}\n";
+  }
+  ScopedEnv env("STRINGS_BENCH_REPORT", path);
+  const bench::RunOutput out =
+      bench::run_scenario(tiny_config("bct-report"), tiny_streams());
+  EXPECT_GT(out.makespan, 0);
+  bench::flush_bench_report();
+
+  const std::string report = slurp(path);
+  EXPECT_NE(report.find("\"other_bench/foo\""), std::string::npos)
+      << "merge dropped a foreign entry:\n" << report;
+  const std::size_t entry = report.find("/bct-report\": {");
+  ASSERT_NE(entry, std::string::npos) << report;
+  for (const char* metric : {"makespan_s", "p50_s", "p99_s", "jain"}) {
+    EXPECT_NE(report.find(std::string("\"") + metric + "\":", entry),
+              std::string::npos)
+        << metric << " missing:\n" << report;
+  }
+
+  // Flushing again must be idempotent.
+  bench::flush_bench_report();
+  EXPECT_EQ(slurp(path), report);
+}
+
+TEST(BenchCommon, RepeatedLabelsGetDistinctKeys) {
+  const std::string path =
+      ::testing::TempDir() + "/bct_report/BENCH_repeat.json";
+  std::filesystem::remove(path);
+  ScopedEnv env("STRINGS_BENCH_REPORT", path);
+  bench::run_scenario(tiny_config("bct-twice"), tiny_streams());
+  bench::run_scenario(tiny_config("bct-twice"), tiny_streams());
+  bench::flush_bench_report();
+  const std::string report = slurp(path);
+  EXPECT_NE(report.find("/bct-twice\": {"), std::string::npos) << report;
+  EXPECT_NE(report.find("/bct-twice#2\": {"), std::string::npos) << report;
+}
+
+TEST(BenchCommon, NoReportWithoutEnvToggle) {
+  // With the toggle unset, runs record nothing and flush writes nothing.
+  const std::string path = ::testing::TempDir() + "/bct_report/BENCH_off.json";
+  std::filesystem::remove(path);
+  ::unsetenv("STRINGS_BENCH_REPORT");
+  bench::run_scenario(tiny_config("bct-off"), tiny_streams());
+  // Even if the toggle appears later, nothing was recorded to flush.
+  ScopedEnv env("STRINGS_BENCH_REPORT", path);
+  bench::flush_bench_report();
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+}  // namespace
+}  // namespace strings

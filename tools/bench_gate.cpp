@@ -1,0 +1,166 @@
+// bench_gate: perf-regression comparator for BENCH_report.json artifacts.
+//
+//   $ bench_gate BENCH_baseline.json BENCH_report.json [--warn R] [--fail R]
+//
+// Both files map scenario labels to the stable schema bench/common writes
+// when STRINGS_BENCH_REPORT is set:
+//
+//   { "fig9_micro/GMin": {"makespan_s": ..., "p50_s": ..., "p99_s": ...,
+//                         "jain": ...}, ... }
+//
+// All values are virtual-time (the simulator is bit-deterministic), so any
+// drift is a real behavior change, not machine noise. The gate is
+// tolerance-based anyway so small intentional reschedulings don't block CI:
+//
+//   ratio = new/old per latency metric (makespan_s, p50_s, p99_s);
+//   jain compares inverted (a DROP in fairness is the regression).
+//   ratio > warn tolerance (default 1.10) -> warning, exit 0
+//   ratio > fail tolerance (default 2.00) -> hard failure, exit 1
+//
+// Labels missing from the report (bench removed/renamed) and new labels
+// warn only, so adding benches never blocks. Exit codes: 0 ok (possibly
+// with warnings), 1 regression beyond the fail tolerance, 2 usage/IO error.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+using Entry = std::map<std::string, double>;
+using Table = std::map<std::string, Entry>;
+
+/// Parses the line-oriented JSON bench/common writes: one
+///   "label": {"metric":value,...},
+/// entry per line. Returns false on unreadable file.
+bool load_table(const char* path, Table& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t kq0 = line.find('"');
+    if (kq0 == std::string::npos) continue;
+    const std::size_t kq1 = line.find('"', kq0 + 1);
+    if (kq1 == std::string::npos) continue;
+    const std::size_t brace = line.find('{', kq1);
+    if (brace == std::string::npos) continue;
+    const std::string key = line.substr(kq0 + 1, kq1 - kq0 - 1);
+    Entry entry;
+    std::size_t pos = brace + 1;
+    while (true) {
+      const std::size_t mq0 = line.find('"', pos);
+      if (mq0 == std::string::npos) break;
+      const std::size_t mq1 = line.find('"', mq0 + 1);
+      if (mq1 == std::string::npos) break;
+      const std::size_t colon = line.find(':', mq1);
+      if (colon == std::string::npos) break;
+      const std::string metric = line.substr(mq0 + 1, mq1 - mq0 - 1);
+      entry[metric] = std::strtod(line.c_str() + colon + 1, nullptr);
+      const std::size_t comma = line.find(',', colon);
+      const std::size_t close = line.find('}', colon);
+      if (comma == std::string::npos || (close != std::string::npos &&
+                                         close < comma)) {
+        break;
+      }
+      pos = comma + 1;
+    }
+    if (!entry.empty()) out[key] = entry;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double warn_tol = 1.10, fail_tol = 2.00;
+  std::vector<const char*> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--warn") == 0 && i + 1 < argc) {
+      warn_tol = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--fail") == 0 && i + 1 < argc) {
+      fail_tol = std::strtod(argv[++i], nullptr);
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "bench_gate: unknown flag '%s'\n", argv[i]);
+      return 2;
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (paths.size() != 2 || warn_tol <= 1.0 || fail_tol < warn_tol) {
+    std::fprintf(
+        stderr,
+        "usage: bench_gate <baseline.json> <report.json> [--warn R] "
+        "[--fail R]\n"
+        "  R are ratios > 1.0; warn (default 1.10) prints a warning,\n"
+        "  fail (default 2.00) exits 1. See docs/observability.md.\n");
+    return 2;
+  }
+  Table baseline, report;
+  if (!load_table(paths[0], baseline)) {
+    std::fprintf(stderr, "bench_gate: cannot read baseline %s\n", paths[0]);
+    return 2;
+  }
+  if (!load_table(paths[1], report)) {
+    std::fprintf(stderr, "bench_gate: cannot read report %s\n", paths[1]);
+    return 2;
+  }
+
+  int warnings = 0, failures = 0, compared = 0;
+  static const char* kLatencyMetrics[] = {"makespan_s", "p50_s", "p99_s"};
+  for (const auto& [label, base] : baseline) {
+    auto it = report.find(label);
+    if (it == report.end()) {
+      std::printf("WARN  %s: missing from report\n", label.c_str());
+      ++warnings;
+      continue;
+    }
+    const Entry& cur = it->second;
+    for (const char* m : kLatencyMetrics) {
+      auto b = base.find(m);
+      auto c = cur.find(m);
+      if (b == base.end() || c == cur.end() || b->second <= 0.0) continue;
+      ++compared;
+      const double ratio = c->second / b->second;
+      if (ratio > fail_tol) {
+        std::printf("FAIL  %s %s: %.6f -> %.6f (%.2fx > %.2fx)\n",
+                    label.c_str(), m, b->second, c->second, ratio, fail_tol);
+        ++failures;
+      } else if (ratio > warn_tol) {
+        std::printf("WARN  %s %s: %.6f -> %.6f (%.2fx)\n", label.c_str(), m,
+                    b->second, c->second, ratio);
+        ++warnings;
+      }
+    }
+    auto bj = base.find("jain");
+    auto cj = cur.find("jain");
+    if (bj != base.end() && cj != cur.end() && bj->second > 0.0) {
+      ++compared;
+      // Fairness regresses downward: gate on old/new.
+      const double ratio = cj->second > 0.0 ? bj->second / cj->second
+                                            : fail_tol + 1.0;
+      if (ratio > fail_tol) {
+        std::printf("FAIL  %s jain: %.6f -> %.6f (dropped %.2fx > %.2fx)\n",
+                    label.c_str(), bj->second, cj->second, ratio, fail_tol);
+        ++failures;
+      } else if (ratio > warn_tol) {
+        std::printf("WARN  %s jain: %.6f -> %.6f (dropped %.2fx)\n",
+                    label.c_str(), bj->second, cj->second, ratio);
+        ++warnings;
+      }
+    }
+  }
+  for (const auto& [label, cur] : report) {
+    if (baseline.count(label) == 0) {
+      std::printf("NOTE  %s: new entry (not in baseline)\n", label.c_str());
+    }
+  }
+  std::printf(
+      "bench_gate: %zu baseline entries, %d metrics compared, %d warnings, "
+      "%d failures (warn > %.2fx, fail > %.2fx)\n",
+      baseline.size(), compared, warnings, failures, warn_tol, fail_tol);
+  return failures > 0 ? 1 : 0;
+}

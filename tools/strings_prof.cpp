@@ -1,0 +1,396 @@
+// strings_prof: offline critical-path profiler over exported trace JSON.
+//
+//   $ strings_prof trace.json [report.txt]
+//
+// Re-derives exactly the report `run_scenario --prof` produces online, from
+// nothing but the exported Chrome trace-event JSON: request umbrella spans
+// carry the encoded phase-transition record, binding and tenant weight;
+// KL/H2D/D2H spans carry per-op tenant attribution (summing their durations
+// reproduces the attained service the LAS CGS math accumulated); and the
+// strings_run_config metadata event carries the run labels. Both paths feed
+// the same obs::prof engine, so the two reports are byte-for-byte identical
+// (pinned by the prof_online_offline_identical ctest fixture).
+//
+// Dependency-free: hand-rolled recursive-descent JSON scan, no third-party
+// libraries. Timestamps are re-read textually ("%lld.%03lld" microseconds)
+// so exact integer nanoseconds round-trip with no floating-point error.
+//
+// Exit codes: 0 ok, 1 bad input (unreadable/invalid JSON), 2 usage error.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/prof.hpp"
+
+namespace {
+
+using strings::obs::RequestTrace;
+using strings::obs::prof::ProfInput;
+using strings::obs::prof::ProfRequest;
+
+/// One trace event flattened to strings: ph/name plus raw numeric tokens
+/// for ts/dur and the args map.
+struct FlatEvent {
+  std::string ph;
+  std::string name;
+  std::string ts_raw;
+  std::string dur_raw;
+  std::map<std::string, std::string> args;
+};
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& what) {
+    if (error.empty()) error = what + " at byte " + std::to_string(pos);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != '"') return fail("expected string");
+    ++pos;
+    out.clear();
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c == '\\') {
+        if (pos >= text.size()) return fail("bad escape");
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return fail("bad \\u escape");
+            const std::string hex = text.substr(pos, 4);
+            pos += 4;
+            const long cp = std::strtol(hex.c_str(), nullptr, 16);
+            out += static_cast<char>(cp & 0x7f);  // exports only escape ASCII
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos >= text.size()) return fail("unterminated string");
+    ++pos;  // closing quote
+    return true;
+  }
+
+  bool parse_number_raw(std::string& out) {
+    skip_ws();
+    const std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '-' || text[pos] == '+')) {
+      ++pos;
+    }
+    if (pos == start) return fail("expected number");
+    out = text.substr(start, pos - start);
+    return true;
+  }
+
+  bool parse_literal(const char* lit) {
+    skip_ws();
+    const std::size_t n = std::string(lit).size();
+    if (text.compare(pos, n, lit) != 0) return fail("bad literal");
+    pos += n;
+    return true;
+  }
+
+  /// Skips any value (used for nested structures we don't care about).
+  bool skip_value() {
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end");
+    const char c = text[pos];
+    if (c == '"') {
+      std::string s;
+      return parse_string(s);
+    }
+    if (c == '{' || c == '[') {
+      const char close = c == '{' ? '}' : ']';
+      ++pos;
+      skip_ws();
+      if (pos < text.size() && text[pos] == close) {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        if (c == '{') {
+          std::string key;
+          if (!parse_string(key)) return false;
+          skip_ws();
+          if (pos >= text.size() || text[pos] != ':') return fail("expected :");
+          ++pos;
+        }
+        if (!skip_value()) return false;
+        skip_ws();
+        if (pos < text.size() && text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        if (pos < text.size() && text[pos] == close) {
+          ++pos;
+          return true;
+        }
+        return fail("expected , or close");
+      }
+    }
+    if (c == 't') return parse_literal("true");
+    if (c == 'f') return parse_literal("false");
+    if (c == 'n') return parse_literal("null");
+    std::string num;
+    return parse_number_raw(num);
+  }
+
+  /// Parses one event object into a FlatEvent.
+  bool parse_event(FlatEvent& ev) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != '{') return fail("expected event");
+    ++pos;
+    skip_ws();
+    if (pos < text.size() && text[pos] == '}') {
+      ++pos;
+      return true;
+    }
+    while (true) {
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (pos >= text.size() || text[pos] != ':') return fail("expected :");
+      ++pos;
+      skip_ws();
+      if (key == "ph" || key == "name") {
+        std::string v;
+        if (!parse_string(v)) return false;
+        (key == "ph" ? ev.ph : ev.name) = v;
+      } else if (key == "ts" || key == "dur") {
+        std::string v;
+        if (!parse_number_raw(v)) return false;
+        (key == "ts" ? ev.ts_raw : ev.dur_raw) = v;
+      } else if (key == "args") {
+        skip_ws();
+        if (pos >= text.size() || text[pos] != '{') return fail("expected {");
+        ++pos;
+        skip_ws();
+        if (pos < text.size() && text[pos] == '}') {
+          ++pos;
+        } else {
+          while (true) {
+            std::string k;
+            if (!parse_string(k)) return false;
+            skip_ws();
+            if (pos >= text.size() || text[pos] != ':')
+              return fail("expected :");
+            ++pos;
+            skip_ws();
+            std::string v;
+            if (pos < text.size() && text[pos] == '"') {
+              if (!parse_string(v)) return false;
+            } else {
+              if (!parse_number_raw(v)) return false;
+            }
+            ev.args[k] = v;
+            skip_ws();
+            if (pos < text.size() && text[pos] == ',') {
+              ++pos;
+              continue;
+            }
+            break;
+          }
+          if (pos >= text.size() || text[pos] != '}')
+            return fail("expected } after args");
+          ++pos;
+        }
+      } else {
+        if (!skip_value()) return false;
+      }
+      skip_ws();
+      if (pos < text.size() && text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (pos < text.size() && text[pos] == '}') {
+        ++pos;
+        return true;
+      }
+      return fail("expected , or } in event");
+    }
+  }
+};
+
+/// Exact integer nanoseconds from the export's "%lld.%03lld" microsecond
+/// token (textual split — no floating-point round trip).
+bool ns_from_us_token(const std::string& tok, long long* out) {
+  const std::size_t dot = tok.find('.');
+  try {
+    if (dot == std::string::npos) {
+      *out = std::stoll(tok) * 1000;
+      return true;
+    }
+    const long long us = std::stoll(tok.substr(0, dot));
+    std::string frac = tok.substr(dot + 1);
+    while (frac.size() < 3) frac += '0';
+    frac = frac.substr(0, 3);
+    const long long ns = std::stoll(frac);
+    *out = us * 1000 + (us < 0 ? -ns : ns);
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+long long to_ll(const std::map<std::string, std::string>& args,
+                const std::string& key, long long fallback) {
+  auto it = args.find(key);
+  if (it == args.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+std::string get(const std::map<std::string, std::string>& args,
+                const std::string& key) {
+  auto it = args.find(key);
+  return it == args.end() ? std::string() : it->second;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr,
+                 "usage: strings_prof <trace.json> [report.txt]\n"
+                 "\n"
+                 "Re-derives the run_scenario --prof report offline from an\n"
+                 "exported Chrome trace JSON. Writes to report.txt (stdout\n"
+                 "when omitted).\n"
+                 "exit codes: 0 ok, 1 bad input, 2 usage error\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "strings_prof: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  // Find the traceEvents array and walk its event objects.
+  Parser p{text, 0, {}};
+  const std::size_t arr = text.find("\"traceEvents\"");
+  if (arr == std::string::npos) {
+    std::fprintf(stderr, "strings_prof: no traceEvents array in %s\n",
+                 argv[1]);
+    return 1;
+  }
+  p.pos = text.find('[', arr);
+  if (p.pos == std::string::npos) {
+    std::fprintf(stderr, "strings_prof: malformed traceEvents\n");
+    return 1;
+  }
+  ++p.pos;
+
+  ProfInput input;
+  std::vector<ProfRequest> requests;
+  p.skip_ws();
+  if (p.pos < text.size() && text[p.pos] != ']') {
+    while (true) {
+      FlatEvent ev;
+      if (!p.parse_event(ev)) {
+        std::fprintf(stderr, "strings_prof: %s\n", p.error.c_str());
+        return 1;
+      }
+      if (ev.ph == "M" && ev.name == "strings_run_config") {
+        input.meta = ev.args;
+      } else if (ev.ph == "X" &&
+                 (ev.name == "KL" || ev.name == "H2D" || ev.name == "D2H")) {
+        const std::string tenant = get(ev.args, "tenant");
+        long long dur = 0;
+        if (!tenant.empty() && ns_from_us_token(ev.dur_raw, &dur)) {
+          input.attained_ns[tenant] += dur;
+        }
+      } else if (ev.ph == "X" && ev.name.rfind("request ", 0) == 0) {
+        ProfRequest r;
+        r.app_id = static_cast<std::uint64_t>(to_ll(ev.args, "app_id", 0));
+        r.app_type = ev.name.substr(8);
+        r.tenant = get(ev.args, "tenant");
+        const std::string w = get(ev.args, "weight");
+        r.weight = w.empty() ? 1.0 : std::strtod(w.c_str(), nullptr);
+        r.origin = static_cast<int>(to_ll(ev.args, "origin", 0));
+        r.gid = static_cast<int>(to_ll(ev.args, "gid", -1));
+        r.node = static_cast<int>(to_ll(ev.args, "node", -1));
+        r.issued_at = to_ll(ev.args, "issued", -1);
+        r.completed_at = to_ll(ev.args, "completed", -1);
+        r.steps = RequestTrace::decode_steps(get(ev.args, "steps"));
+        requests.push_back(std::move(r));
+      } else if (ev.ph == "i" && ev.name == "request.incomplete") {
+        ProfRequest r;
+        r.app_id = static_cast<std::uint64_t>(to_ll(ev.args, "app_id", 0));
+        r.app_type = get(ev.args, "app");
+        r.tenant = get(ev.args, "tenant");
+        r.issued_at = to_ll(ev.args, "issued", -1);
+        r.completed_at = -1;
+        requests.push_back(std::move(r));
+      }
+      p.skip_ws();
+      if (p.pos < text.size() && text[p.pos] == ',') {
+        ++p.pos;
+        continue;
+      }
+      break;
+    }
+  }
+
+  // The online profiler iterates the tracer's request map (ascending
+  // app_id); match that order so the reports are byte-identical.
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const ProfRequest& a, const ProfRequest& b) {
+                     return a.app_id < b.app_id;
+                   });
+  input.requests = std::move(requests);
+
+  const strings::obs::prof::Report report =
+      strings::obs::prof::profile(input);
+  if (argc == 3) {
+    std::ofstream out(argv[2]);
+    if (!out) {
+      std::fprintf(stderr, "strings_prof: cannot write %s\n", argv[2]);
+      return 1;
+    }
+    strings::obs::prof::render(report, out);
+  } else {
+    std::ostringstream os;
+    strings::obs::prof::render(report, os);
+    std::fputs(os.str().c_str(), stdout);
+  }
+  return 0;
+}
