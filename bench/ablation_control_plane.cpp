@@ -11,6 +11,9 @@
 //                         old (requests arrive seconds apart, so a
 //                         millisecond-scale epoch would never hit the
 //                         cache), control traffic on real data-plane links
+//   distributed-push    — agents subscribe once and the service fans out
+//                         versioned kDstDelta invalidations; sync traffic
+//                         scales with change rate, not decision rate
 //
 // Reported per deployment: weighted speedup over the CUDA baseline (eq. 2)
 // and the control-plane bill — RPC/byte counters, stale-hit rate, and
@@ -55,6 +58,12 @@ std::vector<Deployment> deployments() {
     d.cp.transport = core::ControlTransport::kDataPlane;
     d.cp.refresh_epoch = sim::sec(30);
     d.cp.feedback_batch_size = 4;
+    out.push_back(d);
+  }
+  {
+    Deployment d{"distributed-push", {}};
+    d.cp.placement = core::PlacementMode::kDistributed;
+    d.cp.sync_mode = core::SyncMode::kPush;
     out.push_back(d);
   }
   return out;
@@ -131,6 +140,63 @@ void run_topology(const char* name,
   std::printf("\n");
 }
 
+// Push-vs-pull on a bursty arrival pattern: many decisions per unit time
+// make per-select pulls expensive, while delta fan-out stays proportional
+// to the (same) mutation rate. Self-checking, so the CI sweep fails loudly
+// if the protocol stops paying for itself: placements must be identical
+// (both deployments see fresh state at every decision instant) and push
+// must cut sync round-trips by at least 5x.
+int run_push_vs_pull_check(const Options& opt) {
+  const auto nodes = workloads::supernode();
+  std::vector<StreamSpec> streams = make_streams(static_cast<int>(nodes.size()),
+                                                 opt.quick ? 6 : 10);
+  for (auto& s : streams) s.lambda_scale = 0.15;  // bursty arrivals
+
+  RunConfig pull;
+  pull.label = "push-check-pull-fresh";
+  pull.mode = workloads::Mode::kStrings;
+  pull.nodes = nodes;
+  pull.balancing = "GWtMin";
+  pull.feedback = "MBF";
+  pull.control_plane.placement = core::PlacementMode::kDistributed;
+  pull.control_plane.refresh_epoch = 0;
+
+  RunConfig push = pull;
+  push.label = "push-check-push";
+  push.control_plane.sync_mode = core::SyncMode::kPush;
+
+  const RunOutput a = run_scenario(pull, streams);
+  const RunOutput b = run_scenario(push, streams);
+
+  std::printf("-- push vs pull(fresh), bursty supernode --\n");
+  std::printf("pull: sync=%lld deltas=%lld   push: sync=%lld deltas=%lld "
+              "applied=%lld gap-syncs=%lld\n",
+              static_cast<long long>(a.control_plane.sync_rpcs),
+              static_cast<long long>(a.control_plane.deltas_sent),
+              static_cast<long long>(b.control_plane.sync_rpcs),
+              static_cast<long long>(b.control_plane.deltas_sent),
+              static_cast<long long>(b.control_plane.deltas_applied),
+              static_cast<long long>(b.control_plane.delta_gap_syncs));
+  if (a.control_plane.placements != b.control_plane.placements) {
+    std::fprintf(stderr,
+                 "FAIL: push placements diverge from pull(refresh=0)\n");
+    return 1;
+  }
+  if (b.control_plane.sync_rpcs <= 0 ||
+      a.control_plane.sync_rpcs < 5 * b.control_plane.sync_rpcs) {
+    std::fprintf(stderr,
+                 "FAIL: push did not cut sync RPCs >= 5x (pull=%lld "
+                 "push=%lld)\n",
+                 static_cast<long long>(a.control_plane.sync_rpcs),
+                 static_cast<long long>(b.control_plane.sync_rpcs));
+    return 1;
+  }
+  std::printf("push cuts sync RPCs %.1fx with identical placements\n\n",
+              static_cast<double>(a.control_plane.sync_rpcs) /
+                  static_cast<double>(b.control_plane.sync_rpcs));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -141,10 +207,12 @@ int main(int argc, char** argv) {
                opt);
   run_topology("small_server", workloads::small_server(), opt);
   run_topology("supernode", workloads::supernode(), opt);
+  const int rc = run_push_vs_pull_check(opt);
   std::printf(
       "expected: centralized-oracle == centralized-rpc speedups (zero-cost "
       "equivalence); distributed-fresh pays sync RPCs for identical "
       "decisions; distributed-stale trades placement quality for sub-sync "
-      "select latency\n");
-  return 0;
+      "select latency; distributed-push replaces per-select pulls with "
+      "change-rate delta fan-out\n");
+  return rc;
 }

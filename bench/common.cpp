@@ -255,6 +255,9 @@ metrics::ControlPlaneSummary control_plane_summary(const std::string& label,
   sum.feedback_records = s.feedback_records;
   sum.feedback_batches = s.feedback_batches;
   sum.stale_hits = s.stale_hits;
+  sum.deltas_sent = s.deltas_sent;
+  sum.deltas_applied = s.deltas_applied;
+  sum.delta_gap_syncs = s.delta_gap_syncs;
   sum.direct_calls = s.direct_calls;
   sum.bytes = s.bytes_sent;
   sum.packets = s.packets_sent;

@@ -66,6 +66,14 @@ void inv_stream_destroyed(std::uint64_t ctx, std::uint64_t stream);
 void inv_snapshot_install(int node, std::uint64_t snapshot_version,
                           std::uint64_t authoritative_version, Site site);
 
+/// INV-DST-3: a push delta may only be applied onto the cache version range
+/// it extends — base_version <= cached_version < new_version. Applying a
+/// gapped delta (base > cached) or a non-advancing one (new <= cached)
+/// corrupts or regresses the replica; the agent must drop or pull instead.
+void inv_delta_apply(int node, std::uint64_t cached_version,
+                     std::uint64_t base_version, std::uint64_t new_version,
+                     Site site);
+
 /// INV-GRR-1: under round-robin placement the per-device bound-count spread
 /// stays within the number of independent deciders.
 void inv_grr_bind(const std::vector<std::int64_t>& total_bound, Site site);

@@ -133,6 +133,15 @@ void inv_snapshot_install(int node, std::uint64_t snapshot_version,
   }
 }
 
+void inv_delta_apply(int node, std::uint64_t cached_version,
+                     std::uint64_t base_version, std::uint64_t new_version,
+                     Site site) {
+  if (Analyzer* a = current()) {
+    a->invariants().delta_apply(node, cached_version, base_version,
+                                new_version, site, a->now());
+  }
+}
+
 void inv_grr_bind(const std::vector<std::int64_t>& total_bound, Site site) {
   if (Analyzer* a = current()) {
     a->invariants().grr_bind(total_bound, site, a->now());

@@ -49,6 +49,8 @@ class Analyzer : public sim::SimHooks {
 
   /// See InvariantChecker::set_grr_deciders.
   void set_grr_deciders(int n) { inv_.set_grr_deciders(n); }
+  /// See InvariantChecker::set_grr_striped.
+  void set_grr_striped(bool striped) { inv_.set_grr_striped(striped); }
 
   /// Renders the report (with final stats) to `os`.
   void render(std::ostream& os);

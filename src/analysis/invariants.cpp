@@ -1,6 +1,7 @@
 #include "analysis/invariants.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 namespace strings::analysis {
 
@@ -154,17 +155,75 @@ void InvariantChecker::snapshot_install(int node,
   }
 }
 
+void InvariantChecker::delta_apply(int node, std::uint64_t cached_version,
+                                   std::uint64_t base_version,
+                                   std::uint64_t new_version, Site site,
+                                   sim::SimTime now) {
+  const std::string object = "agent" + std::to_string(node) + "/snapshot";
+  if (base_version > cached_version) {
+    violation("INV-DST-3", object,
+              "delta [v" + std::to_string(base_version) + ", v" +
+                  std::to_string(new_version) +
+                  ") applied over a gap: cache is at v" +
+                  std::to_string(cached_version) +
+                  " (agent must pull instead)",
+              site, now);
+    return;
+  }
+  if (new_version <= cached_version) {
+    violation("INV-DST-3", object,
+              "non-advancing delta [v" + std::to_string(base_version) +
+                  ", v" + std::to_string(new_version) +
+                  ") applied at v" + std::to_string(cached_version) +
+                  " (stale deltas must be dropped)",
+              site, now);
+    return;
+  }
+  // Legal apply: fold the advance into the per-agent history so a later
+  // snapshot_install below new_version is flagged as a regression.
+  auto [it, inserted] = agent_versions_.try_emplace(node, new_version);
+  if (!inserted) it->second = std::max(it->second, new_version);
+}
+
 void InvariantChecker::grr_bind(const std::vector<std::int64_t>& total_bound,
                                 Site site, sim::SimTime now) {
   if (total_bound.size() < 2) return;
-  const auto [lo, hi] =
-      std::minmax_element(total_bound.begin(), total_bound.end());
-  const std::int64_t spread = *hi - *lo;
-  if (spread > grr_deciders_) {
+  if (!grr_striped_) {
+    const auto [lo, hi] =
+        std::minmax_element(total_bound.begin(), total_bound.end());
+    const std::int64_t spread = *hi - *lo;
+    if (spread > grr_deciders_) {
+      violation("INV-GRR-1", "service/dst",
+                "round-robin bind spread " + std::to_string(spread) +
+                    " exceeds the documented bound of " +
+                    std::to_string(grr_deciders_) + " decider(s)",
+                site, now);
+    }
+    return;
+  }
+  // Striped deciders: agent r only ever binds gids ≡ r (mod d) where
+  // d = gcd(deciders, device_count) — the residue classes the strided
+  // cursor can reach. Within one class each agent's picks are themselves
+  // round-robin (in-order channels), so per-class spread stays within
+  // deciders / d; across classes the spread tracks origin issue rates and
+  // is legitimately unbounded.
+  const int g = static_cast<int>(total_bound.size());
+  const int d = std::gcd(grr_deciders_, g);
+  const std::int64_t bound =
+      std::max<std::int64_t>(1, grr_deciders_ / std::max(1, d));
+  for (int cls = 0; cls < d; ++cls) {
+    std::int64_t lo = INT64_MAX;
+    std::int64_t hi = INT64_MIN;
+    for (int gid = cls; gid < g; gid += d) {
+      lo = std::min(lo, total_bound[static_cast<std::size_t>(gid)]);
+      hi = std::max(hi, total_bound[static_cast<std::size_t>(gid)]);
+    }
+    if (hi == INT64_MIN || hi - lo <= bound) continue;
     violation("INV-GRR-1", "service/dst",
-              "round-robin bind spread " + std::to_string(spread) +
-                  " exceeds the documented bound of " +
-                  std::to_string(grr_deciders_) + " decider(s)",
+              "striped round-robin bind spread " + std::to_string(hi - lo) +
+                  " in residue class " + std::to_string(cls) + " (mod " +
+                  std::to_string(d) + ") exceeds the bound of " +
+                  std::to_string(bound),
               site, now);
   }
 }

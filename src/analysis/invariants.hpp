@@ -27,6 +27,11 @@ class InvariantChecker {
   /// Number of independent GRR deciders (1 centralized; one per MapperAgent
   /// distributed). Bounds the legal bind-count spread for INV-GRR-1.
   void set_grr_deciders(int n) { grr_deciders_ = n < 1 ? 1 : n; }
+  /// Striped mode: each decider walks the residue class gid ≡ rank (mod
+  /// deciders), so INV-GRR-1 bounds the spread *within* each residue class
+  /// (mod gcd(deciders, device_count)) instead of globally — the global
+  /// spread is unbounded when origins issue at different rates.
+  void set_grr_striped(bool striped) { grr_striped_ = striped; }
 
   // INV-RCB-1: register -> ack -> unregister, each exactly once.
   void rcb_register(int gid, int signal_id, Site site, sim::SimTime now);
@@ -54,6 +59,13 @@ class InvariantChecker {
                         std::uint64_t authoritative_version, Site site,
                         sim::SimTime now);
 
+  // INV-DST-3: applied deltas keep the cached version contiguous
+  // (base <= cached < new). Also folds `new_version` into the per-agent
+  // version history so INV-DST-2 sees delta-driven advances.
+  void delta_apply(int node, std::uint64_t cached_version,
+                   std::uint64_t base_version, std::uint64_t new_version,
+                   Site site, sim::SimTime now);
+
   // INV-GRR-1: round-robin bind-count spread within the decider bound.
   void grr_bind(const std::vector<std::int64_t>& total_bound, Site site,
                 sim::SimTime now);
@@ -70,6 +82,7 @@ class InvariantChecker {
 
   Report& report_;
   int grr_deciders_ = 1;
+  bool grr_striped_ = false;
   std::map<std::pair<int, int>, RcbState> rcb_;  // (gid, signal) -> state
   std::map<std::pair<std::uint64_t, std::uint64_t>, StreamState>
       streams_;  // (ctx, stream)

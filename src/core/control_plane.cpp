@@ -48,4 +48,21 @@ ControlTransport parse_control_transport(const std::string& s) {
   throw std::invalid_argument("unknown control transport: " + s);
 }
 
+const char* sync_mode_name(SyncMode m) {
+  switch (m) {
+    case SyncMode::kPull: return "pull";
+    case SyncMode::kPush: return "push";
+    case SyncMode::kHybrid: return "hybrid";
+  }
+  return "unknown";
+}
+
+SyncMode parse_sync_mode(const std::string& s) {
+  const std::string l = lower(s);
+  if (l == "pull") return SyncMode::kPull;
+  if (l == "push") return SyncMode::kPush;
+  if (l == "hybrid") return SyncMode::kHybrid;
+  throw std::invalid_argument("unknown sync mode: " + s);
+}
+
 }  // namespace strings::core

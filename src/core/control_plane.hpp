@@ -44,13 +44,30 @@ enum class ControlTransport {
   kDataPlane,
 };
 
+/// How a distributed agent keeps its cached DstSnapshot current.
+enum class SyncMode {
+  /// Pull-only: a select older than `refresh_epoch` triggers a kDstSync
+  /// round trip (the PR 1 protocol; traffic scales with decision rate).
+  kPull,
+  /// Push: the agent subscribes once (kDstSubscribe) and the service fans
+  /// out versioned kDstDelta messages on every mutation; a version gap
+  /// falls back to a full kDstSync pull (traffic scales with change rate).
+  kPush,
+  /// Push plus the pull staleness bound as a safety net: deltas keep the
+  /// cache fresh, but a select older than `refresh_epoch` still pulls.
+  kHybrid,
+};
+
 const char* placement_mode_name(PlacementMode m);
 const char* control_transport_name(ControlTransport t);
+const char* sync_mode_name(SyncMode m);
 /// Parses "centralized"/"distributed" (case-insensitive); throws
 /// std::invalid_argument otherwise.
 PlacementMode parse_placement_mode(const std::string& s);
 /// Parses "direct"/"zero_cost"/"data_plane"; throws std::invalid_argument.
 ControlTransport parse_control_transport(const std::string& s);
+/// Parses "pull"/"push"/"hybrid"; throws std::invalid_argument.
+SyncMode parse_sync_mode(const std::string& s);
 
 struct ControlPlaneConfig {
   PlacementMode placement = PlacementMode::kCentralized;
@@ -65,6 +82,8 @@ struct ControlPlaneConfig {
   int feedback_batch_size = 1;
   /// A partial batch is flushed this long after its first record arrives.
   sim::SimTime feedback_max_delay = sim::msec(1);
+  /// Distributed mode: how cached snapshots stay current (pull/push/hybrid).
+  SyncMode sync_mode = SyncMode::kPull;
 };
 
 /// Counters reported by each MapperAgent (and aggregated by the Testbed).
@@ -77,6 +96,17 @@ struct ControlPlaneStats {
   std::int64_t feedback_batches = 0;
   /// Distributed selects decided over a cached (non-refreshed) snapshot.
   std::int64_t stale_hits = 0;
+  /// kDstDelta messages fanned out by the service (one per subscriber per
+  /// mutation; counts messages actually sent, not fault-dropped ones).
+  std::int64_t deltas_sent = 0;
+  /// Deltas an agent applied to its cached snapshot.
+  std::int64_t deltas_applied = 0;
+  /// Deltas discarded because their version range was already covered
+  /// (duplicates / reordered stragglers after a gap pull).
+  std::int64_t deltas_stale = 0;
+  /// Version gaps detected on the push channel that forced a full
+  /// kDstSync pull (the self-healing path; also counted in sync_rpcs).
+  std::int64_t delta_gap_syncs = 0;
   /// Calls answered by plain function call (kDirect, or kernel-context
   /// fallback when no process context exists to block in).
   std::int64_t direct_calls = 0;
@@ -97,6 +127,10 @@ struct ControlPlaneStats {
     feedback_records += o.feedback_records;
     feedback_batches += o.feedback_batches;
     stale_hits += o.stale_hits;
+    deltas_sent += o.deltas_sent;
+    deltas_applied += o.deltas_applied;
+    deltas_stale += o.deltas_stale;
+    delta_gap_syncs += o.delta_gap_syncs;
     direct_calls += o.direct_calls;
     bytes_sent += o.bytes_sent;
     packets_sent += o.packets_sent;
@@ -107,6 +141,34 @@ struct ControlPlaneStats {
     placements.insert(placements.end(), o.placements.begin(),
                       o.placements.end());
   }
+};
+
+// ---- push-protocol wire types -------------------------------------------
+
+/// One authoritative mutation, replayed verbatim by subscribed agents.
+struct DeltaOp {
+  enum class Kind : std::uint8_t { kBind = 0, kUnbind = 1, kFeedback = 2 };
+  Kind kind = Kind::kBind;
+  Gid gid = -1;              // kBind / kUnbind target
+  std::string app_type;      // kBind / kUnbind app
+  FeedbackRecord feedback;   // kFeedback payload
+  /// Agent that already applied this op optimistically to its own cache
+  /// (-1 = decided at the service). The origin skips the echo so its
+  /// optimistic bind/unbind is never double-applied.
+  NodeId applied_by = -1;
+};
+
+/// A contiguous run of mutations: applying `ops` to a snapshot at
+/// `base_version` yields the authoritative state at `new_version`
+/// (each op bumps the version by exactly one, so
+/// new_version == base_version + ops.size()).
+struct DstDelta {
+  std::uint64_t base_version = 0;
+  std::uint64_t new_version = 0;
+  /// Service clock when the delta was published; applying the delta
+  /// refreshes the cached snapshot's `taken_at` to this stamp.
+  sim::SimTime taken_at = 0;
+  std::vector<DeltaOp> ops;
 };
 
 // ---- wire encodings (canonical home; backend/protocol.hpp delegates) ----
@@ -167,7 +229,10 @@ inline DstSnapshot decode_snapshot(rpc::Unmarshal& u) {
     row.weight = u.get_double();
     row.load = u.get_i32();
     row.total_bound = u.get_i64();
-    s.dst.load_row(row);
+    // A sparsely-built table carries gid = -1 filler rows; load_row would
+    // interpret that gid as a huge index, so skip them (they carry no
+    // state — encode/decode of such a table must still round-trip).
+    if (row.gid >= 0) s.dst.load_row(row);
   }
   const std::uint32_t n_bound = u.get_u32();
   s.bound_types.resize(n_bound);
@@ -186,6 +251,43 @@ inline DstSnapshot decode_snapshot(rpc::Unmarshal& u) {
     s.sft.load(e);
   }
   return s;
+}
+
+inline void encode_delta(rpc::Marshal& m, const DstDelta& d) {
+  m.put_u64(d.base_version);
+  m.put_u64(d.new_version);
+  m.put_i64(d.taken_at);
+  m.put_u32(static_cast<std::uint32_t>(d.ops.size()));
+  for (const auto& op : d.ops) {
+    m.put_u8(static_cast<std::uint8_t>(op.kind));
+    m.put_i32(op.gid);
+    m.put_string(op.app_type);
+    m.put_i32(op.applied_by);
+    if (op.kind == DeltaOp::Kind::kFeedback) encode_feedback(m, op.feedback);
+  }
+}
+
+inline DstDelta decode_delta(rpc::Unmarshal& u) {
+  DstDelta d;
+  d.base_version = u.get_u64();
+  d.new_version = u.get_u64();
+  d.taken_at = u.get_i64();
+  const std::uint32_t n = u.get_u32();
+  d.ops.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    DeltaOp op;
+    const std::uint8_t kind = u.get_u8();
+    if (kind > static_cast<std::uint8_t>(DeltaOp::Kind::kFeedback)) {
+      throw rpc::DecodeError("unknown delta op kind");
+    }
+    op.kind = static_cast<DeltaOp::Kind>(kind);
+    op.gid = u.get_i32();
+    op.app_type = u.get_string();
+    op.applied_by = u.get_i32();
+    if (op.kind == DeltaOp::Kind::kFeedback) op.feedback = decode_feedback(u);
+    d.ops.push_back(std::move(op));
+  }
+  return d;
 }
 
 }  // namespace strings::core

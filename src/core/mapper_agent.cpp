@@ -17,12 +17,14 @@ std::string snapshot_name(NodeId node) {
 
 MapperAgent::MapperAgent(sim::Simulation& sim, NodeId node,
                          PlacementService& service, ControlPlaneConfig config,
-                         rpc::DuplexChannel* channel)
+                         rpc::DuplexChannel* channel,
+                         rpc::Channel* push_channel)
     : sim_(sim),
       node_(node),
       service_(service),
       config_(config),
       channel_(channel),
+      push_channel_(push_channel),
       gmap_(service.gmap()),
       static_policy_(
           policies::make_balancing_policy(service.config().static_policy)) {
@@ -33,6 +35,19 @@ MapperAgent::MapperAgent(sim::Simulation& sim, NodeId node,
     feedback_policy_ =
         policies::make_balancing_policy(service.config().feedback_policy);
   }
+  if (config_.placement == PlacementMode::kDistributed) {
+    // Concurrent deciders: stripe stateful cursors (GRR) by agent id so the
+    // union of all nodes' picks still covers the pool round-robin instead
+    // of every node starting at GID 0 (see ROADMAP: striped counters).
+    int deciders = 1;
+    for (const auto& e : gmap_.entries()) {
+      deciders = std::max(deciders, e.node + 1);
+    }
+    static_policy_->configure_striping(node_, deciders);
+    if (feedback_policy_ != nullptr) {
+      feedback_policy_->configure_striping(node_, deciders);
+    }
+  }
 }
 
 bool MapperAgent::use_rpc() const {
@@ -41,6 +56,91 @@ bool MapperAgent::use_rpc() const {
   return client_ != nullptr &&
          config_.transport != ControlTransport::kDirect &&
          sim_.current() != nullptr;
+}
+
+bool MapperAgent::push_enabled() const {
+  return push_channel_ != nullptr &&
+         config_.placement == PlacementMode::kDistributed &&
+         config_.sync_mode != SyncMode::kPull;
+}
+
+void MapperAgent::ensure_subscribed() {
+  if (subscribed_) return;
+  // One round trip arms the service's fan-out and ships the snapshot the
+  // subsequent deltas build on (counted as a sync: it carries one).
+  ++stats_.sync_rpcs;
+  rpc::Unmarshal u(client_->call(rpc::CallId::kDstSubscribe, rpc::Marshal{}));
+  install_snapshot(decode_snapshot(u));
+  subscribed_ = true;
+}
+
+void MapperAgent::drain_deltas() {
+  if (push_channel_ == nullptr) return;
+  while (auto p = push_channel_->try_receive()) {
+    rpc::Unmarshal u(std::move(p->body));
+    apply_delta(decode_delta(u));
+  }
+}
+
+void MapperAgent::apply_delta(const DstDelta& d) {
+  // Deltas delivered before the subscribe reply installed a base snapshot
+  // carry nothing to apply onto; the snapshot will already cover them.
+  if (!snapshot_valid_) return;
+  if (d.new_version <= snapshot_.version) {
+    // Duplicate or reordered straggler: its range is already covered.
+    ++stats_.deltas_stale;
+    return;
+  }
+  if (d.base_version > snapshot_.version) {
+    // Gap: an earlier delta was dropped or is still in flight. Replaying
+    // this one would corrupt the cache, so self-heal with a full pull.
+    ++stats_.delta_gap_syncs;
+    if (client_ != nullptr && sim_.current() != nullptr) {
+      ++stats_.sync_rpcs;
+      rpc::Unmarshal u(client_->call(rpc::CallId::kDstSync, rpc::Marshal{}));
+      install_snapshot(decode_snapshot(u));
+    }
+    return;
+  }
+  if (analysis::enabled()) {
+    analysis::inv_delta_apply(node_, snapshot_.version, d.base_version,
+                              d.new_version, ANALYSIS_SITE);
+  }
+  ANALYSIS_WRITE(&snapshot_, snapshot_name(node_));
+  // Suffix apply: ops below the cached version are already reflected.
+  for (std::size_t i =
+           static_cast<std::size_t>(snapshot_.version - d.base_version);
+       i < d.ops.size(); ++i) {
+    const DeltaOp& op = d.ops[i];
+    switch (op.kind) {
+      case DeltaOp::Kind::kBind:
+        // This agent's own optimistic bind already mutated the cache (the
+        // echo); applying it again would double-count the load.
+        if (op.applied_by != node_) {
+          snapshot_.dst.on_bind(op.gid);
+          snapshot_.bound_types[static_cast<std::size_t>(op.gid)].push_back(
+              op.app_type);
+        }
+        break;
+      case DeltaOp::Kind::kUnbind:
+        if (op.applied_by != node_) {
+          snapshot_.dst.on_unbind(op.gid);
+          auto& bound =
+              snapshot_.bound_types[static_cast<std::size_t>(op.gid)];
+          auto it = std::find(bound.begin(), bound.end(), op.app_type);
+          if (it != bound.end()) bound.erase(it);
+        }
+        break;
+      case DeltaOp::Kind::kFeedback:
+        // Feedback folds into the SFT at the service, never optimistically
+        // at an agent, so the echo question does not arise.
+        snapshot_.sft.update(op.feedback);
+        break;
+    }
+  }
+  snapshot_.version = d.new_version;
+  snapshot_.taken_at = std::max(snapshot_.taken_at, d.taken_at);
+  ++stats_.deltas_applied;
 }
 
 Gid MapperAgent::select_device(const std::string& app_type) {
@@ -57,7 +157,20 @@ Gid MapperAgent::select_device(const std::string& app_type) {
     rpc::Unmarshal u(client_->call(rpc::CallId::kSelectDevice, std::move(m)));
     gid = u.get_i32();
   } else {
-    refresh_snapshot_if_stale();
+    if (push_enabled()) {
+      ensure_subscribed();
+      drain_deltas();
+      if (config_.sync_mode == SyncMode::kHybrid) {
+        refresh_snapshot_if_stale();
+      } else {
+        // Pure push serves every select from the cache; deltas (not a
+        // refresh epoch) bound its age, so only record what it was.
+        stats_.max_snapshot_age = std::max(stats_.max_snapshot_age,
+                                           sim_.now() - snapshot_.taken_at);
+      }
+    } else {
+      refresh_snapshot_if_stale();
+    }
     ANALYSIS_READ(&snapshot_, snapshot_name(node_));
     const bool feedback =
         feedback_policy_ != nullptr &&
@@ -116,6 +229,7 @@ void MapperAgent::unbind(Gid gid, const std::string& app_type) {
     service_.unbind(gid, app_type);
     return;
   }
+  if (push_enabled() && subscribed_) drain_deltas();
   if (snapshot_valid_) {
     // Keep the cache coherent with this node's own lifecycle events.
     ANALYSIS_WRITE(&snapshot_, snapshot_name(node_));
@@ -176,6 +290,12 @@ ControlPlaneStats MapperAgent::stats() const {
         channel_->request.bytes_sent() + channel_->response.bytes_sent();
     s.packets_sent =
         channel_->request.packets_sent() + channel_->response.packets_sent();
+  }
+  if (push_channel_ != nullptr) {
+    // Delta fan-out traffic lands on this agent's link, so push is not
+    // free — it just scales with change rate instead of decision rate.
+    s.bytes_sent += push_channel_->bytes_sent();
+    s.packets_sent += push_channel_->packets_sent();
   }
   return s;
 }

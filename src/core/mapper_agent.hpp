@@ -34,10 +34,14 @@ class MapperAgent {
  public:
   /// `channel` is the duplex pair returned by
   /// PlacementService::connect_agent, or nullptr for kDirect transport.
+  /// `push_channel` is the one-way service->agent delta channel returned by
+  /// PlacementService::connect_push (push/hybrid sync modes; nullptr keeps
+  /// the agent pull-only regardless of `config.sync_mode`).
   /// Construct only after the service is finalized (the agent copies the
   /// gMap replica the gPool Creator "broadcasts").
   MapperAgent(sim::Simulation& sim, NodeId node, PlacementService& service,
-              ControlPlaneConfig config, rpc::DuplexChannel* channel);
+              ControlPlaneConfig config, rpc::DuplexChannel* channel,
+              rpc::Channel* push_channel = nullptr);
 
   /// Picks a GID for an app arriving on this node.
   Gid select_device(const std::string& app_type);
@@ -60,6 +64,15 @@ class MapperAgent {
   /// Negative-path tests use it to inject stale or future-versioned
   /// snapshots; production code must go through refresh_snapshot_if_stale.
   void debug_install_snapshot(DstSnapshot s) { install_snapshot(std::move(s)); }
+  /// Test-only seam: runs the gap-detect / suffix-apply state machine on
+  /// `d` exactly as a drained kDstDelta would (including INV-DST-3).
+  void debug_apply_delta(const DstDelta& d) { apply_delta(d); }
+  /// Drains any already-delivered kDstDelta packets now. Production drains
+  /// at every select/unbind; tests call this to observe convergence at
+  /// quiescent points.
+  void poll_push() { drain_deltas(); }
+  /// True once kDstSubscribe has armed the service's fan-out to this agent.
+  bool subscribed() const { return subscribed_; }
   /// Counters including this agent's channel byte/packet totals.
   ControlPlaneStats stats() const;
 
@@ -69,6 +82,10 @@ class MapperAgent {
 
  private:
   bool use_rpc() const;
+  bool push_enabled() const;
+  void ensure_subscribed();
+  void drain_deltas();
+  void apply_delta(const DstDelta& d);
   void refresh_snapshot_if_stale();
   void install_snapshot(DstSnapshot s);
   void arm_flush_timer();
@@ -78,6 +95,8 @@ class MapperAgent {
   PlacementService& service_;
   ControlPlaneConfig config_;
   rpc::DuplexChannel* channel_ = nullptr;
+  rpc::Channel* push_channel_ = nullptr;
+  bool subscribed_ = false;
   std::unique_ptr<rpc::RpcClient> client_;
   GMap gmap_;
   DstSnapshot snapshot_;

@@ -78,7 +78,8 @@ Gid PlacementService::select_device(const std::string& app_type,
   return gid;
 }
 
-void PlacementService::apply_bind(Gid gid, const std::string& app_type) {
+void PlacementService::apply_bind(Gid gid, const std::string& app_type,
+                                  NodeId applied_by) {
   assert(finalized_);
   ANALYSIS_WRITE(&state_.dst, "service/dst");
   state_.dst.on_bind(gid);
@@ -94,9 +95,16 @@ void PlacementService::apply_bind(Gid gid, const std::string& app_type) {
     for (const auto& r : state_.dst.rows()) totals.push_back(r.total_bound);
     analysis::inv_grr_bind(totals, ANALYSIS_SITE);
   }
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kBind;
+  op.gid = gid;
+  op.app_type = app_type;
+  op.applied_by = applied_by;
+  publish_delta(std::move(op));
 }
 
-void PlacementService::unbind(Gid gid, const std::string& app_type) {
+void PlacementService::unbind(Gid gid, const std::string& app_type,
+                              NodeId applied_by) {
   assert(finalized_);
   ANALYSIS_WRITE(&state_.dst, "service/dst");
   state_.dst.on_unbind(gid);
@@ -104,6 +112,12 @@ void PlacementService::unbind(Gid gid, const std::string& app_type) {
   auto it = std::find(bound.begin(), bound.end(), app_type);
   if (it != bound.end()) bound.erase(it);
   ++state_.version;
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kUnbind;
+  op.gid = gid;
+  op.app_type = app_type;
+  op.applied_by = applied_by;
+  publish_delta(std::move(op));
 }
 
 void PlacementService::on_feedback(const FeedbackRecord& rec) {
@@ -119,6 +133,67 @@ void PlacementService::on_feedback(const FeedbackRecord& rec) {
                   "app=" + rec.app_type + " to=" + feedback_policy_->name());
     }
   }
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kFeedback;
+  op.feedback = rec;
+  publish_delta(std::move(op));
+}
+
+void PlacementService::publish_delta(DeltaOp op) {
+  // Every mutation bumps version by exactly one, so a single-op delta covers
+  // [version-1, version). Subscribers that miss one see a base gap and pull.
+  bool any = false;
+  for (const auto& conn : conns_) {
+    if (conn->subscribed && conn->push != nullptr) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return;
+
+  DstDelta delta;
+  delta.base_version = state_.version - 1;
+  delta.new_version = state_.version;
+  delta.taken_at = sim_ != nullptr ? sim_->now() : 0;
+  delta.ops.push_back(std::move(op));
+
+  rpc::Marshal m;
+  encode_delta(m, delta);
+  const std::vector<std::byte> body = std::move(m).take();
+
+  for (const auto& conn : conns_) {
+    if (!conn->subscribed || conn->push == nullptr) continue;
+    sim::SimTime delay = 0;
+    if (push_fault_) delay = push_fault_(conn->node, delta);
+    if (delay < 0) {
+      ++deltas_dropped_;
+      continue;
+    }
+    rpc::Packet pkt;
+    pkt.call = rpc::CallId::kDstDelta;
+    pkt.seq = conn->push_seq++;
+    pkt.oneway = true;
+    pkt.body = body;
+    ++deltas_sent_;
+    if (delay == 0) {
+      conn->push->send(std::move(pkt));
+    } else {
+      // A delayed send enters the wire later than deltas published after
+      // it, so it arrives out of order — the reordering fault.
+      rpc::Channel* ch = conn->push.get();
+      sim_->schedule(delay, [ch, pkt = std::move(pkt)]() mutable {
+        ch->send(std::move(pkt));
+      });
+    }
+  }
+}
+
+int PlacementService::subscriber_count() const {
+  int n = 0;
+  for (const auto& conn : conns_) {
+    if (conn->subscribed) ++n;
+  }
+  return n;
 }
 
 DstSnapshot PlacementService::snapshot(sim::SimTime now) const {
@@ -151,6 +226,27 @@ rpc::DuplexChannel& PlacementService::connect_agent(
   return *c.channel;
 }
 
+rpc::Channel& PlacementService::connect_push(
+    sim::Simulation& sim, NodeId agent_node, rpc::LinkModel link,
+    std::shared_ptr<rpc::SharedLink> wire) {
+  for (const auto& conn : conns_) {
+    if (conn->node != agent_node) continue;
+    if (conn->push != nullptr) {
+      throw std::logic_error("push channel already connected for node " +
+                             std::to_string(agent_node));
+    }
+    conn->push = std::make_unique<rpc::Channel>(sim, link, std::move(wire));
+    if (tracer_ != nullptr) {
+      conn->push->set_tracer(tracer_,
+                             tracer_->link_track(service_node_, agent_node));
+    }
+    sim_ = &sim;
+    return *conn->push;
+  }
+  throw std::logic_error("connect_push before connect_agent for node " +
+                         std::to_string(agent_node));
+}
+
 void PlacementService::serve_loop(sim::Simulation& sim, AgentConn& conn) {
   for (;;) {
     rpc::Packet req = conn.channel->request.receive();
@@ -167,17 +263,27 @@ void PlacementService::serve_loop(sim::Simulation& sim, AgentConn& conn) {
       case rpc::CallId::kUnbindDevice: {
         rpc::Unmarshal u(req.body);
         const Gid gid = u.get_i32();
-        unbind(gid, u.get_string());
+        // The requesting agent already unbound its cache optimistically,
+        // so its own echo delta must be skippable: tag with its node.
+        unbind(gid, u.get_string(), conn.node);
         break;
       }
       case rpc::CallId::kDstSync: {
         encode_snapshot(reply, snapshot(sim.now()));
         break;
       }
+      case rpc::CallId::kDstSubscribe: {
+        // Arm push fan-out and reply with a full snapshot so the agent
+        // starts version-aligned; deltas published after this instant all
+        // have base >= the shipped version.
+        conn.subscribed = true;
+        encode_snapshot(reply, snapshot(sim.now()));
+        break;
+      }
       case rpc::CallId::kBindReport: {
         rpc::Unmarshal u(req.body);
         const Gid gid = u.get_i32();
-        apply_bind(gid, u.get_string());
+        apply_bind(gid, u.get_string(), conn.node);
         break;
       }
       case rpc::CallId::kFeedbackBatch: {

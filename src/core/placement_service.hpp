@@ -20,6 +20,8 @@
 // kFeedbackBatch).
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -60,11 +62,14 @@ class PlacementService {
   // ---- Target GPU Selector (authoritative / oracle path) ----
   /// Picks a GID for an arriving application and records the binding.
   Gid select_device(const std::string& app_type, NodeId origin_node);
-  /// Releases a binding (application exit / cudaThreadExit).
-  void unbind(Gid gid, const std::string& app_type);
+  /// Releases a binding (application exit / cudaThreadExit). `applied_by`
+  /// names the agent whose cache already holds the mutation (push
+  /// subscribers skip their own echo); -1 = applied at the service only.
+  void unbind(Gid gid, const std::string& app_type, NodeId applied_by = -1);
   /// Installs a binding decided remotely by a distributed MapperAgent
   /// (kBindReport); also records it in the placement log.
-  void apply_bind(Gid gid, const std::string& app_type);
+  void apply_bind(Gid gid, const std::string& app_type,
+                  NodeId applied_by = -1);
 
   // ---- Policy Arbiter ----
   void on_feedback(const FeedbackRecord& rec);
@@ -84,6 +89,30 @@ class PlacementService {
       sim::Simulation& sim, NodeId agent_node, rpc::LinkModel link,
       std::shared_ptr<rpc::SharedLink> tx = nullptr,
       std::shared_ptr<rpc::SharedLink> rx = nullptr);
+
+  /// Creates the service->agent push channel for an already-connected
+  /// agent. The agent drains kDstDelta packets from it; fan-out starts
+  /// once the agent sends kDstSubscribe on its duplex channel. Throws
+  /// std::logic_error if `agent_node` has no connection yet.
+  rpc::Channel& connect_push(sim::Simulation& sim, NodeId agent_node,
+                             rpc::LinkModel link,
+                             std::shared_ptr<rpc::SharedLink> wire = nullptr);
+
+  /// Fault-injection seam for push fan-out (loss/reorder stress tests).
+  /// Called per subscriber per delta; returns the extra delay to impose on
+  /// that delivery: 0 = deliver normally, < 0 = drop the delta (the agent
+  /// must gap-detect and pull), > 0 = delay by that much virtual time
+  /// (later deltas overtake it on the wire — reordering).
+  using PushFaultHook = std::function<sim::SimTime(NodeId agent,
+                                                   const DstDelta& delta)>;
+  void set_push_fault(PushFaultHook hook) { push_fault_ = std::move(hook); }
+
+  /// kDstDelta messages actually sent (fault-dropped ones excluded).
+  std::int64_t deltas_sent() const { return deltas_sent_; }
+  /// Deltas suppressed by the fault hook.
+  std::int64_t deltas_dropped() const { return deltas_dropped_; }
+  /// Push subscribers currently armed.
+  int subscriber_count() const;
 
   // ---- introspection ----
   const Config& config() const { return config_; }
@@ -123,10 +152,19 @@ class PlacementService {
   struct AgentConn {
     NodeId node = -1;
     std::unique_ptr<rpc::DuplexChannel> channel;
+    /// Service->agent delta channel (push / hybrid sync modes).
+    std::unique_ptr<rpc::Channel> push;
+    /// Set when the agent's kDstSubscribe arrives; deltas fan out only to
+    /// subscribed connections.
+    bool subscribed = false;
+    std::uint64_t push_seq = 0;
   };
 
   bool use_feedback_for(const std::string& app_type) const;
   void serve_loop(sim::Simulation& sim, AgentConn& conn);
+  /// Fans one mutation out to every subscribed agent (see publish order in
+  /// apply_bind/unbind/on_feedback: state_ is already mutated and versioned).
+  void publish_delta(DeltaOp op);
 
   Config config_;
   GMap gmap_;
@@ -140,6 +178,12 @@ class PlacementService {
   std::int64_t feedback_selections_ = 0;
   std::int64_t static_selections_ = 0;
   std::int64_t rpcs_served_ = 0;
+  std::int64_t deltas_sent_ = 0;
+  std::int64_t deltas_dropped_ = 0;
+  PushFaultHook push_fault_;
+  /// Set by connect_push(); publish_delta needs it to schedule delayed
+  /// (fault-injected) deliveries.
+  sim::Simulation* sim_ = nullptr;
   bool finalized_ = false;
   sim::TraceLog* trace_ = nullptr;
   obs::Tracer* tracer_ = nullptr;

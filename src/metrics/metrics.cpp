@@ -148,12 +148,14 @@ double ControlPlaneSummary::stale_hit_rate() const {
 }
 
 Table control_plane_table(const std::vector<ControlPlaneSummary>& rows) {
-  Table t({"deployment", "select", "sync", "unbind", "oneway", "fb-recs",
-           "fb-batches", "direct", "KB", "stale-hit", "max-age ms",
-           "p50 ms", "p95 ms", "p99 ms"});
+  Table t({"deployment", "select", "sync", "deltas", "gap-sync", "unbind",
+           "oneway", "fb-recs", "fb-batches", "direct", "KB", "stale-hit",
+           "max-age ms", "p50 ms", "p95 ms", "p99 ms"});
   for (const auto& r : rows) {
     t.add_row({r.label, std::to_string(r.select_rpcs),
-               std::to_string(r.sync_rpcs), std::to_string(r.unbind_rpcs),
+               std::to_string(r.sync_rpcs), std::to_string(r.deltas_sent),
+               std::to_string(r.delta_gap_syncs),
+               std::to_string(r.unbind_rpcs),
                std::to_string(r.oneway_msgs),
                std::to_string(r.feedback_records),
                std::to_string(r.feedback_batches),

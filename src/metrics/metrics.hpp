@@ -49,6 +49,9 @@ struct ControlPlaneSummary {
   std::int64_t feedback_records = 0;
   std::int64_t feedback_batches = 0;
   std::int64_t stale_hits = 0;
+  std::int64_t deltas_sent = 0;
+  std::int64_t deltas_applied = 0;
+  std::int64_t delta_gap_syncs = 0;
   std::int64_t direct_calls = 0;
   std::uint64_t bytes = 0;
   std::uint64_t packets = 0;

@@ -70,11 +70,17 @@ const std::vector<std::string>& bound_on(const BalanceInput& in,
 
 }  // namespace
 
+void GrrPolicy::configure_striping(int rank, int deciders) {
+  assert(deciders > 0 && rank >= 0 && rank < deciders);
+  next_ = static_cast<std::size_t>(rank < 0 ? 0 : rank);
+  stride_ = static_cast<std::size_t>(deciders < 1 ? 1 : deciders);
+}
+
 core::Gid GrrPolicy::select(const BalanceInput& in) {
   assert(in.gmap != nullptr && in.gmap->size() > 0);
   const core::Gid gid =
       static_cast<core::Gid>(next_ % static_cast<std::size_t>(in.gmap->size()));
-  ++next_;
+  next_ += stride_;
   return gid;
 }
 

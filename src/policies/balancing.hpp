@@ -35,17 +35,29 @@ class BalancingPolicy {
   /// True if the policy is useless without SFT data (the Policy Arbiter
   /// falls back to a static policy until feedback arrives).
   virtual bool needs_feedback() const { return false; }
+  /// Tells a stateful policy it is one of `deciders` independent instances
+  /// (this one has rank `rank`, 0-based) deciding concurrently over replica
+  /// views. Stateless policies ignore it; GRR switches to a strided cursor
+  /// so the union of all deciders' picks still round-robins the pool.
+  virtual void configure_striping(int rank, int deciders) {
+    (void)rank;
+    (void)deciders;
+  }
   virtual core::Gid select(const BalanceInput& in) = 0;
 };
 
-/// Global Round Robin.
+/// Global Round Robin. A striped instance (configure_striping) walks the
+/// residue class gid ≡ rank (mod deciders) so concurrent per-node cursors
+/// never collide; with one decider this degenerates to the classic cursor.
 class GrrPolicy final : public BalancingPolicy {
  public:
   const char* name() const override { return "GRR"; }
+  void configure_striping(int rank, int deciders) override;
   core::Gid select(const BalanceInput& in) override;
 
  private:
   std::size_t next_ = 0;
+  std::size_t stride_ = 1;
 };
 
 /// Least-loaded GPU; ties prefer local over remote GPUs.

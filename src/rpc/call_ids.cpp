@@ -31,6 +31,8 @@ const char* call_name(CallId id) {
     case CallId::kBindReport: return "strings.bindReport";
     case CallId::kFeedbackBatch: return "strings.feedbackBatch";
     case CallId::kDstSync: return "strings.dstSync";
+    case CallId::kDstSubscribe: return "strings.dstSubscribe";
+    case CallId::kDstDelta: return "strings.dstDelta";
     case CallId::kResponse: return "response";
   }
   return "unknown";

@@ -39,6 +39,8 @@ enum class CallId : std::uint32_t {
   kBindReport,        // agent -> service (one-way): optimistic local bind
   kFeedbackBatch,     // agent -> service (one-way): batched feedback records
   kDstSync,           // agent -> service: pull a fresh DstSnapshot
+  kDstSubscribe,      // agent -> service: arm push fan-out; reply = snapshot
+  kDstDelta,          // service -> agent (one-way): versioned DST delta
 
   kResponse = 0xFFFF,
 };

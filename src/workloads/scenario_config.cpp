@@ -189,6 +189,13 @@ ScenarioConfig parse_scenario(std::istream& in) {
       } else if (key == "feedback_flush_ms") {
         cfg.testbed.control_plane.feedback_max_delay =
             sim::msec(to_int(line, value));
+      } else if (key == "sync_mode") {
+        // pull | push | hybrid
+        try {
+          cfg.testbed.control_plane.sync_mode = core::parse_sync_mode(value);
+        } catch (const std::invalid_argument& e) {
+          fail(line, e.what());
+        }
       } else {
         fail(line, "unknown global key '" + key + "'");
       }

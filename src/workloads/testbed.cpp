@@ -56,6 +56,10 @@ Testbed::Testbed(sim::Simulation& sim, TestbedConfig config)
         config_.control_plane.placement == core::PlacementMode::kDistributed
             ? static_cast<int>(node_count)
             : 1);
+    // Distributed agents stripe stateful cursors by agent id, which changes
+    // the shape of the INV-GRR-1 bound (per residue class, not global).
+    analyzer_->set_grr_striped(config_.control_plane.placement ==
+                               core::PlacementMode::kDistributed);
   }
 
   if (config_.trace_events) {
@@ -148,8 +152,22 @@ Testbed::Testbed(sim::Simulation& sim, TestbedConfig config)
       channel = &service_->connect_agent(sim_, node, control_link_for(node),
                                          std::move(tx), std::move(rx));
     }
+    rpc::Channel* push = nullptr;
+    if (channel != nullptr &&
+        config_.control_plane.placement == core::PlacementMode::kDistributed &&
+        config_.control_plane.sync_mode != core::SyncMode::kPull) {
+      // Push/hybrid sync: a dedicated service->agent delta channel. Under
+      // data-plane transport it shares the service->agent wire direction
+      // with RPC responses, so fan-out traffic contends realistically.
+      auto wire =
+          config_.control_plane.transport == core::ControlTransport::kDataPlane
+              ? wires_between(config_.control_plane.service_node, node).first
+              : nullptr;
+      push = &service_->connect_push(sim_, node, control_link_for(node),
+                                     std::move(wire));
+    }
     agents_.push_back(std::make_unique<core::MapperAgent>(
-        sim_, node, *service_, config_.control_plane, channel));
+        sim_, node, *service_, config_.control_plane, channel, push));
   }
 
   if (config_.mode == Mode::kCudaBaseline) {
@@ -228,6 +246,8 @@ void Testbed::register_metrics() {
   });
   registry_.gauge_fn("control_plane/service/dst_version",
                      [this] { return double(service_->version()); });
+  registry_.gauge_fn("control_plane/service/deltas_sent",
+                     [this] { return double(service_->deltas_sent()); });
   for (std::size_t n = 0; n < agents_.size(); ++n) {
     const std::string pre = "control_plane/agent" + std::to_string(n) + "/";
     core::MapperAgent* a = agents_[n].get();
@@ -237,6 +257,10 @@ void Testbed::register_metrics() {
                        [a] { return double(a->stats().sync_rpcs); });
     registry_.gauge_fn(pre + "stale_hits",
                        [a] { return double(a->stats().stale_hits); });
+    registry_.gauge_fn(pre + "deltas_applied",
+                       [a] { return double(a->stats().deltas_applied); });
+    registry_.gauge_fn(pre + "delta_gap_syncs",
+                       [a] { return double(a->stats().delta_gap_syncs); });
     registry_.gauge_fn(pre + "direct_calls",
                        [a] { return double(a->stats().direct_calls); });
     registry_.gauge_fn(pre + "oneway_msgs",
@@ -395,6 +419,7 @@ core::ControlPlaneStats Testbed::control_plane_stats() const {
   core::ControlPlaneStats total;
   for (const auto& a : agents_) total.merge(a->stats());
   total.placements = service_->placements();
+  total.deltas_sent = service_->deltas_sent();
   return total;
 }
 

@@ -136,6 +136,49 @@ TEST_F(AnalysisInvariants, GrrSpreadBeyondDeciderCountViolatesBound) {
   EXPECT_EQ(analyzer.report().invariant_violations(), 1);
 }
 
+TEST_F(AnalysisInvariants, DeltaAppliedOverAGapViolatesContiguity) {
+  analysis::InvariantChecker& inv = analyzer.invariants();
+  inv.delta_apply(1, /*cached=*/5, /*base=*/5, /*new=*/6, here(), 0);
+  EXPECT_FALSE(analyzer.report().has("INV-DST-3"));
+  // Cache at v6, delta starts at v8: versions 6..8 were never applied.
+  inv.delta_apply(1, 6, 8, 9, here(), 0);
+  EXPECT_TRUE(analyzer.report().has("INV-DST-3", "analysis_test.cpp"));
+  EXPECT_EQ(analyzer.report().invariant_violations(), 1);
+}
+
+TEST_F(AnalysisInvariants, NonAdvancingDeltaViolatesContiguity) {
+  analysis::InvariantChecker& inv = analyzer.invariants();
+  inv.delta_apply(0, /*cached=*/4, /*base=*/3, /*new=*/4, here(), 0);
+  EXPECT_TRUE(analyzer.report().has("INV-DST-3"));
+  EXPECT_EQ(analyzer.report().invariant_violations(), 1);
+}
+
+TEST_F(AnalysisInvariants, LegalDeltaApplyFeedsTheMonotonicVersionHistory) {
+  // A delta-driven advance must register with INV-DST-2: installing a full
+  // snapshot *below* the delta's new version afterwards is a regression.
+  analysis::InvariantChecker& inv = analyzer.invariants();
+  inv.delta_apply(2, /*cached=*/5, /*base=*/5, /*new=*/9, here(), 0);
+  EXPECT_EQ(analyzer.report().invariant_violations(), 0);
+  inv.snapshot_install(2, /*version=*/7, /*authoritative=*/20, here(), 0);
+  EXPECT_TRUE(analyzer.report().has("INV-DST-2"));
+}
+
+TEST_F(AnalysisInvariants, StripedGrrBoundsEachResidueClassSeparately) {
+  analysis::InvariantChecker& inv = analyzer.invariants();
+  inv.set_grr_deciders(2);
+  inv.set_grr_striped(true);
+  // 4 gids, 2 deciders -> d = 2 classes {0,2} and {1,3}, per-class bound 1.
+  // Unequal issue rates skew class totals (0+2 = 12 vs 1+3 = 2): legal,
+  // the global check would have fired at spread 5.
+  inv.grr_bind({6, 1, 6, 1}, here(), 0);
+  EXPECT_FALSE(analyzer.report().has("INV-GRR-1"));
+  // Spread inside class {0,2} beyond the bound: a striped cursor cannot
+  // produce it through in-order channels.
+  inv.grr_bind({8, 1, 5, 1}, here(), 0);
+  EXPECT_TRUE(analyzer.report().has("INV-GRR-1", "analysis_test.cpp"));
+  EXPECT_EQ(analyzer.report().invariant_violations(), 1);
+}
+
 // ---- happens-before race detection ---------------------------------------
 
 TEST_F(AnalysisInvariants, UnorderedWritesFromTwoProcessesAreARace) {

@@ -4,9 +4,17 @@
 // determinism, and fairness bounds.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
 #include <random>
+#include <utility>
 
+#include "analysis/analyzer.hpp"
+#include "core/mapper_agent.hpp"
+#include "core/placement_service.hpp"
 #include "metrics/metrics.hpp"
+#include "rpc/channel.hpp"
 #include "workloads/service.hpp"
 #include "workloads/testbed.hpp"
 
@@ -129,6 +137,199 @@ TEST_P(DeterminismProperty, IdenticalScenariosGiveIdenticalTraces) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismProperty,
                          ::testing::Values(3u, 19u, 42u));
+
+// ---- distributed control-plane properties ---------------------------------
+//
+// A lightweight rig around PlacementService + per-node MapperAgents (no
+// full testbed): every control-plane operation is issued from one driver
+// process at strictly increasing timestamps, which is the regime the
+// push-protocol equivalence argument assumes.
+struct ControlPlaneRig {
+  ControlPlaneRig(core::ControlPlaneConfig cp, const std::string& policy,
+                  int nodes) {
+    core::PlacementService::Config sc;
+    sc.static_policy = policy;
+    sc.feedback_policy = "";
+    svc = std::make_unique<core::PlacementService>(sc);
+    for (core::NodeId n = 0; n < nodes; ++n) {
+      svc->report_node(n, {gpu::quadro2000(), gpu::tesla_c2050()});
+    }
+    svc->finalize();
+    for (core::NodeId n = 0; n < nodes; ++n) {
+      rpc::DuplexChannel& ch = svc->connect_agent(sim, n, rpc::LinkModel{});
+      rpc::Channel* push = nullptr;
+      if (cp.placement == core::PlacementMode::kDistributed &&
+          cp.sync_mode != core::SyncMode::kPull) {
+        push = &svc->connect_push(sim, n, rpc::LinkModel{});
+      }
+      agents.push_back(
+          std::make_unique<core::MapperAgent>(sim, n, *svc, cp, &ch, push));
+    }
+  }
+
+  template <typename Body>
+  void drive(Body body) {
+    sim.spawn("driver", [&] {
+      sim::Event tick(sim);
+      auto step = [&] { tick.wait_for(sim::msec(1)); };
+      body(step);
+    });
+    sim.run();
+  }
+
+  sim::Simulation sim;
+  std::unique_ptr<core::PlacementService> svc;
+  std::vector<std::unique_ptr<core::MapperAgent>> agents;
+};
+
+// Satellite property: per-GPU bind totals under the distributed,
+// agent-id-striped GRR must stay within the INV-GRR-1 striping bound of the
+// centralized cursor's totals, for 100 seeded balanced schedules. With
+// `deciders` agents striding over gid classes mod d = gcd(deciders, G),
+// a balanced schedule (equal selects per agent) keeps every per-gid total
+// within `deciders` of the centralized count regardless of interleaving.
+class StripedGrrProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(StripedGrrProperty, MatchesCentralizedCountsWithinTheBound) {
+  std::mt19937 rng(GetParam() * 977u + 13u);
+  for (int round = 0; round < 10; ++round) {
+    const int half = 8 + static_cast<int>(rng() % 9);
+    std::vector<int> schedule;
+    for (int i = 0; i < half; ++i) {
+      schedule.push_back(0);
+      schedule.push_back(1);
+    }
+    std::shuffle(schedule.begin(), schedule.end(), rng);
+    SCOPED_TRACE("round " + std::to_string(round) + " selects " +
+                 std::to_string(schedule.size()));
+
+    // Distributed: two striped GRR agents, pull-fresh so every decision
+    // sees authoritative state. The analyzer runs the striped INV-GRR-1
+    // check on every bind the service records.
+    core::ControlPlaneConfig cp;
+    cp.placement = core::PlacementMode::kDistributed;
+    cp.refresh_epoch = 0;
+    ControlPlaneRig rig(cp, "GRR", /*nodes=*/2);
+    analysis::Analyzer analyzer;
+    analyzer.install(rig.sim);
+    analyzer.set_grr_deciders(2);
+    analyzer.set_grr_striped(true);
+    rig.drive([&](auto& step) {
+      for (const int who : schedule) {
+        rig.agents[static_cast<std::size_t>(who)]->select_device("MC");
+        step();
+      }
+    });
+    EXPECT_EQ(analyzer.report().invariant_violations(), 0);
+    analyzer.uninstall();
+
+    // Centralized oracle: one global GRR cursor over the same schedule.
+    core::PlacementService::Config sc;
+    sc.static_policy = "GRR";
+    core::PlacementService central(sc);
+    for (core::NodeId n = 0; n < 2; ++n) {
+      central.report_node(n, {gpu::quadro2000(), gpu::tesla_c2050()});
+    }
+    central.finalize();
+    for (const int who : schedule) central.select_device("MC", who);
+
+    ASSERT_EQ(rig.svc->dst().rows().size(), central.dst().rows().size());
+    for (const auto& want : central.dst().rows()) {
+      const std::int64_t got =
+          rig.svc->dst().row(want.gid).total_bound;
+      EXPECT_LE(std::llabs(got - want.total_bound), 2)
+          << "gid " << want.gid << " distributed " << got
+          << " centralized " << want.total_bound;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StripedGrrProperty, ::testing::Range(0u, 10u));
+
+// Tentpole property: for seeded schedules of selects and unbinds, the
+// placement sequence is identical under centralized RPC, distributed
+// pull-fresh (refresh_epoch = 0), and distributed push — deltas delivered
+// at their publish timestamp reach every subscriber before its next,
+// strictly later, decision.
+struct CpOp {
+  int who = 0;
+  bool unbind = false;
+  std::string app;
+  std::size_t idx = 0;  // which of `who`'s live bindings to release
+};
+
+std::vector<CpOp> make_cp_ops(std::mt19937& rng, int agents, int count) {
+  static const char* kApps[] = {"MC", "BS", "DC"};
+  std::vector<CpOp> ops;
+  std::vector<int> live(static_cast<std::size_t>(agents), 0);
+  for (int i = 0; i < count; ++i) {
+    CpOp op;
+    op.who = static_cast<int>(rng() % static_cast<unsigned>(agents));
+    const auto w = static_cast<std::size_t>(op.who);
+    if (live[w] > 0 && rng() % 10 < 3) {
+      op.unbind = true;
+      op.idx = rng() % static_cast<unsigned>(live[w]);
+      --live[w];
+    } else {
+      op.app = kApps[rng() % 3];
+      ++live[w];
+    }
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+std::vector<std::pair<std::string, core::Gid>> run_cp_ops(
+    core::ControlPlaneConfig cp, const std::vector<CpOp>& ops) {
+  ControlPlaneRig rig(cp, "GWtMin", /*nodes=*/2);
+  std::vector<std::vector<std::pair<std::string, core::Gid>>> live(
+      rig.agents.size());
+  rig.drive([&](auto& step) {
+    for (const CpOp& op : ops) {
+      auto& agent = *rig.agents[static_cast<std::size_t>(op.who)];
+      auto& mine = live[static_cast<std::size_t>(op.who)];
+      if (op.unbind) {
+        auto [app, gid] = mine[op.idx];
+        mine.erase(mine.begin() + static_cast<std::ptrdiff_t>(op.idx));
+        agent.unbind(gid, app);
+      } else {
+        mine.emplace_back(op.app, agent.select_device(op.app));
+      }
+      step();
+    }
+  });
+  return rig.svc->placements();
+}
+
+class PushEquivalenceProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PushEquivalenceProperty, PushPullFreshAndCentralizedPlaceIdentically) {
+  std::mt19937 rng(GetParam() * 7919u + 3u);
+  for (int round = 0; round < 5; ++round) {
+    const auto ops = make_cp_ops(rng, 2, 24 + static_cast<int>(rng() % 17));
+    SCOPED_TRACE("round " + std::to_string(round));
+
+    core::ControlPlaneConfig central;
+    central.placement = core::PlacementMode::kCentralized;
+
+    core::ControlPlaneConfig pull;
+    pull.placement = core::PlacementMode::kDistributed;
+    pull.refresh_epoch = 0;
+
+    core::ControlPlaneConfig push = pull;
+    push.sync_mode = core::SyncMode::kPush;
+    push.refresh_epoch = sim::sec(100);  // deltas, never epoch pulls
+
+    const auto a = run_cp_ops(central, ops);
+    const auto b = run_cp_ops(pull, ops);
+    const auto c = run_cp_ops(push, ops);
+    EXPECT_EQ(a, b) << "pull-fresh diverged from centralized";
+    EXPECT_EQ(b, c) << "push diverged from pull-fresh";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PushEquivalenceProperty,
+                         ::testing::Range(0u, 6u));
 
 TEST(WeightedFairShare, TfsRespectsTenantWeights) {
   // Two identical saturating streams with 3:1 weights sharing one GPU under

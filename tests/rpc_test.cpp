@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <random>
 
+#include "core/control_plane.hpp"
 #include "simcore/simulation.hpp"
 
 namespace strings::rpc {
@@ -342,9 +344,141 @@ TEST(RpcClient, MixedPostAndCallKeepOrder) {
   EXPECT_EQ(server_order[2], CallId::kDeviceSynchronize);
 }
 
+// ---- kDstDelta wire format ----------------------------------------------
+
+TEST(DeltaCodec, EmptyDeltaRoundTrips) {
+  // A zero-op delta is legal on the wire (base == new): decoders must not
+  // assume ops is non-empty.
+  core::DstDelta d;
+  d.base_version = 17;
+  d.new_version = 17;
+  d.taken_at = sim::msec(3);
+  Marshal m;
+  core::encode_delta(m, d);
+  Unmarshal u(std::move(m).take());
+  const core::DstDelta out = core::decode_delta(u);
+  EXPECT_EQ(out.base_version, 17u);
+  EXPECT_EQ(out.new_version, 17u);
+  EXPECT_EQ(out.taken_at, sim::msec(3));
+  EXPECT_TRUE(out.ops.empty());
+  EXPECT_TRUE(u.done());
+}
+
+TEST(DeltaCodec, BindUnbindOpsRoundTripAtMaxGid) {
+  // GIDs at the extremes of the representable range (a max-GPU pool) must
+  // survive the i32 encoding, as must the applied_by origin tag.
+  const core::Gid max_gid = std::numeric_limits<core::Gid>::max();
+  core::DstDelta d;
+  d.base_version = std::numeric_limits<std::uint64_t>::max() - 2;
+  d.new_version = d.base_version + 2;
+  core::DeltaOp bind;
+  bind.kind = core::DeltaOp::Kind::kBind;
+  bind.gid = max_gid;
+  bind.app_type = "MC";
+  bind.applied_by = 3;
+  core::DeltaOp unbind;
+  unbind.kind = core::DeltaOp::Kind::kUnbind;
+  unbind.gid = 0;
+  unbind.app_type = "";
+  unbind.applied_by = -1;
+  d.ops = {bind, unbind};
+
+  Marshal m;
+  core::encode_delta(m, d);
+  Unmarshal u(std::move(m).take());
+  const core::DstDelta out = core::decode_delta(u);
+  ASSERT_EQ(out.ops.size(), 2u);
+  EXPECT_EQ(out.base_version, d.base_version);
+  EXPECT_EQ(out.new_version, d.new_version);
+  EXPECT_EQ(out.ops[0].kind, core::DeltaOp::Kind::kBind);
+  EXPECT_EQ(out.ops[0].gid, max_gid);
+  EXPECT_EQ(out.ops[0].app_type, "MC");
+  EXPECT_EQ(out.ops[0].applied_by, 3);
+  EXPECT_EQ(out.ops[1].kind, core::DeltaOp::Kind::kUnbind);
+  EXPECT_EQ(out.ops[1].gid, 0);
+  EXPECT_EQ(out.ops[1].app_type, "");
+  EXPECT_EQ(out.ops[1].applied_by, -1);
+  EXPECT_TRUE(u.done());
+}
+
+TEST(DeltaCodec, FeedbackOpCarriesTheFullRecord) {
+  core::DstDelta d;
+  d.base_version = 4;
+  d.new_version = 5;
+  core::DeltaOp op;
+  op.kind = core::DeltaOp::Kind::kFeedback;
+  op.feedback.app_type = "BS";
+  op.feedback.exec_time_s = 2.5;
+  op.feedback.gpu_time_s = 1.25;
+  op.feedback.transfer_time_s = 0.5;
+  op.feedback.mem_bw_gbps = 42.0;
+  op.feedback.gpu_util = 0.9;
+  op.feedback.gid = 2;
+  d.ops.push_back(op);
+
+  Marshal m;
+  core::encode_delta(m, d);
+  Unmarshal u(std::move(m).take());
+  const core::DstDelta out = core::decode_delta(u);
+  ASSERT_EQ(out.ops.size(), 1u);
+  EXPECT_EQ(out.ops[0].kind, core::DeltaOp::Kind::kFeedback);
+  EXPECT_EQ(out.ops[0].feedback.app_type, "BS");
+  EXPECT_DOUBLE_EQ(out.ops[0].feedback.exec_time_s, 2.5);
+  EXPECT_DOUBLE_EQ(out.ops[0].feedback.mem_bw_gbps, 42.0);
+  EXPECT_EQ(out.ops[0].feedback.gid, 2);
+  EXPECT_TRUE(u.done());
+}
+
+TEST(DeltaCodec, UnknownOpKindThrows) {
+  core::DstDelta d;
+  d.base_version = 0;
+  d.new_version = 1;
+  d.ops.emplace_back();
+  Marshal m;
+  core::encode_delta(m, d);
+  auto buf = std::move(m).take();
+  // The op kind byte sits right after the two u64 versions, the i64
+  // timestamp, and the u32 op count.
+  buf[8 + 8 + 8 + 4] = static_cast<std::byte>(0x7F);
+  Unmarshal u(std::move(buf));
+  EXPECT_THROW(core::decode_delta(u), DecodeError);
+}
+
+TEST(SnapshotCodec, SparseTableWithFillerRowsRoundTrips) {
+  // A DST built via load_row (the decode path itself) can hold gid = -1
+  // filler rows below the highest loaded gid. Encoding such a table and
+  // decoding it again used to cast the -1 to a huge index; it must instead
+  // drop the fillers and keep the real rows intact.
+  core::DstSnapshot s;
+  s.version = 9;
+  core::DeviceStatus row;
+  row.gid = 2;
+  row.weight = 1.5;
+  row.load = 3;
+  row.total_bound = 7;
+  s.dst.load_row(row);  // rows 0 and 1 become gid = -1 fillers
+  s.bound_types = {{}, {}, {"MC", "MC", "MC"}};
+
+  Marshal m;
+  core::encode_snapshot(m, s);
+  Unmarshal u(std::move(m).take());
+  const core::DstSnapshot out = core::decode_snapshot(u);
+  ASSERT_EQ(out.dst.rows().size(), 3u);
+  EXPECT_EQ(out.dst.row(0).gid, -1);
+  EXPECT_EQ(out.dst.row(1).gid, -1);
+  EXPECT_EQ(out.dst.row(2).gid, 2);
+  EXPECT_EQ(out.dst.row(2).load, 3);
+  EXPECT_EQ(out.dst.row(2).total_bound, 7);
+  EXPECT_DOUBLE_EQ(out.dst.row(2).weight, 1.5);
+  EXPECT_EQ(out.bound_types, s.bound_types);
+  EXPECT_TRUE(u.done());
+}
+
 TEST(CallIds, NamesAreStable) {
   EXPECT_STREQ(call_name(CallId::kSetDevice), "cudaSetDevice");
   EXPECT_STREQ(call_name(CallId::kFeedback), "strings.feedback");
+  EXPECT_STREQ(call_name(CallId::kDstSubscribe), "strings.dstSubscribe");
+  EXPECT_STREQ(call_name(CallId::kDstDelta), "strings.dstDelta");
   EXPECT_STREQ(call_name(static_cast<CallId>(99999)), "unknown");
 }
 

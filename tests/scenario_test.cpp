@@ -96,6 +96,40 @@ app = SN      # another
   EXPECT_EQ(cfg.streams[0].app, "SN");
 }
 
+TEST(ScenarioParse, SyncModeKeySelectsTheDeltaProtocol) {
+  const ScenarioConfig cfg = parse_scenario(std::string(R"(
+placement = distributed
+sync_mode = push
+[stream]
+app = MC
+)"));
+  EXPECT_EQ(cfg.testbed.control_plane.sync_mode, core::SyncMode::kPush);
+  const ScenarioConfig hybrid = parse_scenario(std::string(R"(
+placement = distributed
+sync_mode = hybrid
+[stream]
+app = MC
+)"));
+  EXPECT_EQ(hybrid.testbed.control_plane.sync_mode, core::SyncMode::kHybrid);
+  // Omitted: pull, the pre-push default.
+  const ScenarioConfig dflt = parse_scenario(std::string(R"(
+[stream]
+app = MC
+)"));
+  EXPECT_EQ(dflt.testbed.control_plane.sync_mode, core::SyncMode::kPull);
+}
+
+TEST(ScenarioParse, UnknownSyncModeIsALineError) {
+  try {
+    parse_scenario(std::string("mode = strings\nsync_mode = gossip\n"));
+    FAIL() << "expected ScenarioParseError";
+  } catch (const ScenarioParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("unknown sync mode"), std::string::npos) << what;
+  }
+}
+
 TEST(ScenarioParse, ErrorsCarryLineNumbers) {
   try {
     parse_scenario(std::string("mode = strings\nbogus_key = 1\n"));
