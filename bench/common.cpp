@@ -1,6 +1,7 @@
 #include "common.hpp"
 
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -102,9 +103,24 @@ std::string report_binary_name() {
   return name;
 }
 
+// Keys an entry "<binary>/<label>[#k]", stores it, and arms the at-exit
+// flush. Shared by run_scenario recording and record_bench_entry.
+void store_report_entry(const std::string& label, const std::string& value) {
+  static std::map<std::string, int> key_counts;
+  std::string key = report_binary_name() + "/" + sanitize_label(label);
+  const int n = ++key_counts[key];
+  if (n > 1) key += "#" + std::to_string(n);
+  report_entries()[key] = value;
+  static const bool registered = [] {
+    std::atexit(flush_bench_report);
+    return true;
+  }();
+  (void)registered;
+}
+
 void record_bench_report(const RunConfig& cfg,
                          const std::vector<StreamSpec>& streams,
-                         const RunOutput& out) {
+                         const RunOutput& out, double wall_s) {
   if (bench_report_path() == nullptr) return;
   std::vector<double> responses;
   for (const auto& st : out.streams) {
@@ -124,24 +140,15 @@ void record_bench_report(const RunConfig& cfg,
     }
     shares.push_back(weight);
   }
-  char value[192];
+  char value[256];
   std::snprintf(value, sizeof(value),
                 "{\"makespan_s\":%.9f,\"p50_s\":%.9f,\"p99_s\":%.9f,"
-                "\"jain\":%.6f}",
+                "\"jain\":%.6f,\"wall_s\":%.6f}",
                 sim::to_seconds(out.makespan),
                 metrics::percentile(responses, 50.0),
                 metrics::percentile(responses, 99.0),
-                metrics::jain_fairness(attained, shares));
-  static std::map<std::string, int> key_counts;
-  std::string key = report_binary_name() + "/" + sanitize_label(cfg.label);
-  const int n = ++key_counts[key];
-  if (n > 1) key += "#" + std::to_string(n);
-  report_entries()[key] = value;
-  static const bool registered = [] {
-    std::atexit(flush_bench_report);
-    return true;
-  }();
-  (void)registered;
+                metrics::jain_fairness(attained, shares), wall_s);
+  store_report_entry(cfg.label, value);
 }
 
 std::vector<workloads::ArrivalConfig> to_arrivals(
@@ -210,17 +217,20 @@ void collect(const RunConfig& cfg, workloads::Testbed& bed,
 RunOutput run_scenario_until(const RunConfig& cfg,
                              const std::vector<StreamSpec>& streams,
                              sim::SimTime horizon) {
+  const auto wall_start = std::chrono::steady_clock::now();
   sim::Simulation sim;
   workloads::TestbedConfig tcfg = to_testbed_config(cfg);
   workloads::Testbed bed(sim, tcfg);
   auto stats = workloads::start_streams(bed, to_arrivals(streams));
   sim.run_until(horizon);
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
   RunOutput out;
   out.streams = *stats;
   collect(cfg, bed, streams, out);
   export_observability(cfg, bed);
   out.makespan = horizon;
-  record_bench_report(cfg, streams, out);
+  record_bench_report(cfg, streams, out, wall.count());
   // Unwind live processes while the testbed they reference is still alive.
   sim.terminate_processes();
   return out;
@@ -228,15 +238,23 @@ RunOutput run_scenario_until(const RunConfig& cfg,
 
 RunOutput run_scenario(const RunConfig& cfg,
                        const std::vector<StreamSpec>& streams) {
+  const auto wall_start = std::chrono::steady_clock::now();
   sim::Simulation sim;
   workloads::TestbedConfig tcfg = to_testbed_config(cfg);
   workloads::Testbed bed(sim, tcfg);
   RunOutput out;
   out.streams = workloads::run_streams(bed, to_arrivals(streams));
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
   collect(cfg, bed, streams, out);
   export_observability(cfg, bed);
-  record_bench_report(cfg, streams, out);
+  record_bench_report(cfg, streams, out, wall.count());
   return out;
+}
+
+void record_bench_entry(const std::string& label, const std::string& value) {
+  if (bench_report_path() == nullptr) return;
+  store_report_entry(label, value);
 }
 
 double mean_response(const RunOutput& out, std::size_t idx) {

@@ -122,10 +122,18 @@ void report_table(const std::string& name, const metrics::Table& table);
 
 /// Perf-gate hook. When STRINGS_BENCH_REPORT names a file, every
 /// run_scenario / run_scenario_until call records an entry
-///   "<bench binary>/<label>": {makespan_s, p50_s, p99_s, jain}
+///   "<bench binary>/<label>": {makespan_s, p50_s, p99_s, jain, wall_s}
 /// and the process merges its entries into that JSON file at exit, so a
 /// whole bench sweep accumulates one report (tools/bench_gate compares two
-/// such files). Idempotent; exposed so tests can flush without exiting.
+/// such files; wall_s is the host wall-clock cost of the run and gates
+/// warn-only — see docs/perf_gate.md). Idempotent; exposed so tests can
+/// flush without exiting.
 void flush_bench_report();
+
+/// Records a raw perf-report entry "<bench binary>/<label>[#k]" with a
+/// preformatted JSON object value (e.g. {"wall_s":...,"events_per_sec":...}).
+/// Used by micro benches for metrics run_scenario cannot compute, such as
+/// event-loop throughput. No-op when STRINGS_BENCH_REPORT is unset.
+void record_bench_entry(const std::string& label, const std::string& value);
 
 }  // namespace strings::bench

@@ -2,8 +2,18 @@
 // discrete-event kernel, packet marshalling, the timed channel, policy
 // decision costs, and the device fluid model. These quantify simulator
 // overhead (wall time per simulated operation), not paper results.
+//
+// Besides the google-benchmark arms, running with STRINGS_BENCH_REPORT set
+// records fixed-size event-loop throughput entries (wall_s, events_per_sec)
+// into the perf report, which tools/bench_gate compares warn-only across
+// kernel changes (the CI perf-smoke job does exactly this).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common.hpp"
 #include "core/tables.hpp"
 #include "gpu/gpu_device.hpp"
 #include "policies/balancing.hpp"
@@ -15,6 +25,68 @@
 namespace {
 
 using namespace strings;
+
+// --- Event-loop throughput kernels (shared by the google-benchmark arms
+// and the STRINGS_BENCH_REPORT entries) ----------------------------------
+
+// `chains` self-rescheduling events round-robin until `total` events have
+// fired: pure schedule/pop cost, queue depth stays at `chains`.
+struct EventChain {
+  sim::Simulation* sim = nullptr;
+  long remaining = 0;
+  long* fired = nullptr;
+  void fire() {
+    ++*fired;
+    if (--remaining > 0) {
+      sim->schedule(sim::usec(1), [this] { fire(); });
+    }
+  }
+};
+
+long run_event_chains(int chains, long total) {
+  sim::Simulation sim;
+  long fired = 0;
+  std::vector<EventChain> cs(static_cast<std::size_t>(chains));
+  for (int i = 0; i < chains; ++i) {
+    cs[static_cast<std::size_t>(i)] = {&sim, total / chains, &fired};
+    sim.schedule(sim::usec(i), [&cs, i] { cs[static_cast<std::size_t>(i)].fire(); });
+  }
+  sim.run();
+  return fired;
+}
+
+// `procs` processes each parking and resuming `waits` times: one fiber (or,
+// before the fiber kernel, thread-baton) round trip per wait.
+long run_park_resume(int procs, int waits) {
+  sim::Simulation sim;
+  for (int p = 0; p < procs; ++p) {
+    sim.spawn("p" + std::to_string(p), [&sim, waits] {
+      for (int i = 0; i < waits; ++i) sim.wait_for(sim::usec(1));
+    });
+  }
+  sim.run();
+  return static_cast<long>(procs) * waits;
+}
+
+// Two processes exchanging `rounds` message pairs through two mailboxes.
+long run_mailbox_pingpong(int rounds) {
+  sim::Simulation sim;
+  sim::Mailbox<int> to_b(sim), to_a(sim);
+  sim.spawn("ping", [&] {
+    for (int i = 0; i < rounds; ++i) {
+      to_b.send(i);
+      (void)to_a.receive();
+    }
+  });
+  sim.spawn("pong", [&] {
+    for (int i = 0; i < rounds; ++i) {
+      (void)to_b.receive();
+      to_a.send(i);
+    }
+  });
+  sim.run();
+  return 2L * rounds;
+}
 
 void BM_SimScheduleAndRun(benchmark::State& state) {
   const int events = static_cast<int>(state.range(0));
@@ -44,6 +116,34 @@ void BM_SimProcessSwitch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * waits);
 }
 BENCHMARK(BM_SimProcessSwitch);
+
+void BM_EventLoopThroughput(benchmark::State& state) {
+  // Steady-state schedule/fire cost with a fixed queue depth.
+  const long events = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_event_chains(/*chains=*/256, events));
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventLoopThroughput)->Arg(100000);
+
+void BM_ProcessParkResume(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_park_resume(procs, /*waits=*/100));
+  }
+  state.SetItemsProcessed(state.iterations() * procs * 100);
+}
+BENCHMARK(BM_ProcessParkResume)->Arg(16)->Arg(256);
+
+void BM_MailboxPingPong(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_mailbox_pingpong(rounds));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * rounds);
+}
+BENCHMARK(BM_MailboxPingPong)->Arg(10000);
 
 void BM_MarshalCudaCall(benchmark::State& state) {
   for (auto _ : state) {
@@ -158,6 +258,45 @@ void BM_FluidModelContention(benchmark::State& state) {
 }
 BENCHMARK(BM_FluidModelContention)->Arg(16)->Arg(64);
 
+// Runs `fn` once and records "<events/sec, wall_s>" under `label` in the
+// STRINGS_BENCH_REPORT file. Fixed work sizes keep entries comparable
+// across runs and kernels.
+template <typename Fn>
+void record_throughput_entry(const char* label, Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  const long events = fn();
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - start;
+  char value[128];
+  std::snprintf(value, sizeof(value),
+                "{\"wall_s\":%.6f,\"events_per_sec\":%.0f}", wall.count(),
+                static_cast<double>(events) / wall.count());
+  bench::record_bench_entry(label, value);
+  std::printf("%-24s %10.6f s   %12.0f events/sec\n", label, wall.count(),
+              static_cast<double>(events) / wall.count());
+}
+
+void record_event_loop_report() {
+  if (std::getenv("STRINGS_BENCH_REPORT") == nullptr) return;
+  std::printf("\n-- event-loop throughput (STRINGS_BENCH_REPORT entries) --\n");
+  record_throughput_entry("event_loop",
+                          [] { return run_event_chains(256, 2'000'000); });
+  record_throughput_entry("park_resume",
+                          [] { return run_park_resume(256, 2'000); });
+  record_throughput_entry("mailbox_pingpong",
+                          [] { return run_mailbox_pingpong(200'000); });
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus the perf-report arm: google-benchmark owns timing
+// for human-facing output, while the report entries come from one fixed-size
+// deterministic pass so bench_gate compares like against like.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  record_event_loop_report();
+  return 0;
+}

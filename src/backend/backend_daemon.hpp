@@ -20,7 +20,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,6 +29,7 @@
 #include "core/gpu_scheduler.hpp"
 #include "cudart/cuda_runtime.hpp"
 #include "rpc/channel.hpp"
+#include "simcore/flat_map.hpp"
 #include "simcore/simulation.hpp"
 
 namespace strings::backend {
@@ -105,7 +105,7 @@ class BackendDaemon {
     cuda::cudaStream_t exit_stream = 0;
     /// Packed designs share one context per GPU, so the daemon must free an
     /// exiting app's leftover allocations itself.
-    std::map<cuda::DevPtr, std::size_t> allocations;
+    sim::FlatMap<cuda::DevPtr, std::size_t> allocations;
   };
 
   void worker_loop(Conn& conn);
@@ -128,8 +128,8 @@ class BackendDaemon {
   std::vector<cuda::ProcessId> device_pids_;
   std::vector<std::unique_ptr<Conn>> conns_;
   /// Request Monitor routing: (pid, stream) -> (scheduler, signal id).
-  std::map<std::pair<cuda::ProcessId, cuda::cudaStream_t>,
-           std::pair<core::GpuScheduler*, int>>
+  sim::FlatMap<std::pair<cuda::ProcessId, cuda::cudaStream_t>,
+               std::pair<core::GpuScheduler*, int>>
       routes_;
   std::function<void(const core::FeedbackRecord&)> feedback_sink_;
   obs::Tracer* tracer_ = nullptr;

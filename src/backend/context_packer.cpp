@@ -135,15 +135,19 @@ cudaError_t ContextPacker::device_synchronize(std::uint64_t app_id) {
 cudaError_t ContextPacker::thread_exit(std::uint64_t app_id) {
   auto it = streams_.find(app_id);
   if (it == streams_.end()) return cudaError_t::cudaSuccess;
+  // Copy the stream handle out: the synchronize below blocks this fiber, and
+  // another app packing into this context meanwhile moves the flat table's
+  // entries, so the iterator must not be held across it.
+  const cuda::cudaStream_t stream = it->second;
   rt_.cudaSetDevice(device_pid_, local_device_);
-  const cudaError_t err = rt_.cudaStreamSynchronize(device_pid_, it->second);
+  const cudaError_t err = rt_.cudaStreamSynchronize(device_pid_, stream);
   release_pmt_entries(app_id);
   if (analysis::enabled()) {
-    analysis::inv_stream_destroyed(static_cast<std::uint64_t>(gid_), it->second);
+    analysis::inv_stream_destroyed(static_cast<std::uint64_t>(gid_), stream);
   }
   ANALYSIS_WRITE(&streams_, streams_name(gid_));
-  rt_.cudaStreamDestroy(device_pid_, it->second);
-  streams_.erase(it);
+  rt_.cudaStreamDestroy(device_pid_, stream);
+  streams_.erase(app_id);
   return err;
 }
 

@@ -18,10 +18,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "cudart/cuda_runtime.hpp"
+#include "simcore/flat_map.hpp"
 #include "simcore/simulation.hpp"
 
 namespace strings::backend {
@@ -96,7 +96,7 @@ class ContextPacker {
   int local_device_;
   Config config_;
   int gid_;
-  std::map<std::uint64_t, cuda::cudaStream_t> streams_;
+  sim::FlatMap<std::uint64_t, cuda::cudaStream_t> streams_;
   std::vector<PmtEntry> pmt_;
   std::size_t pinned_bytes_ = 0;
 };

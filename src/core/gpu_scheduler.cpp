@@ -88,7 +88,11 @@ FeedbackRecord GpuScheduler::unregister_app(int signal_id) {
   ANALYSIS_WRITE(&rcb_, rcb_name(gid_));
   auto it = rcb_.find(signal_id);
   assert(it != rcb_.end() && "unregister for unknown signal id");
-  const RcbEntry& e = it->second;
+  // Take the entry out before erasing: the RCB is flat storage, so erase
+  // slides later entries into this slot and a reference would silently
+  // alias a different app.
+  const RcbEntry e = std::move(it->second);
+  rcb_.erase(it);
 
   FeedbackRecord rec;
   rec.app_type = e.init.app_type;
@@ -105,7 +109,6 @@ FeedbackRecord GpuScheduler::unregister_app(int signal_id) {
 
   // Leave the thread awake on the way out so teardown never blocks.
   if (e.init.gate != nullptr) e.init.gate->set(true);
-  rcb_.erase(it);
   if (trace_ != nullptr && trace_->enabled()) {
     trace_->log("gpusched/" + std::to_string(gid_), "fe.feedback",
                 "app=" + rec.app_type + " gpu_util=" +

@@ -16,12 +16,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/tables.hpp"
+#include "simcore/flat_map.hpp"
 #include "gpu/gpu_device.hpp"
 #include "obs/trace.hpp"
 #include "policies/device_policies.hpp"
@@ -121,7 +121,7 @@ class GpuScheduler {
   /// Cumulative GPU service per tenant across all (including exited) apps —
   /// the quantity Jain's fairness is computed over. Always measured as true
   /// engine residency, independent of measure_includes_wait.
-  const std::map<std::string, sim::SimTime>& tenant_service() const {
+  const sim::FlatMap<std::string, sim::SimTime>& tenant_service() const {
     return tenant_service_;
   }
   int registered_count() const { return static_cast<int>(rcb_.size()); }
@@ -161,8 +161,8 @@ class GpuScheduler {
   Gid gid_;
   std::unique_ptr<policies::DeviceSchedPolicy> policy_;
   Config config_;
-  std::map<int, RcbEntry> rcb_;
-  std::map<std::string, sim::SimTime> tenant_service_;
+  sim::FlatMap<int, RcbEntry> rcb_;
+  sim::FlatMap<std::string, sim::SimTime> tenant_service_;
   int next_signal_ = 1;
   bool epoch_armed_ = false;
   std::int64_t epochs_ = 0;

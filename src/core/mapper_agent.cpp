@@ -277,9 +277,14 @@ void MapperAgent::flush_feedback() {
   ++stats_.feedback_batches;
   ++stats_.oneway_msgs;
   rpc::Marshal m;
+  // The batch body moves into the packet, so the buffer itself cannot be a
+  // reused member — instead size it up front from the last flush so the
+  // encode loop never reallocates mid-batch.
+  m.reserve(feedback_body_hint_);
   m.put_u32(static_cast<std::uint32_t>(pending_feedback_.size()));
   for (const auto& rec : pending_feedback_) encode_feedback(m, rec);
   pending_feedback_.clear();
+  feedback_body_hint_ = std::max(feedback_body_hint_, m.size());
   client_->post(rpc::CallId::kFeedbackBatch, std::move(m));
 }
 

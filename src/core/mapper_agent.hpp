@@ -106,6 +106,8 @@ class MapperAgent {
   std::unique_ptr<policies::BalancingPolicy> static_policy_;
   std::unique_ptr<policies::BalancingPolicy> feedback_policy_;
   std::vector<FeedbackRecord> pending_feedback_;
+  /// High-water mark of encoded batch size; pre-sizes the next flush.
+  std::size_t feedback_body_hint_ = 0;
   bool flush_armed_ = false;
   ControlPlaneStats stats_;
   obs::Histogram* latency_hist_ = nullptr;

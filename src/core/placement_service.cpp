@@ -157,9 +157,9 @@ void PlacementService::publish_delta(DeltaOp op) {
   delta.taken_at = sim_ != nullptr ? sim_->now() : 0;
   delta.ops.push_back(std::move(op));
 
-  rpc::Marshal m;
-  encode_delta(m, delta);
-  const std::vector<std::byte> body = std::move(m).take();
+  delta_scratch_.clear();
+  encode_delta(delta_scratch_, delta);
+  const std::vector<std::byte>& body = delta_scratch_.buffer();
 
   for (const auto& conn : conns_) {
     if (!conn->subscribed || conn->push == nullptr) continue;

@@ -181,6 +181,10 @@ class PlacementService {
   std::int64_t deltas_sent_ = 0;
   std::int64_t deltas_dropped_ = 0;
   PushFaultHook push_fault_;
+  /// Encode scratch for publish_delta: the delta body is encoded once per
+  /// mutation and copied into each subscriber's packet, so the marshal
+  /// buffer itself can be reused across publishes (capacity is retained).
+  rpc::Marshal delta_scratch_;
   /// Set by connect_push(); publish_delta needs it to schedule delayed
   /// (fault-injected) deliveries.
   sim::Simulation* sim_ = nullptr;

@@ -9,12 +9,12 @@
 // track behaviour changes over time.
 #pragma once
 
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/gpool.hpp"
+#include "simcore/flat_map.hpp"
 #include "simcore/sim_time.hpp"
 
 namespace strings::core {
@@ -144,7 +144,7 @@ class SchedulerFeedbackTable {
     int samples = 0;
   };
   double alpha_;
-  std::map<std::string, Row> rows_;
+  sim::FlatMap<std::string, Row> rows_;
 };
 
 }  // namespace strings::core

@@ -26,7 +26,9 @@ CudaRuntime::CudaRuntime(sim::Simulation& sim,
 
 ProcessId CudaRuntime::create_process() {
   const ProcessId pid = next_pid_++;
-  processes_[pid].self = pid;
+  auto& p = processes_[pid];
+  p = std::make_unique<Process>();
+  p->self = pid;
   return pid;
 }
 
@@ -36,7 +38,7 @@ void CudaRuntime::destroy_process(ProcessId pid) {
   if (sim_.tearing_down()) {
     // Simulation shutdown: release resources without synchronizing (there
     // is no event loop left to complete outstanding work).
-    for (auto& [dev_index, ctx] : it->second.contexts) {
+    for (auto& [dev_index, ctx] : it->second->contexts) {
       ctx->dev->release_all(ctx->ctx_id);
     }
     processes_.erase(it);
@@ -48,7 +50,7 @@ void CudaRuntime::destroy_process(ProcessId pid) {
 
 CudaRuntime::Process* CudaRuntime::find_process(ProcessId pid) {
   auto it = processes_.find(pid);
-  return it == processes_.end() ? nullptr : &it->second;
+  return it == processes_.end() ? nullptr : it->second.get();
 }
 
 gpu::GpuDevice* CudaRuntime::device(int index) const {
@@ -146,7 +148,7 @@ cudaError_t CudaRuntime::cudaFree(ProcessId pid, DevPtr ptr) {
 }
 
 namespace {
-bool pointer_valid(const std::map<DevPtr, std::size_t>& allocs, DevPtr ptr,
+bool pointer_valid(const sim::FlatMap<DevPtr, std::size_t>& allocs, DevPtr ptr,
                    std::size_t bytes) {
   auto it = allocs.upper_bound(ptr);
   if (it == allocs.begin()) return false;
@@ -371,7 +373,16 @@ cudaError_t CudaRuntime::cudaEventSynchronize(ProcessId pid,
     return fail(*p, cudaError_t::cudaErrorInvalidResourceHandle);
   }
   if (!it->second.recorded) return cudaError_t::cudaSuccess;
-  while (!it->second.completed) it->second.done->wait();
+  // The events table is flat: a concurrent cudaEventCreate from another
+  // worker fiber moves entries while this one blocks, so re-find after every
+  // wake instead of holding the iterator. The sim::Event is heap-owned and
+  // pointer-stable for the life of the entry.
+  sim::Event* done = it->second.done.get();
+  for (;;) {
+    auto cur = p->events.find(event);
+    if (cur == p->events.end() || cur->second.completed) break;
+    done->wait();
+  }
   return cudaError_t::cudaSuccess;
 }
 
@@ -411,8 +422,8 @@ int CudaRuntime::outstanding_ops_on_stream(ProcessId pid, int device,
                                            cudaStream_t stream) const {
   auto pit = processes_.find(pid);
   if (pit == processes_.end()) return 0;
-  auto cit = pit->second.contexts.find(device);
-  if (cit == pit->second.contexts.end()) return 0;
+  auto cit = pit->second->contexts.find(device);
+  if (cit == pit->second->contexts.end()) return 0;
   auto sit = cit->second->streams.find(stream);
   if (sit == cit->second->streams.end()) return 0;
   return static_cast<int>(sit->second.pending.size()) + sit->second.in_flight;
@@ -421,8 +432,8 @@ int CudaRuntime::outstanding_ops_on_stream(ProcessId pid, int device,
 int CudaRuntime::outstanding_ops(ProcessId pid, int device) const {
   auto pit = processes_.find(pid);
   if (pit == processes_.end()) return 0;
-  auto cit = pit->second.contexts.find(device);
-  if (cit == pit->second.contexts.end()) return 0;
+  auto cit = pit->second->contexts.find(device);
+  if (cit == pit->second->contexts.end()) return 0;
   int n = cit->second->total_in_flight;
   for (const auto& [id, st] : cit->second->streams) {
     n += static_cast<int>(st.pending.size());

@@ -27,6 +27,7 @@
 
 #include "cudart/cuda_types.hpp"
 #include "gpu/gpu_device.hpp"
+#include "simcore/flat_map.hpp"
 #include "simcore/simulation.hpp"
 
 namespace strings::cuda {
@@ -140,8 +141,8 @@ class CudaRuntime {
     ProcessId owner = 0;
     gpu::ContextId ctx_id;
     gpu::GpuDevice* dev;
-    std::map<cudaStream_t, StreamState> streams;
-    std::map<DevPtr, std::size_t> allocations;
+    sim::FlatMap<cudaStream_t, StreamState> streams;
+    sim::FlatMap<DevPtr, std::size_t> allocations;
     int total_in_flight = 0;
     std::unique_ptr<sim::Event> drained;  // notified when total drains to 0
   };
@@ -152,8 +153,13 @@ class CudaRuntime {
     bool has_pending_config = false;
     std::uint64_t next_stream = 1;
     std::uint64_t next_event = 1;
+    // Kept as std::map: cudaThreadExit iterates while blocking, and
+    // concurrent workers may lazily create contexts — node-based iterators
+    // survive that, flat-vector ones would not.
     std::map<int, std::unique_ptr<Context>> contexts;  // by device index
-    std::map<cudaEvent_t, EventState> events;
+    // Flat table: entries move on insert, so blocking waiters must re-find
+    // (see cudaEventSynchronize) instead of holding iterators.
+    sim::FlatMap<cudaEvent_t, EventState> events;
     cudaError_t last_error = cudaError_t::cudaSuccess;
   };
 
@@ -169,7 +175,10 @@ class CudaRuntime {
 
   sim::Simulation& sim_;
   std::vector<gpu::GpuDevice*> devices_;
-  std::map<ProcessId, Process> processes_;
+  /// unique_ptr values keep Process* stable while the flat table's vector
+  /// reallocates on process arrival/departure (workers hold Process* across
+  /// blocking waits).
+  sim::FlatMap<ProcessId, std::unique_ptr<Process>> processes_;
   ProcessId next_pid_ = 1;
   gpu::ContextId next_ctx_ = 1;
   DevPtr next_ptr_ = 0x1000;

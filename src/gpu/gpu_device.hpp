@@ -17,13 +17,13 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "gpu/device_props.hpp"
 #include "gpu/utilization.hpp"
+#include "simcore/flat_map.hpp"
 #include "simcore/simulation.hpp"
 
 namespace strings::gpu {
@@ -156,7 +156,7 @@ class GpuDevice {
   sim::SimTime active_since_ = 0;
   bool switching_ = false;
 
-  std::map<ContextId, std::size_t> memory_by_ctx_;
+  sim::FlatMap<ContextId, std::size_t> memory_by_ctx_;
   std::size_t memory_used_ = 0;
 
   DeviceCounters counters_;

@@ -80,18 +80,19 @@ class Channel {
     const sim::SimTime start = std::max(sim_.now(), wire_->busy_until);
     wire_->busy_until = start + xmit;
     const sim::SimTime deliver_at = wire_->busy_until + link_.latency;
-    auto shared = std::make_shared<Packet>(std::move(p));
-    shared->delivered_at = deliver_at;
+    p.delivered_at = deliver_at;
     if (tracer_ != nullptr) {
-      tracer_->complete(trace_track_, call_name(shared->call), start,
-                        deliver_at,
-                        {{"seq", std::to_string(shared->seq)},
-                         {"bytes", std::to_string(shared->wire_size())}});
+      tracer_->complete(trace_track_, call_name(p.call), start, deliver_at,
+                        {{"seq", std::to_string(p.seq)},
+                         {"bytes", std::to_string(p.wire_size())}});
     }
-    sim_.schedule(deliver_at - sim_.now(),
-                  [this, shared] { inbox_.send(std::move(*shared)); });
-    bytes_sent_ += shared->wire_size();
+    bytes_sent_ += p.wire_size();
     ++packets_sent_;
+    // The packet rides inside the event closure: SmallFn's inline buffer is
+    // sized so a channel delivery never heap-allocates a control block.
+    sim_.schedule(deliver_at - sim_.now(), [this, p = std::move(p)]() mutable {
+      inbox_.send(std::move(p));
+    });
   }
 
   /// Attaches a tracer: every send emits a transmission span (wire grab to

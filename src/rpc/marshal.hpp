@@ -54,6 +54,11 @@ class Marshal {
   std::vector<std::byte>&& take() && { return std::move(buf_); }
   std::size_t size() const { return buf_.size(); }
 
+  /// Drops the contents but keeps the capacity: a Marshal held as a scratch
+  /// member encodes repeatedly without reallocating (fan-out hot paths).
+  void clear() { buf_.clear(); }
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
  private:
   void put_raw(const void* p, std::size_t n) {
     const auto* b = static_cast<const std::byte*>(p);

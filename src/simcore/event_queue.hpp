@@ -1,0 +1,271 @@
+// Calendar-queue event scheduler for the simulation kernel.
+//
+// A calendar queue (Brown, CACM 1988) is the discrete-event analogue of a
+// desk calendar: an array of day buckets of fixed width cycling through a
+// year. enqueue hashes an event to the bucket its timestamp falls in
+// (amortized O(1)); dequeue walks from the current day forward, taking the
+// earliest event whose timestamp lies inside the bucket's current year.
+// Bucket count and width adapt to the queue's size and density, so both
+// operations stay O(1) amortized where a binary heap pays O(log n) and
+// shuffles cold memory on every op.
+//
+// Two implementation points keep the amortized bound honest:
+//  - Buckets are vectors with a consumed-prefix `head` index, so the common
+//    pop (front of a bucket) is an index bump, never an erase-and-memmove.
+//  - Width is re-picked not only when the queue's size crosses the resize
+//    thresholds but also when any single bucket grows disproportionately
+//    fat — the signature of a width tuned for a long-gone event horizon
+//    (e.g. a startup burst spanning seconds, then steady state in a
+//    microsecond window).
+//
+// Ordering contract (the determinism pin): events pop in strictly
+// ascending (time, seq) — exactly the total order the old
+// std::priority_queue<QueuedEvent> gave. Equal-time events share a bucket
+// by construction, and each bucket is kept sorted by (time, seq), so FIFO
+// tie-breaking falls out structurally. All adaptation decisions depend only
+// on queue content, never on the wall clock, so runs stay bit-reproducible.
+// tests/event_queue_test.cpp checks all of this against a reference heap on
+// randomized schedules.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "simcore/sim_time.hpp"
+#include "simcore/small_fn.hpp"
+
+namespace strings::sim {
+
+/// One queued kernel event. `seq` is the global schedule order (ties on
+/// `time` break by it); `weak` events do not keep Simulation::run() alive.
+struct EventRecord {
+  SimTime time = 0;
+  std::uint64_t seq = 0;
+  SmallFn fn;
+  bool weak = false;
+};
+
+class CalendarQueue {
+ public:
+  CalendarQueue() : buckets_(kMinBuckets) {}
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  void push(EventRecord ev) {
+    push(ev.time, ev.seq, std::move(ev.fn), ev.weak);
+  }
+
+  /// Templated on the callable so the caller's closure is constructed
+  /// straight into bucket storage (no intermediate SmallFn move).
+  template <typename F>
+  void push(SimTime time, std::uint64_t seq, F&& fn, bool weak) {
+    assert(time >= floor_ && "cannot schedule into the past");
+    Bucket& b = buckets_[bucket_index(time)];
+    // Keep each bucket's live range sorted ascending by (time, seq). Pushes
+    // usually carry the latest (time, seq) seen so far and land at the tail,
+    // so check for an append (in-place construction, no record move) before
+    // paying for the binary search.
+    if (b.items.empty() || !key_less(time, seq, b.items.back())) {
+      b.items.emplace_back(time, seq, std::forward<F>(fn), weak);
+    } else {
+      auto pos = std::upper_bound(
+          b.items.begin() + static_cast<std::ptrdiff_t>(b.head), b.items.end(),
+          std::pair{time, seq},
+          [](const std::pair<SimTime, std::uint64_t>& k,
+             const EventRecord& y) {
+            return k.first != y.time ? k.first < y.time : k.second < y.seq;
+          });
+      b.items.insert(pos, EventRecord{time, seq, std::forward<F>(fn), weak});
+    }
+    ++size_;
+    ++ops_since_rebuild_;
+    const std::size_t live = b.items.size() - b.head;
+    if (size_ > buckets_.size() * 4 && buckets_.size() < kMaxBuckets) {
+      resize(buckets_.size() * 2);
+    } else if (live >= kFatBucket && (live & (live - 1)) == 0 &&
+               ops_since_rebuild_ >= size_) {
+      // One bucket holds a big share of the queue: the width may no longer
+      // match the event horizon. Gated on ops_since_rebuild_ so the O(n)
+      // retune amortizes to O(1) even when a workload keeps one bucket fat
+      // (legitimate for same-timestamp bursts).
+      retune();
+    }
+  }
+
+  /// The earliest event's timestamp. Queue must be non-empty.
+  SimTime min_time() { return locate_min()->front().time; }
+
+  /// Removes and returns the earliest event in (time, seq) order.
+  EventRecord pop() {
+    Bucket* b = locate_min();
+    EventRecord ev = std::move(b->items[b->head]);
+    b->advance();
+    --size_;
+    floor_ = ev.time;
+    if (size_ < buckets_.size() && buckets_.size() > kMinBuckets) {
+      resize(buckets_.size() / 2);
+    }
+    return ev;
+  }
+
+ private:
+  // A day's events plus a consumed prefix: popping bumps `head` instead of
+  // erasing the front, so drain order costs no memmove. The storage is
+  // reclaimed when the bucket drains (and compacted wholesale on rebuilds).
+  struct Bucket {
+    std::vector<EventRecord> items;
+    std::size_t head = 0;
+
+    bool empty() const { return head == items.size(); }
+    const EventRecord& front() const { return items[head]; }
+    void advance() {
+      if (++head == items.size()) {
+        items.clear();
+        head = 0;
+      }
+    }
+  };
+
+  static constexpr bool record_less(const EventRecord& x,
+                                    const EventRecord& y) {
+    return x.time != y.time ? x.time < y.time : x.seq < y.seq;
+  }
+
+  static constexpr bool key_less(SimTime t, std::uint64_t seq,
+                                 const EventRecord& y) {
+    return t != y.time ? t < y.time : seq < y.seq;
+  }
+
+  static constexpr std::size_t kMinBuckets = 8;
+  static constexpr std::size_t kMaxBuckets = 1u << 16;
+  /// Live entries in one bucket that trigger a content-based width retune.
+  static constexpr std::size_t kFatBucket = 32;
+
+  std::size_t bucket_index(SimTime t) const {
+    // Width is a power of two: shift to a day number, mask into the year.
+    return static_cast<std::size_t>(static_cast<std::uint64_t>(t) >>
+                                    width_log2_) &
+           (buckets_.size() - 1);
+  }
+
+  /// Finds the bucket holding the global (time, seq) minimum using the
+  /// calendar scan: from the current day forward, first event that falls
+  /// within its bucket's current year. One full lap without a hit means
+  /// every event lives in a future year — locate directly and jump there.
+  Bucket* locate_min() {
+    assert(size_ > 0);
+    const std::size_t nb = buckets_.size();
+    std::size_t idx = bucket_index(floor_);
+    // End of idx's current-year window, starting from the day of `floor_`.
+    SimTime day_end =
+        ((floor_ >> width_log2_) + 1) << width_log2_;  // exclusive
+    for (std::size_t scanned = 0; scanned < nb; ++scanned) {
+      Bucket& b = buckets_[idx];
+      if (!b.empty() && b.front().time < day_end) {
+        return &b;
+      }
+      idx = (idx + 1) & (nb - 1);
+      day_end += width();
+    }
+    // Direct search: earliest front across all buckets (each bucket's front
+    // is its minimum). Ties on time cannot span buckets, so comparing
+    // times of fronts is enough.
+    Bucket* best = nullptr;
+    for (auto& b : buckets_) {
+      if (b.empty()) continue;
+      if (best == nullptr || b.front().time < best->front().time) {
+        best = &b;
+      }
+    }
+    floor_ = best->front().time;
+    return best;
+  }
+
+  SimTime width() const { return SimTime{1} << width_log2_; }
+
+  void resize(std::size_t new_buckets) { rebuild(new_buckets, pick_width()); }
+
+  void retune() {
+    const SimTime w = pick_width();
+    std::int64_t log2 = 0;
+    while ((SimTime{1} << log2) < w) ++log2;
+    // Hysteresis: workloads that hover between two geometries must not
+    // thrash full rebuilds. Only a width off by >= 4x is worth fixing —
+    // same-timestamp bursts legitimately share one bucket.
+    const std::int64_t drift = log2 > width_log2_ ? log2 - width_log2_
+                                                  : width_log2_ - log2;
+    if (drift >= 2) rebuild(buckets_.size(), w);
+    ops_since_rebuild_ = 0;
+  }
+
+  /// Bucket width = smallest power of two >= the mean inter-event gap, so a
+  /// bucket holds ~1-2 events. Depends only on queue content, never on the
+  /// wall clock — runs stay bit-reproducible.
+  SimTime pick_width() const {
+    if (size_ < 2) return width();
+    SimTime lo = kNever, hi = 0;
+    for (const auto& b : buckets_) {
+      for (std::size_t i = b.head; i < b.items.size(); ++i) {
+        lo = std::min(lo, b.items[i].time);
+        hi = std::max(hi, b.items[i].time);
+      }
+    }
+    const SimTime span = hi - lo;
+    if (span <= 0) return 1;
+    const auto target = static_cast<SimTime>(
+        4 * (static_cast<std::uint64_t>(span) / static_cast<std::uint64_t>(size_)) +
+        1);
+    SimTime w = 1;
+    while (w < target && w < (SimTime{1} << 40)) w <<= 1;
+    return w;
+  }
+
+  void rebuild(std::size_t new_buckets, SimTime new_width) {
+    std::vector<Bucket> old = std::move(buckets_);
+    buckets_.clear();
+    buckets_.resize(new_buckets);
+    std::int64_t log2 = 0;
+    while ((SimTime{1} << log2) < new_width) ++log2;
+    width_log2_ = log2;
+    const std::size_t moved = size_;
+    size_ = 0;
+    for (auto& b : old) {
+      for (std::size_t i = b.head; i < b.items.size(); ++i) {
+        push_plain(std::move(b.items[i]));
+      }
+    }
+    assert(size_ == moved);
+    (void)moved;
+    ops_since_rebuild_ = 0;
+  }
+
+  // push() without the adaptation checks, for use inside rebuild().
+  void push_plain(EventRecord ev) {
+    Bucket& b = buckets_[bucket_index(ev.time)];
+    if (b.items.empty() || !record_less(ev, b.items.back())) {
+      b.items.push_back(std::move(ev));
+    } else {
+      auto pos = std::upper_bound(
+          b.items.begin() + static_cast<std::ptrdiff_t>(b.head), b.items.end(),
+          ev, record_less);
+      b.items.insert(pos, std::move(ev));
+    }
+    ++size_;
+  }
+
+  std::vector<Bucket> buckets_;
+  std::int64_t width_log2_ = 0;
+  /// Pushes since the last rebuild; gates content-triggered retunes.
+  std::size_t ops_since_rebuild_ = 0;
+  /// Lower bound on every queued timestamp (time of the last pop). The
+  /// calendar scan starts from this day.
+  SimTime floor_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace strings::sim

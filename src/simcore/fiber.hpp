@@ -1,0 +1,206 @@
+// Stackful cooperative fibers for the simulation kernel.
+//
+// A sim::Process used to be user code on its own OS thread, with the kernel
+// handing a baton back and forth through a mutex/condvar pair — two real
+// context switches plus a lock round-trip per handoff. A Fiber is the same
+// thing without the OS in the loop: a private stack and a ucontext, switched
+// in user space in ~tens of nanoseconds. The kernel remains single-threaded
+// in fact (not just in effect), so determinism needs no synchronization at
+// all.
+//
+// Switch discipline: the kernel fiber (the thread's native stack, default-
+// constructed) switches to a process fiber and that fiber always switches
+// straight back to the kernel — fibers never switch to each other. C++
+// exceptions work normally within a fiber (each stack unwinds
+// independently); they must not propagate across a switch.
+//
+// AddressSanitizer needs to be told about stack switches
+// (__sanitizer_start_switch_fiber / __sanitizer_finish_switch_fiber);
+// the annotations below keep the ASan/UBSan CI job's fake-stack bookkeeping
+// coherent across fiber switches.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <stdexcept>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+#if defined(__SANITIZE_ADDRESS__)
+#define STRINGS_SIM_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define STRINGS_SIM_ASAN_FIBERS 1
+#endif
+#endif
+
+#ifdef STRINGS_SIM_ASAN_FIBERS
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save,
+                                    const void* bottom, std::size_t size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** bottom_old,
+                                     std::size_t* size_old);
+}
+#endif
+
+namespace strings::sim {
+
+class Fiber {
+ public:
+  using Entry = void (*)(void*);
+
+  /// Default stack size per fiber. Stacks are demand-paged (mmap on Linux),
+  /// so the cost is address space, not resident memory; override with the
+  /// STRINGS_SIM_STACK_KB environment variable for deeply recursive bodies.
+  static std::size_t default_stack_bytes() {
+    static const std::size_t bytes = [] {
+      if (const char* env = std::getenv("STRINGS_SIM_STACK_KB")) {
+        const long kb = std::strtol(env, nullptr, 10);
+        if (kb >= 16) return static_cast<std::size_t>(kb) * 1024;
+      }
+      return std::size_t{512 * 1024};
+    }();
+    return bytes;
+  }
+
+  /// The calling thread's native context. switch_to() fills it in when
+  /// leaving; it owns no stack.
+  Fiber() = default;
+
+  /// A fiber that will run entry(arg) on its own stack when first switched
+  /// to. `entry` must never return — it must switch back to another fiber
+  /// as its final act (see Simulation's fiber trampoline).
+  Fiber(Entry entry, void* arg, std::size_t stack_bytes = 0) {
+    stack_size_ = stack_bytes != 0 ? stack_bytes : default_stack_bytes();
+    allocate_stack();
+    if (getcontext(&ctx_) != 0) throw std::runtime_error("getcontext failed");
+    ctx_.uc_stack.ss_sp = stack_;
+    ctx_.uc_stack.ss_size = stack_size_;
+    ctx_.uc_link = nullptr;  // entry never returns
+    // makecontext only passes ints; split both pointers for 64-bit safety.
+    const auto entry_bits = reinterpret_cast<std::uintptr_t>(entry);
+    const auto arg_bits = reinterpret_cast<std::uintptr_t>(arg);
+    makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 4,
+                static_cast<unsigned>(entry_bits & 0xffffffffu),
+                static_cast<unsigned>(entry_bits >> 32),
+                static_cast<unsigned>(arg_bits & 0xffffffffu),
+                static_cast<unsigned>(arg_bits >> 32));
+  }
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  ~Fiber() { release_stack(); }
+
+  /// Suspends this fiber (saving the current machine context into it) and
+  /// resumes `target` where it last suspended — or at its entry point if it
+  /// has never run. Returns when something switches back to this fiber.
+  /// `exiting` must be true only on a finished fiber's final switch away;
+  /// it tells ASan to retire this fiber's fake stack.
+  void switch_to(Fiber& target, [[maybe_unused]] bool exiting = false) {
+#ifdef STRINGS_SIM_ASAN_FIBERS
+    void* fake = nullptr;
+    // The kernel fiber owns no stack of its own — it IS the thread's native
+    // stack, whose bounds ASan reported on the first switch away (see
+    // trampoline). Passing nullptr/0 instead would wreck ASan's bookkeeping
+    // for every later native-stack frame.
+    const void* bottom = target.stack_;
+    std::size_t size = target.stack_size_;
+    if (bottom == nullptr) {
+      bottom = native_stack().bottom;
+      size = native_stack().size;
+    }
+    __sanitizer_start_switch_fiber(exiting ? nullptr : &fake, bottom, size);
+#endif
+    if (swapcontext(&ctx_, &target.ctx_) != 0) {
+      throw std::runtime_error("swapcontext failed");
+    }
+#ifdef STRINGS_SIM_ASAN_FIBERS
+    __sanitizer_finish_switch_fiber(fake, nullptr, nullptr);
+#endif
+  }
+
+ private:
+#ifdef STRINGS_SIM_ASAN_FIBERS
+  /// The thread's native stack bounds, learned from ASan on the first
+  /// switch into a process fiber (per thread: each Simulation runs on its
+  /// own kernel fiber).
+  struct NativeStack {
+    const void* bottom = nullptr;
+    std::size_t size = 0;
+  };
+  static NativeStack& native_stack() {
+    thread_local NativeStack s;
+    return s;
+  }
+#endif
+
+  static void trampoline(unsigned entry_lo, unsigned entry_hi, unsigned arg_lo,
+                         unsigned arg_hi) {
+#ifdef STRINGS_SIM_ASAN_FIBERS
+    // First activation of this stack: complete the switch that got us here.
+    // The stack we came from is the kernel fiber's — the thread's native
+    // stack (switch discipline: only the kernel switches to process
+    // fibers) — so this is where its real bounds are learned.
+    const void* bottom_old = nullptr;
+    std::size_t size_old = 0;
+    __sanitizer_finish_switch_fiber(nullptr, &bottom_old, &size_old);
+    if (native_stack().bottom == nullptr) {
+      native_stack().bottom = bottom_old;
+      native_stack().size = size_old;
+    }
+#endif
+    const auto entry_bits = (static_cast<std::uintptr_t>(entry_hi) << 32) |
+                            static_cast<std::uintptr_t>(entry_lo);
+    const auto arg_bits = (static_cast<std::uintptr_t>(arg_hi) << 32) |
+                          static_cast<std::uintptr_t>(arg_lo);
+    const auto entry = reinterpret_cast<Entry>(entry_bits);
+    entry(reinterpret_cast<void*>(arg_bits));
+    // entry() must not return: with uc_link == nullptr falling off the end
+    // of a context exits the whole thread.
+    std::abort();
+  }
+
+  void allocate_stack() {
+#if defined(__linux__)
+    // One guard page below the stack turns overflow into a clean fault
+    // instead of silent corruption of a neighboring fiber's stack.
+    const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+    map_size_ = stack_size_ + page;
+    void* mem = ::mmap(nullptr, map_size_, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (mem == MAP_FAILED) throw std::bad_alloc();
+    ::mprotect(mem, page, PROT_NONE);
+    stack_ = static_cast<char*>(mem) + page;
+#else
+    stack_ = static_cast<char*>(::operator new(stack_size_));
+    map_size_ = 0;
+#endif
+  }
+
+  void release_stack() {
+    if (stack_ == nullptr) return;
+#if defined(__linux__)
+    const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+    ::munmap(stack_ - page, map_size_);
+#else
+    ::operator delete(stack_);
+#endif
+    stack_ = nullptr;
+  }
+
+  ucontext_t ctx_{};
+  char* stack_ = nullptr;
+  std::size_t stack_size_ = 0;
+  std::size_t map_size_ = 0;
+};
+
+}  // namespace strings::sim

@@ -1,0 +1,220 @@
+// Sorted-vector associative containers for simulator hot paths.
+//
+// The hot tables of the stack — DST rows, RCB entries, per-stream state,
+// allocation maps — are small (tens of entries), keyed by integers or short
+// strings, and read far more than written. std::map pays a heap allocation
+// per node and chases red-black pointers on every lookup; a sorted vector
+// keeps the same keys contiguous, so lookups are a cache-friendly binary
+// search and iteration is a linear scan.
+//
+// FlatMap deliberately iterates in ascending key order — the *same* order
+// std::map gives — so converting a table never changes deterministic
+// iteration order anywhere that order is observable (wire encodings, trace
+// exports, metrics CSVs). The byte-identical artifact fixtures in
+// tests/CMakeLists.txt pin this.
+//
+// The API is the std::map subset this codebase uses: operator[], at, find,
+// count, contains, emplace, insert_or_assign, erase (by key and iterator),
+// lower_bound, clear, size, empty, iteration. value_type is
+// std::pair<Key, T> (non-const Key: entries live in a vector and move on
+// insert/erase — do not mutate keys through iterators).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace strings::sim {
+
+template <typename Key, typename T, typename Compare = std::less<Key>>
+class FlatMap {
+ public:
+  using value_type = std::pair<Key, T>;
+  using storage = std::vector<value_type>;
+  using iterator = typename storage::iterator;
+  using const_iterator = typename storage::const_iterator;
+
+  FlatMap() = default;
+
+  iterator begin() { return data_.begin(); }
+  iterator end() { return data_.end(); }
+  const_iterator begin() const { return data_.begin(); }
+  const_iterator end() const { return data_.end(); }
+
+  bool empty() const { return data_.empty(); }
+  std::size_t size() const { return data_.size(); }
+  void clear() { data_.clear(); }
+  void reserve(std::size_t n) { data_.reserve(n); }
+
+  // Non-template Key overloads exist so call sites can pass braced
+  // initializers (e.g. find({pid, stream})), which never deduce a template
+  // parameter.
+  iterator lower_bound(const Key& key) { return lower_bound<Key>(key); }
+  const_iterator lower_bound(const Key& key) const {
+    return lower_bound<Key>(key);
+  }
+  iterator upper_bound(const Key& key) { return upper_bound<Key>(key); }
+  const_iterator upper_bound(const Key& key) const {
+    return upper_bound<Key>(key);
+  }
+  iterator find(const Key& key) { return find<Key>(key); }
+  const_iterator find(const Key& key) const { return find<Key>(key); }
+  bool contains(const Key& key) const { return contains<Key>(key); }
+  std::size_t count(const Key& key) const { return count<Key>(key); }
+  std::size_t erase(const Key& key) { return erase<Key>(key); }
+
+  template <typename K>
+  iterator lower_bound(const K& key) {
+    return std::lower_bound(data_.begin(), data_.end(), key,
+                            [this](const value_type& e, const K& k) {
+                              return cmp_(e.first, k);
+                            });
+  }
+  template <typename K>
+  const_iterator lower_bound(const K& key) const {
+    return std::lower_bound(data_.begin(), data_.end(), key,
+                            [this](const value_type& e, const K& k) {
+                              return cmp_(e.first, k);
+                            });
+  }
+
+  template <typename K>
+  iterator upper_bound(const K& key) {
+    return std::upper_bound(data_.begin(), data_.end(), key,
+                            [this](const K& k, const value_type& e) {
+                              return cmp_(k, e.first);
+                            });
+  }
+  template <typename K>
+  const_iterator upper_bound(const K& key) const {
+    return std::upper_bound(data_.begin(), data_.end(), key,
+                            [this](const K& k, const value_type& e) {
+                              return cmp_(k, e.first);
+                            });
+  }
+
+  template <typename K>
+  iterator find(const K& key) {
+    auto it = lower_bound(key);
+    return (it != data_.end() && !cmp_(key, it->first)) ? it : data_.end();
+  }
+  template <typename K>
+  const_iterator find(const K& key) const {
+    auto it = lower_bound(key);
+    return (it != data_.end() && !cmp_(key, it->first)) ? it : data_.end();
+  }
+
+  template <typename K>
+  bool contains(const K& key) const {
+    return find(key) != data_.end();
+  }
+  template <typename K>
+  std::size_t count(const K& key) const {
+    return contains(key) ? 1 : 0;
+  }
+
+  T& operator[](const Key& key) {
+    auto it = lower_bound(key);
+    if (it != data_.end() && !cmp_(key, it->first)) return it->second;
+    return data_.emplace(it, key, T{})->second;
+  }
+
+  template <typename K>
+  T& at(const K& key) {
+    auto it = find(key);
+    if (it == data_.end()) throw std::out_of_range("FlatMap::at: no such key");
+    return it->second;
+  }
+  template <typename K>
+  const T& at(const K& key) const {
+    auto it = find(key);
+    if (it == data_.end()) throw std::out_of_range("FlatMap::at: no such key");
+    return it->second;
+  }
+
+  /// Inserts key -> T(args...) if absent. Returns (iterator, inserted).
+  template <typename... Args>
+  std::pair<iterator, bool> emplace(const Key& key, Args&&... args) {
+    auto it = lower_bound(key);
+    if (it != data_.end() && !cmp_(key, it->first)) return {it, false};
+    it = data_.emplace(it, std::piecewise_construct, std::forward_as_tuple(key),
+                       std::forward_as_tuple(std::forward<Args>(args)...));
+    return {it, true};
+  }
+
+  std::pair<iterator, bool> insert(value_type v) {
+    auto it = lower_bound(v.first);
+    if (it != data_.end() && !cmp_(v.first, it->first)) return {it, false};
+    it = data_.insert(it, std::move(v));
+    return {it, true};
+  }
+
+  template <typename V>
+  std::pair<iterator, bool> insert_or_assign(const Key& key, V&& value) {
+    auto it = lower_bound(key);
+    if (it != data_.end() && !cmp_(key, it->first)) {
+      it->second = std::forward<V>(value);
+      return {it, false};
+    }
+    it = data_.emplace(it, key, std::forward<V>(value));
+    return {it, true};
+  }
+
+  template <typename K>
+  std::size_t erase(const K& key) {
+    auto it = find(key);
+    if (it == data_.end()) return 0;
+    data_.erase(it);
+    return 1;
+  }
+  // Both iterator flavors overload non-template so a transparent-key erase
+  // template never captures them.
+  iterator erase(iterator it) { return data_.erase(it); }
+  iterator erase(const_iterator it) { return data_.erase(it); }
+
+ private:
+  storage data_;
+  [[no_unique_address]] Compare cmp_{};
+};
+
+/// Sorted-vector set with the same rationale and ordering guarantee.
+template <typename Key, typename Compare = std::less<Key>>
+class FlatSet {
+ public:
+  using storage = std::vector<Key>;
+  using iterator = typename storage::const_iterator;
+
+  iterator begin() const { return data_.begin(); }
+  iterator end() const { return data_.end(); }
+  bool empty() const { return data_.empty(); }
+  std::size_t size() const { return data_.size(); }
+  void clear() { data_.clear(); }
+
+  bool contains(const Key& key) const {
+    auto it = std::lower_bound(data_.begin(), data_.end(), key, cmp_);
+    return it != data_.end() && !cmp_(key, *it);
+  }
+
+  bool insert(Key key) {
+    auto it = std::lower_bound(data_.begin(), data_.end(), key, cmp_);
+    if (it != data_.end() && !cmp_(key, *it)) return false;
+    data_.insert(it, std::move(key));
+    return true;
+  }
+
+  std::size_t erase(const Key& key) {
+    auto it = std::lower_bound(data_.begin(), data_.end(), key, cmp_);
+    if (it == data_.end() || cmp_(key, *it)) return 0;
+    data_.erase(it);
+    return 1;
+  }
+
+ private:
+  storage data_;
+  [[no_unique_address]] Compare cmp_{};
+};
+
+}  // namespace strings::sim

@@ -25,51 +25,35 @@ void set_sim_hooks(SimHooks* hooks) {
 Process::Process(Simulation& sim, std::string name, std::function<void()> body)
     : sim_(sim), name_(std::move(name)), body_(std::move(body)) {}
 
-Process::~Process() {
-  if (thread_.joinable()) thread_.join();
-}
-
 void Process::start() {
-  thread_ = std::thread([this] { thread_main(); });
+  fiber_ = std::make_unique<Fiber>(&Process::fiber_entry, this);
 }
 
-void Process::thread_main() {
-  {
-    // Wait for the first baton from the kernel.
-    std::unique_lock lock(mutex_);
-    cv_.wait(lock, [this] { return process_turn_; });
-    if (killed_) {
-      state_ = State::kFinished;
-      process_turn_ = false;
-      cv_.notify_all();
-      return;
-    }
-  }
+void Process::fiber_entry(void* self) {
+  static_cast<Process*>(self)->fiber_main();
+}
+
+void Process::fiber_main() {
   try {
     body_();
   } catch (const ProcessKilled&) {
     // Normal teardown path.
   } catch (...) {
-    error_ = std::current_exception();
+    // Surfaced by the next step(), at the point in virtual time where it
+    // happened. At most one process runs per event, so one slot suffices;
+    // keep the first error if teardown unwinds several bodies at once.
+    if (!sim_.pending_error_) sim_.pending_error_ = std::current_exception();
   }
-  std::unique_lock lock(mutex_);
   state_ = State::kFinished;
-  process_turn_ = false;
-  cv_.notify_all();
+  // Final departure from this fiber; `exiting` retires its sanitizer state.
+  fiber_->switch_to(sim_.kernel_fiber_, /*exiting=*/true);
+  std::abort();  // finished processes are never resumed
 }
 
-void Process::resume() {
-  std::unique_lock lock(mutex_);
-  process_turn_ = true;
-  cv_.notify_all();
-  cv_.wait(lock, [this] { return !process_turn_; });
-}
+void Process::resume() { sim_.kernel_fiber_.switch_to(*fiber_); }
 
 void Process::suspend() {
-  std::unique_lock lock(mutex_);
-  process_turn_ = false;
-  cv_.notify_all();
-  cv_.wait(lock, [this] { return process_turn_; });
+  fiber_->switch_to(sim_.kernel_fiber_);
   if (killed_) throw ProcessKilled{};
 }
 
@@ -81,20 +65,17 @@ Simulation::~Simulation() { terminate_processes(); }
 
 void Simulation::terminate_processes() {
   tearing_down_ = true;
-  // Unblock every unfinished process so its thread can unwind via
-  // ProcessKilled, then join.
+  // Resume every unfinished process with the kill flag set, so suspend()
+  // throws ProcessKilled and the body unwinds (RAII) on its own fiber.
   for (auto& p : processes_) {
     if (p->state_ == Process::State::kFinished) continue;
-    {
-      std::unique_lock lock(p->mutex_);
-      p->killed_ = true;
-    }
+    p->killed_ = true;
     if (p->state_ == Process::State::kCreated) {
-      // Never started: hand it a baton once so thread_main can exit.
-      p->start();
+      // Never started: there is nothing on the fiber to unwind.
+      p->state_ = Process::State::kFinished;
+      continue;
     }
     p->resume();
-    if (p->thread_.joinable()) p->thread_.join();
   }
 }
 
@@ -128,39 +109,22 @@ Process& Simulation::spawn_daemon(std::string name, std::function<void()> body) 
   return p;
 }
 
-void Simulation::schedule(SimTime delay, std::function<void()> fn) {
-  assert(delay >= 0 && "cannot schedule into the past");
-  const std::uint64_t seq = next_seq_++;
-  queue_.push(QueuedEvent{now_ + delay, seq, std::move(fn), false});
-  ++real_events_;
-  if (auto* h = sim_hooks()) h->on_event_scheduled(*this, seq);
-}
-
-void Simulation::schedule_weak(SimTime delay, std::function<void()> fn) {
-  assert(delay >= 0 && "cannot schedule into the past");
-  const std::uint64_t seq = next_seq_++;
-  queue_.push(QueuedEvent{now_ + delay, seq, std::move(fn), true});
-  if (auto* h = sim_hooks()) h->on_event_scheduled(*this, seq);
-}
-
 bool Simulation::step() {
   if (queue_.empty()) return false;
-  QueuedEvent ev = std::move(const_cast<QueuedEvent&>(queue_.top()));
-  queue_.pop();
+  EventRecord ev = queue_.pop();
   if (!ev.weak) --real_events_;
   assert(ev.time >= now_);
   now_ = ev.time;
+  ++events_executed_;
   if (auto* h = sim_hooks()) h->on_event_begin(*this, ev.seq);
   ev.fn();
   if (auto* h = sim_hooks()) h->on_event_end(*this, ev.seq);
   // Surface process failures immediately, at the point in virtual time where
   // they happened.
-  for (auto& p : processes_) {
-    if (p->error_) {
-      auto err = p->error_;
-      p->error_ = nullptr;
-      std::rethrow_exception(err);
-    }
+  if (pending_error_) {
+    auto err = pending_error_;
+    pending_error_ = nullptr;
+    std::rethrow_exception(err);
   }
   return true;
 }
@@ -173,7 +137,7 @@ void Simulation::run() {
 }
 
 bool Simulation::run_until(SimTime t) {
-  while (!queue_.empty() && queue_.top().time <= t) step();
+  while (!queue_.empty() && queue_.min_time() <= t) step();
   if (now_ < t) now_ = t;
   return real_events_ > 0;
 }
@@ -234,44 +198,45 @@ void Event::wait() { wait_for(kNever); }
 bool Event::wait_for(SimTime timeout) {
   Process* p = sim_.current();
   assert(p != nullptr && "Event::wait outside process context");
-  auto cell = std::make_shared<WaitCell>();
-  cell->proc = p;
-  waiters_.push_back(cell);
+  p->waiting_on_ = this;
+  p->wait_woken_ = false;
+  waiters_.push_back(p);
   if (timeout != kNever) {
     const std::uint64_t epoch = p->wait_epoch_ + 1;  // epoch of this wait
-    sim_.schedule(timeout, [this, cell, p, epoch] {
-      if (cell->woken || cell->proc == nullptr) return;      // already served
-      if (p->wait_epoch_ != epoch || p->finished()) return;  // stale
-      cell->proc = nullptr;  // cancel: notify must skip this cell
-      std::erase_if(waiters_, [&](const auto& w) { return w == cell; });
+    sim_.schedule(timeout, [this, p, epoch] {
+      // The epoch identifies this exact wait: if the process moved on
+      // (resumed, re-waited, or torn down), the timeout is stale.
+      if (p->wait_epoch_ != epoch || p->finished()) return;
+      if (p->wait_woken_) return;  // notify won; the resume is queued
+      p->waiting_on_ = nullptr;    // cancel: notify must skip this process
+      std::erase(waiters_, p);
       sim_.schedule_resume(*p, 0);
     });
   }
   sim_.block_current();
-  return cell->woken;
+  const bool woken = p->wait_woken_;
+  p->waiting_on_ = nullptr;
+  p->wait_woken_ = false;
+  return woken;
 }
 
 void Event::notify_all() {
   auto pending = std::move(waiters_);
   waiters_.clear();
-  for (auto& cell : pending) {
-    if (cell->proc == nullptr) continue;
-    cell->woken = true;
-    sim_.schedule_resume(*cell->proc, 0);
-    cell->proc = nullptr;
+  for (Process* p : pending) {
+    p->wait_woken_ = true;
+    p->waiting_on_ = nullptr;
+    sim_.schedule_resume(*p, 0);
   }
 }
 
 void Event::notify_one() {
-  while (!waiters_.empty()) {
-    auto cell = waiters_.front();
-    waiters_.erase(waiters_.begin());
-    if (cell->proc == nullptr) continue;
-    cell->woken = true;
-    sim_.schedule_resume(*cell->proc, 0);
-    cell->proc = nullptr;
-    return;
-  }
+  if (waiters_.empty()) return;
+  Process* p = waiters_.front();
+  waiters_.erase(waiters_.begin());
+  p->wait_woken_ = true;
+  p->waiting_on_ = nullptr;
+  sim_.schedule_resume(*p, 0);
 }
 
 }  // namespace strings::sim

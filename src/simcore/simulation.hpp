@@ -1,35 +1,41 @@
 // Deterministic cooperative discrete-event simulation kernel.
 //
-// The kernel owns a priority queue of timed events and a set of processes.
-// A process is user code running on its own OS thread, but the kernel lets at
-// most one process run at any instant and hands control back and forth with a
-// two-phase handshake, so the whole simulation is single-threaded in effect:
-// no data races, and a fixed seed gives a bit-identical run.
+// The kernel owns a calendar queue of timed events and a set of processes.
+// A process is user code on its own stackful fiber (see fiber.hpp); the
+// kernel switches to at most one fiber at any instant and every fiber
+// switches straight back, so the whole simulation runs on a single OS
+// thread: no data races, and a fixed seed gives a bit-identical run.
+// (Earlier revisions ran each process on a dedicated OS thread with a
+// mutex/condvar baton — two real context switches per handoff; the fiber
+// kernel keeps the exact same virtual-time semantics at a fraction of the
+// wall-clock cost. docs/simcore.md covers the determinism contract.)
 //
 // Inside a process body, code may call Simulation::wait_for(), block on an
 // Event / Mailbox, or simply return (which ends the process). Plain callback
-// events (Simulation::schedule) run on the kernel thread and must not block.
+// events (Simulation::schedule) run on the kernel fiber and must not block.
 #pragma once
 
-#include <condition_variable>
+#include <cassert>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <queue>
 #include <stdexcept>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "simcore/event_queue.hpp"
+#include "simcore/fiber.hpp"
 #include "simcore/hooks.hpp"
 #include "simcore/sim_time.hpp"
+#include "simcore/small_fn.hpp"
 
 namespace strings::sim {
 
 class Simulation;
+class Event;
 
 /// Thrown inside a process body when the simulation tears it down early
 /// (e.g. the Simulation is destroyed while the process is blocked). Process
@@ -43,14 +49,14 @@ class DeadlockError : public std::runtime_error {
   explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// A cooperative process: user code on a dedicated thread, scheduled by the
+/// A cooperative process: user code on its own fiber, scheduled by the
 /// kernel. Created via Simulation::spawn(); lifetime is managed by the
 /// Simulation.
 class Process {
  public:
   Process(const Process&) = delete;
   Process& operator=(const Process&) = delete;
-  ~Process();
+  ~Process() = default;
 
   const std::string& name() const { return name_; }
   bool finished() const { return state_ == State::kFinished; }
@@ -69,26 +75,28 @@ class Process {
   Process(Simulation& sim, std::string name, std::function<void()> body);
 
   void start();
-  // Kernel side: give the baton to the process and wait until it yields.
+  // Kernel side: switch to the process fiber until it yields.
   void resume();
-  // Process side: give the baton back to the kernel and wait to be resumed.
+  // Process side: switch back to the kernel fiber until resumed.
   void suspend();
-  void thread_main();
+  void fiber_main();
+  static void fiber_entry(void* self);
 
   Simulation& sim_;
   std::string name_;
   std::function<void()> body_;
-  std::thread thread_;
-
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool process_turn_ = false;  // baton: true => process may run
-  bool killed_ = false;
+  std::unique_ptr<Fiber> fiber_;
 
   State state_ = State::kCreated;
+  bool killed_ = false;
   bool daemon_ = false;
   std::exception_ptr error_;
   std::uint64_t wait_epoch_ = 0;  // invalidates stale timeout events
+
+  // Intrusive wait cell: a process blocks on at most one Event at a time,
+  // so the cell lives here instead of a shared_ptr allocated per wait.
+  Event* waiting_on_ = nullptr;
+  bool wait_woken_ = false;
 };
 
 /// The simulation kernel. Not copyable or movable; components hold references.
@@ -112,13 +120,28 @@ class Simulation {
 
   /// Schedules a kernel-context callback `delay` from now. The callback must
   /// not block; it may send to mailboxes, notify events, and spawn processes.
-  void schedule(SimTime delay, std::function<void()> fn);
+  /// Templated so the closure is constructed directly inside the event
+  /// queue's bucket storage — scheduling moves no bytes it doesn't have to.
+  template <typename F>
+  void schedule(SimTime delay, F&& fn) {
+    assert(delay >= 0 && "cannot schedule into the past");
+    const std::uint64_t seq = next_seq_++;
+    queue_.push(now_ + delay, seq, std::forward<F>(fn), /*weak=*/false);
+    ++real_events_;
+    if (auto* h = sim_hooks()) h->on_event_scheduled(*this, seq);
+  }
 
   /// Like schedule(), but the event is *weak*: it runs if simulation time
   /// reaches it, yet does not by itself keep run() alive (analogous to
   /// daemon processes). Used by periodic observers — samplers that re-arm
   /// themselves weakly stop automatically when the real workload drains.
-  void schedule_weak(SimTime delay, std::function<void()> fn);
+  template <typename F>
+  void schedule_weak(SimTime delay, F&& fn) {
+    assert(delay >= 0 && "cannot schedule into the past");
+    const std::uint64_t seq = next_seq_++;
+    queue_.push(now_ + delay, seq, std::forward<F>(fn), /*weak=*/true);
+    if (auto* h = sim_hooks()) h->on_event_scheduled(*this, seq);
+  }
 
   /// Runs until no non-weak events remain. Throws DeadlockError if live
   /// processes remain blocked with an empty event queue, and rethrows the
@@ -129,7 +152,7 @@ class Simulation {
   /// Returns true if non-weak events remain after t.
   bool run_until(SimTime t);
 
-  /// The process currently holding the baton, or nullptr in kernel context.
+  /// The process currently running, or nullptr in kernel context.
   Process* current() const { return current_; }
 
   /// Blocks the calling process for `delay` of virtual time. Must be called
@@ -143,29 +166,22 @@ class Simulation {
   /// Number of processes that have not yet finished.
   int live_processes() const { return live_processes_; }
 
+  /// Total events executed so far (wall-clock throughput denominators).
+  std::uint64_t events_executed() const { return events_executed_; }
+
   /// True while the Simulation destructor is unwinding blocked processes.
   /// Long-lived components use this to skip blocking work in destructors.
   bool tearing_down() const { return tearing_down_; }
 
-  /// Kills every unfinished process (each unwinds via ProcessKilled) and
-  /// joins its thread. Idempotent; the destructor calls it as a fallback.
-  /// Call it explicitly before destroying objects that live processes still
+  /// Kills every unfinished process (each unwinds via ProcessKilled on its
+  /// fiber). Idempotent; the destructor calls it as a fallback. Call it
+  /// explicitly before destroying objects that live processes still
   /// reference, when ending a simulation early (e.g. fixed-horizon runs).
   void terminate_processes();
 
  private:
   friend class Process;
   friend class Event;
-
-  struct QueuedEvent {
-    SimTime time;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    bool weak = false;
-    bool operator>(const QueuedEvent& o) const {
-      return time != o.time ? time > o.time : seq > o.seq;
-    }
-  };
 
   // Runs one event; returns false when the queue is empty.
   bool step();
@@ -177,12 +193,15 @@ class Simulation {
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
   std::int64_t real_events_ = 0;  // queued non-weak events
-  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>,
-                      std::greater<QueuedEvent>>
-      queue_;
+  CalendarQueue queue_;
   std::vector<std::unique_ptr<Process>> processes_;
   Process* current_ = nullptr;
+  /// The kernel's own context; process fibers switch back into it.
+  Fiber kernel_fiber_;
+  /// First exception that escaped a process body since the last step().
+  std::exception_ptr pending_error_;
   int live_processes_ = 0;
   bool tearing_down_ = false;
 };
@@ -212,12 +231,11 @@ class Event {
   int waiter_count() const { return static_cast<int>(waiters_.size()); }
 
  private:
-  struct WaitCell {
-    Process* proc;
-    bool woken = false;
-  };
   Simulation& sim_;
-  std::vector<std::shared_ptr<WaitCell>> waiters_;
+  /// FIFO of blocked processes. Entries are intrusive (Process::waiting_on_
+  /// points back here); timed-out waiters are erased eagerly, so every
+  /// entry is live — no tombstones, no per-wait allocation.
+  std::vector<Process*> waiters_;
 };
 
 /// An unbounded FIFO channel. send() never blocks; receive() blocks the
@@ -272,7 +290,7 @@ class Mailbox {
   std::size_t size() const { return items_.size(); }
 
  private:
-  Simulation& sim_;
+  sim::Simulation& sim_;
   Event ready_;
   std::queue<T> items_;
 };

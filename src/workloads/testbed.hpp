@@ -31,6 +31,7 @@
 #include "gpu/gpu_device.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "simcore/flat_map.hpp"
 #include "simcore/simulation.hpp"
 
 namespace strings::workloads {
@@ -197,8 +198,8 @@ class Testbed final : public frontend::SchedulerDirectory {
   /// utilization-over-epoch deltas.
   std::vector<sim::SimTime> sampled_busy_;
   // Baseline-mode service accounting (no schedulers exist to measure it).
-  std::map<cuda::ProcessId, std::string> baseline_pid_tenant_;
-  std::map<std::string, sim::SimTime> baseline_tenant_service_;
+  sim::FlatMap<cuda::ProcessId, std::string> baseline_pid_tenant_;
+  sim::FlatMap<std::string, sim::SimTime> baseline_tenant_service_;
   // Physical wire pairs, one per ordered node pair, precomputed at
   // construction when shared_network is on ([origin * nodes + dest]; the
   // old lazy map did a lookup per binding on the hot path).

@@ -17,9 +17,19 @@
 //   ratio > warn tolerance (default 1.10) -> warning, exit 0
 //   ratio > fail tolerance (default 2.00) -> hard failure, exit 1
 //
+// Wall-clock columns — wall_s (lower is better) and events_per_sec (higher
+// is better) — are machine-dependent, so they can only ever WARN, never
+// fail, and use a looser tolerance (warn beyond 1.5x) to ride out CI host
+// noise. They exist to surface kernel perf regressions early, not to gate.
+//
 // Labels missing from the report (bench removed/renamed) and new labels
-// warn only, so adding benches never blocks. Exit codes: 0 ok (possibly
-// with warnings), 1 regression beyond the fail tolerance, 2 usage/IO error.
+// warn only, so adding benches never blocks. Baseline entries carrying no
+// virtual-time metric at all (e.g. the committed perf/ speedup records,
+// which only document before/after wall-clock numbers) are informational:
+// their absence from a report is not even a warning. Exit codes: 0 ok
+// (possibly with warnings), 1 regression beyond the fail tolerance,
+// 2 usage/IO error.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -111,11 +121,19 @@ int main(int argc, char** argv) {
 
   int warnings = 0, failures = 0, compared = 0;
   static const char* kLatencyMetrics[] = {"makespan_s", "p50_s", "p99_s"};
+  // Wall-clock is host-dependent: warn-only, looser tolerance, never fails.
+  const double wall_warn_tol = std::max(warn_tol, 1.50);
+  const auto is_info_only = [](const Entry& e) {
+    return e.count("makespan_s") == 0 && e.count("p50_s") == 0 &&
+           e.count("p99_s") == 0 && e.count("jain") == 0;
+  };
   for (const auto& [label, base] : baseline) {
     auto it = report.find(label);
     if (it == report.end()) {
-      std::printf("WARN  %s: missing from report\n", label.c_str());
-      ++warnings;
+      if (!is_info_only(base)) {
+        std::printf("WARN  %s: missing from report\n", label.c_str());
+        ++warnings;
+      }
       continue;
     }
     const Entry& cur = it->second;
@@ -149,6 +167,32 @@ int main(int argc, char** argv) {
       } else if (ratio > warn_tol) {
         std::printf("WARN  %s jain: %.6f -> %.6f (dropped %.2fx)\n",
                     label.c_str(), bj->second, cj->second, ratio);
+        ++warnings;
+      }
+    }
+    // Wall-clock columns: compare when both sides carry them, warn only.
+    auto bw = base.find("wall_s");
+    auto cw = cur.find("wall_s");
+    if (bw != base.end() && cw != cur.end() && bw->second > 0.0) {
+      ++compared;
+      const double ratio = cw->second / bw->second;
+      if (ratio > wall_warn_tol) {
+        std::printf("WARN  %s wall_s: %.6f -> %.6f (%.2fx, wall-clock, "
+                    "warn-only)\n",
+                    label.c_str(), bw->second, cw->second, ratio);
+        ++warnings;
+      }
+    }
+    auto be = base.find("events_per_sec");
+    auto ce = cur.find("events_per_sec");
+    if (be != base.end() && ce != cur.end() && ce->second > 0.0) {
+      ++compared;
+      // Throughput regresses downward: gate on old/new.
+      const double ratio = be->second / ce->second;
+      if (ratio > wall_warn_tol) {
+        std::printf("WARN  %s events_per_sec: %.0f -> %.0f (dropped %.2fx, "
+                    "wall-clock, warn-only)\n",
+                    label.c_str(), be->second, ce->second, ratio);
         ++warnings;
       }
     }
