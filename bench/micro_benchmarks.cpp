@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
@@ -20,6 +21,7 @@
 #include "policies/device_policies.hpp"
 #include "rpc/channel.hpp"
 #include "rpc/marshal.hpp"
+#include "simcore/small_fn.hpp"
 #include "simcore/simulation.hpp"
 
 namespace {
@@ -287,6 +289,49 @@ void record_event_loop_report() {
                           [] { return run_mailbox_pingpong(200'000); });
 }
 
+// SmallFn inline-storage assertion: the packet-delivery hot path (channel
+// round trips through timers, mailboxes and fiber wakeups) must never push
+// a callback to the heap — sim/smallfn_heap_fallbacks counts every miss.
+// Recorded info-only in the report, but a miss fails the bench run itself:
+// a fallback means some kernel lambda outgrew the inline buffer and the
+// event hot path silently picked up a malloc.
+int record_smallfn_report() {
+  if (std::getenv("STRINGS_BENCH_REPORT") == nullptr) return 0;
+  const std::uint64_t before = sim::small_fn_heap_fallbacks();
+  sim::Simulation sim;
+  rpc::DuplexChannel ch(sim, rpc::LinkModel::shared_memory());
+  sim.spawn_daemon("server", [&] {
+    while (true) {
+      rpc::Packet p = ch.request.receive();
+      rpc::Packet r;
+      r.seq = p.seq;
+      ch.response.send(std::move(r));
+    }
+  });
+  sim.spawn("client", [&] {
+    rpc::RpcClient client(ch);
+    for (int i = 0; i < 512; ++i) {
+      client.call(rpc::CallId::kLaunch, rpc::Marshal{});
+    }
+  });
+  sim.run();
+  const std::uint64_t fallbacks = sim::small_fn_heap_fallbacks() - before;
+  char value[64];
+  std::snprintf(value, sizeof(value), "{\"heap_fallbacks\":%llu}",
+                static_cast<unsigned long long>(fallbacks));
+  bench::record_bench_entry("sim/smallfn_heap_fallbacks", value);
+  std::printf("%-24s %10llu heap fallbacks (must be 0)\n",
+              "smallfn_assert", static_cast<unsigned long long>(fallbacks));
+  if (fallbacks != 0) {
+    std::fprintf(stderr,
+                 "smallfn_assert: %llu SmallFn heap fallbacks on the packet "
+                 "hot path (inline capacity regressed)\n",
+                 static_cast<unsigned long long>(fallbacks));
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 // BENCHMARK_MAIN, plus the perf-report arm: google-benchmark owns timing
@@ -298,5 +343,5 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   record_event_loop_report();
-  return 0;
+  return record_smallfn_report();
 }

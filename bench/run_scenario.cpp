@@ -17,6 +17,7 @@
 //
 // Exit codes are documented in print_usage below — that usage text is the
 // single source of truth (tests assert every flag and code appears there).
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -67,11 +68,24 @@ void print_usage(std::FILE* out) {
                "                        logical-race analysis; write report\n"
                "  --prof <out.txt>      run the critical-path profiler; write\n"
                "                        latency/fairness attribution report\n"
+               "  --stream <out.jsonl>  stream windowed telemetry snapshots,\n"
+               "                        one JSON line per window, flushed as\n"
+               "                        each window closes (tools/strings_top\n"
+               "                        tails or replays the file)\n"
+               "  --slo <rules.slo>     evaluate SLO rules against each\n"
+               "                        telemetry window (implies streaming;\n"
+               "                        grammar in docs/observability.md)\n"
+               "  --alerts <out.jsonl>  write SLO alerts as JSON lines\n"
+               "                        (default alerts.jsonl with --slo)\n"
+               "  --stream-wall         add wall-clock-per-window to the\n"
+               "                        stream (breaks byte-reproducibility\n"
+               "                        of the stream file; off by default)\n"
                "  -h, --help            show this help\n"
                "\n"
                "exit codes: 0 ok, 1 runtime error, 2 bad flags,\n"
                "            3 invariant violations found by --analyze,\n"
-               "            4 incomplete requests found by --prof\n");
+               "            4 incomplete requests found by --prof,\n"
+               "            5 hard SLO violations found by --slo\n");
 }
 
 struct Args {
@@ -80,6 +94,10 @@ struct Args {
   std::string metrics_path;
   std::string analysis_path;
   std::string prof_path;
+  std::string stream_path;
+  std::string slo_rules_path;
+  std::string alerts_path;
+  bool stream_wall = false;
 };
 
 // Parses argv into Args. Returns true on success; on failure prints an
@@ -93,7 +111,8 @@ bool parse_args(int argc, char** argv, Args& args, int& exit_code) {
       return false;
     }
     if (arg == "--trace" || arg == "--metrics" || arg == "--analyze" ||
-        arg == "--prof") {
+        arg == "--prof" || arg == "--stream" || arg == "--slo" ||
+        arg == "--alerts") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: %s requires a file argument\n\n",
                      arg.c_str());
@@ -104,7 +123,14 @@ bool parse_args(int argc, char** argv, Args& args, int& exit_code) {
       (arg == "--trace"     ? args.trace_path
        : arg == "--metrics" ? args.metrics_path
        : arg == "--analyze" ? args.analysis_path
-                            : args.prof_path) = argv[++i];
+       : arg == "--prof"    ? args.prof_path
+       : arg == "--stream"  ? args.stream_path
+       : arg == "--slo"     ? args.slo_rules_path
+                            : args.alerts_path) = argv[++i];
+      continue;
+    }
+    if (arg == "--stream-wall") {
+      args.stream_wall = true;
       continue;
     }
     if (!arg.empty() && arg[0] == '-') {
@@ -122,6 +148,23 @@ bool parse_args(int argc, char** argv, Args& args, int& exit_code) {
       return false;
     }
     args.scenario_path = arg;
+  }
+  if (!args.alerts_path.empty() && args.slo_rules_path.empty()) {
+    std::fprintf(stderr, "error: --alerts requires --slo\n\n");
+    print_usage(stderr);
+    exit_code = 2;
+    return false;
+  }
+  if (args.stream_wall && args.stream_path.empty()) {
+    std::fprintf(stderr, "error: --stream-wall requires --stream\n\n");
+    print_usage(stderr);
+    exit_code = 2;
+    return false;
+  }
+  // --slo without --alerts still writes the alert artifact somewhere
+  // predictable.
+  if (!args.slo_rules_path.empty() && args.alerts_path.empty()) {
+    args.alerts_path = "alerts.jsonl";
   }
   return true;
 }
@@ -155,6 +198,19 @@ int main(int argc, char** argv) {
     artifacts.metrics_path = args.metrics_path;
     artifacts.analysis_path = args.analysis_path;
     artifacts.prof_path = args.prof_path;
+    artifacts.stream_path = args.stream_path;
+    artifacts.slo_rules_path = args.slo_rules_path;
+    artifacts.alerts_path = args.alerts_path;
+    if (args.stream_wall) {
+      // Wall clock injected from the bench layer only: src code never reads
+      // it (determinism lint DL001), and the default stream file stays
+      // byte-reproducible without this flag.
+      artifacts.wall_clock_ms = [] {
+        return std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+      };
+    }
     result = workloads::run_scenario_config_full(cfg, artifacts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
@@ -182,6 +238,16 @@ int main(int argc, char** argv) {
   if (!args.prof_path.empty()) {
     std::printf("(prof report written to %s)\n", args.prof_path.c_str());
   }
+  if (!args.stream_path.empty()) {
+    std::printf("(stream written to %s)\n", args.stream_path.c_str());
+  }
+  if (!args.slo_rules_path.empty()) {
+    std::printf("(alerts written to %s: %lld warn, %lld fail, %lld hard)\n",
+                args.alerts_path.c_str(),
+                static_cast<long long>(result.slo_warns),
+                static_cast<long long>(result.slo_fails),
+                static_cast<long long>(result.slo_hard_violations));
+  }
   if (!args.analysis_path.empty()) {
     std::printf("(analysis report written to %s: %lld invariant violations, "
                 "%lld logical races)\n",
@@ -194,6 +260,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "prof: %d requests never completed\n",
                  result.prof_incomplete_requests);
     return 4;
+  }
+  if (!args.slo_rules_path.empty() && result.slo_hard_violations > 0) {
+    std::fprintf(stderr, "slo: %lld hard violations (see %s)\n",
+                 static_cast<long long>(result.slo_hard_violations),
+                 args.alerts_path.c_str());
+    return 5;
   }
   return 0;
 }

@@ -1,0 +1,103 @@
+// Live SLO watchdog example: the streaming telemetry API driven directly,
+// without run_scenario. An overloaded two-thread server (short requests
+// arriving ~20x faster than the pool drains them) is watched online by two
+// declarative rules — p99 slowdown and p99 queueing delay — and the
+// watchdog escalates warn -> fail -> hard as the burn-rate windows stack
+// up, while the run is still executing.
+//
+//   $ ./examples/live_slo
+//
+// prints one line per 2 s (virtual) telemetry window with the victim
+// tenant's p99 slowdown and any alerts the window raised, then the final
+// tally. Exits 5 — the same exit code run_scenario uses — because the
+// overload sustains past the burn threshold. The CLI twin of this program:
+//
+//   run_scenario --stream live.jsonl --slo scenarios/live_slo.slo
+//       --alerts alerts.jsonl scenarios/live_slo.scenario
+#include <cstdio>
+#include <vector>
+
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
+#include "workloads/service.hpp"
+#include "workloads/testbed.hpp"
+
+using namespace strings;
+
+int main() {
+  sim::Simulation sim;
+  workloads::TestbedConfig config;
+  config.mode = workloads::Mode::kStrings;
+  config.nodes = workloads::small_server();
+  config.balancing_policy = "GMin";
+  config.device_policy = "PS";
+  config.stream = true;  // telemetry windows every 2 s of virtual time
+  config.stream_window = sim::msec(2000);
+  workloads::Testbed bed(sim, config);
+
+  // The same rules as scenarios/live_slo.slo: sustained p99 slowdown above
+  // 6x (or queueing beyond 8 s) for three consecutive windows is hard.
+  bed.attach_slo(obs::parse_slo_rules(R"(
+[slowdown-p99]
+metric  = tenant/*/slowdown
+reducer = p99
+warn    = 4
+fail    = 6
+burn_windows = 3
+
+[queue-delay-p99]
+metric  = tenant/*/queue_ms
+reducer = p99
+warn    = 2000
+fail    = 8000
+burn_windows = 3
+)"));
+
+  bed.set_stream_sink([](const obs::Window& w,
+                         const std::vector<obs::SloAlert>& alerts) {
+    const auto p99 =
+        obs::reduce_window(w, "tenant/checkout-svc/slowdown", "p99");
+    std::printf("window %3llu  [%8.1f ms]  checkout p99 slowdown %s",
+                static_cast<unsigned long long>(w.index),
+                sim::to_millis(w.end),
+                p99 ? "" : "(no completions)");
+    if (p99) std::printf("%6.2fx", *p99);
+    std::printf("\n");
+    for (const auto& a : alerts) {
+      std::printf("    !! %-4s %s on %s: %.1f vs %.1f\n", a.severity.c_str(),
+                  a.rule.c_str(), a.series.c_str(), a.value, a.threshold);
+    }
+  });
+
+  // Mirrors scenarios/live_slo.scenario: a drowning interactive tenant and
+  // a batch tenant keeping the GPUs warm.
+  std::vector<workloads::ArrivalConfig> arrivals;
+  workloads::ArrivalConfig victim;
+  victim.app = "BS";
+  victim.tenant = "checkout-svc";
+  victim.requests = 30;
+  victim.lambda_scale = 0.05;  // arrivals far outrun the 2-thread pool
+  victim.server_threads = 2;
+  arrivals.push_back(victim);
+  workloads::ArrivalConfig batch;
+  batch.app = "MM";
+  batch.tenant = "batch-train";
+  batch.requests = 4;
+  batch.lambda_scale = 0.5;
+  batch.server_threads = 2;
+  arrivals.push_back(batch);
+
+  run_streams(bed, arrivals);
+  bed.finalize_stream();  // close the trailing partial window
+
+  const auto* dog = bed.watchdog();
+  std::printf("\nSLO tally: %lld warn, %lld fail, %lld hard violations\n",
+              static_cast<long long>(dog->warn_count()),
+              static_cast<long long>(dog->fail_count()),
+              static_cast<long long>(dog->hard_violations()));
+  std::printf("the burn-rate guard needed %d consecutive failing windows "
+              "before escalating — one bad window is a blip, a streak is an "
+              "incident.\n",
+              dog->rules()[0].burn_windows);
+  return dog->hard_violations() > 0 ? 5 : 0;
+}

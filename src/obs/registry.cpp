@@ -126,4 +126,13 @@ std::vector<double> default_latency_buckets_ms() {
   return {0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 1000.0};
 }
 
+std::vector<double> slowdown_buckets() {
+  return {1.0, 1.1, 1.25, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 16.0, 64.0};
+}
+
+std::vector<double> wide_latency_buckets_ms() {
+  return {1.0,    5.0,    10.0,   50.0,    100.0,   500.0,  1000.0,
+          2000.0, 5000.0, 10000.0, 20000.0, 60000.0, 120000.0};
+}
+
 }  // namespace strings::obs

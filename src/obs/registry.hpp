@@ -114,4 +114,14 @@ class Registry {
 /// Default bucket bounds for latency-style histograms, in milliseconds.
 std::vector<double> default_latency_buckets_ms();
 
+/// Bucket bounds for slowdown-style histograms (response time / service
+/// time, dimensionless, >= 1 for any queued request).
+std::vector<double> slowdown_buckets();
+
+/// Bucket bounds for request-level latencies, in milliseconds: like
+/// default_latency_buckets_ms but extending to minutes, so end-to-end
+/// response and queueing times of heavily queued runs don't clamp at the
+/// top bucket.
+std::vector<double> wide_latency_buckets_ms();
+
 }  // namespace strings::obs

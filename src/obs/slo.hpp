@@ -1,0 +1,118 @@
+// Online SLO watchdog: declarative threshold rules evaluated against each
+// closed telemetry window (obs::TimeSeries), while the run executes.
+//
+// Rules come from an INI-style .slo file (docs/observability.md has the
+// grammar):
+//
+//   [queue-delay]
+//   metric  = tenant/*/queue_ms     # full-segment '*' wildcards
+//   reducer = p99                   # value|delta|rate|mean|p50|p95|p99
+//   op      = gt                    # gt|lt (default gt)
+//   warn    = 5.0                   # optional if fail is set
+//   fail    = 20.0                  # optional if warn is set
+//   burn_windows = 3                # consecutive failing windows -> hard
+//
+// Severity ladder per (rule, matched series):
+//   warn — the warn threshold tripped this window;
+//   fail — the fail threshold tripped this window;
+//   hard — the fail threshold tripped burn_windows consecutive windows
+//          (a burn-rate alert: sustained violation, not a blip). One hard
+//          alert fires when the streak reaches the burn length; the streak
+//          must fully recover (a non-failing window with data) before
+//          another can fire.
+//
+// Windows with no data for a series (request never completed, metric not
+// registered) are skipped and reset the burn streak: no data is evidence of
+// idleness here, not of violation. Evaluation is pure virtual-time
+// arithmetic — deterministic alerts, byte-identical alerts.jsonl.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/timeseries.hpp"
+#include "simcore/sim_time.hpp"
+
+namespace strings::obs {
+
+struct SloRule {
+  std::string name;
+  /// Series to watch; '*' matches exactly one '/'-separated segment.
+  std::string metric;
+  std::string reducer = "value";
+  std::string op = "gt";  // gt | lt
+  double warn = 0.0;
+  double fail = 0.0;
+  bool has_warn = false;
+  bool has_fail = false;
+  /// Consecutive fail windows that escalate to a hard violation.
+  int burn_windows = 1;
+};
+
+struct SloAlert {
+  std::uint64_t window = 0;     // window index the alert fired in
+  sim::SimTime at = 0;          // window end (virtual time)
+  std::string rule;             // rule name
+  std::string series;           // concrete series that matched
+  std::string severity;         // warn | fail | hard
+  double value = 0.0;           // reduced value this window
+  double threshold = 0.0;       // threshold that tripped
+};
+
+/// Thrown by parse_slo_rules with a "line N: ..." message.
+struct SloParseError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses rule text (the .slo format above). Throws SloParseError.
+std::vector<SloRule> parse_slo_rules(const std::string& text);
+/// Reads and parses a .slo file; throws std::runtime_error if unreadable.
+std::vector<SloRule> load_slo_rules(const std::string& path);
+
+/// True when `pattern` matches `name` with full-segment '*' wildcards.
+bool slo_metric_match(const std::string& pattern, const std::string& name);
+
+class SloWatchdog {
+ public:
+  explicit SloWatchdog(std::vector<SloRule> rules);
+
+  const std::vector<SloRule>& rules() const { return rules_; }
+
+  /// Evaluates every rule against one closed window and returns the alerts
+  /// it raised (also appended to alerts()). Call once per window, in order.
+  std::vector<SloAlert> evaluate(const Window& w);
+
+  /// Every alert raised so far, in firing order.
+  const std::vector<SloAlert>& alerts() const { return alerts_; }
+  std::int64_t warn_count() const { return warn_count_; }
+  std::int64_t fail_count() const { return fail_count_; }
+  /// Hard (burn-rate) violations — the run_scenario exit-5 signal.
+  std::int64_t hard_violations() const { return hard_violations_; }
+
+ private:
+  struct Burn {
+    int streak = 0;      // consecutive fail windows
+    bool latched = false;  // hard alert already fired for this streak
+  };
+
+  std::vector<SloRule> rules_;
+  /// Burn state per (rule index, concrete series name).
+  std::map<std::pair<std::size_t, std::string>, Burn> burn_;
+  std::vector<SloAlert> alerts_;
+  std::int64_t warn_count_ = 0;
+  std::int64_t fail_count_ = 0;
+  std::int64_t hard_violations_ = 0;
+};
+
+/// Renders alerts as a JSON array ("[]" when empty) for embedding in a
+/// stream line's "alerts" field.
+std::string render_alerts_json(const std::vector<SloAlert>& alerts);
+
+/// Writes one "strings.alert.v1" JSON object per line.
+void write_alerts_jsonl(std::ostream& os, const std::vector<SloAlert>& alerts);
+
+}  // namespace strings::obs

@@ -1,0 +1,255 @@
+#include "obs/timeseries.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace strings::obs {
+
+double histogram_quantile(const std::vector<double>& bounds,
+                          const std::vector<std::int64_t>& cum, double q) {
+  if (cum.empty() || cum.back() <= 0) return 0.0;
+  const double total = static_cast<double>(cum.back());
+  const double rank = q * total;
+  std::size_t i = 0;
+  while (i + 1 < cum.size() && static_cast<double>(cum[i]) < rank) ++i;
+  if (i >= bounds.size()) {
+    // The +inf bucket has no upper edge to interpolate toward; clamp to the
+    // largest finite bound (or 0 for a bounds-less histogram).
+    return bounds.empty() ? 0.0 : bounds.back();
+  }
+  const double upper = bounds[i];
+  const double lower = i == 0 ? 0.0 : bounds[i - 1];
+  const double below = i == 0 ? 0.0 : static_cast<double>(cum[i - 1]);
+  const double in_bucket = static_cast<double>(cum[i]) - below;
+  if (in_bucket <= 0.0) return upper;
+  return lower + (upper - lower) * ((rank - below) / in_bucket);
+}
+
+double WindowHistogram::quantile(double q) const {
+  return histogram_quantile(bounds, cum, q);
+}
+
+namespace {
+
+/// Parses the numeric bound out of a histogram bucket field ("le_0.5",
+/// "le_inf"). Returns false for non-bucket fields (count/sum/min/max).
+bool parse_bucket_bound(const std::string& field, double* bound) {
+  if (field.size() < 4 || field.compare(0, 3, "le_") != 0) return false;
+  if (field == "le_inf") {
+    *bound = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  *bound = std::strtod(field.c_str() + 3, nullptr);
+  return true;
+}
+
+}  // namespace
+
+TimeSeries::TimeSeries(Config config) : config_(config) {
+  if (config_.window <= 0) {
+    throw std::invalid_argument("TimeSeries window must be positive");
+  }
+  if (config_.retain == 0) config_.retain = 1;
+}
+
+const Window& TimeSeries::close_window(const Registry& registry,
+                                       sim::SimTime end, bool partial) {
+  Window w;
+  w.index = next_index_++;
+  w.start = last_end_;
+  w.end = end;
+  w.partial = partial;
+
+  // One pass over the lexicographic sample stream. Scalar samples carry
+  // field "value"; a histogram's fields (count/sum/min/max/le_*) arrive
+  // consecutively under one metric name, le_* in ascending bound order.
+  const auto samples = registry.collect();
+  for (std::size_t i = 0; i < samples.size();) {
+    const Registry::Sample& s = samples[i];
+    if (s.field == "value") {
+      SeriesPoint p;
+      p.value = s.value;
+      const auto prev = prev_scalar_.find(s.metric);
+      p.delta = prev == prev_scalar_.end() ? p.value : p.value - prev->second;
+      prev_scalar_[s.metric] = p.value;
+      w.series.emplace(s.metric, p);
+      ++i;
+      continue;
+    }
+    // Histogram: consume every field of this metric.
+    std::int64_t total = 0;
+    double sum = 0.0;
+    std::vector<double> bounds;
+    std::vector<std::int64_t> cum;
+    for (; i < samples.size() && samples[i].metric == s.metric; ++i) {
+      const Registry::Sample& f = samples[i];
+      double bound = 0.0;
+      if (f.field == "count") {
+        total = static_cast<std::int64_t>(f.value);
+      } else if (f.field == "sum") {
+        sum = f.value;
+      } else if (parse_bucket_bound(f.field, &bound)) {
+        if (!std::isinf(bound)) bounds.push_back(bound);
+        cum.push_back(static_cast<std::int64_t>(f.value));
+      }
+    }
+    auto& prev_cum = prev_hist_cum_[s.metric];
+    auto& prev_sum = prev_hist_sum_[s.metric];
+    WindowHistogram h;
+    h.bounds = std::move(bounds);
+    h.cum.resize(cum.size());
+    for (std::size_t b = 0; b < cum.size(); ++b) {
+      const std::int64_t before =
+          b < prev_cum.size() ? prev_cum[b] : std::int64_t{0};
+      // Cumulative-over-buckets of per-window bucket deltas equals the delta
+      // of the cumulative buckets, so the window histogram stays monotone.
+      h.cum[b] = cum[b] - before;
+    }
+    h.count = h.cum.empty() ? total : h.cum.back();
+    h.sum = sum - prev_sum;
+    prev_cum = std::move(cum);
+    prev_sum = sum;
+    if (h.count > 0) w.hists.emplace(s.metric, std::move(h));
+  }
+
+  last_end_ = end;
+  ring_.push_back(std::move(w));
+  while (ring_.size() > config_.retain) ring_.pop_front();
+  return ring_.back();
+}
+
+bool is_valid_reducer(const std::string& reducer) {
+  return reducer == "value" || reducer == "delta" || reducer == "rate" ||
+         reducer == "mean" || reducer == "p50" || reducer == "p95" ||
+         reducer == "p99";
+}
+
+std::optional<double> reduce_window(const Window& w, const std::string& series,
+                                    const std::string& reducer) {
+  const auto sit = w.series.find(series);
+  if (sit != w.series.end()) {
+    if (reducer == "value") return sit->second.value;
+    if (reducer == "delta") return sit->second.delta;
+    if (reducer == "rate") {
+      const double s = w.seconds();
+      return s > 0.0 ? sit->second.delta / s : 0.0;
+    }
+    return std::nullopt;  // percentile reducers need a histogram
+  }
+  const auto hit = w.hists.find(series);
+  if (hit == w.hists.end()) return std::nullopt;
+  const WindowHistogram& h = hit->second;
+  if (reducer == "delta") return static_cast<double>(h.count);
+  if (reducer == "rate") {
+    const double s = w.seconds();
+    return s > 0.0 ? static_cast<double>(h.count) / s : 0.0;
+  }
+  if (reducer == "mean") return h.mean();
+  if (reducer == "p50") return h.quantile(0.50);
+  if (reducer == "p95") return h.quantile(0.95);
+  if (reducer == "p99") return h.quantile(0.99);
+  return std::nullopt;  // "value" has no meaning for a window histogram
+}
+
+namespace {
+
+void append_double(std::string* out, double v) {
+  // JSON has no nan/inf literals; clamp to null (reducers never emit these,
+  // but a gauge callback could).
+  if (!std::isfinite(v)) {
+    out->append("null");
+    return;
+  }
+  char buf[64];
+  // %.17g round-trips doubles, matching the metrics CSV; integral values
+  // render without a trailing ".0" so the stream stays compact.
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out->append(buf);
+}
+
+void append_json_string(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out->append(buf);
+        } else {
+          out->push_back(ch);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void write_stream_line(std::ostream& os, const Window& w,
+                       const std::string& alerts_json) {
+  std::string line;
+  line.reserve(512);
+  line.append("{\"schema\":\"strings.stream.v1\",\"window\":");
+  line.append(std::to_string(w.index));
+  line.append(",\"start_ms\":");
+  append_double(&line, sim::to_millis(w.start));
+  line.append(",\"end_ms\":");
+  append_double(&line, sim::to_millis(w.end));
+  if (w.partial) line.append(",\"partial\":true");
+  line.append(",\"series\":{");
+  bool first = true;
+  for (const auto& [name, p] : w.series) {
+    if (p.delta == 0.0) continue;  // quiet series stay implicit
+    if (!first) line.push_back(',');
+    first = false;
+    append_json_string(&line, name);
+    line.append(":{\"value\":");
+    append_double(&line, p.value);
+    line.append(",\"delta\":");
+    append_double(&line, p.delta);
+    line.push_back('}');
+  }
+  line.append("},\"quantiles\":{");
+  first = true;
+  for (const auto& [name, h] : w.hists) {
+    if (!first) line.push_back(',');
+    first = false;
+    append_json_string(&line, name);
+    line.append(":{\"count\":");
+    line.append(std::to_string(h.count));
+    line.append(",\"sum\":");
+    append_double(&line, h.sum);
+    line.append(",\"p50\":");
+    append_double(&line, h.quantile(0.50));
+    line.append(",\"p95\":");
+    append_double(&line, h.quantile(0.95));
+    line.append(",\"p99\":");
+    append_double(&line, h.quantile(0.99));
+    line.push_back('}');
+  }
+  line.push_back('}');
+  if (!alerts_json.empty()) {
+    line.append(",\"alerts\":");
+    line.append(alerts_json);
+  }
+  line.append("}\n");
+  os << line;
+}
+
+}  // namespace strings::obs

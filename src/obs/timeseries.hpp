@@ -1,0 +1,149 @@
+// obs::TimeSeries — windowed aggregation over the metrics registry (the
+// streaming half of the observability layer).
+//
+// The Registry is cumulative: counters only grow, histograms only fill.
+// TimeSeries turns that into fixed-width tumbling windows of *virtual* time:
+// at each window close it snapshots Registry::collect(), diffs against the
+// previous close, and derives per-window statistics —
+//
+//   scalar series (counters + gauges): value at close, delta over the window
+//     (rate = delta / window seconds is derived on demand);
+//   histograms: per-window cumulative bucket counts (the delta of cumulative
+//     buckets is itself cumulative over buckets), from which interpolated
+//     window-local quantiles (p50/p95/p99) fall out.
+//
+// Windows are retained in a bounded ring (Config::retain) and handed to a
+// sink as they close, so a consumer can stream them out (JSONL, one line per
+// window) without waiting for run end. The sampling cadence rides on
+// Simulation::schedule_weak — the owner (workloads::Testbed) re-arms a weak
+// tick, so enabling the stream never extends a run.
+//
+// Everything here is a pure function of registry content and virtual time:
+// no wall clock, no randomness — a streamed .jsonl is byte-identical across
+// repeated runs (pinned by tests/stream_zero_overhead_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "simcore/sim_time.hpp"
+
+namespace strings::obs {
+
+/// One scalar series' state at a window close.
+struct SeriesPoint {
+  double value = 0.0;  // cumulative value at window close
+  double delta = 0.0;  // change over this window
+};
+
+/// One histogram's activity within a single window.
+struct WindowHistogram {
+  /// Finite upper bounds, ascending (parsed back from the registry's
+  /// le_<bound> fields, so the stream needs no side channel to the
+  /// Histogram objects).
+  std::vector<double> bounds;
+  /// Cumulative observation counts within this window: cum[i] observations
+  /// <= bounds[i]; the final entry is the +inf bucket (== count).
+  std::vector<std::int64_t> cum;
+  std::int64_t count = 0;  // observations recorded in this window
+  double sum = 0.0;        // sum of observations in this window
+
+  double mean() const { return count > 0 ? sum / double(count) : 0.0; }
+  /// Window-local interpolated quantile; see histogram_quantile.
+  double quantile(double q) const;
+};
+
+/// Prometheus-style histogram quantile: finds the first bucket whose
+/// cumulative count reaches q * total and interpolates linearly within its
+/// [lower, upper] bounds. Observations beyond the last finite bound clamp
+/// to it (the +inf bucket has no width to interpolate in). Returns 0 when
+/// the histogram is empty.
+double histogram_quantile(const std::vector<double>& bounds,
+                          const std::vector<std::int64_t>& cum, double q);
+
+/// One closed tumbling window: [start, end) in virtual time.
+struct Window {
+  std::uint64_t index = 0;
+  sim::SimTime start = 0;
+  sim::SimTime end = 0;
+  /// Closed by TimeSeries::close_window with partial=true (run drained
+  /// before the next full-width tick).
+  bool partial = false;
+  /// Every scalar instrument (counters and gauges), keyed by metric name.
+  /// The JSONL writer emits only entries whose value changed this window;
+  /// the in-memory map stays complete so rule evaluation can read values
+  /// that happen to be flat.
+  std::map<std::string, SeriesPoint> series;
+  /// Histograms that recorded at least one observation this window.
+  std::map<std::string, WindowHistogram> hists;
+
+  double seconds() const { return sim::to_seconds(end - start); }
+};
+
+/// Evaluates one reducer over one series of a closed window. Reducers:
+///   value | delta | rate  — scalar series (rate is delta per second; for a
+///                           histogram name these read the window count)
+///   mean | p50 | p95 | p99 — histogram series (window-local)
+/// Returns nullopt when the series is absent from the window (no data) or
+/// the reducer does not apply — SLO rules skip silently in that case.
+std::optional<double> reduce_window(const Window& w, const std::string& series,
+                                    const std::string& reducer);
+
+/// True when `reducer` is one of the names reduce_window understands.
+bool is_valid_reducer(const std::string& reducer);
+
+class TimeSeries {
+ public:
+  struct Config {
+    /// Tumbling window width (virtual time).
+    sim::SimTime window = sim::msec(10);
+    /// Closed windows kept in memory (windows() ring); the stream sink sees
+    /// every window regardless.
+    std::size_t retain = 256;
+  };
+
+  explicit TimeSeries(Config config);
+
+  const Config& config() const { return config_; }
+
+  /// Closes the window ending at `end` over the registry's current state
+  /// and returns it. `end` must be strictly greater than the previous
+  /// close. The returned reference is valid until the next close_window
+  /// call evicts it from the ring.
+  const Window& close_window(const Registry& registry, sim::SimTime end,
+                             bool partial = false);
+
+  /// End of the last closed window (0 before the first close).
+  sim::SimTime last_end() const { return last_end_; }
+  /// Total windows closed (monotonic; unaffected by ring eviction).
+  std::uint64_t windows_closed() const { return next_index_; }
+  /// The retained ring, oldest first.
+  const std::deque<Window>& windows() const { return ring_; }
+
+ private:
+  Config config_;
+  std::uint64_t next_index_ = 0;
+  sim::SimTime last_end_ = 0;
+  /// Previous close's cumulative state, keyed by metric name.
+  std::map<std::string, double> prev_scalar_;
+  std::map<std::string, std::vector<std::int64_t>> prev_hist_cum_;
+  std::map<std::string, double> prev_hist_sum_;
+  std::deque<Window> ring_;
+};
+
+/// Renders one window as a single line-delimited JSON object
+/// ("strings.stream.v1"): changed scalar series (value + delta), window
+/// histogram quantiles, and — when `alerts_json` is a non-empty JSON array
+/// (see render_alerts_json) — the window's SLO alerts. Terminated with
+/// '\n'; deterministic field order (std::map iteration + fixed printf
+/// formats).
+void write_stream_line(std::ostream& os, const Window& w,
+                       const std::string& alerts_json = std::string());
+
+}  // namespace strings::obs

@@ -51,10 +51,26 @@ struct EventRecord {
 
 class CalendarQueue {
  public:
+  /// Lifetime operation counters, for the sim/... telemetry stream. All
+  /// derived from queue content only — reading them never perturbs
+  /// behaviour, so instrumented and uninstrumented runs stay identical.
+  struct Stats {
+    std::uint64_t pushes = 0;
+    std::uint64_t pops = 0;
+    /// Content-triggered width retunes considered (fat-bucket signature).
+    std::uint64_t retunes = 0;
+    /// Full rebuilds actually performed (resize or retune past hysteresis).
+    std::uint64_t rebuilds = 0;
+    /// Worst calendar-scan length (buckets examined) of any locate_min.
+    std::uint64_t max_bucket_scan = 0;
+  };
+
   CalendarQueue() : buckets_(kMinBuckets) {}
 
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
+  std::size_t bucket_count() const { return buckets_.size(); }
+  const Stats& stats() const { return stats_; }
 
   void push(EventRecord ev) {
     push(ev.time, ev.seq, std::move(ev.fn), ev.weak);
@@ -84,6 +100,7 @@ class CalendarQueue {
     }
     ++size_;
     ++ops_since_rebuild_;
+    ++stats_.pushes;
     const std::size_t live = b.items.size() - b.head;
     if (size_ > buckets_.size() * 4 && buckets_.size() < kMaxBuckets) {
       resize(buckets_.size() * 2);
@@ -106,6 +123,7 @@ class CalendarQueue {
     EventRecord ev = std::move(b->items[b->head]);
     b->advance();
     --size_;
+    ++stats_.pops;
     floor_ = ev.time;
     if (size_ < buckets_.size() && buckets_.size() > kMinBuckets) {
       resize(buckets_.size() / 2);
@@ -167,11 +185,16 @@ class CalendarQueue {
     for (std::size_t scanned = 0; scanned < nb; ++scanned) {
       Bucket& b = buckets_[idx];
       if (!b.empty() && b.front().time < day_end) {
+        stats_.max_bucket_scan =
+            std::max(stats_.max_bucket_scan, std::uint64_t{scanned + 1});
         return &b;
       }
       idx = (idx + 1) & (nb - 1);
       day_end += width();
     }
+    // A full lap plus the direct search below touches every bucket once.
+    stats_.max_bucket_scan =
+        std::max(stats_.max_bucket_scan, std::uint64_t{2 * nb});
     // Direct search: earliest front across all buckets (each bucket's front
     // is its minimum). Ties on time cannot span buckets, so comparing
     // times of fronts is enough.
@@ -191,6 +214,7 @@ class CalendarQueue {
   void resize(std::size_t new_buckets) { rebuild(new_buckets, pick_width()); }
 
   void retune() {
+    ++stats_.retunes;
     const SimTime w = pick_width();
     std::int64_t log2 = 0;
     while ((SimTime{1} << log2) < w) ++log2;
@@ -226,6 +250,7 @@ class CalendarQueue {
   }
 
   void rebuild(std::size_t new_buckets, SimTime new_width) {
+    ++stats_.rebuilds;
     std::vector<Bucket> old = std::move(buckets_);
     buckets_.clear();
     buckets_.resize(new_buckets);
@@ -266,6 +291,7 @@ class CalendarQueue {
   /// calendar scan starts from this day.
   SimTime floor_ = 0;
   std::size_t size_ = 0;
+  Stats stats_;
 };
 
 }  // namespace strings::sim

@@ -27,6 +27,7 @@ Process::Process(Simulation& sim, std::string name, std::function<void()> body)
 
 void Process::start() {
   fiber_ = std::make_unique<Fiber>(&Process::fiber_entry, this);
+  ++sim_.kernel_stats_.fibers_spawned;
 }
 
 void Process::fiber_entry(void* self) {
@@ -50,9 +51,13 @@ void Process::fiber_main() {
   std::abort();  // finished processes are never resumed
 }
 
-void Process::resume() { sim_.kernel_fiber_.switch_to(*fiber_); }
+void Process::resume() {
+  ++sim_.kernel_stats_.fiber_resumes;
+  sim_.kernel_fiber_.switch_to(*fiber_);
+}
 
 void Process::suspend() {
+  ++sim_.kernel_stats_.fiber_parks;
   fiber_->switch_to(sim_.kernel_fiber_);
   if (killed_) throw ProcessKilled{};
 }

@@ -102,6 +102,14 @@ class Process {
 /// The simulation kernel. Not copyable or movable; components hold references.
 class Simulation {
  public:
+  /// Lifetime fiber-activity counters, for the sim/... telemetry stream.
+  /// Purely observational: nothing in the kernel reads them back.
+  struct KernelStats {
+    std::uint64_t fibers_spawned = 0;
+    std::uint64_t fiber_parks = 0;    // process suspensions
+    std::uint64_t fiber_resumes = 0;  // switches into a process fiber
+  };
+
   Simulation();
   ~Simulation();
   Simulation(const Simulation&) = delete;
@@ -169,6 +177,15 @@ class Simulation {
   /// Total events executed so far (wall-clock throughput denominators).
   std::uint64_t events_executed() const { return events_executed_; }
 
+  /// Fiber-activity counters (spawns, parks, resumes).
+  const KernelStats& kernel_stats() const { return kernel_stats_; }
+  /// The event queue's operation counters (pushes, pops, retunes, ...).
+  const CalendarQueue::Stats& queue_stats() const { return queue_.stats(); }
+  /// Events currently queued (weak and non-weak).
+  std::size_t queue_size() const { return queue_.size(); }
+  /// Current calendar-queue bucket count (geometry adapts to load).
+  std::size_t queue_buckets() const { return queue_.bucket_count(); }
+
   /// True while the Simulation destructor is unwinding blocked processes.
   /// Long-lived components use this to skip blocking work in destructors.
   bool tearing_down() const { return tearing_down_; }
@@ -204,6 +221,7 @@ class Simulation {
   std::exception_ptr pending_error_;
   int live_processes_ = 0;
   bool tearing_down_ = false;
+  KernelStats kernel_stats_;
 };
 
 /// A virtual-time condition variable. Processes block on it; any context may

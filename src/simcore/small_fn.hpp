@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <memory>
 #include <new>
@@ -22,6 +23,17 @@
 #include <utility>
 
 namespace strings::sim {
+
+/// Process-wide count of SmallFn constructions that spilled to the heap.
+/// The kernel's perf story depends on this staying at zero for every
+/// closure the event loop schedules (docs/simcore.md); the telemetry
+/// stream exports it as sim/smallfn_heap_fallbacks and
+/// bench/micro_benchmarks asserts it stays flat across a packet-delivery
+/// run. Plain (non-atomic) because the kernel is single-threaded in fact.
+inline std::uint64_t& small_fn_heap_fallbacks() {
+  static std::uint64_t count = 0;
+  return count;
+}
 
 class SmallFn {
  public:
@@ -44,6 +56,7 @@ class SmallFn {
     } else {
       ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
       ops_ = &heap_ops<Fn>;
+      ++small_fn_heap_fallbacks();
     }
   }
 

@@ -161,6 +161,12 @@ ScenarioConfig parse_scenario(std::istream& in) {
         cfg.testbed.sampler_epoch = sim::msec(to_int(line, value));
       } else if (key == "analyze") {
         cfg.testbed.analyze = to_bool(line, value);
+      } else if (key == "stream") {
+        cfg.testbed.stream = to_bool(line, value);
+      } else if (key == "stream_window_ms") {
+        const int ms = to_int(line, value);
+        if (ms <= 0) fail(line, "stream_window_ms must be positive");
+        cfg.testbed.stream_window = sim::msec(ms);
       } else if (key == "cpu_fallback") {
         cfg.testbed.cpu_fallback_devices = to_bool(line, value);
       } else if (key == "placement") {
@@ -279,10 +285,52 @@ ScenarioRunResult run_scenario_config_full(const ScenarioConfig& cfg,
     run_cfg.testbed.trace = true;
   }
   if (!artifacts.analysis_path.empty()) run_cfg.testbed.analyze = true;
+  if (!artifacts.stream_path.empty() || !artifacts.slo_rules_path.empty()) {
+    run_cfg.testbed.stream = true;
+  }
   sim::Simulation sim;
   Testbed bed(sim, run_cfg.testbed);
+  // Streaming exporter: open (and fail) before the run, flush per window so
+  // a live consumer (tools/strings_top --follow) sees each line as it
+  // closes.
+  std::ofstream stream_out;
+  if (!artifacts.stream_path.empty()) {
+    stream_out.open(artifacts.stream_path);
+    if (!stream_out) {
+      throw std::runtime_error("cannot write stream file: " +
+                               artifacts.stream_path);
+    }
+  }
+  if (!artifacts.slo_rules_path.empty()) {
+    bed.attach_slo(obs::load_slo_rules(artifacts.slo_rules_path));
+  }
+  if (artifacts.wall_clock_ms) bed.set_wall_clock(artifacts.wall_clock_ms);
+  if (stream_out.is_open()) {
+    bed.set_stream_sink([&stream_out](const obs::Window& w,
+                                      const std::vector<obs::SloAlert>& a) {
+      obs::write_stream_line(stream_out, w,
+                             a.empty() ? "" : obs::render_alerts_json(a));
+      stream_out.flush();
+    });
+  }
   ScenarioRunResult result;
   result.streams = run_streams(bed, run_cfg.streams);
+  // Close the trailing window (the weak tick dies with the last real
+  // event) before any export reads the registry or the alert log.
+  bed.finalize_stream();
+  if (bed.watchdog() != nullptr) {
+    result.slo_warns = bed.watchdog()->warn_count();
+    result.slo_fails = bed.watchdog()->fail_count();
+    result.slo_hard_violations = bed.watchdog()->hard_violations();
+    if (!artifacts.alerts_path.empty()) {
+      std::ofstream out(artifacts.alerts_path);
+      if (!out) {
+        throw std::runtime_error("cannot write alerts file: " +
+                                 artifacts.alerts_path);
+      }
+      obs::write_alerts_jsonl(out, bed.watchdog()->alerts());
+    }
+  }
   if (!artifacts.prof_path.empty() && bed.tracer() != nullptr) {
     // Profile before the metrics export so prof/... instruments land in
     // the CSV too.

@@ -22,6 +22,8 @@
 //   trace = false             # observability spans (run_scenario --trace)
 //   sampler_epoch_ms = 1      # utilization/queue-depth sampling period
 //   analyze = false           # invariant checker (run_scenario --analyze)
+//   stream = false            # streaming telemetry (run_scenario --stream)
+//   stream_window_ms = 10     # telemetry tumbling-window width
 //
 //   [stream]
 //   app = MC                  # Table I abbreviation
@@ -41,6 +43,8 @@
 // streams. See bench/run_scenario for the command-line driver.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <istream>
 #include <stdexcept>
 #include <string>
@@ -95,6 +99,11 @@ struct ScenarioRunResult {
   /// Requests the profiler saw issued but never completed (only populated
   /// when a prof report was requested) — run_scenario exits 4 on > 0.
   int prof_incomplete_requests = 0;
+  /// SLO watchdog tallies (only populated when rules were loaded) —
+  /// run_scenario exits 5 when slo_hard_violations > 0.
+  std::int64_t slo_warns = 0;
+  std::int64_t slo_fails = 0;
+  std::int64_t slo_hard_violations = 0;
 };
 
 /// Output files a scenario run should produce; empty path = skip.
@@ -103,6 +112,14 @@ struct RunArtifacts {
   std::string metrics_path;   // metrics-registry CSV
   std::string analysis_path;  // analysis report (forces the analyzer on)
   std::string prof_path;      // profiler report (forces trace on)
+  std::string stream_path;    // telemetry JSONL (forces streaming on)
+  std::string slo_rules_path;  // SLO rule file (forces streaming on)
+  std::string alerts_path;     // SLO alerts JSONL (needs slo_rules_path)
+  /// Optional wall-clock source (milliseconds, any epoch) for the
+  /// sim/wall_ms_per_window gauge. Only the bench layer may install one
+  /// (src code never reads the wall clock); when unset the stream is
+  /// byte-reproducible across runs.
+  std::function<double()> wall_clock_ms;
 };
 
 /// The full-fat runner behind `run_scenario`: optional Chrome trace JSON,

@@ -80,6 +80,7 @@ std::shared_ptr<std::vector<StreamStats>> start_streams(
               stats_row->total_service += r.elapsed();
               stats_row->makespan = std::max(stats_row->makespan, r.finished);
               stats_row->response_times.push_back(response);
+              bed.observe_request(cfg.tenant, response, r.elapsed(), r.errors);
             }
           });
     }

@@ -182,6 +182,7 @@ Testbed::Testbed(sim::Simulation& sim, TestbedConfig config)
       });
     }
     register_metrics();
+    if (config_.stream) init_stream();
     return;
   }
 
@@ -231,6 +232,7 @@ Testbed::Testbed(sim::Simulation& sim, TestbedConfig config)
     sampled_busy_.assign(static_cast<std::size_t>(service_->gmap().size()), 0);
     sim_.schedule_weak(config_.sampler_epoch, [this] { sample_tick(); });
   }
+  if (config_.stream) init_stream();
 }
 
 void Testbed::register_metrics() {
@@ -352,6 +354,132 @@ void Testbed::sample_tick() {
     }
   }
   sim_.schedule_weak(config_.sampler_epoch, [this] { sample_tick(); });
+}
+
+void Testbed::init_stream() {
+  obs::TimeSeries::Config ts;
+  ts.window = config_.stream_window;
+  ts.retain = config_.stream_retain;
+  timeseries_ = std::make_unique<obs::TimeSeries>(ts);
+  register_sim_metrics();
+  sim_.schedule_weak(config_.stream_window, [this] { stream_tick(); });
+}
+
+void Testbed::register_sim_metrics() {
+  sim::Simulation* sim = &sim_;
+  registry_.gauge_fn("sim/events_executed",
+                     [sim] { return double(sim->events_executed()); });
+  registry_.gauge_fn("sim/fibers/spawned", [sim] {
+    return double(sim->kernel_stats().fibers_spawned);
+  });
+  registry_.gauge_fn("sim/fibers/parks", [sim] {
+    return double(sim->kernel_stats().fiber_parks);
+  });
+  registry_.gauge_fn("sim/fibers/resumes", [sim] {
+    return double(sim->kernel_stats().fiber_resumes);
+  });
+  registry_.gauge_fn("sim/queue/occupancy",
+                     [sim] { return double(sim->queue_size()); });
+  registry_.gauge_fn("sim/queue/buckets",
+                     [sim] { return double(sim->queue_buckets()); });
+  registry_.gauge_fn("sim/queue/pushes",
+                     [sim] { return double(sim->queue_stats().pushes); });
+  registry_.gauge_fn("sim/queue/pops",
+                     [sim] { return double(sim->queue_stats().pops); });
+  registry_.gauge_fn("sim/queue/retunes",
+                     [sim] { return double(sim->queue_stats().retunes); });
+  registry_.gauge_fn("sim/queue/rebuilds",
+                     [sim] { return double(sim->queue_stats().rebuilds); });
+  registry_.gauge_fn("sim/queue/max_bucket_scan", [sim] {
+    return double(sim->queue_stats().max_bucket_scan);
+  });
+  // Baseline-relative, so earlier deployments in the same process (the
+  // SmallFn counter is process-global) don't bleed into this run's number.
+  const std::uint64_t smallfn_base = sim::small_fn_heap_fallbacks();
+  registry_.gauge_fn("sim/smallfn_heap_fallbacks", [smallfn_base] {
+    return double(sim::small_fn_heap_fallbacks() - smallfn_base);
+  });
+  // Settable: updated by emit_window from the injected wall clock (bench
+  // layer only); stays 0 — and therefore out of the stream — without one.
+  registry_.gauge("sim/wall_ms_per_window").set(0.0);
+}
+
+void Testbed::attach_slo(std::vector<obs::SloRule> rules) {
+  if (timeseries_ == nullptr) {
+    throw std::logic_error("attach_slo requires TestbedConfig::stream");
+  }
+  watchdog_ = std::make_unique<obs::SloWatchdog>(std::move(rules));
+}
+
+void Testbed::set_stream_sink(StreamSink sink) {
+  stream_sink_ = std::move(sink);
+}
+
+void Testbed::set_wall_clock(std::function<double()> wall_ms) {
+  wall_clock_ms_ = std::move(wall_ms);
+  if (wall_clock_ms_) last_wall_ms_ = wall_clock_ms_();
+}
+
+void Testbed::stream_tick() {
+  emit_window(/*partial=*/false);
+  sim_.schedule_weak(config_.stream_window, [this] { stream_tick(); });
+}
+
+void Testbed::finalize_stream() {
+  if (timeseries_ == nullptr) return;
+  const sim::SimTime tail = sim_.now() - timeseries_->last_end();
+  if (tail <= 0) return;
+  // The weak tick dies with the last real event; close what it missed. A
+  // tail of exactly one window width is a full window that never ticked.
+  emit_window(/*partial=*/tail < config_.stream_window);
+}
+
+void Testbed::emit_window(bool partial) {
+  if (timeseries_ == nullptr) return;
+  if (wall_clock_ms_) {
+    const double wall = wall_clock_ms_();
+    registry_.gauge("sim/wall_ms_per_window").set(wall - last_wall_ms_);
+    last_wall_ms_ = wall;
+  }
+  const obs::Window& w =
+      timeseries_->close_window(registry_, sim_.now(), partial);
+  std::vector<obs::SloAlert> alerts;
+  if (watchdog_ != nullptr) {
+    alerts = watchdog_->evaluate(w);
+    for (const auto& a : alerts) {
+      // Counters register lazily on the first alert of each (rule,
+      // severity); they surface in the next window and the metrics CSV.
+      registry_.counter("slo/" + a.rule + "/" + a.severity).inc();
+      if (tracer_ != nullptr) {
+        if (slo_track_ < 0) {
+          slo_track_ = tracer_->add_track(
+              tracer_->add_process("slo", /*sort_index=*/-1), "alerts");
+        }
+        tracer_->instant(slo_track_, a.severity + " " + a.rule, w.end,
+                         {{"series", a.series},
+                          {"value", std::to_string(a.value)},
+                          {"threshold", std::to_string(a.threshold)}});
+      }
+    }
+  }
+  if (stream_sink_) stream_sink_(w, alerts);
+}
+
+void Testbed::observe_request(const std::string& tenant, sim::SimTime response,
+                              sim::SimTime service, int errors) {
+  if (timeseries_ == nullptr) return;
+  const std::string pre = "tenant/" + tenant + "/";
+  registry_.counter(pre + "completed").inc();
+  if (errors > 0) registry_.counter(pre + "errors").inc(errors);
+  registry_.histogram(pre + "response_ms", obs::wide_latency_buckets_ms())
+      .observe(sim::to_millis(response));
+  const sim::SimTime queued = response - service;
+  registry_.histogram(pre + "queue_ms", obs::wide_latency_buckets_ms())
+      .observe(sim::to_millis(queued > 0 ? queued : 0));
+  if (service > 0) {
+    registry_.histogram(pre + "slowdown", obs::slowdown_buckets())
+        .observe(double(response) / double(service));
+  }
 }
 
 Testbed::~Testbed() = default;

@@ -30,6 +30,8 @@
 #include "frontend/interposer.hpp"
 #include "gpu/gpu_device.hpp"
 #include "obs/registry.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "simcore/flat_map.hpp"
 #include "simcore/simulation.hpp"
@@ -66,6 +68,16 @@ struct TestbedConfig {
   /// queue depth as counter tracks (only runs when `trace` is set; 0
   /// disables sampling).
   sim::SimTime sampler_epoch = sim::msec(1);
+  /// Streaming telemetry: windowed aggregation of the metrics registry
+  /// (obs::TimeSeries) on a weak tick, plus per-tenant request instruments
+  /// and the sim/... kernel self-metrics. Off by default — a disabled run
+  /// is bit-for-bit identical to one without the pipeline (pinned by
+  /// tests/stream_zero_overhead_test).
+  bool stream = false;
+  /// Tumbling-window width of the telemetry stream (virtual time).
+  sim::SimTime stream_window = sim::msec(10);
+  /// Closed windows retained in memory (the sink sees every window).
+  std::size_t stream_retain = 256;
   /// Ablation knobs (apply to Strings / Design-II modes; Rain always runs
   /// without conversions and with blocking RPC, as the real Rain did).
   bool convert_sync_to_async = true;
@@ -153,6 +165,33 @@ class Testbed final : public frontend::SchedulerDirectory {
   /// scheduler, daemon, and device instruments are registered under the
   /// node{N}/... and control_plane/... namespaces.
   obs::Registry& metrics_registry() { return registry_; }
+  /// Populated when TestbedConfig::stream is set; nullptr otherwise.
+  obs::TimeSeries* timeseries() { return timeseries_.get(); }
+  /// Populated by attach_slo(); nullptr otherwise.
+  obs::SloWatchdog* watchdog() { return watchdog_.get(); }
+  /// Installs the SLO watchdog (requires TestbedConfig::stream). Each
+  /// closed window is evaluated against `rules`; alerts bump slo/...
+  /// counters, emit trace instants (when tracing), and reach the sink.
+  void attach_slo(std::vector<obs::SloRule> rules);
+  /// Called with every closed window (and its alerts) as it closes — the
+  /// streaming exporter hook. The Window reference is valid for the call.
+  using StreamSink = std::function<void(const obs::Window&,
+                                        const std::vector<obs::SloAlert>&)>;
+  void set_stream_sink(StreamSink sink);
+  /// Injects a wall-clock source (milliseconds, any epoch) for the
+  /// sim/wall_ms_per_window gauge. Only the bench layer installs this —
+  /// src code never reads the wall clock (determinism lint DL001) and the
+  /// default stream stays byte-reproducible without it.
+  void set_wall_clock(std::function<double()> wall_ms);
+  /// Closes the trailing window after the run drains (the weak tick dies
+  /// with the last real event). Partial if the tail is shorter than a full
+  /// window. No-op when streaming is off or nothing is pending.
+  void finalize_stream();
+  /// Request-completion hook for per-tenant SLO instruments (completed /
+  /// errors counters, response/queue/slowdown histograms under
+  /// tenant/<name>/...). No-op unless streaming is on.
+  void observe_request(const std::string& tenant, sim::SimTime response,
+                       sim::SimTime service, int errors);
   cuda::CudaRuntime& runtime(core::NodeId node) {
     return *runtimes_.at(static_cast<std::size_t>(node));
   }
@@ -175,6 +214,19 @@ class Testbed final : public frontend::SchedulerDirectory {
   /// One sampler tick: emit per-GPU utilization and queue-depth counters
   /// onto the trace, then weakly re-arm.
   void sample_tick();
+  /// Creates the TimeSeries, registers the sim/... self-metrics, and arms
+  /// the weak stream tick. Called from the constructor when
+  /// TestbedConfig::stream is set.
+  void init_stream();
+  /// Registers the sim/... kernel self-metrics (fiber counters, calendar-
+  /// queue stats, SmallFn heap fallbacks) — only when streaming is on, so
+  /// the metrics CSV of a non-streaming run is untouched.
+  void register_sim_metrics();
+  /// One stream tick: close the current window, then weakly re-arm.
+  void stream_tick();
+  /// Closes one window ending now: watchdog evaluation, slo/... counters,
+  /// trace instants, sink delivery.
+  void emit_window(bool partial);
 
   sim::Simulation& sim_;
   TestbedConfig config_;
@@ -192,6 +244,13 @@ class Testbed final : public frontend::SchedulerDirectory {
   std::unique_ptr<sim::TraceLog> trace_log_;
   std::unique_ptr<obs::Tracer> tracer_;
   obs::Registry registry_;
+  std::unique_ptr<obs::TimeSeries> timeseries_;
+  std::unique_ptr<obs::SloWatchdog> watchdog_;
+  StreamSink stream_sink_;
+  std::function<double()> wall_clock_ms_;
+  double last_wall_ms_ = 0.0;
+  /// Trace track for SLO alert instants, created on first alert.
+  int slo_track_ = -1;
   std::vector<std::unique_ptr<backend::BackendDaemon>> daemons_;
   std::uint64_t next_app_id_ = 1;
   /// Sampler bookkeeping: last-seen busy-time totals per GID, for

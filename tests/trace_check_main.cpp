@@ -1,8 +1,11 @@
-// trace_check: standalone validator for exported Chrome trace-event JSON,
-// used by the CI fixture (ctest runs `run_scenario --trace` on a scenario
-// file, then this tool) and handy for eyeballing bench artifacts.
+// trace_check: standalone validator for exported observability artifacts,
+// used by the CI fixtures (ctest runs `run_scenario --trace`/`--stream`/
+// `--slo` on a scenario file, then this tool) and handy for eyeballing
+// bench artifacts.
 //
-//   $ trace_check out.json
+//   $ trace_check out.json             # Chrome trace-event JSON
+//   $ trace_check --stream out.jsonl   # strings.stream.v1 telemetry lines
+//   $ trace_check --alerts out.jsonl   # strings.alert.v1 SLO alert lines
 //
 // Checks, in order:
 //   1. the file is syntactically valid JSON (full recursive-descent parse —
@@ -195,11 +198,85 @@ int check_failed(const std::string& path, const std::string& what) {
   return 1;
 }
 
+/// One JSONL line: must be a standalone JSON object carrying `schema` and
+/// every name in `required`. `strings` collects across lines.
+bool check_jsonl_line(const std::string& line, const char* schema,
+                      const char* const* required, std::size_t n_required,
+                      std::string* why) {
+  std::set<std::string> strings;
+  Parser p{line, 0, "", 0, &strings};
+  if (!p.parse_value()) {
+    *why = "invalid JSON: " + p.error;
+    return false;
+  }
+  p.skip_ws();
+  if (p.pos != line.size()) {
+    *why = "trailing garbage after JSON object";
+    return false;
+  }
+  if (line.empty() || line.front() != '{') {
+    *why = "line is not a JSON object";
+    return false;
+  }
+  if (strings.count(schema) == 0) {
+    *why = std::string("missing schema marker '") + schema + "'";
+    return false;
+  }
+  for (std::size_t i = 0; i < n_required; ++i) {
+    if (strings.count(required[i]) == 0) {
+      *why = std::string("missing required field '") + required[i] + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Validates a line-delimited JSON artifact. Streams must carry at least
+/// one window; an alerts file may legitimately be empty (healthy run).
+int check_jsonl(const std::string& path, const char* schema,
+                const char* const* required, std::size_t n_required,
+                bool allow_empty) {
+  std::ifstream in(path);
+  if (!in) return check_failed(path, "cannot open file");
+  std::string line;
+  long long lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    std::string why;
+    if (!check_jsonl_line(line, schema, required, n_required, &why)) {
+      return check_failed(path,
+                          "line " + std::to_string(lines) + ": " + why);
+    }
+  }
+  if (lines == 0 && !allow_empty) {
+    return check_failed(path, "no JSON lines found");
+  }
+  std::printf("trace_check: %s OK (%lld %s lines)\n", path.c_str(), lines,
+              schema);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: trace_check <trace.json>\n");
+  if (argc == 3 && std::string(argv[1]) == "--stream") {
+    const char* required[] = {"window", "start_ms", "end_ms", "series",
+                              "quantiles"};
+    return check_jsonl(argv[2], "strings.stream.v1", required, 5,
+                       /*allow_empty=*/false);
+  }
+  if (argc == 3 && std::string(argv[1]) == "--alerts") {
+    const char* required[] = {"rule", "series", "severity", "window",
+                              "value", "threshold"};
+    return check_jsonl(argv[2], "strings.alert.v1", required, 6,
+                       /*allow_empty=*/true);
+  }
+  if (argc != 2 || argv[1][0] == '-') {
+    std::fprintf(stderr,
+                 "usage: trace_check <trace.json>\n"
+                 "       trace_check --stream <stream.jsonl>\n"
+                 "       trace_check --alerts <alerts.jsonl>\n");
     return 2;
   }
   const std::string path = argv[1];

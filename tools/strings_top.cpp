@@ -1,0 +1,458 @@
+// strings_top — dependency-free terminal dashboard over a telemetry stream.
+//
+// Consumes the line-delimited JSON written by `run_scenario --stream`
+// ("strings.stream.v1", one object per tumbling window; schema in
+// docs/observability.md) and renders per-GPU utilization, per-tenant
+// latency/slowdown, and SLO alert status per window.
+//
+//   strings_top --replay run.stream.jsonl     # print every window, then exit
+//   strings_top --replay --last run.jsonl     # print only the final state
+//   strings_top --follow run.stream.jsonl     # tail a live run (ANSI redraw)
+//
+// The stream only carries series whose value changed in a window, so the
+// dashboard folds lines into a latest-value map and renders from that.
+// Replay mode is deterministic (pure function of the file) and is what the
+// ctest smoke runs against the committed fixture; --follow polls the file
+// for appended lines (tools/ may sleep and read the wall clock — the
+// determinism lint governs src/ only).
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+// ----------------------------------------------------------- JSON parsing --
+// Minimal recursive-descent parser that flattens one stream line into
+// path -> number and path -> string maps ("series/node0/gpu1/dev/
+// compute_busy_ms/delta" -> 1.25). Array elements get numeric path
+// segments. Anything malformed fails the line, not the process.
+
+struct Flat {
+  std::map<std::string, double> nums;
+  std::map<std::string, std::string> strs;
+};
+
+class Parser {
+ public:
+  Parser(const std::string& text, Flat& out) : text_(text), out_(out) {}
+
+  bool parse() {
+    skip_ws();
+    if (!parse_value("")) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool parse_value(const std::string& path) {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(path);
+    if (c == '[') return parse_array(path);
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(&s)) return false;
+      out_.strs[path] = s;
+      return true;
+    }
+    if (c == 't') return literal("true", path, 1.0);
+    if (c == 'f') return literal("false", path, 0.0);
+    if (c == 'n') return literal("null", path, 0.0);
+    char* end = nullptr;
+    const double v = std::strtod(text_.c_str() + pos_, &end);
+    if (end == text_.c_str() + pos_) return false;
+    pos_ = static_cast<std::size_t>(end - text_.c_str());
+    out_.nums[path] = v;
+    return true;
+  }
+
+  bool literal(const char* word, const std::string& path, double value) {
+    const std::size_t n = std::strlen(word);
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    out_.nums[path] = value;
+    return true;
+  }
+
+  bool parse_object(const std::string& path) {
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      if (!parse_value(path.empty() ? key : path + "\x1f" + key)) {
+        return false;
+      }
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_array(const std::string& path) {
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    int index = 0;
+    while (true) {
+      if (!parse_value(path + "\x1f" + std::to_string(index++))) return false;
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) return false;
+            pos_ += 4;  // dashboard doesn't need non-ASCII fidelity
+            out->push_back('?');
+            break;
+          default: out->push_back(esc);
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  Flat& out_;
+};
+
+// -------------------------------------------------------------- dashboard --
+
+/// Splits a '\x1f'-joined flattened path back into segments. Metric names
+/// contain '/', which is why the flattener joins with a control byte.
+std::vector<std::string> split_path(const std::string& path) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t sep = path.find('\x1f', start);
+    if (sep == std::string::npos) {
+      out.push_back(path.substr(start));
+      return out;
+    }
+    out.push_back(path.substr(start, sep - start));
+    start = sep + 1;
+  }
+}
+
+struct GpuRow {
+  double busy_delta_ms = 0.0;  // compute+h2d+d2h busy over the last window
+  double kernels = 0.0;
+};
+
+struct TenantRow {
+  double completed = 0.0;
+  double errors = 0.0;
+  double p99_response_ms = 0.0;
+  double p99_slowdown = 0.0;
+  bool has_latency = false;
+};
+
+struct AlertLine {
+  std::string severity;
+  std::string rule;
+  std::string series;
+  double value = 0.0;
+  double threshold = 0.0;
+};
+
+/// Rolling dashboard state folded over stream lines.
+struct Dash {
+  double window = -1.0;
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  std::map<std::string, double> latest;        // series -> value
+  std::map<std::string, double> window_delta;  // series -> last delta seen
+  std::map<std::string, TenantRow> tenants;
+  std::vector<AlertLine> alerts;  // alerts of the latest window
+  long long hard_total = 0;
+
+  bool fold_line(const std::string& line) {
+    Flat flat;
+    if (!Parser(line, flat).parse()) return false;
+    const auto schema = flat.strs.find("schema");
+    if (schema == flat.strs.end() || schema->second != "strings.stream.v1") {
+      return false;
+    }
+    window = flat.nums.count("window") != 0 ? flat.nums["window"] : window;
+    start_ms = flat.nums.count("start_ms") != 0 ? flat.nums["start_ms"] : 0;
+    end_ms = flat.nums.count("end_ms") != 0 ? flat.nums["end_ms"] : 0;
+    window_delta.clear();
+    alerts.clear();
+    std::map<int, AlertLine> alert_by_index;
+    for (const auto& [path, v] : flat.nums) {
+      const auto seg = split_path(path);
+      if (seg.size() == 3 && seg[0] == "series") {
+        if (seg[2] == "value") latest[seg[1]] = v;
+        if (seg[2] == "delta") window_delta[seg[1]] = v;
+      } else if (seg.size() == 3 && seg[0] == "quantiles") {
+        // quantiles/<metric>/<stat>; per-tenant stats picked up below.
+        latest["q\x1f" + seg[1] + "\x1f" + seg[2]] = v;
+      } else if (seg.size() == 3 && seg[0] == "alerts") {
+        auto& a = alert_by_index[std::stoi(seg[1])];
+        if (seg[2] == "value") a.value = v;
+        if (seg[2] == "threshold") a.threshold = v;
+      }
+    }
+    for (const auto& [path, s] : flat.strs) {
+      const auto seg = split_path(path);
+      if (seg.size() == 3 && seg[0] == "alerts") {
+        auto& a = alert_by_index[std::stoi(seg[1])];
+        if (seg[2] == "severity") a.severity = s;
+        if (seg[2] == "rule") a.rule = s;
+        if (seg[2] == "series") a.series = s;
+      }
+    }
+    for (auto& [idx, a] : alert_by_index) {
+      if (a.severity == "hard") ++hard_total;
+      alerts.push_back(std::move(a));
+    }
+    rebuild_tenants();
+    return true;
+  }
+
+  void rebuild_tenants() {
+    tenants.clear();
+    for (const auto& [key, v] : latest) {
+      const auto seg = split_path(key);
+      if (seg.size() == 3 && seg[0] == "q") {
+        // Window quantiles of tenant histograms: tenant/<t>/<hist>.
+        const std::string& metric = seg[1];
+        if (metric.compare(0, 7, "tenant/") != 0) continue;
+        const std::size_t slash = metric.find('/', 7);
+        if (slash == std::string::npos) continue;
+        TenantRow& row = tenants[metric.substr(7, slash - 7)];
+        const std::string hist = metric.substr(slash + 1);
+        if (hist == "response_ms" && seg[2] == "p99") {
+          row.p99_response_ms = v;
+          row.has_latency = true;
+        } else if (hist == "slowdown" && seg[2] == "p99") {
+          row.p99_slowdown = v;
+        }
+      } else if (seg.size() == 1 &&
+                 seg[0].compare(0, 7, "tenant/") == 0) {
+        const std::string& metric = seg[0];
+        const std::size_t slash = metric.find('/', 7);
+        if (slash == std::string::npos) continue;
+        TenantRow& row = tenants[metric.substr(7, slash - 7)];
+        const std::string leaf = metric.substr(slash + 1);
+        if (leaf == "completed") row.completed = v;
+        if (leaf == "errors") row.errors = v;
+      }
+    }
+  }
+
+  std::map<std::string, GpuRow> gpus() const {
+    std::map<std::string, GpuRow> out;
+    auto leaf_of = [](const std::string& name, const char* suffix,
+                      std::string* gpu) {
+      // nodeN/gpuG/dev/<leaf>
+      const std::size_t dev = name.find("/dev/");
+      if (dev == std::string::npos) return false;
+      if (name.compare(dev + 5, std::string::npos, suffix) != 0) return false;
+      *gpu = name.substr(0, dev);
+      return true;
+    };
+    for (const auto& [name, delta] : window_delta) {
+      std::string gpu;
+      if (leaf_of(name, "compute_busy_ms", &gpu) ||
+          leaf_of(name, "h2d_busy_ms", &gpu) ||
+          leaf_of(name, "d2h_busy_ms", &gpu)) {
+        out[gpu].busy_delta_ms += delta;
+      } else if (leaf_of(name, "kernels_completed", &gpu)) {
+        out[gpu].kernels += delta;
+      }
+    }
+    // Idle GPUs still render (latest carries their lifetime totals).
+    for (const auto& [name, v] : latest) {
+      std::string gpu;
+      if (leaf_of(name, "compute_busy_ms", &gpu)) out[gpu];
+    }
+    return out;
+  }
+
+  void render(std::FILE* out) const {
+    const double span = end_ms - start_ms;
+    std::fprintf(out, "== strings_top · window %.0f · %.1f–%.1f ms ==\n",
+                 window, start_ms, end_ms);
+    std::fprintf(out, "%-18s %8s %10s\n", "GPU", "util%", "kernels");
+    for (const auto& [gpu, row] : gpus()) {
+      const double util =
+          span > 0 ? std::min(100.0, 100.0 * row.busy_delta_ms / span) : 0.0;
+      std::fprintf(out, "%-18s %8.1f %10.0f\n", gpu.c_str(), util,
+                   row.kernels);
+    }
+    std::fprintf(out, "%-18s %10s %8s %12s %12s\n", "TENANT", "completed",
+                 "errors", "p99 resp ms", "p99 slowdown");
+    for (const auto& [tenant, row] : tenants) {
+      std::fprintf(out, "%-18s %10.0f %8.0f", tenant.c_str(), row.completed,
+                   row.errors);
+      if (row.has_latency) {
+        std::fprintf(out, " %12.3f %12.2f\n", row.p99_response_ms,
+                     row.p99_slowdown);
+      } else {
+        std::fprintf(out, " %12s %12s\n", "-", "-");
+      }
+    }
+    if (alerts.empty()) {
+      std::fprintf(out, "SLO: ok (%lld hard total)\n", hard_total);
+    } else {
+      std::fprintf(out, "SLO alerts (%lld hard total):\n", hard_total);
+      for (const auto& a : alerts) {
+        std::fprintf(out, "  [%s] %s on %s: %.3f vs %.3f\n",
+                     a.severity.c_str(), a.rule.c_str(), a.series.c_str(),
+                     a.value, a.threshold);
+      }
+    }
+  }
+};
+
+int usage(std::FILE* out, int code) {
+  std::fprintf(out,
+               "usage: strings_top (--replay | --follow) [--last] "
+               "<stream.jsonl>\n"
+               "  --replay   render each window of the file, then exit\n"
+               "  --follow   tail the file for appended windows (Ctrl-C to "
+               "stop)\n"
+               "  --last     with --replay: render only the final window\n");
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool follow = false;
+  bool replay = false;
+  bool last_only = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--follow") {
+      follow = true;
+    } else if (arg == "--replay") {
+      replay = true;
+    } else if (arg == "--last") {
+      last_only = true;
+    } else if (arg == "-h" || arg == "--help") {
+      return usage(stdout, 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+      return usage(stderr, 2);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "error: more than one stream file given\n");
+      return usage(stderr, 2);
+    }
+  }
+  if (path.empty() || follow == replay) {
+    std::fprintf(stderr, "error: need exactly one of --replay/--follow and a "
+                         "stream file\n");
+    return usage(stderr, 2);
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return 1;
+  }
+
+  Dash dash;
+  std::string line;
+  long long parsed = 0;
+  long long bad = 0;
+  if (replay) {
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      if (!dash.fold_line(line)) {
+        ++bad;
+        continue;
+      }
+      ++parsed;
+      if (!last_only) dash.render(stdout);
+    }
+    if (parsed == 0) {
+      std::fprintf(stderr, "error: no stream.v1 lines in %s\n", path.c_str());
+      return 1;
+    }
+    if (last_only) dash.render(stdout);
+    if (bad > 0) {
+      std::fprintf(stderr, "(skipped %lld unparseable lines)\n", bad);
+    }
+    return 0;
+  }
+
+  // --follow: consume what exists, then poll for appends with an ANSI
+  // home-and-clear redraw per new window.
+  while (true) {
+    while (std::getline(in, line)) {
+      if (!line.empty() && dash.fold_line(line)) {
+        std::fprintf(stdout, "\x1b[H\x1b[2J");
+        dash.render(stdout);
+        std::fflush(stdout);
+      }
+    }
+    in.clear();  // EOF is transient while the producer is alive
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+}
