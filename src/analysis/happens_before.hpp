@@ -108,11 +108,11 @@ class HbTracker {
 
   // All three maps are lookup-only indexes; nothing iterates them into
   // exported output, so their key order never matters.
-  // determinism-lint: allow(pointer-keyed, lookup-only)
+  // NOLINT(DL004 lookup-only index, order never reaches output)
   std::map<const sim::Process*, Frame> processes_;
-  // determinism-lint: allow(pointer-keyed, lookup-only)
+  // NOLINT(DL004 lookup-only index, order never reaches output)
   std::map<const void*, std::deque<VectorClock>> mailboxes_;
-  // determinism-lint: allow(pointer-keyed, lookup-only)
+  // NOLINT(DL004 lookup-only index, order never reaches output)
   std::map<const void*, ObjectState> objects_;
   // Clock snapshots of scheduled-but-not-yet-run events, keyed by the
   // kernel's event sequence number, plus the scheduler's chain description.

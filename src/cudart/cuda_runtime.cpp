@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "simcore/flat_map.hpp"
+
 namespace strings::cuda {
 
 const char* cudaGetErrorString(cudaError_t err) {

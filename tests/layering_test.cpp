@@ -1,0 +1,180 @@
+// Keeps tools/layering.rules honest against the real src/ tree, in both
+// directions:
+//
+//  1. Every layer named in the rules is a real src/<layer> subsystem with a
+//     CMake target, and every non-header-only `allow from -> to` edge is
+//     backed by a target_link_libraries path from strings_<from> to
+//     strings_<to> (directly or transitively). A rules edge with no link
+//     path would let includes outrun the build graph.
+//  2. Running strings_lint --layering-summary over src/ must report zero
+//     violations AND zero unused allows: the DAG is exactly the set of
+//     include edges the code actually has — no drift in either direction.
+//
+// STRINGS_LINT_BIN and STRINGS_SOURCE_DIR come from tests/CMakeLists.txt.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <vector>
+
+namespace {
+
+std::string source(const std::string& rel) {
+  return std::string(STRINGS_SOURCE_DIR) + "/" + rel;
+}
+
+struct AllowEdge {
+  std::string from;
+  std::string to;
+  bool header_only = false;
+};
+
+std::vector<AllowEdge> load_rules(const std::string& path) {
+  std::vector<AllowEdge> edges;
+  std::ifstream in(path);
+  EXPECT_TRUE(static_cast<bool>(in)) << "cannot read " << path;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ss(line);
+    std::string kw, from, arrow, to, attr;
+    if (!(ss >> kw) || kw != "allow") continue;
+    ss >> from >> arrow >> to >> attr;
+    EXPECT_EQ(arrow, "->") << "malformed rules line: " << line;
+    edges.push_back({from, to, attr == "header-only"});
+  }
+  return edges;
+}
+
+// Direct link deps per layer, from `target_link_libraries(strings_<layer>
+// ... strings_<dep> ...)` in src/<layer>/CMakeLists.txt.
+std::map<std::string, std::set<std::string>> load_link_graph(
+    const std::set<std::string>& layers) {
+  std::map<std::string, std::set<std::string>> deps;
+  for (const std::string& layer : layers) {
+    std::ifstream in(source("src/" + layer + "/CMakeLists.txt"));
+    EXPECT_TRUE(static_cast<bool>(in))
+        << "layer '" << layer << "' in layering.rules has no src/" << layer
+        << "/CMakeLists.txt";
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    const std::string call = "target_link_libraries(strings_" + layer;
+    const std::size_t at = text.find(call);
+    if (at == std::string::npos) continue;
+    const std::size_t close = text.find(')', at);
+    std::istringstream args(text.substr(at + call.size(),
+                                        close - at - call.size()));
+    std::string tok;
+    while (args >> tok) {
+      if (tok.rfind("strings_", 0) == 0) deps[layer].insert(tok.substr(8));
+    }
+  }
+  return deps;
+}
+
+bool link_reachable(const std::map<std::string, std::set<std::string>>& deps,
+                    const std::string& from, const std::string& to) {
+  std::set<std::string> seen;
+  std::vector<std::string> stack = {from};
+  while (!stack.empty()) {
+    const std::string cur = stack.back();
+    stack.pop_back();
+    if (!seen.insert(cur).second) continue;
+    auto it = deps.find(cur);
+    if (it == deps.end()) continue;
+    for (const std::string& d : it->second) {
+      if (d == to) return true;
+      stack.push_back(d);
+    }
+  }
+  return false;
+}
+
+TEST(Layering, EveryRuleLayerIsARealSubsystem) {
+  const std::vector<AllowEdge> edges = load_rules(source("tools/layering.rules"));
+  ASSERT_FALSE(edges.empty());
+  std::set<std::string> layers;
+  for (const auto& e : edges) {
+    layers.insert(e.from);
+    layers.insert(e.to);
+  }
+  for (const std::string& layer : layers) {
+    std::ifstream in(source("src/" + layer + "/CMakeLists.txt"));
+    EXPECT_TRUE(static_cast<bool>(in))
+        << "layering.rules names layer '" << layer
+        << "' but src/" << layer << " is not a CMake subsystem";
+  }
+}
+
+TEST(Layering, AllowEdgesAreBackedByTheCmakeLinkGraph) {
+  const std::vector<AllowEdge> edges = load_rules(source("tools/layering.rules"));
+  std::set<std::string> layers;
+  for (const auto& e : edges) {
+    layers.insert(e.from);
+    layers.insert(e.to);
+  }
+  const auto deps = load_link_graph(layers);
+
+  int header_only = 0;
+  for (const auto& e : edges) {
+    if (e.header_only) {
+      ++header_only;
+      // A header-only edge is the explicit exception: the include exists but
+      // the link edge must NOT (otherwise drop the attribute).
+      EXPECT_FALSE(link_reachable(deps, e.from, e.to))
+          << "allow " << e.from << " -> " << e.to << " is marked header-only "
+          << "but strings_" << e.to << " is link-reachable from strings_"
+          << e.from << " — remove the header-only attribute";
+      continue;
+    }
+    EXPECT_TRUE(link_reachable(deps, e.from, e.to))
+        << "allow " << e.from << " -> " << e.to << " has no "
+        << "target_link_libraries path from strings_" << e.from
+        << " to strings_" << e.to;
+  }
+  // The one sanctioned include-only edge today: policies -> core.
+  EXPECT_EQ(header_only, 1);
+}
+
+TEST(Layering, SrcTreeMatchesTheDagExactly) {
+  const std::string out = testing::TempDir() + "src_layering_summary.txt";
+  const std::string cmd = std::string(STRINGS_LINT_BIN) + " --layering " +
+                          source("tools/layering.rules") +
+                          " --layering-summary " + out + " " + source("src") +
+                          " 2>&1";
+  FILE* p = popen(cmd.c_str(), "r");
+  ASSERT_NE(p, nullptr);
+  std::string output;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = fread(buf, 1, sizeof(buf), p)) > 0) output.append(buf, got);
+  const int status = pclose(p);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0) << output;
+
+  std::ifstream in(out);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  ASSERT_FALSE(text.empty());
+  // No include edge outside the DAG, and no allow edge the code stopped
+  // using — the rules file tracks reality exactly.
+  EXPECT_NE(text.find("violations=0 unused_allows=0"), std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("VIOLATION"), std::string::npos) << text;
+  EXPECT_EQ(text.find("unused-allow"), std::string::npos) << text;
+
+  // Spot-pin the anomalous edge: policies include core (header-only) while
+  // core LINKS policies — both directions must stay visible to the tool.
+  EXPECT_NE(text.find("edge policies core uses="), std::string::npos) << text;
+  EXPECT_NE(text.find("edge core policies uses="), std::string::npos) << text;
+}
+
+}  // namespace

@@ -1,0 +1,5 @@
+// DL001 negative: clock names in comments and strings are not code.
+// std::chrono::steady_clock::now() would be a finding if it were code.
+/* so would high_resolution_clock or gettimeofday(&tv, nullptr) */
+static const char* kDoc = "system_clock, steady_clock, time(nullptr)";
+bool dl001_neg() { return kDoc != nullptr; }

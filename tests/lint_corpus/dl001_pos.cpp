@@ -1,0 +1,6 @@
+// DL001 positive: wall-clock reads in real code tokens.
+#include <chrono>
+long wall() {
+  auto t = std::chrono::system_clock::now();
+  return t.time_since_epoch().count() + time(nullptr);
+}

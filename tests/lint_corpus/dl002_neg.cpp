@@ -1,0 +1,8 @@
+// DL002 negative: a seeded engine owned by the caller; the words rand()
+// and random_device appear only in comment/string context.
+#include <random>
+int roll(unsigned seed) {
+  std::mt19937 rng(seed);
+  static const char* kWhy = "rand() and random_device are banned";
+  return static_cast<int>(rng() % 6) + (kWhy != nullptr ? 0 : 1);
+}

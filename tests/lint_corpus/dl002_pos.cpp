@@ -1,0 +1,7 @@
+// DL002 positive: ambient randomness.
+#include <cstdlib>
+#include <random>
+int roll() {
+  std::random_device rd;
+  return rand() % 6 + static_cast<int>(rd() % 6);
+}

@@ -1,0 +1,8 @@
+// DL003 negative: "unordered_map" appears only in comments and strings.
+// An std::unordered_map<K, V> here would be a finding; std::map is fine.
+#include <map>
+#include <string>
+struct Index {
+  std::map<std::string, int> by_name;
+  const char* why = "unordered_map iteration order is not reproducible";
+};

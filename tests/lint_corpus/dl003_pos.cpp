@@ -1,0 +1,6 @@
+// DL003 positive: hash-ordered container in code.
+#include <string>
+#include <unordered_map>
+struct Index {
+  std::unordered_map<std::string, int> by_name;
+};

@@ -1,0 +1,9 @@
+// DL004 negative: pointer *values* are fine — only pointer keys iterate
+// in address order.
+#include <map>
+#include <string>
+struct Obj {};
+struct Registry {
+  std::map<std::string, Obj*> by_name;
+  std::map<int, int> plain;
+};

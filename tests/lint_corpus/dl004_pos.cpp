@@ -1,0 +1,8 @@
+// DL004 positive: pointer-keyed ordered containers (address order).
+#include <map>
+#include <set>
+struct Obj {};
+struct Registry {
+  std::map<const Obj*, int> by_addr;
+  std::set<Obj*> live;
+};

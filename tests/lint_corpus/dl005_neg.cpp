@@ -1,0 +1,2 @@
+// DL005 negative: __DATE__ and __TIME__ only inside a string literal.
+const char* doc() { return "__DATE__ / __TIME__ are banned in code"; }

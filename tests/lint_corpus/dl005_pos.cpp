@@ -1,0 +1,2 @@
+// DL005 positive: bake-time stamps.
+const char* built_on() { return __DATE__ " " __TIME__; }

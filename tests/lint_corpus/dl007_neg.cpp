@@ -1,0 +1,4 @@
+// DL007 negative: same include, but this file is NOT under a src/ path
+// component — bench/ and tools/ style code may touch wall-clock headers.
+#include <chrono>
+using Tick = std::chrono::milliseconds;

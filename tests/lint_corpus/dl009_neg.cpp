@@ -1,0 +1,25 @@
+// DL009 negative: the doctrine-approved shapes. Take the value out
+// BEFORE mutating, and re-seat iterators through the erase() return.
+#include "simcore/flat_map.hpp"
+struct RcbEntry {
+  int app_type;
+};
+struct Scheduler {
+  sim::FlatMap<int, RcbEntry> rcb_;
+  int unregister_app(int signal_id) {
+    auto it = rcb_.find(signal_id);
+    RcbEntry copy = it->second;  // value copied out first
+    rcb_.erase(it);
+    return copy.app_type;
+  }
+  int sweep() {
+    int dropped = 0;
+    auto it = rcb_.begin();
+    while (it != rcb_.end()) {
+      it = rcb_.erase(it);  // re-seat: the binding is valid again
+      ++dropped;
+      if (it != rcb_.end()) dropped += it->second.app_type;
+    }
+    return dropped;
+  }
+};

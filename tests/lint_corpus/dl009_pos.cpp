@@ -1,0 +1,16 @@
+// DL009 positive: the GpuScheduler::unregister_app bug class from PR 6 —
+// a reference into a sim::FlatMap stays live across erase() of the same
+// map. Flat storage moves on mutation, so `e` dangles at the return.
+#include "simcore/flat_map.hpp"
+struct RcbEntry {
+  int app_type;
+};
+struct Scheduler {
+  sim::FlatMap<int, RcbEntry> rcb_;
+  int unregister_app(int signal_id) {
+    auto it = rcb_.find(signal_id);
+    const RcbEntry& e = it->second;
+    rcb_.erase(it);
+    return e.app_type;
+  }
+};

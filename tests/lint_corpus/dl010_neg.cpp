@@ -1,0 +1,9 @@
+// DL010 negative: two word-sized captures (16 bytes) fit the SmallFn
+// 80-byte inline budget comfortably.
+struct Sim;
+void use(int id, bool flag);
+void enqueue(Sim& sim) {
+  int id = 7;
+  bool flag = true;
+  sim.schedule(5, [id, flag] { use(id, flag); });
+}

@@ -1,0 +1,15 @@
+// DL010 positive: a by-value capture of a ~96-byte struct in a schedule
+// closure. SmallFn inlines at most 80 bytes, so this closure would
+// heap-allocate on the event hot path.
+#include <string>
+struct Sim;
+struct Blob {
+  std::string a;
+  std::string b;
+  std::string c;
+};
+void sink(const Blob& blob);
+void enqueue(Sim& sim) {
+  Blob blob;
+  sim.schedule(5, [blob] { sink(blob); });
+}

@@ -1,0 +1,7 @@
+// DL012 negative: the NOLINT on the line above a real DL003 finding is
+// used, so neither DL003 nor DL012 is reported — the file is clean.
+#include <unordered_map>
+struct Table {
+  // NOLINT(DL003 scratch cache; contents are re-sorted before any output)
+  std::unordered_map<int, int> cache;
+};

@@ -1,0 +1,6 @@
+// DL012 positive: a NOLINT that suppresses nothing — std::map is not a
+// DL003 finding, so the marker is dead weight and must be removed.
+#include <map>
+struct Table {
+  std::map<int, int> rows;  // NOLINT(DL003 thought this was unordered)
+};

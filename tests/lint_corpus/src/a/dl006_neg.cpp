@@ -1,0 +1,4 @@
+// DL006 negative: the corpus layering.rules declares `allow a -> b`,
+// so this cross-layer include is fine (and marks the edge as used).
+#include "b/widget.hpp"
+int volume() { return b::Widget{}.id * 2; }

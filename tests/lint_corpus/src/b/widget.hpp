@@ -1,0 +1,7 @@
+// Corpus stub: include target for the DL006 fixtures.
+#pragma once
+namespace b {
+struct Widget {
+  int id = 0;
+};
+}  // namespace b

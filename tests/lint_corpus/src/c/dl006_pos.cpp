@@ -1,0 +1,4 @@
+// DL006 positive: layer c has no `allow c -> b` edge in the corpus
+// layering.rules, so this include is a layering violation.
+#include "b/widget.hpp"
+int area() { return b::Widget{}.id; }

@@ -1,0 +1,6 @@
+// DL008 negative: the same observer posts a weak event instead —
+// schedule_weak never extends a run, so this is the sanctioned form.
+struct Sim;
+void arm(Sim& sim) {
+  sim.schedule_weak(5, [] {});
+}

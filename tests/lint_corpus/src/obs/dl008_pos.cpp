@@ -1,0 +1,8 @@
+// DL008 positive: observer code (src/obs) posting a strong event.
+// Observers must never extend a run; schedule() keeps the simulation
+// alive until the event fires.
+struct Sim;
+void on_sample(Sim& sim);
+void arm(Sim& sim) {
+  sim.schedule(5, [] {});
+}

@@ -1,0 +1,4 @@
+// DL007 positive: a wall-clock header under a src/ subtree. Wall time may
+// only enter through the bench-side --stream-wall injection seam.
+#include <chrono>
+using Tick = std::chrono::milliseconds;

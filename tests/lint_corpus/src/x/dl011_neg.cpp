@@ -1,0 +1,8 @@
+// DL011 negative: self-include first, and the modeled FlatMap symbol is
+// backed by a DIRECT include of its defining header.
+#include "x/dl011_neg.hpp"
+#include "simcore/flat_map.hpp"
+int census() {
+  sim::FlatMap<int, int> counts;
+  return static_cast<int>(counts.size());
+}

@@ -1,0 +1,3 @@
+// Corpus stub: the self-include target for src/x/dl011_neg.cpp.
+#pragma once
+int census();

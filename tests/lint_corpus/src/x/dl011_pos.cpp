@@ -1,0 +1,6 @@
+// DL011 positive: a .cpp with its own header on disk must include that
+// header FIRST (so the header is proven self-contained) — this one
+// includes <vector> first.
+#include <vector>
+#include "x/dl011_pos.hpp"
+int answer() { return static_cast<int>(std::vector<int>{42}.front()); }

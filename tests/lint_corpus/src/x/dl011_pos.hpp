@@ -1,0 +1,3 @@
+// Corpus stub: the header that src/x/dl011_pos.cpp fails to include first.
+#pragma once
+int answer();

@@ -1,0 +1,464 @@
+// Pins strings_lint's observable contract: exact rule-id/file/line for every
+// corpus fixture, NOLINT suppression semantics (honored + unused reported),
+// baseline gating (clean / findings / regression exit codes, stale-entry
+// warnings), and SARIF 2.1.0 well-formedness.
+//
+// The binary under test and the corpus root come in as compile definitions
+// (STRINGS_LINT_BIN, LINT_CORPUS_DIR) from tests/CMakeLists.txt.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <memory>
+#include <string>
+#include <sys/wait.h>
+#include <tuple>
+#include <vector>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr, interleaved
+};
+
+RunResult run(const std::string& args) {
+  const std::string cmd = std::string(STRINGS_LINT_BIN) + " " + args + " 2>&1";
+  RunResult r;
+  FILE* p = popen(cmd.c_str(), "r");
+  if (p == nullptr) return r;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = fread(buf, 1, sizeof(buf), p)) > 0) r.output.append(buf, got);
+  const int status = pclose(p);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::string corpus(const std::string& rel = "") {
+  std::string p = LINT_CORPUS_DIR;
+  if (!rel.empty()) p += "/" + rel;
+  return p;
+}
+
+std::string with_layering(const std::string& tail) {
+  return "--layering " + corpus("layering.rules") + " " + tail;
+}
+
+// A reported finding: (rule, path, line), parsed from `path:line: [DLxxx]`.
+using Finding = std::tuple<std::string, std::string, int>;
+
+std::vector<Finding> parse_findings(const std::string& out) {
+  std::vector<Finding> v;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    std::size_t eol = out.find('\n', pos);
+    if (eol == std::string::npos) eol = out.size();
+    const std::string line = out.substr(pos, eol - pos);
+    pos = eol + 1;
+    const std::size_t br = line.find(": [DL");
+    if (br == std::string::npos) continue;
+    const std::size_t colon = line.rfind(':', br - 1);
+    if (colon == std::string::npos) continue;
+    const std::string path = line.substr(0, colon);
+    const int ln = std::atoi(line.substr(colon + 1, br - colon - 1).c_str());
+    const std::size_t close = line.find(']', br);
+    const std::string rule = line.substr(br + 3, close - br - 3);
+    v.emplace_back(rule, path, ln);
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (same recursive-descent pattern as trace_check): just
+// enough to verify the SARIF report structurally.
+// ---------------------------------------------------------------------------
+
+struct Json {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<Json> arr;
+  std::map<std::string, Json> obj;
+
+  const Json& at(const std::string& key) const {
+    static const Json kMissing;
+    auto it = obj.find(key);
+    return it == obj.end() ? kMissing : it->second;
+  }
+};
+
+struct JsonParser {
+  const std::string& s;
+  std::size_t i = 0;
+  bool ok = true;
+
+  explicit JsonParser(const std::string& text) : s(text) {}
+
+  void ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  bool eat(char c) {
+    ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    ok = false;
+    return false;
+  }
+
+  Json value() {
+    ws();
+    Json v;
+    if (!ok || i >= s.size()) {
+      ok = false;
+      return v;
+    }
+    const char c = s[i];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      v.kind = Json::kString;
+      v.str = string();
+      return v;
+    }
+    if (s.compare(i, 4, "true") == 0) {
+      v.kind = Json::kBool;
+      v.b = true;
+      i += 4;
+      return v;
+    }
+    if (s.compare(i, 5, "false") == 0) {
+      v.kind = Json::kBool;
+      i += 5;
+      return v;
+    }
+    if (s.compare(i, 4, "null") == 0) {
+      i += 4;
+      return v;
+    }
+    // number
+    std::size_t end = i;
+    while (end < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[end])) != 0 ||
+            s[end] == '-' || s[end] == '+' || s[end] == '.' ||
+            s[end] == 'e' || s[end] == 'E')) {
+      ++end;
+    }
+    if (end == i) {
+      ok = false;
+      return v;
+    }
+    v.kind = Json::kNumber;
+    v.num = std::atof(s.substr(i, end - i).c_str());
+    i = end;
+    return v;
+  }
+
+  std::string string() {
+    std::string out;
+    if (!eat('"')) return out;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\' && i + 1 < s.size()) {
+        const char e = s[i + 1];
+        i += 2;
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'u': i += 4; out += '?'; break;
+          default: out += e;
+        }
+      } else {
+        out += s[i++];
+      }
+    }
+    if (!eat('"')) ok = false;
+    return out;
+  }
+
+  Json object() {
+    Json v;
+    v.kind = Json::kObject;
+    eat('{');
+    ws();
+    if (i < s.size() && s[i] == '}') {
+      ++i;
+      return v;
+    }
+    while (ok) {
+      const std::string key = string();
+      eat(':');
+      v.obj[key] = value();
+      ws();
+      if (i < s.size() && s[i] == ',') {
+        ++i;
+        continue;
+      }
+      break;
+    }
+    eat('}');
+    return v;
+  }
+
+  Json array() {
+    Json v;
+    v.kind = Json::kArray;
+    eat('[');
+    ws();
+    if (i < s.size() && s[i] == ']') {
+      ++i;
+      return v;
+    }
+    while (ok) {
+      v.arr.push_back(value());
+      ws();
+      if (i < s.size() && s[i] == ',') {
+        ++i;
+        continue;
+      }
+      break;
+    }
+    eat(']');
+    return v;
+  }
+};
+
+Json parse_json_file(const std::string& path, bool* ok) {
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  JsonParser p(text);
+  Json v = p.value();
+  p.ws();
+  *ok = p.ok && !text.empty() && p.i == text.size();
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Corpus: exact rule/file/line for every positive, silence for every negative.
+// ---------------------------------------------------------------------------
+
+TEST(LintCorpus, EveryRuleFiresAtItsPinnedLocationAndNowhereElse) {
+  const RunResult r = run(with_layering(corpus()));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+
+  std::vector<Finding> expected = {
+      {"DL001", "lint_corpus/dl001_pos.cpp", 4},
+      {"DL001", "lint_corpus/dl001_pos.cpp", 5},
+      {"DL002", "lint_corpus/dl002_pos.cpp", 5},
+      {"DL002", "lint_corpus/dl002_pos.cpp", 6},
+      {"DL003", "lint_corpus/dl003_pos.cpp", 5},
+      {"DL004", "lint_corpus/dl004_pos.cpp", 6},
+      {"DL004", "lint_corpus/dl004_pos.cpp", 7},
+      {"DL005", "lint_corpus/dl005_pos.cpp", 2},
+      {"DL005", "lint_corpus/dl005_pos.cpp", 2},  // __DATE__ and __TIME__
+      {"DL006", "lint_corpus/src/c/dl006_pos.cpp", 3},
+      {"DL007", "lint_corpus/src/x/dl007_pos.cpp", 3},
+      {"DL008", "lint_corpus/src/obs/dl008_pos.cpp", 7},
+      {"DL009", "lint_corpus/dl009_pos.cpp", 14},
+      {"DL010", "lint_corpus/dl010_pos.cpp", 14},
+      {"DL011", "lint_corpus/src/x/dl011_pos.cpp", 4},
+      {"DL012", "lint_corpus/dl012_pos.cpp", 5},
+  };
+  std::vector<Finding> got = parse_findings(r.output);
+  std::sort(expected.begin(), expected.end());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected) << r.output;
+
+  // No negative fixture may produce a finding of any kind.
+  for (const auto& f : got) {
+    EXPECT_EQ(std::get<1>(f).find("_neg"), std::string::npos)
+        << "negative fixture flagged: " << std::get<1>(f);
+  }
+  EXPECT_NE(r.output.find("16 finding(s) (0 baselined, 16 new)"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(LintCorpus, ReferenceAcrossEraseBugClassIsCaughtByDl009) {
+  // The PR 6 GpuScheduler::unregister_app pattern, verbatim in the fixture:
+  // a typed reference into a FlatMap used after erase() of the same map.
+  const RunResult r = run(corpus("dl009_pos.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[DL009]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("used after erase()"), std::string::npos)
+      << r.output;
+  // The doctrine-approved shapes (copy-out-first, iterator re-seat) pass.
+  const RunResult ok = run(corpus("dl009_neg.cpp"));
+  EXPECT_EQ(ok.exit_code, 0) << ok.output;
+}
+
+// ---------------------------------------------------------------------------
+// NOLINT suppression semantics.
+// ---------------------------------------------------------------------------
+
+TEST(LintNolint, SuppressionOnAdjacentLineIsHonored) {
+  const RunResult r = run(corpus("dl012_neg.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("[DL003]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("1 file(s) clean"), std::string::npos) << r.output;
+}
+
+TEST(LintNolint, UnusedSuppressionIsItselfAFinding) {
+  const RunResult r = run(corpus("dl012_pos.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("[DL012]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("suppresses nothing"), std::string::npos)
+      << r.output;
+  EXPECT_EQ(r.output.find("[DL003]"), std::string::npos) << r.output;
+}
+
+// ---------------------------------------------------------------------------
+// Baseline gating.
+// ---------------------------------------------------------------------------
+
+TEST(LintBaseline, FullBaselineTurnsFindingsIntoCleanExitZero) {
+  const std::string base = testing::TempDir() + "lint_full_baseline.txt";
+  const RunResult w =
+      run(with_layering("--write-baseline " + base + " " + corpus()));
+  ASSERT_EQ(w.exit_code, 0) << w.output;
+  EXPECT_NE(w.output.find("wrote 16 baseline entries"), std::string::npos)
+      << w.output;
+
+  const RunResult r = run(with_layering("--baseline " + base + " " + corpus()));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("27 file(s) clean (16 baselined finding(s))"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(LintBaseline, NewFindingBeyondBaselineExitsThree) {
+  const std::string base = testing::TempDir() + "lint_partial_baseline.txt";
+  const RunResult w =
+      run("--write-baseline " + base + " " + corpus("dl001_pos.cpp"));
+  ASSERT_EQ(w.exit_code, 0) << w.output;
+
+  const RunResult r = run("--baseline " + base + " " + corpus("dl001_pos.cpp") +
+                          " " + corpus("dl003_pos.cpp"));
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  // Old findings print as baselined; only the DL003 one is new.
+  EXPECT_NE(r.output.find("[DL001] (baselined)"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("[DL003]"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("[DL003] (baselined)"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("3 finding(s) (2 baselined, 1 new)"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(LintBaseline, StaleEntriesAreWarnedButDoNotFail) {
+  const std::string base = testing::TempDir() + "lint_stale_baseline.txt";
+  const RunResult w =
+      run("--write-baseline " + base + " " + corpus("dl001_pos.cpp"));
+  ASSERT_EQ(w.exit_code, 0) << w.output;
+
+  // Scan a clean file against that baseline: both entries are now stale.
+  const RunResult r =
+      run("--baseline " + base + " " + corpus("dl001_neg.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("stale baseline entry"), std::string::npos)
+      << r.output;
+}
+
+// ---------------------------------------------------------------------------
+// SARIF output.
+// ---------------------------------------------------------------------------
+
+TEST(LintSarif, ReportIsWellFormedAndMirrorsTheFindings) {
+  const std::string out = testing::TempDir() + "lint_corpus.sarif";
+  const RunResult r = run(with_layering("--sarif " + out + " " + corpus()));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+
+  bool ok = false;
+  const Json doc = parse_json_file(out, &ok);
+  ASSERT_TRUE(ok) << "SARIF is not valid JSON";
+  EXPECT_EQ(doc.at("version").str, "2.1.0");
+  ASSERT_EQ(doc.at("runs").arr.size(), 1u);
+  const Json& run0 = doc.at("runs").arr[0];
+  const Json& driver = run0.at("tool").at("driver");
+  EXPECT_EQ(driver.at("name").str, "strings_lint");
+  ASSERT_EQ(driver.at("rules").arr.size(), 12u);  // DL001..DL012
+  for (int i = 0; i < 12; ++i) {
+    char id[8];
+    std::snprintf(id, sizeof(id), "DL%03d", i + 1);
+    EXPECT_EQ(driver.at("rules").arr[i].at("id").str, id);
+  }
+
+  const std::vector<Json>& results = run0.at("results").arr;
+  ASSERT_EQ(results.size(), 16u);
+  bool saw_dl009 = false;
+  for (const Json& res : results) {
+    EXPECT_FALSE(res.at("ruleId").str.empty());
+    EXPECT_EQ(res.at("level").str, "error");  // nothing baselined here
+    EXPECT_FALSE(res.at("message").at("text").str.empty());
+    ASSERT_EQ(res.at("locations").arr.size(), 1u);
+    const Json& loc = res.at("locations").arr[0].at("physicalLocation");
+    EXPECT_FALSE(loc.at("artifactLocation").at("uri").str.empty());
+    EXPECT_GT(loc.at("region").at("startLine").num, 0);
+    if (res.at("ruleId").str == "DL009") {
+      saw_dl009 = true;
+      EXPECT_EQ(loc.at("artifactLocation").at("uri").str,
+                "lint_corpus/dl009_pos.cpp");
+      EXPECT_EQ(loc.at("region").at("startLine").num, 14);
+    }
+  }
+  EXPECT_TRUE(saw_dl009);
+}
+
+TEST(LintSarif, BaselinedFindingsDowngradeToSuppressedNotes) {
+  const std::string base = testing::TempDir() + "lint_sarif_baseline.txt";
+  ASSERT_EQ(
+      run(with_layering("--write-baseline " + base + " " + corpus()))
+          .exit_code,
+      0);
+  const std::string out = testing::TempDir() + "lint_baselined.sarif";
+  const RunResult r = run(with_layering("--baseline " + base + " --sarif " +
+                                        out + " " + corpus()));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+
+  bool ok = false;
+  const Json doc = parse_json_file(out, &ok);
+  ASSERT_TRUE(ok);
+  const std::vector<Json>& results = doc.at("runs").arr[0].at("results").arr;
+  ASSERT_EQ(results.size(), 16u);
+  for (const Json& res : results) {
+    EXPECT_EQ(res.at("level").str, "note");
+    ASSERT_EQ(res.at("suppressions").arr.size(), 1u);
+    EXPECT_EQ(res.at("suppressions").arr[0].at("kind").str, "external");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layering summary on the corpus rules: the violation and the unused allow
+// both surface in the machine-readable file.
+// ---------------------------------------------------------------------------
+
+TEST(LintLayering, SummaryReportsViolationsAndUnusedAllows) {
+  const std::string out = testing::TempDir() + "lint_corpus_summary.txt";
+  const RunResult r =
+      run(with_layering("--layering-summary " + out + " " + corpus()));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+
+  std::ifstream in(out);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("# strings_lint layering summary v1"),
+            std::string::npos);
+  EXPECT_NE(text.find("edge a b uses=1 allowed"), std::string::npos) << text;
+  EXPECT_NE(text.find("edge c b uses=0 VIOLATION"), std::string::npos) << text;
+  EXPECT_NE(text.find("unused-allow a unused_layer"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("violations=1 unused_allows=1"), std::string::npos)
+      << text;
+}
+
+}  // namespace

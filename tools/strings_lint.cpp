@@ -1,0 +1,1494 @@
+// strings_lint v2: token-level, doctrine-aware static analyzer for the
+// simulator tree. Successor to the regex-based determinism_lint (DL001–DL005
+// kept, now free of comment/string false positives) plus the simcore doctrine
+// rules PR 6 established by hand.
+//
+//   usage: strings_lint [options] <file-or-dir>...
+//     --layering <rules>          enable DL006 from a layering DAG file
+//     --layering-summary <out>    write a machine-readable edge summary
+//     --baseline <file>           gate on regressions only (exit 3 on new)
+//     --write-baseline <file>     write current findings as a baseline, exit 0
+//     --sarif <out.sarif>         write a SARIF 2.1.0 report
+//   exit codes: 0 clean, 1 findings, 2 bad flags or unreadable input,
+//               3 new findings vs baseline
+//
+// The analyzer lexes each file into real C++ tokens (line/block comments,
+// string/char literals, raw strings and preprocessor directives are all
+// recognized, so nothing inside them can trip a code rule), builds a small
+// per-TU model — include list, resolved project headers, declarations of
+// modeled types (sim::FlatMap/FlatSet/SmallFn), struct-size estimates, brace
+// scopes — and runs the rule catalog over it:
+//
+//   DL001  wall-clock reads (system_clock, gettimeofday, time(nullptr), ...)
+//   DL002  ambient randomness (rand, random_device, ...)
+//   DL003  unordered associative containers (hash iteration order)
+//   DL004  pointer-keyed ordered containers (std::map/set, FlatMap/FlatSet)
+//   DL005  __DATE__/__TIME__/__TIMESTAMP__
+//   DL006  layering violation: cross-subsystem include with no edge in the
+//          layering DAG (src/ only; needs --layering)
+//   DL007  <chrono>/<ctime>/<sys/time.h> included under src/ — wall time may
+//          only enter through the bench-side --stream-wall injection seam
+//   DL008  Simulation::schedule(...) inside observer code (src/obs,
+//          src/analysis) — observers must use schedule_weak so they never
+//          extend a run
+//   DL009  reference/iterator into a FlatMap/FlatSet that stays live across
+//          a mutation of the same container or a blocking wait (the
+//          GpuScheduler::unregister_app bug class PR 6 fixed)
+//   DL010  lambda captures passed to schedule/schedule_weak whose estimated
+//          size exceeds the SmallFn 80-byte inline budget (heap fallback on
+//          the event hot path)
+//   DL011  include hygiene: a .cpp must include its own header first; a file
+//          using FlatMap/FlatSet/SmallFn must include the defining header
+//          directly, not transitively (src/ only)
+//   DL012  unused `// NOLINT(...)` suppression
+//
+// A finding is suppressed by `// NOLINT(DLxxx reason)` (comma-separated ids)
+// on the same line or the line directly above. Suppressions that suppress
+// nothing are themselves findings (DL012). With --baseline, findings listed
+// in the baseline file (format: `rule path key`, see docs/analysis.md) don't
+// fail the run — only new findings do, with exit 3 so CI can tell "the tree
+// regressed" from "the tree has known debt".
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Lexer: turns a source file into code tokens + includes + NOLINT markers.
+// ---------------------------------------------------------------------------
+
+enum class TokKind { kIdent, kNumber, kPunct, kString, kChar };
+
+struct Tok {
+  TokKind kind;
+  std::string text;  // punct: the single character; literals: empty
+  int line;
+};
+
+struct IncludeDirective {
+  std::string path;
+  bool angle;
+  int line;
+};
+
+struct Nolint {
+  int line;
+  std::vector<std::string> ids;
+  bool used = false;
+};
+
+struct Lexed {
+  std::vector<Tok> toks;
+  std::vector<IncludeDirective> includes;
+  std::vector<Nolint> nolints;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Parses `NOLINT(DL006,DL011 reason)` markers out of a comment's text.
+void scan_comment_for_nolint(const std::string& text, int line, Lexed& out) {
+  std::size_t pos = 0;
+  while ((pos = text.find("NOLINT(", pos)) != std::string::npos) {
+    pos += 7;
+    Nolint n;
+    n.line = line;
+    while (pos < text.size()) {
+      while (pos < text.size() && (text[pos] == ',' || text[pos] == ' ')) ++pos;
+      if (text.compare(pos, 2, "DL") != 0) break;
+      std::size_t end = pos;
+      while (end < text.size() && ident_char(text[end])) ++end;
+      n.ids.push_back(text.substr(pos, end - pos));
+      pos = end;
+      if (pos < text.size() && text[pos] == ',') continue;
+      break;
+    }
+    if (!n.ids.empty()) out.nolints.push_back(std::move(n));
+  }
+}
+
+/// Lexes `text`. Tokens inside comments and literals never reach `toks`;
+/// `#include` directives are captured structurally instead of as tokens.
+Lexed lex(const std::string& text) {
+  Lexed out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto newline = [&] {
+    ++line;
+    at_line_start = true;
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++i;
+      newline();
+      continue;
+    }
+    if (c == '\\' && i + 1 < n && text[i + 1] == '\n') {  // line continuation
+      i += 2;
+      ++line;  // continuation does not reset at_line_start
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      const std::size_t start = i + 2;
+      while (i < n && text[i] != '\n') ++i;
+      scan_comment_for_nolint(text.substr(start, i - start), line, out);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const int start_line = line;
+      const std::size_t start = i + 2;
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      scan_comment_for_nolint(text.substr(start, i - start), start_line, out);
+      i = std::min(n, i + 2);
+      at_line_start = false;
+      continue;
+    }
+    // Preprocessor directive at the start of a line.
+    if (c == '#' && at_line_start) {
+      ++i;
+      while (i < n && (text[i] == ' ' || text[i] == '\t')) ++i;
+      std::size_t w = i;
+      while (w < n && ident_char(text[w])) ++w;
+      const std::string directive = text.substr(i, w - i);
+      i = w;
+      if (directive == "include") {
+        while (i < n && (text[i] == ' ' || text[i] == '\t')) ++i;
+        if (i < n && (text[i] == '<' || text[i] == '"')) {
+          const char close = text[i] == '<' ? '>' : '"';
+          const bool angle = text[i] == '<';
+          const std::size_t p = ++i;
+          while (i < n && text[i] != close && text[i] != '\n') ++i;
+          out.includes.push_back({text.substr(p, i - p), angle, line});
+          if (i < n && text[i] == close) ++i;
+        }
+        // Skip the rest of the directive line (trailing comments allowed).
+        while (i < n && text[i] != '\n') {
+          if (text[i] == '/' && i + 1 < n && text[i + 1] == '/') break;
+          ++i;
+        }
+        at_line_start = false;
+        continue;
+      }
+      // Other directives (#define, #if, ...): fall through so their bodies
+      // lex as ordinary tokens — a wall-clock macro is still a finding.
+      at_line_start = false;
+      continue;
+    }
+    at_line_start = false;
+    // Identifier (and raw-string prefix detection).
+    if (ident_start(c)) {
+      std::size_t w = i;
+      while (w < n && ident_char(text[w])) ++w;
+      std::string id = text.substr(i, w - i);
+      if (w < n && text[w] == '"' &&
+          (id == "R" || id == "uR" || id == "UR" || id == "LR" || id == "u8R")) {
+        // Raw string literal: R"delim( ... )delim"
+        std::size_t p = w + 1;
+        std::string delim;
+        while (p < n && text[p] != '(') delim += text[p++];
+        const std::string closer = ")" + delim + "\"";
+        std::size_t end = text.find(closer, p);
+        if (end == std::string::npos) end = n;
+        for (std::size_t k = p; k < std::min(end, n); ++k) {
+          if (text[k] == '\n') ++line;
+        }
+        i = std::min(n, end + closer.size());
+        out.toks.push_back({TokKind::kString, "", line});
+        continue;
+      }
+      out.toks.push_back({TokKind::kIdent, std::move(id), line});
+      i = w;
+      continue;
+    }
+    // Number (digit separators and exponent signs included).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t w = i;
+      while (w < n &&
+             (ident_char(text[w]) || text[w] == '.' ||
+              (text[w] == '\'' && w + 1 < n && ident_char(text[w + 1])) ||
+              ((text[w] == '+' || text[w] == '-') && w > i &&
+               (text[w - 1] == 'e' || text[w - 1] == 'E' ||
+                text[w - 1] == 'p' || text[w - 1] == 'P')))) {
+        ++w;
+      }
+      out.toks.push_back({TokKind::kNumber, text.substr(i, w - i), line});
+      i = w;
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < n && text[i] != quote) {
+        if (text[i] == '\\') ++i;
+        if (i < n && text[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) ++i;
+      out.toks.push_back(
+          {quote == '"' ? TokKind::kString : TokKind::kChar, "", line});
+      continue;
+    }
+    // Punctuation, one character at a time ('>>' closing two templates is
+    // two '>' tokens, which is exactly what angle matching wants).
+    out.toks.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Project-header index: declarations of modeled types and struct sizes.
+// ---------------------------------------------------------------------------
+
+/// Byte-size estimates for common types; unknown types default to 8 and
+/// every member rounds up to 8 (a deliberate over-approximation: DL010 wants
+/// "definitely fits" vs "definitely doesn't" with no ABI knowledge).
+int estimate_type_size(const std::vector<std::string>& type_toks,
+                       const std::map<std::string, int>& struct_sizes);
+
+struct HeaderInfo {
+  std::set<std::string> flat_vars;   // names declared as FlatMap/FlatSet
+  std::map<std::string, int> struct_sizes;
+  std::vector<std::string> project_includes;  // quoted include paths
+};
+
+/// Scans a token stream for variable declarations of FlatMap/FlatSet (member,
+/// local, or reference parameter — all alias flat storage) and for struct
+/// definitions whose member sizes we can estimate.
+void scan_decls(const std::vector<Tok>& toks, HeaderInfo& info) {
+  const std::size_t n = toks.size();
+  auto is_p = [&](std::size_t k, const char* p) {
+    return k < n && toks[k].kind == TokKind::kPunct && toks[k].text == p;
+  };
+  auto is_id = [&](std::size_t k, const char* id) {
+    return k < n && toks[k].kind == TokKind::kIdent && toks[k].text == id;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const std::string& t = toks[i].text;
+    // sim::FlatMap<...> name  /  const sim::FlatSet<...>& name
+    if ((t == "FlatMap" || t == "FlatSet") && is_p(i + 1, "<")) {
+      std::size_t k = i + 1;
+      int depth = 0;
+      while (k < n) {
+        if (is_p(k, "<")) ++depth;
+        if (is_p(k, ">") && --depth == 0) break;
+        ++k;
+      }
+      ++k;                      // past '>'
+      if (is_p(k, "&")) ++k;    // reference declaration or parameter
+      if (k < n && toks[k].kind == TokKind::kIdent &&
+          (is_p(k + 1, ";") || is_p(k + 1, "=") || is_p(k + 1, "{") ||
+           is_p(k + 1, ",") || is_p(k + 1, ")"))) {
+        info.flat_vars.insert(toks[k].text);
+      }
+      continue;
+    }
+    // struct/class Name { ... };  — estimate data-member footprint.
+    if ((t == "struct" || t == "class") && i + 2 < n &&
+        toks[i + 1].kind == TokKind::kIdent && is_p(i + 2, "{")) {
+      const std::string name = toks[i + 1].text;
+      std::size_t k = i + 3;
+      int depth = 1;
+      int bytes = 0;
+      std::vector<std::string> stmt;  // type tokens of the current member
+      bool skip_stmt = false;         // functions, statics, using, ...
+      while (k < n && depth > 0) {
+        if (is_p(k, "{")) {
+          ++depth;
+          skip_stmt = true;  // member function body / brace initializer list
+        } else if (is_p(k, "}")) {
+          --depth;
+        } else if (depth == 1) {
+          if (is_p(k, "(") || is_id(k, "static") || is_id(k, "using") ||
+              is_id(k, "typedef") || is_id(k, "template") ||
+              is_id(k, "friend")) {
+            skip_stmt = true;
+          } else if (is_p(k, ";") || is_p(k, "=")) {
+            // `type... name ;` or `type... name = default ;`
+            if (!skip_stmt && stmt.size() >= 2) {
+              stmt.pop_back();  // drop the member name, keep the type
+              bytes += estimate_type_size(stmt, info.struct_sizes);
+            }
+            if (is_p(k, "=")) {  // skip the default initializer
+              while (k < n && !is_p(k, ";")) ++k;
+            }
+            stmt.clear();
+            skip_stmt = false;
+          } else if (toks[k].kind == TokKind::kIdent || is_p(k, "*") ||
+                     is_p(k, "<") || is_p(k, ">") || is_p(k, ":") ||
+                     is_p(k, ",")) {
+            stmt.push_back(toks[k].text);
+          }
+        }
+        ++k;
+      }
+      if (bytes > 0) info.struct_sizes[name] = bytes;
+    }
+  }
+}
+
+int estimate_type_size(const std::vector<std::string>& type_toks,
+                       const std::map<std::string, int>& struct_sizes) {
+  // A pointer declarator anywhere wins: `Foo* p` is one word no matter how
+  // big Foo is.
+  for (const auto& t : type_toks) {
+    if (t == "*") return 8;
+  }
+  int sz = 8;  // unknown types assume one word
+  for (const auto& t : type_toks) {
+    if (t == "vector" || t == "deque") { sz = 24; break; }
+    if (t == "string") { sz = 32; break; }
+    if (t == "map" || t == "set") { sz = 48; break; }
+    if (t == "shared_ptr" || t == "pair") { sz = 16; break; }
+    if (t == "function") { sz = 32; break; }
+    if (t == "SmallFn") { sz = 96; break; }
+    if (t == "FlatMap" || t == "FlatSet") { sz = 24; break; }
+    if (t == "array") { sz = 64; break; }  // unknown extent: be pessimistic
+    if (t == "bool" || t == "char") { sz = 1; break; }
+    if (t == "short" || t == "int16_t" || t == "uint16_t") { sz = 2; break; }
+    if (t == "int" || t == "float" || t == "unsigned" || t == "int32_t" ||
+        t == "uint32_t") { sz = 4; break; }
+    if (t == "double" || t == "long" || t == "size_t" || t == "int64_t" ||
+        t == "uint64_t" || t == "SimTime" || t == "ptrdiff_t" ||
+        t == "uintptr_t") { sz = 8; break; }
+    auto it = struct_sizes.find(t);
+    if (it != struct_sizes.end()) { sz = it->second; break; }
+  }
+  return (sz + 7) / 8 * 8;  // alignment simplification: round to words
+}
+
+// ---------------------------------------------------------------------------
+// Layering rules.
+// ---------------------------------------------------------------------------
+
+struct LayeringRules {
+  // allowed edges from -> to; bool = header-only (no link-graph edge).
+  std::map<std::pair<std::string, std::string>, bool> allow;
+  std::set<std::string> layers;  // every name mentioned in the file
+  bool loaded = false;
+};
+
+bool load_layering(const fs::path& p, LayeringRules& out, std::string& err) {
+  std::ifstream in(p);
+  if (!in) {
+    err = "cannot read layering rules: " + p.string();
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ss(line);
+    std::string kw;
+    if (!(ss >> kw)) continue;
+    if (kw != "allow") {
+      err = p.string() + ":" + std::to_string(lineno) +
+            ": expected 'allow <from> -> <to> [header-only]'";
+      return false;
+    }
+    std::string from, arrow, to, attr;
+    if (!(ss >> from >> arrow >> to) || arrow != "->") {
+      err = p.string() + ":" + std::to_string(lineno) + ": malformed edge";
+      return false;
+    }
+    bool header_only = false;
+    if (ss >> attr) {
+      if (attr != "header-only") {
+        err = p.string() + ":" + std::to_string(lineno) +
+              ": unknown attribute '" + attr + "'";
+        return false;
+      }
+      header_only = true;
+    }
+    out.allow[{from, to}] = header_only;
+    out.layers.insert(from);
+    out.layers.insert(to);
+  }
+  out.loaded = true;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Findings, suppressions, baseline.
+// ---------------------------------------------------------------------------
+
+struct Finding {
+  std::string rule;
+  std::string path;  // normalized report path
+  int line;
+  std::string key;  // stable fingerprint token for the baseline
+  std::string msg;
+  bool baselined = false;
+};
+
+struct RuleDoc {
+  const char* id;
+  const char* summary;
+};
+
+const RuleDoc kRuleDocs[] = {
+    {"DL001", "wall-clock read; use the simulation's virtual clock"},
+    {"DL002", "ambient randomness; use a seeded engine owned by the workload"},
+    {"DL003", "hash-ordered container; iteration order is not reproducible"},
+    {"DL004", "pointer-keyed container; iteration follows address order"},
+    {"DL005", "build timestamp; output must not depend on compile time"},
+    {"DL006", "layering violation; include edge not in tools/layering.rules"},
+    {"DL007", "wall-clock header under src/; time enters via --stream-wall"},
+    {"DL008", "observer uses schedule(); observers must use schedule_weak()"},
+    {"DL009", "FlatMap/FlatSet reference live across mutation or wait"},
+    {"DL010", "lambda capture exceeds the SmallFn 80-byte inline budget"},
+    {"DL011", "include hygiene: self-include-first / direct modeled include"},
+    {"DL012", "unused NOLINT suppression"},
+};
+
+class Suppressor {
+ public:
+  explicit Suppressor(std::vector<Nolint>& nolints) {
+    for (auto& n : nolints) by_line_[n.line].push_back(&n);
+  }
+
+  /// True (and marks the marker used) if a NOLINT for `rule` sits on `line`
+  /// or the line directly above.
+  bool suppressed(const std::string& rule, int line) {
+    for (int l : {line, line - 1}) {
+      auto it = by_line_.find(l);
+      if (it == by_line_.end()) continue;
+      for (Nolint* n : it->second) {
+        if (std::find(n->ids.begin(), n->ids.end(), rule) != n->ids.end()) {
+          n->used = true;
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::map<int, std::vector<Nolint*>> by_line_;
+};
+
+// ---------------------------------------------------------------------------
+// Per-file analysis.
+// ---------------------------------------------------------------------------
+
+struct FileContext {
+  fs::path abs;            // as opened
+  std::string report;      // normalized path used in reports + baseline
+  bool in_src = false;     // some path component is exactly "src"
+  std::string layer;       // component after the last "src" ("" if none)
+};
+
+struct Analyzer {
+  const LayeringRules* layering = nullptr;
+  std::vector<Finding> findings;
+  // Layering edge usage: (from, to) -> include count, for the summary.
+  std::map<std::pair<std::string, std::string>, int> edge_uses;
+
+  // Memoized header models keyed by normalized absolute path.
+  std::map<std::string, HeaderInfo> header_cache;
+
+  /// Resolves a quoted project include against the include base (the
+  /// directory containing the innermost "src" component) and merges its
+  /// declarations — transitively, so a .cpp sees the flat members its
+  /// header declares.
+  void merge_header(const fs::path& base, const std::string& inc,
+                    HeaderInfo& into, std::set<std::string>& visited) {
+    fs::path p = base / inc;
+    std::error_code ec;
+    p = fs::weakly_canonical(p, ec);
+    const std::string key = p.string();
+    if (!visited.insert(key).second) return;
+    auto it = header_cache.find(key);
+    if (it == header_cache.end()) {
+      HeaderInfo info;
+      std::ifstream in(p);
+      if (in) {
+        std::stringstream ss;
+        ss << in.rdbuf();
+        Lexed lx = lex(ss.str());
+        scan_decls(lx.toks, info);
+        for (const auto& i2 : lx.includes) {
+          if (!i2.angle) info.project_includes.push_back(i2.path);
+        }
+      }
+      it = header_cache.emplace(key, std::move(info)).first;
+    }
+    // Copy before recursing: recursion may rehash header_cache.
+    const HeaderInfo local = it->second;
+    for (const auto& v : local.flat_vars) into.flat_vars.insert(v);
+    for (const auto& s : local.struct_sizes) into.struct_sizes.insert(s);
+    for (const auto& i2 : local.project_includes) {
+      merge_header(base, i2, into, visited);
+    }
+  }
+
+  void analyze(const FileContext& fc, const std::string& text);
+};
+
+/// Normalizes the path a finding reports: everything from the innermost
+/// "src" component on when present (stable across checkouts and CI), else
+/// the path relative to the scanned root's parent.
+FileContext make_context(const fs::path& file, const fs::path& root) {
+  FileContext fc;
+  fc.abs = file;
+  std::vector<std::string> parts;
+  for (const auto& comp : file.lexically_normal()) {
+    parts.push_back(comp.string());
+  }
+  int src_at = -1;
+  for (int i = 0; i < static_cast<int>(parts.size()); ++i) {
+    if (parts[i] == "src") src_at = i;
+  }
+  if (src_at >= 0) {
+    fc.in_src = true;
+    if (src_at + 1 < static_cast<int>(parts.size()) - 0 &&
+        src_at + 2 <= static_cast<int>(parts.size())) {
+      // layer = directory directly under src (absent for src-level files)
+      if (src_at + 2 <= static_cast<int>(parts.size()) - 1) {
+        fc.layer = parts[src_at + 1];
+      }
+    }
+  }
+  // Report path: root's basename + relative remainder (what CI passes is
+  // `.../src` or a corpus dir, so findings print as `src/core/x.cpp`).
+  std::error_code ec;
+  const fs::path rel = fs::relative(file, root, ec);
+  if (!ec && !rel.empty() && rel.native()[0] != '.') {
+    fc.report = (root.filename() / rel).generic_string();
+  } else {
+    fc.report = file.generic_string();
+  }
+  return fc;
+}
+
+void Analyzer::analyze(const FileContext& fc, const std::string& text) {
+  Lexed lx = lex(text);
+  Suppressor sup(lx.nolints);
+  const std::vector<Tok>& toks = lx.toks;
+  const std::size_t n = toks.size();
+
+  auto add = [&](const char* rule, int line, std::string key,
+                 std::string msg) {
+    if (sup.suppressed(rule, line)) return;
+    findings.push_back(
+        {rule, fc.report, line, std::move(key), std::move(msg), false});
+  };
+  auto is_p = [&](std::size_t k, const char* p) {
+    return k < n && toks[k].kind == TokKind::kPunct && toks[k].text == p;
+  };
+  auto is_id = [&](std::size_t k, const char* id) {
+    return k < n && toks[k].kind == TokKind::kIdent && toks[k].text == id;
+  };
+  auto skip_parens = [&](std::size_t open) {
+    // `open` indexes '('; returns index just past the matching ')'.
+    int depth = 0;
+    std::size_t k = open;
+    while (k < n) {
+      if (is_p(k, "(")) ++depth;
+      if (is_p(k, ")") && --depth == 0) return k + 1;
+      ++k;
+    }
+    return k;
+  };
+
+  // ---- TU model: declarations from this file plus resolved includes.
+  HeaderInfo model;
+  scan_decls(toks, model);
+  {
+    // Include base: the directory that contains the innermost "src"
+    // component (quoted includes are rooted there, e.g. "core/tables.hpp").
+    fs::path base;
+    fs::path probe = fc.abs.lexically_normal();
+    std::vector<fs::path> comps(probe.begin(), probe.end());
+    for (std::size_t i = comps.size(); i-- > 0;) {
+      if (comps[i] == "src") {
+        base = fs::path();
+        for (std::size_t k = 0; k <= i; ++k) base /= comps[k];
+        break;
+      }
+    }
+    if (base.empty()) base = fc.abs.parent_path();
+    std::set<std::string> visited;
+    visited.insert(fs::weakly_canonical(fc.abs).string());
+    for (const auto& inc : lx.includes) {
+      if (!inc.angle) merge_header(base, inc.path, model, visited);
+    }
+  }
+
+  // ---- DL001/DL002/DL005: forbidden identifiers.
+  static const std::map<std::string, const char*> kClockIdents = {
+      {"system_clock", "DL001"},    {"steady_clock", "DL001"},
+      {"high_resolution_clock", "DL001"},
+      {"gettimeofday", "DL001"},    {"clock_gettime", "DL001"},
+      {"timespec_get", "DL001"},
+  };
+  static const std::set<std::string> kRandCalls = {
+      "rand", "srand", "rand_r", "drand48", "lrand48", "mrand48"};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const std::string& t = toks[i].text;
+    auto ck = kClockIdents.find(t);
+    if (ck != kClockIdents.end()) {
+      add(ck->second, toks[i].line, t,
+          "wall-clock read; use the simulation's virtual clock (sim.now())");
+      continue;
+    }
+    if (kRandCalls.count(t) != 0 && is_p(i + 1, "(")) {
+      add("DL002", toks[i].line, t,
+          "ambient randomness; use a seeded engine owned by the workload");
+      continue;
+    }
+    if (t == "random_device") {
+      add("DL002", toks[i].line, t,
+          "nondeterministic seed source; take the seed from configuration");
+      continue;
+    }
+    if (t == "time" && is_p(i + 1, "(") &&
+        (is_id(i + 2, "nullptr") || is_id(i + 2, "NULL") ||
+         (i + 2 < n && toks[i + 2].kind == TokKind::kNumber &&
+          toks[i + 2].text == "0")) &&
+        is_p(i + 3, ")")) {
+      add("DL001", toks[i].line, "time",
+          "wall-clock read; use the simulation's virtual clock (sim.now())");
+      continue;
+    }
+    if (t == "__DATE__" || t == "__TIME__" || t == "__TIMESTAMP__") {
+      add("DL005", toks[i].line, t,
+          "build timestamp; output must not depend on when it was compiled");
+      continue;
+    }
+    // DL003: hash-ordered containers.
+    if (t == "unordered_map" || t == "unordered_set" ||
+        t == "unordered_multimap" || t == "unordered_multiset") {
+      add("DL003", toks[i].line, t,
+          "hash-ordered container; iteration order is not reproducible");
+      continue;
+    }
+    // DL004: pointer-keyed ordered containers — first template argument
+    // contains a '*' at angle depth 1.
+    if ((t == "map" || t == "set" || t == "FlatMap" || t == "FlatSet") &&
+        is_p(i + 1, "<")) {
+      // Require std::/sim:: qualification for map/set to avoid flagging
+      // unrelated identifiers named `map`.
+      const bool qualified =
+          (i >= 2 && is_p(i - 1, ":") && is_p(i - 2, ":")) ||
+          t == "FlatMap" || t == "FlatSet";
+      if (!qualified) continue;
+      std::size_t k = i + 1;
+      int depth = 0;
+      bool ptr_key = false;
+      while (k < n) {
+        if (is_p(k, "<")) ++depth;
+        else if (is_p(k, ">")) {
+          if (--depth == 0) break;
+        } else if (depth == 1 && is_p(k, ",")) {
+          break;  // end of the key argument
+        } else if (depth == 1 && is_p(k, "*")) {
+          ptr_key = true;
+        }
+        ++k;
+      }
+      if (ptr_key) {
+        add("DL004", toks[i].line, t,
+            "pointer-keyed container; iteration follows address order");
+      }
+      continue;
+    }
+  }
+
+  // ---- DL007: wall-clock headers under src/.
+  if (fc.in_src) {
+    static const std::set<std::string> kWallHeaders = {
+        "chrono", "ctime", "time.h", "sys/time.h", "sys/timeb.h"};
+    for (const auto& inc : lx.includes) {
+      if (inc.angle && kWallHeaders.count(inc.path) != 0) {
+        add("DL007", inc.line, inc.path,
+            "wall-clock header under src/; wall time may only enter through "
+            "the bench-side --stream-wall injection seam");
+      }
+    }
+  }
+
+  // ---- DL006: layering (src/ only, rules loaded).
+  if (fc.in_src && !fc.layer.empty() && layering != nullptr &&
+      layering->loaded) {
+    for (const auto& inc : lx.includes) {
+      if (inc.angle) continue;
+      const std::size_t slash = inc.path.find('/');
+      if (slash == std::string::npos) continue;
+      const std::string to = inc.path.substr(0, slash);
+      if (to == fc.layer) continue;
+      // Only subsystem-shaped includes participate (a quoted include of a
+      // non-layer path, e.g. a generated file, is not an edge).
+      if (layering->layers.count(to) == 0 &&
+          layering->layers.count(fc.layer) == 0) {
+        continue;
+      }
+      const auto edge = std::make_pair(fc.layer, to);
+      const bool allowed = layering->allow.count(edge) != 0;
+      if (allowed) {
+        ++edge_uses[edge];
+      } else {
+        edge_uses[edge] += 0;  // ensure the edge shows in the summary
+        add("DL006", inc.line, fc.layer + "->" + to,
+            "layering violation: src/" + fc.layer + " must not include \"" +
+                inc.path + "\" (no 'allow " + fc.layer + " -> " + to +
+                "' edge in the layering rules)");
+        continue;
+      }
+      if (allowed) {
+        // counted above
+      }
+    }
+  }
+
+  // ---- DL008: schedule() in observer scopes.
+  if (fc.in_src && (fc.layer == "obs" || fc.layer == "analysis")) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!is_id(i, "schedule") || !is_p(i + 1, "(")) continue;
+      // Member access or direct call both count; schedule_weak is a
+      // different identifier token, so it never matches here.
+      add("DL008", toks[i].line, "schedule",
+          "observer code must use schedule_weak() so telemetry never "
+          "extends a run (src/obs and src/analysis are weak-event scopes)");
+    }
+  }
+
+  // ---- DL009: references/iterators into flat containers live across
+  //      container mutation or a blocking wait.
+  {
+    struct Binding {
+      std::string name;
+      std::string container;
+      int depth;
+      int bind_line;
+      int invalidated_line = -1;   // -1 = still valid
+      int invalidated_depth = 0;   // brace depth of the invalidating site
+      std::string invalidated_by;  // "erase", "wait", ...
+      bool pending_rebind = false;
+      bool reported = false;
+    };
+    std::vector<Binding> binds;
+    const std::set<std::string> kMutators = {
+        "erase",   "insert",        "emplace",
+        "clear",   "insert_or_assign"};
+    const std::set<std::string> kBlocking = {"wait", "acquire", "receive"};
+    auto find_bind = [&](const std::string& name) -> Binding* {
+      for (auto it = binds.rbegin(); it != binds.rend(); ++it) {
+        if (it->name == name) return &*it;
+      }
+      return nullptr;
+    };
+    int depth = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (is_p(i, "{")) {
+        ++depth;
+        continue;
+      }
+      if (is_p(i, "}")) {
+        --depth;
+        binds.erase(std::remove_if(binds.begin(), binds.end(),
+                                   [&](const Binding& b) {
+                                     return b.depth > depth;
+                                   }),
+                    binds.end());
+        continue;
+      }
+      if (is_p(i, ";")) {
+        for (auto& b : binds) {
+          if (b.pending_rebind) {
+            b.pending_rebind = false;
+            b.invalidated_line = -1;  // `it = m.erase(it)` style re-seat
+          }
+        }
+        continue;
+      }
+      // Typed reference binding: `Type& name = <expr referencing a flat
+      // container or binding>` — the auto-free form the RCB bug used
+      // (`const RcbEntry& e = it->second;`).
+      if (is_p(i, "&") && i > 0 && toks[i - 1].kind == TokKind::kIdent &&
+          i + 2 < n && toks[i + 1].kind == TokKind::kIdent &&
+          is_p(i + 2, "=") && !is_p(i + 3, "=")) {
+        const std::string name = toks[i + 1].text;
+        std::string container;
+        std::size_t e = i + 3;
+        int pd = 0;
+        while (e < n &&
+               !(pd == 0 && (is_p(e, ";") || is_p(e, "{")))) {
+          if (is_p(e, "(")) ++pd;
+          if (is_p(e, ")")) --pd;
+          if (toks[e].kind == TokKind::kIdent) {
+            if (model.flat_vars.count(toks[e].text) != 0) {
+              container = toks[e].text;
+            } else if (Binding* src = find_bind(toks[e].text)) {
+              container = src->container;
+            }
+          }
+          ++e;
+        }
+        if (!container.empty()) {
+          binds.push_back({name, container, depth, toks[i + 1].line, -1, 0,
+                           "", false, false});
+          i = e > i ? e - 1 : i;
+          continue;
+        }
+      }
+
+      if (toks[i].kind != TokKind::kIdent) continue;
+      const std::string& t = toks[i].text;
+
+      // Binding creation: `auto [const] [&] name = <expr referencing a flat
+      // container or an existing binding>` and range-for `auto& x : m`.
+      if (t == "auto" || t == "const") {
+        std::size_t k = i;
+        if (is_id(k, "const") && is_id(k + 1, "auto")) ++k;
+        if (!is_id(k, "auto")) { /* plain const decl */ }
+        if (is_id(k, "auto")) {
+          std::size_t j = k + 1;
+          if (is_id(j, "const")) ++j;
+          bool is_ref = false;
+          while (is_p(j, "&") || is_p(j, "*")) {
+            if (toks[j].text == "&") is_ref = true;
+            ++j;
+          }
+          if (j < n && toks[j].kind == TokKind::kIdent &&
+              (is_p(j + 1, "=") || is_p(j + 1, ":"))) {
+            const std::string name = toks[j].text;
+            const bool range_for = is_p(j + 1, ":");
+            // Scan the initializer / range expression for a flat container
+            // or an existing binding; iterators (find/begin/...) bind even
+            // without '&', references need is_ref or iterator source.
+            std::string container;
+            bool via_iterator = false;
+            std::size_t e = j + 2;
+            int pd = 0;
+            while (e < n && !(pd == 0 && (is_p(e, ";") || is_p(e, ")") ||
+                                          is_p(e, "{")))) {
+              if (is_p(e, "(")) ++pd;
+              if (is_p(e, ")")) --pd;
+              if (toks[e].kind == TokKind::kIdent) {
+                if (model.flat_vars.count(toks[e].text) != 0) {
+                  container = toks[e].text;
+                  if (is_id(e + 2, "find") || is_id(e + 2, "begin") ||
+                      is_id(e + 2, "lower_bound") ||
+                      is_id(e + 2, "upper_bound") || is_id(e + 2, "end")) {
+                    via_iterator = true;
+                  }
+                } else if (Binding* src = find_bind(toks[e].text)) {
+                  container = src->container;
+                  via_iterator = true;
+                }
+              }
+              ++e;
+            }
+            if (!container.empty() && (is_ref || via_iterator || range_for)) {
+              binds.push_back({name, container, depth, toks[j].line, -1, 0,
+                               "", false, false});
+              i = e > j ? e - 1 : j;
+              continue;
+            }
+          }
+        }
+      }
+
+      // Mutation of a flat container: m.erase(...) / m[...] etc.
+      if (model.flat_vars.count(t) != 0) {
+        std::size_t k = i + 1;
+        bool member = false;
+        if (is_p(k, ".")) { member = true; k += 1; }
+        else if (is_p(k, "-") && is_p(k + 1, ">")) { member = true; k += 2; }
+        if (member && k < n && toks[k].kind == TokKind::kIdent &&
+            kMutators.count(toks[k].text) != 0 && is_p(k + 1, "(")) {
+          for (auto& b : binds) {
+            if (b.container == t && b.invalidated_line < 0) {
+              b.invalidated_line = toks[k].line;
+              b.invalidated_depth = depth;
+              b.invalidated_by = toks[k].text + "()";
+            }
+          }
+          i = skip_parens(k + 1) - 1;  // args are not uses-after
+          continue;
+        }
+        if (is_p(i + 1, "[")) {  // operator[] may insert and reallocate
+          for (auto& b : binds) {
+            if (b.container == t && b.invalidated_line < 0 &&
+                b.name != t) {
+              b.invalidated_line = toks[i].line;
+              b.invalidated_depth = depth;
+              b.invalidated_by = "operator[]";
+            }
+          }
+        }
+        continue;
+      }
+
+      // Blocking call: anything.wait()/acquire()/receive() parks the fiber;
+      // other fibers may mutate any flat table meanwhile.
+      if (kBlocking.count(t) != 0 && is_p(i + 1, "(") && i > 0 &&
+          (is_p(i - 1, ".") || is_p(i - 1, ">"))) {
+        for (auto& b : binds) {
+          if (b.invalidated_line < 0) {
+            b.invalidated_line = toks[i].line;
+            b.invalidated_depth = depth;
+            b.invalidated_by = t + "() blocked";
+          }
+        }
+        continue;
+      }
+
+      // Early exit: an invalidation on a path that returns/breaks out of
+      // its scope cannot flow to the binding's continuation (the common
+      // `if (miss) { m.emplace(...); return; }` idiom is safe).
+      if ((t == "return" || t == "break" || t == "continue")) {
+        for (auto& b : binds) {
+          if (b.invalidated_line >= 0 && b.invalidated_depth >= depth &&
+              depth > b.depth) {
+            b.invalidated_line = -1;
+          }
+        }
+        continue;
+      }
+
+      // Use / rebind of a tracked binding.
+      if (Binding* b = find_bind(t)) {
+        if (is_p(i + 1, "=") && !is_p(i + 2, "=")) {
+          b->pending_rebind = true;  // revalidated at the ';'
+          continue;
+        }
+        if (b->invalidated_line >= 0 && !b->reported) {
+          b->reported = true;
+          add("DL009", toks[i].line, b->name,
+              "'" + b->name + "' (bound from FlatMap/FlatSet '" +
+                  b->container + "' at line " +
+                  std::to_string(b->bind_line) +
+                  ") used after " + b->invalidated_by + " at line " +
+                  std::to_string(b->invalidated_line) +
+                  "; flat storage moves on mutation — take the value out "
+                  "first (see GpuScheduler::unregister_app)");
+        }
+      }
+    }
+  }
+
+  // ---- DL010: lambda captures on the schedule hot path vs the SmallFn
+  //      inline budget. Locals/params declared in this file provide sizes.
+  {
+    // Crude declared-variable size table: `Type name [=;,){]`.
+    std::map<std::string, int> var_size;
+    std::vector<std::string> stmt;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (toks[i].kind == TokKind::kIdent) {
+        stmt.push_back(toks[i].text);
+      } else if (is_p(i, "<") || is_p(i, ">") || is_p(i, ":") ||
+                 is_p(i, "*")) {
+        stmt.push_back(toks[i].text);
+      } else {
+        if ((is_p(i, "=") || is_p(i, ";") || is_p(i, ",") || is_p(i, ")") ||
+             is_p(i, "{")) &&
+            stmt.size() >= 2) {
+          const std::string name = stmt.back();
+          stmt.pop_back();
+          var_size[name] = estimate_type_size(stmt, model.struct_sizes);
+        }
+        stmt.clear();
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!(is_id(i, "schedule") || is_id(i, "schedule_weak")) ||
+          !is_p(i + 1, "(")) {
+        continue;
+      }
+      const std::size_t end = skip_parens(i + 1);
+      // Find a lambda introducer among the arguments.
+      for (std::size_t k = i + 2; k < end; ++k) {
+        if (!is_p(k, "[")) continue;
+        // captures: k+1 .. matching ']'
+        std::size_t close = k + 1;
+        int bd = 1;
+        while (close < end) {
+          if (is_p(close, "[")) ++bd;
+          if (is_p(close, "]") && --bd == 0) break;
+          ++close;
+        }
+        if (!(is_p(close + 1, "(") || is_p(close + 1, "{"))) continue;
+        int bytes = 0;
+        bool unknown = false;
+        std::size_t e = k + 1;
+        while (e < close) {
+          // One capture entry up to ',' at depth 0.
+          std::size_t entry_end = e;
+          int pd = 0;
+          while (entry_end < close &&
+                 !(pd == 0 && is_p(entry_end, ","))) {
+            if (is_p(entry_end, "(")) ++pd;
+            if (is_p(entry_end, ")")) --pd;
+            ++entry_end;
+          }
+          if (is_id(e, "this")) {
+            bytes += 8;
+          } else if (is_p(e, "&")) {
+            if (e + 1 >= entry_end) unknown = true;  // capture-default '&'
+            else bytes += 8;                         // reference capture
+          } else if (is_p(e, "=")) {
+            unknown = true;  // capture-default '='
+          } else if (toks[e].kind == TokKind::kIdent) {
+            const std::string& cname = toks[e].text;
+            int sz = 8;
+            if (is_p(e + 1, "=")) {
+              // init-capture: `x = std::move(y)` sizes as y, else one word
+              for (std::size_t m = e + 2; m < entry_end; ++m) {
+                if (toks[m].kind == TokKind::kIdent &&
+                    var_size.count(toks[m].text) != 0) {
+                  sz = std::max(sz, var_size[toks[m].text]);
+                }
+              }
+            } else if (var_size.count(cname) != 0) {
+              sz = var_size[cname];
+            }
+            bytes += sz;
+          }
+          e = entry_end + 1;
+        }
+        if (!unknown && bytes > 80) {
+          add("DL010", toks[k].line, "lambda",
+              "lambda captures ~" + std::to_string(bytes) +
+                  " bytes, over the SmallFn 80-byte inline budget — the "
+                  "event closure will heap-allocate on the hot path");
+        }
+        break;  // one lambda per schedule call is the modeled pattern
+      }
+      i = end - 1;
+    }
+  }
+
+  // ---- DL011: include hygiene (src/ only).
+  if (fc.in_src) {
+    const std::string ext = fc.abs.extension().string();
+    if ((ext == ".cpp" || ext == ".cc") && !fc.layer.empty()) {
+      const std::string own =
+          fc.layer + "/" + fc.abs.stem().string() + ".hpp";
+      std::error_code ec;
+      const bool has_own_header =
+          fs::exists(fc.abs.parent_path() / (fc.abs.stem().string() + ".hpp"),
+                     ec);
+      if (has_own_header && !lx.includes.empty()) {
+        const IncludeDirective& first = lx.includes.front();
+        if (first.angle || first.path != own) {
+          add("DL011", first.line, "self-include-first",
+              "a .cpp must include its own header first (\"" + own +
+                  "\") so the header is proven self-contained");
+        }
+      }
+    }
+    // Direct include of modeled headers when their symbols are used.
+    struct Modeled {
+      const char* sym;
+      const char* header;
+    };
+    static const Modeled kModeled[] = {
+        {"FlatMap", "simcore/flat_map.hpp"},
+        {"FlatSet", "simcore/flat_map.hpp"},
+        {"SmallFn", "simcore/small_fn.hpp"},
+    };
+    for (const auto& m : kModeled) {
+      if (fc.report.size() >= std::string(m.header).size() &&
+          fc.report.find(m.header) != std::string::npos) {
+        continue;  // the defining header itself
+      }
+      bool used = false;
+      int use_line = 0;
+      for (const auto& tk : toks) {
+        if (tk.kind == TokKind::kIdent && tk.text == m.sym) {
+          used = true;
+          use_line = tk.line;
+          break;
+        }
+      }
+      if (!used) continue;
+      bool direct = false;
+      for (const auto& inc : lx.includes) {
+        if (!inc.angle && inc.path == m.header) {
+          direct = true;
+          break;
+        }
+      }
+      if (!direct) {
+        add("DL011", use_line, m.header,
+            std::string("uses ") + m.sym + " but does not include \"" +
+                m.header + "\" directly (transitive-only dependence on a "
+                "modeled symbol)");
+      }
+    }
+  }
+
+  // ---- DL012: unused suppressions.
+  for (const auto& nl : lx.nolints) {
+    if (nl.used) continue;
+    std::string ids;
+    for (const auto& id : nl.ids) {
+      if (!ids.empty()) ids += ",";
+      ids += id;
+    }
+    findings.push_back({"DL012", fc.report, nl.line, ids,
+                        "NOLINT(" + ids +
+                            ") suppresses nothing — remove it or fix the id",
+                        false});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Baseline.
+// ---------------------------------------------------------------------------
+
+struct Baseline {
+  // (rule, path, key) -> remaining allowance.
+  std::map<std::string, int> entries;
+  bool loaded = false;
+
+  static std::string fp(const Finding& f) {
+    return f.rule + " " + f.path + " " + f.key;
+  }
+};
+
+bool load_baseline(const fs::path& p, Baseline& out, std::string& err) {
+  std::ifstream in(p);
+  if (!in) {
+    err = "cannot read baseline: " + p.string();
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    while (!line.empty() && std::isspace(static_cast<unsigned char>(
+                                line.back())) != 0) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    ++out.entries[line];
+  }
+  out.loaded = true;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// SARIF 2.1.0 output.
+// ---------------------------------------------------------------------------
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool write_sarif(const fs::path& p, const std::vector<Finding>& findings) {
+  std::ofstream out(p);
+  if (!out) return false;
+  out << "{\n"
+      << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n    {\n"
+      << "      \"tool\": {\n        \"driver\": {\n"
+      << "          \"name\": \"strings_lint\",\n"
+      << "          \"version\": \"2.0.0\",\n"
+      << "          \"informationUri\": \"docs/analysis.md\",\n"
+      << "          \"rules\": [\n";
+  bool first = true;
+  for (const auto& r : kRuleDocs) {
+    out << (first ? "" : ",\n") << "            {\"id\": \"" << r.id
+        << "\", \"shortDescription\": {\"text\": \"" << json_escape(r.summary)
+        << "\"}}";
+    first = false;
+  }
+  out << "\n          ]\n        }\n      },\n      \"results\": [\n";
+  first = true;
+  for (const auto& f : findings) {
+    out << (first ? "" : ",\n") << "        {\n"
+        << "          \"ruleId\": \"" << f.rule << "\",\n"
+        << "          \"level\": \"" << (f.baselined ? "note" : "error")
+        << "\",\n"
+        << "          \"message\": {\"text\": \"" << json_escape(f.msg)
+        << "\"},\n"
+        << "          \"locations\": [{\"physicalLocation\": "
+        << "{\"artifactLocation\": {\"uri\": \"" << json_escape(f.path)
+        << "\"}, \"region\": {\"startLine\": " << f.line << "}}}]";
+    if (f.baselined) {
+      out << ",\n          \"suppressions\": [{\"kind\": \"external\"}]";
+    }
+    out << "\n        }";
+    first = false;
+  }
+  out << "\n      ]\n    }\n  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
+// ---------------------------------------------------------------------------
+// main
+// ---------------------------------------------------------------------------
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc";
+}
+
+int usage(const char* err) {
+  if (err != nullptr) std::fprintf(stderr, "strings_lint: error: %s\n", err);
+  std::fprintf(
+      stderr,
+      "usage: strings_lint [options] <file-or-dir>...\n"
+      "  --layering <rules>          enable DL006 from a layering DAG file\n"
+      "  --layering-summary <out>    write a machine-readable edge summary\n"
+      "  --baseline <file>           gate on regressions only (exit 3 on new "
+      "findings)\n"
+      "  --write-baseline <file>     write current findings as a baseline, "
+      "exit 0\n"
+      "  --sarif <out.sarif>         write a SARIF 2.1.0 report\n"
+      "exit codes: 0 clean, 1 findings, 2 bad flags or unreadable input, "
+      "3 new findings vs baseline\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path layering_path;
+  fs::path summary_path;
+  fs::path baseline_path;
+  fs::path write_baseline_path;
+  fs::path sarif_path;
+  std::vector<fs::path> roots;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto need_value = [&](fs::path& into) {
+      if (i + 1 >= argc) return false;
+      into = argv[++i];
+      return true;
+    };
+    if (arg == "--layering") {
+      if (!need_value(layering_path)) return usage("--layering needs a file");
+    } else if (arg == "--layering-summary") {
+      if (!need_value(summary_path)) {
+        return usage("--layering-summary needs a file");
+      }
+    } else if (arg == "--baseline") {
+      if (!need_value(baseline_path)) return usage("--baseline needs a file");
+    } else if (arg == "--write-baseline") {
+      if (!need_value(write_baseline_path)) {
+        return usage("--write-baseline needs a file");
+      }
+    } else if (arg == "--sarif") {
+      if (!need_value(sarif_path)) return usage("--sarif needs a file");
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage(("unknown flag '" + arg + "'").c_str());
+    } else {
+      roots.emplace_back(arg);
+    }
+  }
+  if (roots.empty()) return usage(nullptr);
+  if (!summary_path.empty() && layering_path.empty()) {
+    return usage("--layering-summary requires --layering");
+  }
+
+  Analyzer an;
+  LayeringRules layering;
+  std::string err;
+  if (!layering_path.empty()) {
+    if (!load_layering(layering_path, layering, err)) {
+      std::fprintf(stderr, "strings_lint: %s\n", err.c_str());
+      return 2;
+    }
+    an.layering = &layering;
+  }
+  Baseline baseline;
+  if (!baseline_path.empty()) {
+    if (!load_baseline(baseline_path, baseline, err)) {
+      std::fprintf(stderr, "strings_lint: %s\n", err.c_str());
+      return 2;
+    }
+  }
+
+  int files = 0;
+  for (const auto& root : roots) {
+    std::error_code ec;
+    std::vector<fs::path> paths;
+    if (fs::is_directory(root, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          paths.push_back(entry.path());
+        }
+      }
+      // Sorted so reports (and failures) are stable across filesystems.
+      std::sort(paths.begin(), paths.end());
+    } else if (fs::is_regular_file(root, ec)) {
+      paths.push_back(root);
+    } else {
+      std::fprintf(stderr, "strings_lint: no such file or directory: %s\n",
+                   root.string().c_str());
+      return 2;
+    }
+    for (const auto& p : paths) {
+      std::ifstream in(p);
+      if (!in) {
+        std::fprintf(stderr, "strings_lint: cannot read %s\n",
+                     p.string().c_str());
+        return 2;
+      }
+      std::stringstream ss;
+      ss << in.rdbuf();
+      const FileContext fc = make_context(
+          p, fs::is_directory(root, ec) ? root : root.parent_path());
+      an.analyze(fc, ss.str());
+      ++files;
+    }
+  }
+
+  // Deterministic report order: path, then line, then rule.
+  std::sort(an.findings.begin(), an.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.path, a.line, a.rule) <
+                     std::tie(b.path, b.line, b.rule);
+            });
+
+  // Baseline matching.
+  int baselined = 0;
+  if (baseline.loaded) {
+    std::map<std::string, int> remaining = baseline.entries;
+    for (auto& f : an.findings) {
+      auto it = remaining.find(Baseline::fp(f));
+      if (it != remaining.end() && it->second > 0) {
+        --it->second;
+        f.baselined = true;
+        ++baselined;
+      }
+    }
+    for (const auto& e : remaining) {
+      if (e.second > 0) {
+        std::fprintf(stderr,
+                     "strings_lint: warning: stale baseline entry '%s' "
+                     "(finding no longer present — prune the baseline)\n",
+                     e.first.c_str());
+      }
+    }
+  }
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path);
+    if (!out) {
+      std::fprintf(stderr, "strings_lint: cannot write %s\n",
+                   write_baseline_path.string().c_str());
+      return 2;
+    }
+    out << "# strings_lint baseline: one `rule path key` fingerprint per "
+           "pre-existing finding.\n"
+        << "# Regenerate with --write-baseline; new findings beyond these "
+           "fail CI (exit 3).\n";
+    for (const auto& f : an.findings) out << Baseline::fp(f) << "\n";
+    std::printf("strings_lint: wrote %zu baseline entr%s to %s\n",
+                an.findings.size(), an.findings.size() == 1 ? "y" : "ies",
+                write_baseline_path.string().c_str());
+    return 0;
+  }
+
+  for (const auto& f : an.findings) {
+    std::fprintf(stderr, "%s:%d: [%s]%s %s\n", f.path.c_str(), f.line,
+                 f.rule.c_str(), f.baselined ? " (baselined)" : "",
+                 f.msg.c_str());
+  }
+
+  // Layering summary (machine-readable; consumed by tests/layering_test).
+  if (!summary_path.empty()) {
+    std::ofstream out(summary_path);
+    if (!out) {
+      std::fprintf(stderr, "strings_lint: cannot write %s\n",
+                   summary_path.string().c_str());
+      return 2;
+    }
+    out << "# strings_lint layering summary v1\n";
+    int violations = 0;
+    int unused = 0;
+    for (const auto& e : an.edge_uses) {
+      const bool allowed = layering.allow.count(e.first) != 0;
+      if (!allowed) ++violations;
+      out << "edge " << e.first.first << " " << e.first.second
+          << " uses=" << e.second << " "
+          << (allowed ? "allowed" : "VIOLATION") << "\n";
+    }
+    for (const auto& a : layering.allow) {
+      auto it = an.edge_uses.find(a.first);
+      if (it == an.edge_uses.end() || it->second == 0) {
+        ++unused;
+        out << "unused-allow " << a.first.first << " " << a.first.second
+            << "\n";
+      }
+    }
+    out << "violations=" << violations << " unused_allows=" << unused << "\n";
+  }
+
+  if (!sarif_path.empty() && !write_sarif(sarif_path, an.findings)) {
+    std::fprintf(stderr, "strings_lint: cannot write %s\n",
+                 sarif_path.string().c_str());
+    return 2;
+  }
+
+  const int fresh = static_cast<int>(an.findings.size()) - baselined;
+  if (fresh > 0) {
+    std::fprintf(stderr,
+                 "strings_lint: %d finding(s) (%d baselined, %d new) in %d "
+                 "file(s)\n",
+                 static_cast<int>(an.findings.size()), baselined, fresh,
+                 files);
+    return baseline.loaded ? 3 : 1;
+  }
+  std::printf("strings_lint: %d file(s) clean (%d baselined finding(s))\n",
+              files, baselined);
+  return 0;
+}
