@@ -19,6 +19,7 @@
 // single source of truth (tests assert every flag and code appears there).
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -80,6 +81,14 @@ void print_usage(std::FILE* out) {
                "  --stream-wall         add wall-clock-per-window to the\n"
                "                        stream (breaks byte-reproducibility\n"
                "                        of the stream file; off by default)\n"
+               "  --exemplars <k>       record top-k slowest requests per\n"
+               "                        telemetry window with per-interval\n"
+               "                        culprit attribution (interference\n"
+               "                        forensics; requires --stream; ids\n"
+               "                        ride windows and SLO alerts, full\n"
+               "                        strings.exemplar.v1 lines land in\n"
+               "                        the stream + a .exemplars.jsonl\n"
+               "                        sidecar)\n"
                "  -h, --help            show this help\n"
                "\n"
                "exit codes: 0 ok, 1 runtime error, 2 bad flags,\n"
@@ -98,6 +107,7 @@ struct Args {
   std::string slo_rules_path;
   std::string alerts_path;
   bool stream_wall = false;
+  int exemplar_k = 0;
 };
 
 // Parses argv into Args. Returns true on success; on failure prints an
@@ -133,6 +143,27 @@ bool parse_args(int argc, char** argv, Args& args, int& exit_code) {
       args.stream_wall = true;
       continue;
     }
+    if (arg == "--exemplars") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --exemplars requires a count argument\n\n");
+        print_usage(stderr);
+        exit_code = 2;
+        return false;
+      }
+      char* end = nullptr;
+      const long k = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || k <= 0) {
+        std::fprintf(stderr,
+                     "error: --exemplars requires a positive count (got "
+                     "'%s')\n\n",
+                     argv[i]);
+        print_usage(stderr);
+        exit_code = 2;
+        return false;
+      }
+      args.exemplar_k = static_cast<int>(k);
+      continue;
+    }
     if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "error: unknown flag '%s'\n\n", arg.c_str());
       print_usage(stderr);
@@ -157,6 +188,12 @@ bool parse_args(int argc, char** argv, Args& args, int& exit_code) {
   }
   if (args.stream_wall && args.stream_path.empty()) {
     std::fprintf(stderr, "error: --stream-wall requires --stream\n\n");
+    print_usage(stderr);
+    exit_code = 2;
+    return false;
+  }
+  if (args.exemplar_k > 0 && args.stream_path.empty()) {
+    std::fprintf(stderr, "error: --exemplars requires --stream\n\n");
     print_usage(stderr);
     exit_code = 2;
     return false;
@@ -201,6 +238,7 @@ int main(int argc, char** argv) {
     artifacts.stream_path = args.stream_path;
     artifacts.slo_rules_path = args.slo_rules_path;
     artifacts.alerts_path = args.alerts_path;
+    artifacts.exemplar_k = args.exemplar_k;
     if (args.stream_wall) {
       // Wall clock injected from the bench layer only: src code never reads
       // it (determinism lint DL001), and the default stream file stays
@@ -240,6 +278,10 @@ int main(int argc, char** argv) {
   }
   if (!args.stream_path.empty()) {
     std::printf("(stream written to %s)\n", args.stream_path.c_str());
+  }
+  if (args.exemplar_k > 0) {
+    std::printf("(exemplars written to %s.exemplars.jsonl)\n",
+                args.stream_path.c_str());
   }
   if (!args.slo_rules_path.empty()) {
     std::printf("(alerts written to %s: %lld warn, %lld fail, %lld hard)\n",

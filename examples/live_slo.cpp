@@ -54,7 +54,8 @@ burn_windows = 3
 )"));
 
   bed.set_stream_sink([](const obs::Window& w,
-                         const std::vector<obs::SloAlert>& alerts) {
+                         const std::vector<obs::SloAlert>& alerts,
+                         const std::vector<std::string>& /*exemplars*/) {
     const auto p99 =
         obs::reduce_window(w, "tenant/checkout-svc/slowdown", "p99");
     std::printf("window %3llu  [%8.1f ms]  checkout p99 slowdown %s",

@@ -107,6 +107,19 @@ rpc::DuplexChannel& BackendDaemon::connect(
     conn->channel->response.set_tracer(tracer_,
                                        tracer_->link_track(node_,
                                                            app.origin_node));
+    if (tracer_->forensics_enabled()) {
+      // Label the request wire with this app's tenant so transit blame can
+      // name who held it. The naming must match prof::resource_for's
+      // transit scheme exactly. Response traffic never appears in a transit
+      // interval (those pair sends with deliveries), so only the request
+      // channel is labelled.
+      const std::string link_res =
+          app.origin_node == node_
+              ? "link.local"
+              : "link.n" + std::to_string(app.origin_node) + "-n" +
+                    std::to_string(node_);
+      conn->channel->request.set_occupant(link_res, app.tenant);
+    }
   }
   Conn& c = *conn;
   conns_.push_back(std::move(conn));
@@ -448,6 +461,10 @@ bool BackendDaemon::handle_request(Conn& conn, cuda::ProcessId pid,
                         std::string("be ") + rpc::call_name(req.call),
                         handle_start, sim_.now());
     }
+    // Forensics: while this worker handled the call it occupied the node's
+    // daemon — the resource backend_queue waits are blamed on.
+    tracer_->occupant("node" + std::to_string(node_) + ".daemon",
+                      conn.app.tenant, handle_start, sim_.now());
   }
   if (!req.oneway) {
     rpc::Packet resp;

@@ -169,6 +169,10 @@ void GpuScheduler::on_op_complete(int signal_id,
                     {{"app", e.init.app_type},
                      {"tenant", e.init.tenant},
                      {"signal", std::to_string(signal_id)}});
+    // Forensics: engine residency is the occupant timeline both execute
+    // contention and WakeGate (dispatch_wait) blame resolve against.
+    tracer_->occupant("gpu" + std::to_string(gid_) + ".engines",
+                      e.init.tenant, op.started, op.completed);
   }
 }
 

@@ -126,6 +126,32 @@ void write_chrome_trace(const Tracer& tracer, std::ostream& os) {
     }
   }
 
+  // Interference forensics: the occupant flight-recorder ring, one "occ"
+  // span per stamp under a synthetic "forensics" process (the Tracer's
+  // track registry is untouched — the pid is allocated here, past every
+  // real process). tools/strings_prof reads these back to re-derive the
+  // interference matrix and exemplars byte-identically offline.
+  if (tracer.forensics_enabled() && !tracer.occupants().empty()) {
+    const int fpid = static_cast<int>(procs.size());
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << fpid
+       << ",\"tid\":0,\"args\":{\"name\":\"forensics\"}}";
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"process_sort_index\",\"pid\":" << fpid
+       << ",\"tid\":0,\"args\":{\"sort_index\":2000}}";
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << fpid
+       << ",\"tid\":0,\"args\":{\"name\":\"occupants\"}}";
+    for (const auto& s : tracer.occupants()) {
+      sep();
+      os << "{\"ph\":\"X\",\"name\":\"occ\",\"pid\":" << fpid
+         << ",\"tid\":0,\"ts\":" << fmt_us(s.begin)
+         << ",\"dur\":" << fmt_us(s.end - s.begin) << ',';
+      write_args(os, {{"res", s.resource}, {"tenant", s.tenant}});
+      os << '}';
+    }
+  }
+
   // Requests that were issued but never completed get no umbrella span
   // (end_request never ran); emit an instant per straggler so offline
   // consumers can still account for them.

@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <ostream>
+#include <utility>
+
+#include "obs/export.hpp"
+#include "simcore/flat_map.hpp"
 
 namespace strings::obs::prof {
 
@@ -48,7 +53,69 @@ std::string resource_for(Bucket b, const ProfRequest& req) {
   return "?";
 }
 
+/// True for the buckets forensics attributes to culprit tenants: time the
+/// request spent blocked behind someone else's traffic or work.
+bool is_wait_bucket(Bucket b) {
+  return b == Bucket::kTransit || b == Bucket::kBackendQueue ||
+         b == Bucket::kDispatchWait;
+}
+
+/// Splits the claimed wait segment [a, b) at the clipped boundaries of the
+/// resource's occupant stamps and charges each sub-segment to the first
+/// covering stamp's tenant (stamps come pre-sorted by (begin, end, tenant),
+/// so the winner is deterministic); uncovered time goes to "(idle)". Every
+/// nanosecond of [a, b) is charged exactly once — the conservation property
+/// the tests pin falls out of this by construction.
+void attribute_segment(const std::vector<OccupantStamp>* timeline,
+                       sim::SimTime a, sim::SimTime b,
+                       sim::FlatMap<std::string, sim::SimTime>& out) {
+  if (b <= a) return;
+  if (timeline == nullptr || timeline->empty()) {
+    out[kIdleCulprit] += b - a;
+    return;
+  }
+  std::vector<sim::SimTime> pts;
+  pts.push_back(a);
+  pts.push_back(b);
+  for (const auto& s : *timeline) {
+    if (s.begin >= b) break;  // sorted by begin: nothing later overlaps
+    if (s.end <= a) continue;
+    if (s.begin > a) pts.push_back(s.begin);
+    if (s.end < b) pts.push_back(s.end);
+  }
+  std::sort(pts.begin(), pts.end());
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+    const sim::SimTime x = pts[i], y = pts[i + 1];
+    const std::string* winner = nullptr;
+    for (const auto& s : *timeline) {
+      if (s.begin > x) break;
+      if (s.end >= y) {
+        winner = &s.tenant;
+        break;
+      }
+    }
+    out[winner != nullptr ? *winner : kIdleCulprit] += y - x;
+  }
+}
+
 }  // namespace
+
+OccupantIndex build_occupant_index(const std::vector<OccupantStamp>& stamps) {
+  OccupantIndex idx;
+  for (const auto& s : stamps) {
+    idx.by_resource[s.resource].push_back(s);
+  }
+  for (auto& [res, tl] : idx.by_resource) {
+    std::sort(tl.begin(), tl.end(),
+              [](const OccupantStamp& a, const OccupantStamp& b) {
+                if (a.begin != b.begin) return a.begin < b.begin;
+                if (a.end != b.end) return a.end < b.end;
+                return a.tenant < b.tenant;
+              });
+  }
+  return idx;
+}
 
 const char* bucket_name(Bucket b) {
   switch (b) {
@@ -154,10 +221,19 @@ ProfInput input_from_tracer(const Tracer& tracer) {
       }
     }
   }
+  in.occupants.assign(tracer.occupants().begin(), tracer.occupants().end());
   return in;
 }
 
-RequestProfile profile_request(const ProfRequest& req) {
+namespace {
+
+/// The shared sweep. With `occ` non-null, wait-bucket segments are also
+/// attributed to culprit tenants against the blamed resource's occupant
+/// timeline (dispatch_wait resolves against the engines timeline — nothing
+/// occupies the dispatcher itself; what the gated thread is waiting out is
+/// whoever holds the engines).
+RequestProfile profile_request_impl(const ProfRequest& req,
+                                    const OccupantIndex* occ) {
   RequestProfile out;
   out.app_id = req.app_id;
   out.app_type = req.app_type;
@@ -248,6 +324,21 @@ RequestProfile profile_request(const ProfRequest& req) {
   }
   std::sort(pts.begin(), pts.end());
   pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  // Timelines the wait buckets resolve against (fixed per request).
+  const std::vector<OccupantStamp>* wait_tl[kBucketCount] = {};
+  if (occ != nullptr) {
+    auto timeline = [&](Bucket b) -> const std::vector<OccupantStamp>* {
+      auto it = occ->by_resource.find(resource_for(b, req));
+      return it == occ->by_resource.end() ? nullptr : &it->second;
+    };
+    wait_tl[static_cast<std::size_t>(Bucket::kTransit)] =
+        timeline(Bucket::kTransit);
+    wait_tl[static_cast<std::size_t>(Bucket::kBackendQueue)] =
+        timeline(Bucket::kBackendQueue);
+    // dispatch_wait aliases the engines timeline (see above).
+    wait_tl[static_cast<std::size_t>(Bucket::kDispatchWait)] =
+        timeline(Bucket::kExecute);
+  }
   for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
     const sim::SimTime a = pts[i], b = pts[i + 1];
     Bucket best = Bucket::kFrontend;
@@ -258,6 +349,10 @@ RequestProfile profile_request(const ProfRequest& req) {
       }
     }
     out.by_bucket[static_cast<std::size_t>(best)] += b - a;
+    if (occ != nullptr && is_wait_bucket(best)) {
+      attribute_segment(wait_tl[static_cast<std::size_t>(best)], a, b,
+                        out.culprits[static_cast<std::size_t>(best)]);
+    }
   }
 
   // 3. Critical path: the bucket with the largest share (first wins ties).
@@ -273,6 +368,17 @@ RequestProfile profile_request(const ProfRequest& req) {
   return out;
 }
 
+}  // namespace
+
+RequestProfile profile_request(const ProfRequest& req) {
+  return profile_request_impl(req, nullptr);
+}
+
+RequestProfile profile_request(const ProfRequest& req,
+                               const OccupantIndex& occ) {
+  return profile_request_impl(req, &occ);
+}
+
 double TenantAccount::slowdown() const {
   if (wall_ns <= 0) return 1.0;
   const sim::SimTime uncontended = wall_ns - contention_ns;
@@ -283,10 +389,22 @@ double TenantAccount::slowdown() const {
 Report profile(const ProfInput& in) {
   Report rep;
   rep.meta = in.meta;
+  const auto fmeta = in.meta.find("forensics");
+  rep.forensics = (fmeta != in.meta.end() && fmeta->second == "1") ||
+                  !in.occupants.empty();
+  OccupantIndex occ;
+  if (rep.forensics) occ = build_occupant_index(in.occupants);
+  // The ProfRequest behind each rep.requests entry, same order (exemplar
+  // derivation needs completed_at, which RequestProfile does not carry).
+  std::vector<const ProfRequest*> complete_reqs;
   for (const auto& req : in.requests) {
     if (req.issued_at < 0) continue;
-    TenantAccount& acct = rep.tenants[req.tenant];
-    if (acct.requests == 0) acct.weight = req.weight;
+    {
+      // Scoped: FlatMap doctrine — don't hold a reference across later
+      // mutations of other report tables.
+      TenantAccount& seen = rep.tenants[req.tenant];
+      if (seen.requests == 0) seen.weight = req.weight;
+    }
     if (req.completed_at < 0) {
       ++rep.incomplete_requests;
       continue;
@@ -297,7 +415,8 @@ Report profile(const ProfInput& in) {
     if (req.completed_at > rep.last_complete)
       rep.last_complete = req.completed_at;
 
-    RequestProfile p = profile_request(req);
+    RequestProfile p = rep.forensics ? profile_request(req, occ)
+                                     : profile_request(req);
     const double wall_ms = sim::to_millis(p.wall);
     const std::string group_keys[3] = {
         "tenant/" + req.tenant, "app/" + req.app_type,
@@ -316,19 +435,77 @@ Report profile(const ProfInput& in) {
       if (t <= 0) continue;
       rep.blame[resource_for(static_cast<Bucket>(b), req)].total_ns += t;
     }
-    ResourceBlame& blamed = rep.blame[p.resource];
-    ++blamed.critical_for;
-    blamed.critical_ns += p.by_bucket[static_cast<std::size_t>(p.critical)];
-
-    ++acct.requests;
-    acct.wall_ns += p.wall;
-    acct.contention_ns +=
-        p.by_bucket[static_cast<std::size_t>(Bucket::kBackendQueue)] +
-        p.by_bucket[static_cast<std::size_t>(Bucket::kDispatchWait)];
+    {
+      ResourceBlame& blamed = rep.blame[p.resource];
+      ++blamed.critical_for;
+      blamed.critical_ns += p.by_bucket[static_cast<std::size_t>(p.critical)];
+    }
+    if (rep.forensics) {
+      // Interference matrix: every culprit-attributed nanosecond of this
+      // victim's wait buckets, including the "(idle)" remainder.
+      sim::FlatMap<std::string, sim::SimTime>& row =
+          rep.interference[req.tenant];
+      for (const auto& m : p.culprits) {
+        for (const auto& [culprit, ns] : m) row[culprit] += ns;
+      }
+    }
+    {
+      TenantAccount& acct = rep.tenants[req.tenant];
+      ++acct.requests;
+      acct.wall_ns += p.wall;
+      acct.contention_ns +=
+          p.by_bucket[static_cast<std::size_t>(Bucket::kBackendQueue)] +
+          p.by_bucket[static_cast<std::size_t>(Bucket::kDispatchWait)];
+    }
+    complete_reqs.push_back(&req);
     rep.requests.push_back(std::move(p));
   }
   for (const auto& [tenant, ns] : in.attained_ns) {
     rep.tenants[tenant].attained_ns = ns;
+  }
+
+  // Tail exemplars: per-window top-K slowest completions. window_ns and
+  // exemplar_k ride the run-config metadata, so the offline path derives
+  // the same set from the exported trace alone.
+  const auto meta_ll = [&](const char* key) -> long long {
+    auto it = in.meta.find(key);
+    return it == in.meta.end()
+               ? 0
+               : std::strtoll(it->second.c_str(), nullptr, 10);
+  };
+  const long long exemplar_k = meta_ll("exemplar_k");
+  const long long window_ns = meta_ll("window_ns");
+  if (exemplar_k > 0 && window_ns > 0 && !rep.requests.empty()) {
+    std::map<std::int64_t,
+             std::vector<std::pair<sim::SimTime, std::uint64_t>>>
+        by_window;
+    sim::FlatMap<std::uint64_t, std::size_t> pos;
+    for (std::size_t i = 0; i < rep.requests.size(); ++i) {
+      const ProfRequest& q = *complete_reqs[i];
+      by_window[q.completed_at / window_ns].push_back(
+          {rep.requests[i].wall, q.app_id});
+      pos[q.app_id] = i;
+    }
+    for (auto& [win, cands] : by_window) {
+      std::sort(cands.begin(), cands.end(),
+                [](const std::pair<sim::SimTime, std::uint64_t>& a,
+                   const std::pair<sim::SimTime, std::uint64_t>& b) {
+                  if (a.first != b.first) return a.first > b.first;
+                  return a.second < b.second;
+                });
+      const std::size_t k =
+          std::min(cands.size(), static_cast<std::size_t>(exemplar_k));
+      for (std::size_t r = 0; r < k; ++r) {
+        const std::size_t idx = pos.at(cands[r].second);
+        Exemplar ex;
+        ex.window = win;
+        ex.rank = static_cast<int>(r + 1);
+        ex.id = "w" + std::to_string(win) + "." + std::to_string(ex.rank);
+        ex.req = *complete_reqs[idx];
+        ex.prof = rep.requests[idx];
+        rep.exemplars.push_back(std::move(ex));
+      }
+    }
   }
 
   // Jain's index over weight-normalized attained service — the same
@@ -401,6 +578,49 @@ void render(const Report& r, std::ostream& os) {
     os << line;
   }
 
+  if (r.forensics) {
+    os << "\n-- interference matrix (victim blocked-on culprit) --\n";
+    std::snprintf(line, sizeof line, "%-24s %-24s %12s\n", "victim",
+                  "culprit", "blocked_ms");
+    os << line;
+    for (const auto& [victim, row] : r.interference) {
+      for (const auto& [culprit, ns] : row) {
+        std::snprintf(line, sizeof line, "%-24s %-24s %12.3f\n",
+                      victim.c_str(), culprit.c_str(), sim::to_millis(ns));
+        os << line;
+      }
+    }
+    if (!r.exemplars.empty()) {
+      os << "\n-- tail exemplars (slowest requests per window) --\n";
+      std::snprintf(line, sizeof line, "%-10s %-28s %10s %14s %s\n", "id",
+                    "request", "wall_ms", "critical", "top_culprit");
+      os << line;
+      for (const auto& ex : r.exemplars) {
+        // Largest single culprit charge across the wait buckets (first in
+        // bucket order, then culprit order, wins ties).
+        const std::string* top = nullptr;
+        sim::SimTime top_ns = 0;
+        for (const auto& m : ex.prof.culprits) {
+          for (const auto& [culprit, ns] : m) {
+            if (top == nullptr || ns > top_ns) {
+              top = &culprit;
+              top_ns = ns;
+            }
+          }
+        }
+        const std::string label = ex.prof.app_type + "#" +
+                                  std::to_string(ex.prof.app_id) + " (" +
+                                  ex.prof.tenant + ")";
+        std::snprintf(line, sizeof line, "%-10s %-28s %10.3f %14s %s\n",
+                      ex.id.c_str(), label.c_str(),
+                      sim::to_millis(ex.prof.wall),
+                      bucket_name(ex.prof.critical),
+                      top != nullptr ? top->c_str() : "-");
+        os << line;
+      }
+    }
+  }
+
   os << "\n-- per-request critical path --\n";
   std::snprintf(line, sizeof line, "%-28s %10s %14s %s\n", "request",
                 "wall_ms", "critical", "resource");
@@ -436,6 +656,74 @@ void render(const Report& r, std::ostream& os) {
   os << line;
 }
 
+void write_exemplars_jsonl(const Report& r, std::ostream& os) {
+  char num[48];
+  const auto ms = [&](sim::SimTime ns) -> const char* {
+    std::snprintf(num, sizeof num, "%.17g",
+                  static_cast<double>(ns) / 1e6);
+    return num;
+  };
+  for (const auto& ex : r.exemplars) {
+    os << "{\"schema\":\"strings.exemplar.v1\",\"id\":\""
+       << json_escape(ex.id) << "\",\"window\":" << ex.window
+       << ",\"rank\":" << ex.rank << ",\"app_id\":" << ex.req.app_id
+       << ",\"app\":\"" << json_escape(ex.req.app_type) << "\",\"tenant\":\""
+       << json_escape(ex.req.tenant) << "\",\"gid\":" << ex.req.gid
+       << ",\"node\":" << ex.req.node << ",\"wall_ms\":" << ms(ex.prof.wall)
+       << ",\"issued_ms\":" << ms(ex.req.issued_at)
+       << ",\"completed_ms\":" << ms(ex.req.completed_at) << ",\"buckets\":{";
+    for (int b = 0; b < kBucketCount; ++b) {
+      if (b > 0) os << ',';
+      os << '"' << bucket_name(static_cast<Bucket>(b)) << "\":"
+         << ms(ex.prof.by_bucket[static_cast<std::size_t>(b)]);
+    }
+    os << "},\"culprits\":{";
+    bool first_bucket = true;
+    for (int b = 0; b < kBucketCount; ++b) {
+      const auto& m = ex.prof.culprits[static_cast<std::size_t>(b)];
+      if (m.empty()) continue;
+      if (!first_bucket) os << ',';
+      first_bucket = false;
+      os << '"' << bucket_name(static_cast<Bucket>(b)) << "\":{";
+      bool first_culprit = true;
+      for (const auto& [culprit, ns] : m) {
+        if (!first_culprit) os << ',';
+        first_culprit = false;
+        os << '"' << json_escape(culprit) << "\":" << ms(ns);
+      }
+      os << '}';
+    }
+    os << "},\"steps\":\"";
+    // Same encoding RequestTrace::encode_steps uses on the umbrella span,
+    // so the full causal timeline rides the exemplar line verbatim.
+    for (std::size_t i = 0; i < ex.req.steps.size(); ++i) {
+      if (i > 0) os << ';';
+      os << req_phase_name(ex.req.steps[i].phase) << '@'
+         << ex.req.steps[i].at;
+    }
+    os << "\"}\n";
+  }
+}
+
+std::vector<std::string> exemplar_ids_for_window(
+    const std::vector<std::pair<sim::SimTime, std::uint64_t>>& latency_by_app,
+    std::int64_t window, int k) {
+  // Exemplar ids are positional — "w{window}.{rank}" for the top
+  // min(k, completions) — so only the count matters here; which request
+  // lands behind each rank is decided by the shared (latency desc, app_id
+  // asc) order when profile() materializes the lines.
+  std::vector<std::string> ids;
+  const std::size_t n =
+      std::min(latency_by_app.size(),
+               static_cast<std::size_t>(k > 0 ? k : 0));
+  ids.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    ids.push_back("w" + std::to_string(window) + "." +
+                  std::to_string(r + 1));
+  }
+  return ids;
+}
+
 void export_to_registry(const Report& r, Registry& reg) {
   reg.gauge("prof/requests/complete")
       .set(static_cast<double>(r.complete_requests));
@@ -454,6 +742,12 @@ void export_to_registry(const Report& r, Registry& reg) {
         .set(sim::to_millis(b.critical_ns));
     reg.gauge("prof/resource/" + name + "/total_ms")
         .set(sim::to_millis(b.total_ns));
+  }
+  for (const auto& [victim, row] : r.interference) {
+    for (const auto& [culprit, ns] : row) {
+      reg.gauge("interference/" + victim + "/" + culprit + "/blocked_ns")
+          .set(static_cast<double>(ns));
+    }
   }
   for (const auto& p : r.requests) {
     const double wall_ms = sim::to_millis(p.wall);

@@ -20,6 +20,16 @@
 //      request's own uncontended path (wall minus queue+gate time), and
 //      Jain's fairness index over weight-normalized attained service.
 //
+// With interference forensics enabled (Tracer::enable_forensics), a fourth
+// artifact rides along: every wait interval (transit, backend_queue,
+// dispatch_wait) is resolved against the occupant timeline of the blamed
+// resource, attributing each blocked nanosecond to the tenant whose work
+// held it — with an exact conservation property (per-request culprit ns
+// sums bit-for-bit to the request's wait buckets; unheld time goes to the
+// "(idle)" sentinel). Aggregated into a victim×culprit interference matrix
+// and per-window top-K slowest-request exemplars (strings.exemplar.v1
+// JSONL).
+//
 // The same engine backs the online `run_scenario --prof` report and the
 // offline `tools/strings_prof` CLI: both build a ProfInput (from a live
 // Tracer or from exported trace JSON) and call profile() + render(), so
@@ -35,6 +45,7 @@
 
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "simcore/flat_map.hpp"
 
 namespace strings::obs::prof {
 
@@ -77,6 +88,8 @@ struct ProfInput {
   /// exactly what GpuScheduler::tenant_service accumulates).
   std::map<std::string, sim::SimTime> attained_ns;
   std::map<std::string, std::string> meta;  // run-config labels
+  /// Occupant flight-recorder stamps (empty unless forensics was enabled).
+  std::vector<OccupantStamp> occupants;
 };
 
 /// Builds the profiler input from a live Tracer (online path).
@@ -98,6 +111,17 @@ struct Digest {
 };
 const std::vector<double>& digest_bounds_ms();
 
+/// The culprit name attributed to wait time no occupant stamp covers.
+inline constexpr const char* kIdleCulprit = "(idle)";
+
+/// Occupant stamps indexed per resource, each timeline sorted by
+/// (begin, end, tenant) — the deterministic tie-break order attribution
+/// uses when overlapping stamps cover the same instant.
+struct OccupantIndex {
+  sim::FlatMap<std::string, std::vector<OccupantStamp>> by_resource;
+};
+OccupantIndex build_occupant_index(const std::vector<OccupantStamp>& stamps);
+
 /// One profiled request: the bucket sweep result + critical-path verdict.
 struct RequestProfile {
   std::uint64_t app_id = 0;
@@ -108,6 +132,11 @@ struct RequestProfile {
   std::array<sim::SimTime, kBucketCount> by_bucket{};
   Bucket critical = Bucket::kFrontend;
   std::string resource;  // resource blamed for `critical`
+  /// Forensics: culprit tenant -> blocked ns, per wait bucket (only
+  /// kTransit / kBackendQueue / kDispatchWait entries are ever populated).
+  /// Conservation invariant: each populated map sums exactly to the
+  /// matching by_bucket entry.
+  std::array<sim::FlatMap<std::string, sim::SimTime>, kBucketCount> culprits;
 };
 
 struct GroupStats {
@@ -134,6 +163,18 @@ struct TenantAccount {
   double slowdown() const;
 };
 
+/// One tail exemplar: a per-window top-K slowest request with its full
+/// causal timeline and per-interval culprit breakdown. ids are
+/// "w{window}.{rank}" (rank 1-based within the window, latency-descending,
+/// app_id ascending tie-break) — the same ids SLO alert lines reference.
+struct Exemplar {
+  std::string id;
+  std::int64_t window = 0;
+  int rank = 0;
+  ProfRequest req;
+  RequestProfile prof;
+};
+
 struct Report {
   std::map<std::string, std::string> meta;
   int complete_requests = 0;
@@ -141,17 +182,40 @@ struct Report {
   sim::SimTime first_issue = -1;
   sim::SimTime last_complete = -1;
   std::vector<RequestProfile> requests;           // complete only, app_id asc
-  std::map<std::string, GroupStats> groups;       // "tenant/x","app/x","gpu/x"
-  std::map<std::string, ResourceBlame> blame;
-  std::map<std::string, TenantAccount> tenants;
+  sim::FlatMap<std::string, GroupStats> groups;   // "tenant/x","app/x","gpu/x"
+  sim::FlatMap<std::string, ResourceBlame> blame;
+  sim::FlatMap<std::string, TenantAccount> tenants;
   double jain = 1.0;
+  /// Forensics (populated only when the input carried occupant stamps and
+  /// meta said forensics=1): victim tenant -> culprit tenant -> blocked ns.
+  bool forensics = false;
+  sim::FlatMap<std::string, sim::FlatMap<std::string, sim::SimTime>>
+      interference;
+  std::vector<Exemplar> exemplars;  // (window, rank) ascending
 };
 
 /// Sweeps one request into exclusive buckets (exposed for tests).
 RequestProfile profile_request(const ProfRequest& req);
+/// Same sweep, plus culprit attribution of the wait buckets against the
+/// occupant index (exact conservation; pass an empty index for pure sweep).
+RequestProfile profile_request(const ProfRequest& req,
+                               const OccupantIndex& occ);
 Report profile(const ProfInput& in);
 /// Deterministic, diff-stable text report (identical online/offline).
 void render(const Report& r, std::ostream& os);
+/// Writes the report's exemplars as strings.exemplar.v1 JSONL lines — the
+/// single emitter both `run_scenario --exemplars` (online) and
+/// `tools/strings_prof --exemplars` (offline) call, so the two byte-match.
+void write_exemplars_jsonl(const Report& r, std::ostream& os);
+/// Selects per-window top-K exemplar ids for requests completing in
+/// `window` (= completed_at / window_ns): latency-descending, app_id
+/// ascending. Returned ids are "w{window}.{rank}". Shared by the live
+/// stream (Testbed window close) and profile()'s end-of-run derivation so
+/// the ids referenced from SLO alerts match the exemplar lines exactly.
+std::vector<std::string> exemplar_ids_for_window(
+    const std::vector<std::pair<sim::SimTime, std::uint64_t>>&
+        latency_by_app,  // (wall ns, app_id) of completions in the window
+    std::int64_t window, int k);
 /// Mirrors the report into prof/... registry instruments so --metrics CSV
 /// carries the same attribution (only called when prof is enabled).
 void export_to_registry(const Report& r, Registry& reg);

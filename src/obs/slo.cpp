@@ -256,6 +256,16 @@ void append_alert(std::string* out, const SloAlert& a) {
   append_json_number(out, a.value);
   out->append(",\"threshold\":");
   append_json_number(out, a.threshold);
+  if (!a.exemplars.empty()) {
+    out->append(",\"exemplars\":[");
+    for (std::size_t i = 0; i < a.exemplars.size(); ++i) {
+      if (i != 0) out->push_back(',');
+      out->push_back('"');
+      out->append(a.exemplars[i]);
+      out->push_back('"');
+    }
+    out->push_back(']');
+  }
   out->push_back('}');
 }
 

@@ -61,6 +61,11 @@ struct SloAlert {
   std::string severity;         // warn | fail | hard
   double value = 0.0;           // reduced value this window
   double threshold = 0.0;       // threshold that tripped
+  /// Tail-exemplar ids of the window the alert fired in ("w{window}.{rank}",
+  /// see obs::prof). Attached by the stream owner (Testbed) when forensics
+  /// is on; rendered only when non-empty, so alert output is unchanged
+  /// otherwise.
+  std::vector<std::string> exemplars;
 };
 
 /// Thrown by parse_slo_rules with a "line N: ..." message.
@@ -88,6 +93,16 @@ class SloWatchdog {
 
   /// Every alert raised so far, in firing order.
   const std::vector<SloAlert>& alerts() const { return alerts_; }
+  /// Attaches tail-exemplar ids to the last `n` alerts raised (the batch
+  /// the most recent evaluate() returned), so the retained alert log — and
+  /// the alerts.jsonl derived from it — carries the same references the
+  /// stream line embedded.
+  void annotate_exemplars(std::size_t n, const std::vector<std::string>& ids) {
+    const std::size_t start = alerts_.size() > n ? alerts_.size() - n : 0;
+    for (std::size_t i = start; i < alerts_.size(); ++i) {
+      alerts_[i].exemplars = ids;
+    }
+  }
   std::int64_t warn_count() const { return warn_count_; }
   std::int64_t fail_count() const { return fail_count_; }
   /// Hard (burn-rate) violations — the run_scenario exit-5 signal.

@@ -202,7 +202,8 @@ void append_json_string(std::string* out, const std::string& s) {
 }  // namespace
 
 void write_stream_line(std::ostream& os, const Window& w,
-                       const std::string& alerts_json) {
+                       const std::string& alerts_json,
+                       const std::vector<std::string>& exemplar_ids) {
   std::string line;
   line.reserve(512);
   line.append("{\"schema\":\"strings.stream.v1\",\"window\":");
@@ -247,6 +248,14 @@ void write_stream_line(std::ostream& os, const Window& w,
   if (!alerts_json.empty()) {
     line.append(",\"alerts\":");
     line.append(alerts_json);
+  }
+  if (!exemplar_ids.empty()) {
+    line.append(",\"exemplars\":[");
+    for (std::size_t i = 0; i < exemplar_ids.size(); ++i) {
+      if (i != 0) line.push_back(',');
+      append_json_string(&line, exemplar_ids[i]);
+    }
+    line.push_back(']');
   }
   line.append("}\n");
   os << line;

@@ -140,10 +140,14 @@ class TimeSeries {
 /// Renders one window as a single line-delimited JSON object
 /// ("strings.stream.v1"): changed scalar series (value + delta), window
 /// histogram quantiles, and — when `alerts_json` is a non-empty JSON array
-/// (see render_alerts_json) — the window's SLO alerts. Terminated with
-/// '\n'; deterministic field order (std::map iteration + fixed printf
-/// formats).
+/// (see render_alerts_json) — the window's SLO alerts. When `exemplar_ids`
+/// is non-empty the window's tail-exemplar ids ("w{window}.{rank}", see
+/// obs::prof) ride along as an "exemplars" array — the full exemplar lines
+/// (strings.exemplar.v1) are appended at run end once the forensics ring is
+/// complete. Terminated with '\n'; deterministic field order (std::map
+/// iteration + fixed printf formats).
 void write_stream_line(std::ostream& os, const Window& w,
-                       const std::string& alerts_json = std::string());
+                       const std::string& alerts_json = std::string(),
+                       const std::vector<std::string>& exemplar_ids = {});
 
 }  // namespace strings::obs

@@ -265,4 +265,19 @@ void Tracer::set_meta(const std::string& key, const std::string& value) {
   meta_[key] = value;
 }
 
+void Tracer::enable_forensics(std::size_t capacity) {
+  forensics_enabled_ = true;
+  forensics_capacity_ = capacity > 0 ? capacity : 1;
+}
+
+void Tracer::occupant(const std::string& resource, const std::string& tenant,
+                      sim::SimTime begin, sim::SimTime end) {
+  if (!forensics_enabled_ || end <= begin) return;
+  occupants_.push_back(OccupantStamp{resource, tenant, begin, end});
+  while (occupants_.size() > forensics_capacity_) {
+    occupants_.pop_front();
+    ++occupants_dropped_;
+  }
+}
+
 }  // namespace strings::obs

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
 #include <utility>
@@ -89,6 +90,19 @@ struct RequestTrace {
   std::string encode_steps() const;
   /// Inverse of encode_steps; unknown phases are skipped.
   static std::vector<Step> decode_steps(const std::string& encoded);
+};
+
+/// One entry of the interference flight recorder: tenant `tenant` held
+/// resource `resource` (named exactly as the profiler blames it —
+/// "gpu{G}.engines", "node{N}.daemon", "link.n{A}-n{B}"/"link.local") over
+/// [begin, end) of virtual time. Stamped by GpuScheduler, BackendDaemon and
+/// rpc::Channel when forensics is enabled; the profiler resolves every wait
+/// interval against these timelines to attribute blocked time to a culprit.
+struct OccupantStamp {
+  std::string resource;
+  std::string tenant;
+  sim::SimTime begin = 0;
+  sim::SimTime end = 0;
 };
 
 class Tracer {
@@ -171,6 +185,22 @@ class Tracer {
   /// exported JSON alone reproduces the profiler's input.
   void end_request(std::uint64_t app_id, sim::SimTime now);
 
+  // ---- interference flight recorder ----
+  /// Turns the occupant flight recorder on. Off (the default), occupant()
+  /// is a no-op and a run is byte-for-byte identical to one that never
+  /// heard of forensics. The ring is bounded: past `capacity` stamps the
+  /// oldest are evicted (and counted in occupants_dropped()).
+  void enable_forensics(std::size_t capacity = kDefaultForensicsCapacity);
+  bool forensics_enabled() const { return forensics_enabled_; }
+  /// Records that `tenant` held `resource` over [begin, end). No-op unless
+  /// enable_forensics() ran; empty or inverted stamps are ignored.
+  void occupant(const std::string& resource, const std::string& tenant,
+                sim::SimTime begin, sim::SimTime end);
+  const std::deque<OccupantStamp>& occupants() const { return occupants_; }
+  std::int64_t occupants_dropped() const { return occupants_dropped_; }
+
+  static constexpr std::size_t kDefaultForensicsCapacity = 1 << 16;
+
   // ---- run-level metadata ----
   /// Key/value labels describing the run (mode, policies, topology); the
   /// export writes them as one metadata event and reports echo them.
@@ -202,6 +232,10 @@ class Tracer {
   std::map<std::pair<int, int>, int> link_tracks_;
   std::map<std::uint64_t, RequestTrace> requests_;
   std::map<std::string, std::string> meta_;
+  bool forensics_enabled_ = false;
+  std::size_t forensics_capacity_ = kDefaultForensicsCapacity;
+  std::deque<OccupantStamp> occupants_;
+  std::int64_t occupants_dropped_ = 0;
 };
 
 }  // namespace strings::obs

@@ -85,6 +85,13 @@ class Channel {
       tracer_->complete(trace_track_, call_name(p.call), start, deliver_at,
                         {{"seq", std::to_string(p.seq)},
                          {"bytes", std::to_string(p.wire_size())}});
+      if (!occ_resource_.empty()) {
+        // Forensics: the serialization slice [start, busy_until) is the
+        // contended part of the link — propagation latency is nobody's
+        // fault. occupant() is a no-op unless forensics is enabled.
+        tracer_->occupant(occ_resource_, occ_tenant_, start,
+                          wire_->busy_until);
+      }
     }
     bytes_sent_ += p.wire_size();
     ++packets_sent_;
@@ -100,6 +107,16 @@ class Channel {
   void set_tracer(obs::Tracer* tracer, int track) {
     tracer_ = tracer;
     trace_track_ = track;
+  }
+
+  /// Labels this channel's wire occupancy for interference forensics: every
+  /// send stamps `tenant` as the occupant of `resource` (the profiler's
+  /// link name, e.g. "link.n0-n1") for its serialization slice. The channel
+  /// itself knows neither tenants nor the blame naming scheme, so the owner
+  /// (BackendDaemon::connect) passes both in.
+  void set_occupant(std::string resource, std::string tenant) {
+    occ_resource_ = std::move(resource);
+    occ_tenant_ = std::move(tenant);
   }
 
   /// Blocking receive (process context).
@@ -122,6 +139,8 @@ class Channel {
   std::uint64_t bytes_sent_ = 0;
   obs::Tracer* tracer_ = nullptr;
   int trace_track_ = -1;
+  std::string occ_resource_;
+  std::string occ_tenant_;
 };
 
 /// A request/response pair of channels (one per frontend/backend binding).

@@ -288,6 +288,14 @@ ScenarioRunResult run_scenario_config_full(const ScenarioConfig& cfg,
   if (!artifacts.stream_path.empty() || !artifacts.slo_rules_path.empty()) {
     run_cfg.testbed.stream = true;
   }
+  if (artifacts.exemplar_k > 0) {
+    // Exemplars need the full pipeline: request traces for the causal
+    // timelines, streaming windows for the ids, forensics for the culprit
+    // attribution (exemplars > 0 implies forensics in the Testbed).
+    run_cfg.testbed.trace = true;
+    run_cfg.testbed.stream = true;
+    run_cfg.testbed.exemplars = artifacts.exemplar_k;
+  }
   sim::Simulation sim;
   Testbed bed(sim, run_cfg.testbed);
   // Streaming exporter: open (and fail) before the run, flush per window so
@@ -307,9 +315,10 @@ ScenarioRunResult run_scenario_config_full(const ScenarioConfig& cfg,
   if (artifacts.wall_clock_ms) bed.set_wall_clock(artifacts.wall_clock_ms);
   if (stream_out.is_open()) {
     bed.set_stream_sink([&stream_out](const obs::Window& w,
-                                      const std::vector<obs::SloAlert>& a) {
+                                      const std::vector<obs::SloAlert>& a,
+                                      const std::vector<std::string>& ex) {
       obs::write_stream_line(stream_out, w,
-                             a.empty() ? "" : obs::render_alerts_json(a));
+                             a.empty() ? "" : obs::render_alerts_json(a), ex);
       stream_out.flush();
     });
   }
@@ -331,19 +340,39 @@ ScenarioRunResult run_scenario_config_full(const ScenarioConfig& cfg,
       obs::write_alerts_jsonl(out, bed.watchdog()->alerts());
     }
   }
-  if (!artifacts.prof_path.empty() && bed.tracer() != nullptr) {
-    // Profile before the metrics export so prof/... instruments land in
-    // the CSV too.
+  const bool want_prof = !artifacts.prof_path.empty();
+  const bool want_exemplars =
+      artifacts.exemplar_k > 0 && stream_out.is_open();
+  if ((want_prof || want_exemplars) && bed.tracer() != nullptr) {
+    // Profile before the metrics export so prof/... instruments (and the
+    // interference/... gauges when forensics is on) land in the CSV too.
     const obs::prof::Report report =
         obs::prof::profile(obs::prof::input_from_tracer(*bed.tracer()));
-    result.prof_incomplete_requests = report.incomplete_requests;
+    if (want_prof) result.prof_incomplete_requests = report.incomplete_requests;
     obs::prof::export_to_registry(report, bed.metrics_registry());
-    std::ofstream out(artifacts.prof_path);
-    if (!out) {
-      throw std::runtime_error("cannot write prof report: " +
-                               artifacts.prof_path);
+    if (want_prof) {
+      std::ofstream out(artifacts.prof_path);
+      if (!out) {
+        throw std::runtime_error("cannot write prof report: " +
+                                 artifacts.prof_path);
+      }
+      obs::prof::render(report, out);
     }
-    obs::prof::render(report, out);
+    if (want_exemplars) {
+      // The forensics ring is only complete once the run drained, so the
+      // full exemplar lines land after the final window line — interleaved
+      // in the stream for live consumers, duplicated to a sidecar for
+      // schema checks and byte-compare fixtures.
+      obs::prof::write_exemplars_jsonl(report, stream_out);
+      stream_out.flush();
+      const std::string sidecar =
+          artifacts.stream_path + ".exemplars.jsonl";
+      std::ofstream ex_out(sidecar);
+      if (!ex_out) {
+        throw std::runtime_error("cannot write exemplars file: " + sidecar);
+      }
+      obs::prof::write_exemplars_jsonl(report, ex_out);
+    }
   }
   if (!artifacts.trace_path.empty() && bed.tracer() != nullptr &&
       !obs::write_chrome_trace_file(*bed.tracer(), artifacts.trace_path)) {

@@ -115,6 +115,11 @@ struct RunArtifacts {
   std::string stream_path;    // telemetry JSONL (forces streaming on)
   std::string slo_rules_path;  // SLO rule file (forces streaming on)
   std::string alerts_path;     // SLO alerts JSONL (needs slo_rules_path)
+  /// Per-window top-K tail exemplars (> 0 enables interference forensics;
+  /// forces trace + streaming on). Exemplar ids ride stream windows and SLO
+  /// alerts; the full strings.exemplar.v1 lines are appended to the stream
+  /// file at run end and duplicated to "<stream_path>.exemplars.jsonl".
+  int exemplar_k = 0;
   /// Optional wall-clock source (milliseconds, any epoch) for the
   /// sim/wall_ms_per_window gauge. Only the bench layer may install one
   /// (src code never reads the wall clock); when unset the stream is

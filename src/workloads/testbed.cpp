@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/prof.hpp"
+
 namespace strings::workloads {
 
 const char* mode_name(Mode m) {
@@ -81,6 +83,18 @@ Testbed::Testbed(sim::Simulation& sim, TestbedConfig config)
             ? "distributed"
             : "centralized");
     tracer_->set_meta("nodes", std::to_string(node_count));
+    if (config_.forensics || config_.exemplars > 0) {
+      tracer_->enable_forensics();
+      // The profiler keys off these (online and offline alike): forensics
+      // turns culprit attribution on; exemplar_k/window_ns let it re-derive
+      // the per-window top-K from the exported trace byte-identically.
+      tracer_->set_meta("forensics", "1");
+      if (config_.exemplars > 0) {
+        tracer_->set_meta("exemplar_k", std::to_string(config_.exemplars));
+        tracer_->set_meta("window_ns",
+                          std::to_string(config_.stream_window));
+      }
+    }
   }
   core::PlacementService::Config mcfg;
   mcfg.static_policy = config_.balancing_policy;
@@ -443,9 +457,32 @@ void Testbed::emit_window(bool partial) {
   }
   const obs::Window& w =
       timeseries_->close_window(registry_, sim_.now(), partial);
+  // Tail-exemplar ids of this window: positional ("w{index}.{rank}") over
+  // the requests that completed in it, using the same completed_at /
+  // window_ns convention the profiler derives the full exemplar lines
+  // with at run end — so the ids referenced here resolve to those lines.
+  std::vector<std::string> exemplar_ids;
+  if (config_.exemplars > 0 && tracer_ != nullptr &&
+      tracer_->forensics_enabled() && config_.stream_window > 0) {
+    std::vector<std::pair<sim::SimTime, std::uint64_t>> done;
+    for (const auto& [app_id, r] : tracer_->requests()) {
+      if (r.issued_at < 0 || r.completed_at < 0) continue;
+      if (r.completed_at / config_.stream_window !=
+          static_cast<sim::SimTime>(w.index)) {
+        continue;
+      }
+      done.push_back({r.completed_at - r.issued_at, app_id});
+    }
+    exemplar_ids = obs::prof::exemplar_ids_for_window(
+        done, static_cast<std::int64_t>(w.index), config_.exemplars);
+  }
   std::vector<obs::SloAlert> alerts;
   if (watchdog_ != nullptr) {
     alerts = watchdog_->evaluate(w);
+    if (!alerts.empty() && !exemplar_ids.empty()) {
+      for (auto& a : alerts) a.exemplars = exemplar_ids;
+      watchdog_->annotate_exemplars(alerts.size(), exemplar_ids);
+    }
     for (const auto& a : alerts) {
       // Counters register lazily on the first alert of each (rule,
       // severity); they surface in the next window and the metrics CSV.
@@ -462,7 +499,7 @@ void Testbed::emit_window(bool partial) {
       }
     }
   }
-  if (stream_sink_) stream_sink_(w, alerts);
+  if (stream_sink_) stream_sink_(w, alerts, exemplar_ids);
 }
 
 void Testbed::observe_request(const std::string& tenant, sim::SimTime response,

@@ -78,6 +78,17 @@ struct TestbedConfig {
   sim::SimTime stream_window = sim::msec(10);
   /// Closed windows retained in memory (the sink sees every window).
   std::size_t stream_retain = 256;
+  /// Interference forensics: turn on the Tracer's occupant flight recorder
+  /// (GpuScheduler / BackendDaemon / Channel stamp who held which resource
+  /// when) so the profiler can attribute blocked time to culprit tenants.
+  /// Requires `trace`. Off by default — a disabled run is byte-for-byte
+  /// identical to one that never heard of forensics.
+  bool forensics = false;
+  /// Per-window top-K slowest-request exemplars (> 0 enables; implies
+  /// forensics). Exemplar ids ride closed stream windows and SLO alerts;
+  /// the full strings.exemplar.v1 lines are derived by the profiler at run
+  /// end. Requires `trace` + `stream`.
+  int exemplars = 0;
   /// Ablation knobs (apply to Strings / Design-II modes; Rain always runs
   /// without conversions and with blocking RPC, as the real Rain did).
   bool convert_sync_to_async = true;
@@ -173,10 +184,13 @@ class Testbed final : public frontend::SchedulerDirectory {
   /// closed window is evaluated against `rules`; alerts bump slo/...
   /// counters, emit trace instants (when tracing), and reach the sink.
   void attach_slo(std::vector<obs::SloRule> rules);
-  /// Called with every closed window (and its alerts) as it closes — the
-  /// streaming exporter hook. The Window reference is valid for the call.
+  /// Called with every closed window (its alerts and — when
+  /// TestbedConfig::exemplars is set — the window's tail-exemplar ids) as
+  /// it closes — the streaming exporter hook. The Window reference is valid
+  /// for the call.
   using StreamSink = std::function<void(const obs::Window&,
-                                        const std::vector<obs::SloAlert>&)>;
+                                        const std::vector<obs::SloAlert>&,
+                                        const std::vector<std::string>&)>;
   void set_stream_sink(StreamSink sink);
   /// Injects a wall-clock source (milliseconds, any epoch) for the
   /// sim/wall_ms_per_window gauge. Only the bench layer installs this —

@@ -299,6 +299,212 @@ TEST(ProfZeroOverhead, TraceIsByteIdenticalWithAndWithoutProf) {
   EXPECT_EQ(on.prof_incomplete_requests, 0);
 }
 
+// --- interference forensics ----------------------------------------------
+
+constexpr Bucket kWaitBuckets[] = {Bucket::kTransit, Bucket::kBackendQueue,
+                                   Bucket::kDispatchWait};
+
+TEST(ProfForensics, AttributionConservesWaitTimeExactly) {
+  obs::prof::ProfRequest req = make_request();  // origin 0, gid 2, node 1
+  req.issued_at = 0;
+  req.completed_at = 40 * kMs;
+  req.steps = {
+      {ReqPhase::kIssue, 0},
+      {ReqPhase::kTransit, 5 * kMs},        // transit: 5..10 (link.n0-n1)
+      {ReqPhase::kBackendQueue, 10 * kMs},  // queue:  10..20 (node1.daemon)
+      {ReqPhase::kBackendStart, 20 * kMs},
+      {ReqPhase::kDispatchWait, 20 * kMs},  // gate:   20..30 (gpu2.engines)
+      {ReqPhase::kExecute, 30 * kMs},
+      {ReqPhase::kBackendDone, 40 * kMs},
+      {ReqPhase::kComplete, 40 * kMs},
+  };
+  // Occupant timelines: the link was half-busy with batch traffic, the
+  // daemon handled the victim's own earlier call then a batch call, and
+  // the engines ran batch work over the first 6 ms of the gate wait.
+  std::vector<obs::OccupantStamp> stamps = {
+      {"link.n0-n1", "batch-train", 0, 7 * kMs},
+      {"node1.daemon", "pricing-svc", 10 * kMs, 14 * kMs},
+      {"node1.daemon", "batch-train", 14 * kMs, 20 * kMs},
+      {"gpu2.engines", "batch-train", 18 * kMs, 26 * kMs},
+  };
+  const obs::prof::OccupantIndex occ = obs::prof::build_occupant_index(stamps);
+  const obs::prof::RequestProfile p = obs::prof::profile_request(req, occ);
+
+  const auto& transit = p.culprits[static_cast<int>(Bucket::kTransit)];
+  EXPECT_EQ(transit.at("batch-train"), 2 * kMs);  // 5..7
+  EXPECT_EQ(transit.at(obs::prof::kIdleCulprit), 3 * kMs);  // 7..10 uncovered
+
+  const auto& queue = p.culprits[static_cast<int>(Bucket::kBackendQueue)];
+  EXPECT_EQ(queue.at("pricing-svc"), 4 * kMs);  // self-interference kept
+  EXPECT_EQ(queue.at("batch-train"), 6 * kMs);
+
+  // dispatch_wait resolves against the ENGINES timeline (nothing occupies
+  // the dispatcher itself — the gate is closed because the engines are
+  // running someone's work).
+  const auto& gate = p.culprits[static_cast<int>(Bucket::kDispatchWait)];
+  EXPECT_EQ(gate.at("batch-train"), 6 * kMs);  // 20..26
+  EXPECT_EQ(gate.at(obs::prof::kIdleCulprit), 4 * kMs);
+
+  // Conservation: per-bucket culprit charges sum bit-for-bit to the
+  // bucket, for every wait bucket.
+  for (const Bucket b : kWaitBuckets) {
+    sim::SimTime culprit_sum = 0;
+    for (const auto& [who, ns] : p.culprits[static_cast<int>(b)]) {
+      culprit_sum += ns;
+    }
+    EXPECT_EQ(culprit_sum, p.by_bucket[static_cast<int>(b)])
+        << "bucket " << static_cast<int>(b);
+  }
+}
+
+TEST(ProfForensics, NoTimelineAttributesEverythingToIdle) {
+  obs::prof::ProfRequest req = make_request();
+  req.issued_at = 0;
+  req.completed_at = 10 * kMs;
+  req.steps = {
+      {ReqPhase::kIssue, 0},
+      {ReqPhase::kTransit, 1 * kMs},
+      {ReqPhase::kBackendQueue, 9 * kMs},
+      {ReqPhase::kComplete, 10 * kMs},
+  };
+  const obs::prof::OccupantIndex occ =
+      obs::prof::build_occupant_index({});  // empty flight recorder
+  const obs::prof::RequestProfile p = obs::prof::profile_request(req, occ);
+  const auto& transit = p.culprits[static_cast<int>(Bucket::kTransit)];
+  EXPECT_EQ(transit.at(obs::prof::kIdleCulprit),
+            p.by_bucket[static_cast<int>(Bucket::kTransit)]);
+}
+
+TEST(ProfForensics, LiveRunConservesAndAggregatesTheMatrix) {
+  sim::Simulation sim;
+  auto cfg = workloads::parse_scenario(std::string(kTwoTenantScenario));
+  cfg.testbed.forensics = true;
+  workloads::Testbed bed(sim, cfg.testbed);
+  workloads::run_streams(bed, cfg.streams);
+  const obs::prof::Report report =
+      obs::prof::profile(obs::prof::input_from_tracer(*bed.tracer()));
+
+  ASSERT_TRUE(report.forensics);
+  EXPECT_FALSE(bed.tracer()->occupants().empty());
+  EXPECT_EQ(bed.tracer()->occupants_dropped(), 0u);
+
+  // The tentpole invariant: every blocked nanosecond lands on exactly one
+  // culprit — per request, per wait bucket, bit for bit.
+  sim::SimTime attributed_total = 0;
+  for (const auto& p : report.requests) {
+    for (const Bucket b : kWaitBuckets) {
+      sim::SimTime culprit_sum = 0;
+      for (const auto& [who, ns] : p.culprits[static_cast<int>(b)]) {
+        culprit_sum += ns;
+      }
+      EXPECT_EQ(culprit_sum, p.by_bucket[static_cast<int>(b)]);
+      attributed_total += culprit_sum;
+    }
+  }
+  // ... and the victim x culprit matrix is exactly that attribution,
+  // re-aggregated by tenant.
+  sim::SimTime matrix_total = 0;
+  for (const auto& [victim, row] : report.interference) {
+    for (const auto& [culprit, ns] : row) matrix_total += ns;
+  }
+  EXPECT_EQ(matrix_total, attributed_total);
+  EXPECT_FALSE(report.interference.empty());
+
+  std::ostringstream os;
+  obs::prof::render(report, os);
+  EXPECT_NE(os.str().find("interference matrix"), std::string::npos);
+}
+
+TEST(ProfForensics, OffByDefaultLeavesReportAndTracerClean) {
+  ProfiledRun run;  // trace on, forensics off
+  EXPECT_FALSE(run.bed->tracer()->forensics_enabled());
+  EXPECT_TRUE(run.bed->tracer()->occupants().empty());
+  EXPECT_FALSE(run.report.forensics);
+  EXPECT_TRUE(run.report.interference.empty());
+  EXPECT_TRUE(run.report.exemplars.empty());
+  for (const auto& p : run.report.requests) {
+    for (const auto& m : p.culprits) EXPECT_TRUE(m.empty());
+  }
+  std::ostringstream os;
+  obs::prof::render(run.report, os);
+  EXPECT_EQ(os.str().find("interference matrix"), std::string::npos);
+  EXPECT_EQ(os.str().find("tail exemplars"), std::string::npos);
+}
+
+TEST(ProfForensics, ExemplarIdsArePositional) {
+  const std::vector<std::pair<sim::SimTime, std::uint64_t>> done = {
+      {5 * kMs, 1}, {9 * kMs, 2}, {7 * kMs, 3}};
+  const auto ids = obs::prof::exemplar_ids_for_window(done, 3, 2);
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], "w3.1");
+  EXPECT_EQ(ids[1], "w3.2");
+  EXPECT_TRUE(obs::prof::exemplar_ids_for_window({}, 3, 2).empty());
+}
+
+TEST(ProfForensics, ExemplarsAreRankedAndSerializedDeterministically) {
+  sim::Simulation sim;
+  auto cfg = workloads::parse_scenario(std::string(kTwoTenantScenario));
+  cfg.testbed.stream = true;
+  cfg.testbed.stream_window = sim::msec(20);
+  cfg.testbed.exemplars = 2;
+  workloads::Testbed bed(sim, cfg.testbed);
+  workloads::run_streams(bed, cfg.streams);
+  bed.finalize_stream();
+  const obs::prof::Report report =
+      obs::prof::profile(obs::prof::input_from_tracer(*bed.tracer()));
+
+  ASSERT_TRUE(report.forensics);
+  ASSERT_FALSE(report.exemplars.empty());
+  for (std::size_t i = 0; i < report.exemplars.size(); ++i) {
+    const auto& ex = report.exemplars[i];
+    EXPECT_EQ(ex.id, "w" + std::to_string(ex.window) + "." +
+                         std::to_string(ex.rank));
+    EXPECT_GE(ex.rank, 1);
+    EXPECT_LE(ex.rank, 2);
+    // The exemplar belongs to the window its completion fell into.
+    EXPECT_EQ(ex.req.completed_at / cfg.testbed.stream_window, ex.window);
+    if (i > 0) {
+      const auto& prev = report.exemplars[i - 1];
+      // (window, rank) ascending; wall non-increasing within a window.
+      EXPECT_TRUE(prev.window < ex.window ||
+                  (prev.window == ex.window && prev.rank < ex.rank));
+      if (prev.window == ex.window) {
+        EXPECT_GE(prev.prof.wall, ex.prof.wall);
+      }
+    }
+  }
+
+  std::ostringstream a, b;
+  obs::prof::write_exemplars_jsonl(report, a);
+  obs::prof::write_exemplars_jsonl(report, b);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_EQ(a.str().compare(0, 31, "{\"schema\":\"strings.exemplar.v1\""), 0);
+}
+
+TEST(ProfForensics, ForensicsIsAPureObserver) {
+  const std::string dir = ::testing::TempDir();
+  auto cfg = workloads::parse_scenario(std::string(kTwoTenantScenario));
+
+  workloads::RunArtifacts plain;
+  const auto off = workloads::run_scenario_config_full(cfg, plain);
+
+  workloads::RunArtifacts forensic;
+  forensic.stream_path = dir + "/forensics_observer.stream.jsonl";
+  forensic.exemplar_k = 2;
+  const auto on = workloads::run_scenario_config_full(cfg, forensic);
+
+  ASSERT_EQ(off.streams.size(), on.streams.size());
+  for (std::size_t i = 0; i < off.streams.size(); ++i) {
+    EXPECT_EQ(off.streams[i].makespan, on.streams[i].makespan);
+    EXPECT_EQ(off.streams[i].total_response, on.streams[i].total_response);
+  }
+  const std::string stream = slurp(forensic.stream_path);
+  EXPECT_NE(stream.find("strings.stream.v1"), std::string::npos);
+  const std::string sidecar = slurp(forensic.stream_path + ".exemplars.jsonl");
+  // Every sidecar line reappears verbatim at the tail of the stream file.
+  EXPECT_NE(stream.find(sidecar), std::string::npos);
+}
+
 // --- the RequestTrace ordering contract (pipelined non-blocking RPC) -----
 
 bool frontend_side(ReqPhase p) {

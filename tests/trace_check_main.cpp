@@ -5,7 +5,10 @@
 //
 //   $ trace_check out.json             # Chrome trace-event JSON
 //   $ trace_check --stream out.jsonl   # strings.stream.v1 telemetry lines
+//                                      # (+ trailing strings.exemplar.v1
+//                                      # lines when recorded --exemplars)
 //   $ trace_check --alerts out.jsonl   # strings.alert.v1 SLO alert lines
+//   $ trace_check --exemplars out.jsonl  # strings.exemplar.v1 tail lines
 //
 // Checks, in order:
 //   1. the file is syntactically valid JSON (full recursive-descent parse —
@@ -257,14 +260,62 @@ int check_jsonl(const std::string& path, const char* schema,
   return 0;
 }
 
+const char* kExemplarRequired[] = {"id",      "window",   "rank",
+                                   "tenant",  "wall_ms",  "buckets",
+                                   "culprits", "steps"};
+
+/// Validates a telemetry stream file. A run recorded with --exemplars
+/// appends strings.exemplar.v1 lines after the final window; each line is
+/// validated against its own schema, and at least one window must exist.
+int check_stream(const std::string& path) {
+  const char* win_required[] = {"window", "start_ms", "end_ms", "series",
+                                "quantiles"};
+  std::ifstream in(path);
+  if (!in) return check_failed(path, "cannot open file");
+  std::string line;
+  long long lines = 0;
+  long long windows = 0;
+  long long exemplars = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    std::string why;
+    const bool is_exemplar =
+        line.find("\"strings.exemplar.v1\"") != std::string::npos;
+    const bool ok =
+        is_exemplar
+            ? check_jsonl_line(line, "strings.exemplar.v1", kExemplarRequired,
+                               8, &why)
+            : check_jsonl_line(line, "strings.stream.v1", win_required, 5,
+                               &why);
+    if (!ok) {
+      return check_failed(path, "line " + std::to_string(lines) + ": " + why);
+    }
+    if (is_exemplar) {
+      ++exemplars;
+    } else {
+      ++windows;
+    }
+  }
+  if (windows == 0) {
+    return check_failed(path, "no JSON lines found");
+  }
+  if (exemplars == 0) {
+    std::printf("trace_check: %s OK (%lld strings.stream.v1 lines)\n",
+                path.c_str(), windows);
+  } else {
+    std::printf("trace_check: %s OK (%lld strings.stream.v1 lines, "
+                "%lld strings.exemplar.v1 lines)\n",
+                path.c_str(), windows, exemplars);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc == 3 && std::string(argv[1]) == "--stream") {
-    const char* required[] = {"window", "start_ms", "end_ms", "series",
-                              "quantiles"};
-    return check_jsonl(argv[2], "strings.stream.v1", required, 5,
-                       /*allow_empty=*/false);
+    return check_stream(argv[2]);
   }
   if (argc == 3 && std::string(argv[1]) == "--alerts") {
     const char* required[] = {"rule", "series", "severity", "window",
@@ -272,11 +323,18 @@ int main(int argc, char** argv) {
     return check_jsonl(argv[2], "strings.alert.v1", required, 6,
                        /*allow_empty=*/true);
   }
+  if (argc == 3 && std::string(argv[1]) == "--exemplars") {
+    // A run whose windows saw no completions derives no exemplars; an
+    // empty sidecar is still a valid artifact.
+    return check_jsonl(argv[2], "strings.exemplar.v1", kExemplarRequired, 8,
+                       /*allow_empty=*/true);
+  }
   if (argc != 2 || argv[1][0] == '-') {
     std::fprintf(stderr,
                  "usage: trace_check <trace.json>\n"
                  "       trace_check --stream <stream.jsonl>\n"
-                 "       trace_check --alerts <alerts.jsonl>\n");
+                 "       trace_check --alerts <alerts.jsonl>\n"
+                 "       trace_check --exemplars <exemplars.jsonl>\n");
     return 2;
   }
   const std::string path = argv[1];

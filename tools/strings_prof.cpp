@@ -285,19 +285,48 @@ std::string get(const std::map<std::string, std::string>& args,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2 || argc > 3) {
-    std::fprintf(stderr,
-                 "usage: strings_prof <trace.json> [report.txt]\n"
-                 "\n"
-                 "Re-derives the run_scenario --prof report offline from an\n"
-                 "exported Chrome trace JSON. Writes to report.txt (stdout\n"
-                 "when omitted).\n"
-                 "exit codes: 0 ok, 1 bad input, 2 usage error\n");
+  std::string trace_path;
+  std::string report_path;
+  std::string exemplars_path;
+  bool usage_error = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--exemplars") {
+      if (i + 1 >= argc || !exemplars_path.empty()) {
+        usage_error = true;
+        break;
+      }
+      exemplars_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage_error = true;
+      break;
+    } else if (trace_path.empty()) {
+      trace_path = arg;
+    } else if (report_path.empty()) {
+      report_path = arg;
+    } else {
+      usage_error = true;
+      break;
+    }
+  }
+  if (usage_error || trace_path.empty()) {
+    std::fprintf(
+        stderr,
+        "usage: strings_prof <trace.json> [report.txt] "
+        "[--exemplars <out.jsonl>]\n"
+        "\n"
+        "Re-derives the run_scenario --prof report offline from an\n"
+        "exported Chrome trace JSON. Writes to report.txt (stdout\n"
+        "when omitted). --exemplars re-derives the strings.exemplar.v1\n"
+        "tail-exemplar lines from the trace's forensics occ spans —\n"
+        "byte-identical to the sidecar run_scenario --exemplars wrote\n"
+        "online.\n"
+        "exit codes: 0 ok, 1 bad input, 2 usage error\n");
     return 2;
   }
-  std::ifstream in(argv[1]);
+  std::ifstream in(trace_path.c_str());
   if (!in) {
-    std::fprintf(stderr, "strings_prof: cannot open %s\n", argv[1]);
+    std::fprintf(stderr, "strings_prof: cannot open %s\n", trace_path.c_str());
     return 1;
   }
   std::ostringstream buf;
@@ -309,7 +338,7 @@ int main(int argc, char** argv) {
   const std::size_t arr = text.find("\"traceEvents\"");
   if (arr == std::string::npos) {
     std::fprintf(stderr, "strings_prof: no traceEvents array in %s\n",
-                 argv[1]);
+                 trace_path.c_str());
     return 1;
   }
   p.pos = text.find('[', arr);
@@ -352,6 +381,21 @@ int main(int argc, char** argv) {
         r.completed_at = to_ll(ev.args, "completed", -1);
         r.steps = RequestTrace::decode_steps(get(ev.args, "steps"));
         requests.push_back(std::move(r));
+      } else if (ev.ph == "X" && ev.name == "occ") {
+        // Forensics flight-recorder stamps, exported in ring order under
+        // the synthetic "forensics" process. The profiler indexes (and
+        // sorts) them per resource, so byte-parity with the online path
+        // needs only the exact ns round-trip, not the order.
+        long long ts = 0, dur = 0;
+        if (ns_from_us_token(ev.ts_raw, &ts) &&
+            ns_from_us_token(ev.dur_raw, &dur)) {
+          strings::obs::OccupantStamp s;
+          s.resource = get(ev.args, "res");
+          s.tenant = get(ev.args, "tenant");
+          s.begin = ts;
+          s.end = ts + dur;
+          input.occupants.push_back(std::move(s));
+        }
       } else if (ev.ph == "i" && ev.name == "request.incomplete") {
         ProfRequest r;
         r.app_id = static_cast<std::uint64_t>(to_ll(ev.args, "app_id", 0));
@@ -380,10 +424,11 @@ int main(int argc, char** argv) {
 
   const strings::obs::prof::Report report =
       strings::obs::prof::profile(input);
-  if (argc == 3) {
-    std::ofstream out(argv[2]);
+  if (!report_path.empty()) {
+    std::ofstream out(report_path.c_str());
     if (!out) {
-      std::fprintf(stderr, "strings_prof: cannot write %s\n", argv[2]);
+      std::fprintf(stderr, "strings_prof: cannot write %s\n",
+                   report_path.c_str());
       return 1;
     }
     strings::obs::prof::render(report, out);
@@ -391,6 +436,15 @@ int main(int argc, char** argv) {
     std::ostringstream os;
     strings::obs::prof::render(report, os);
     std::fputs(os.str().c_str(), stdout);
+  }
+  if (!exemplars_path.empty()) {
+    std::ofstream ex(exemplars_path.c_str());
+    if (!ex) {
+      std::fprintf(stderr, "strings_prof: cannot write %s\n",
+                   exemplars_path.c_str());
+      return 1;
+    }
+    strings::obs::prof::write_exemplars_jsonl(report, ex);
   }
   return 0;
 }

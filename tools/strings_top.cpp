@@ -3,7 +3,12 @@
 // Consumes the line-delimited JSON written by `run_scenario --stream`
 // ("strings.stream.v1", one object per tumbling window; schema in
 // docs/observability.md) and renders per-GPU utilization, per-tenant
-// latency/slowdown, and SLO alert status per window.
+// latency/slowdown, and SLO alert status per window. When the run was
+// recorded with --exemplars, the trailing "strings.exemplar.v1" lines are
+// folded into an interference panel (victim blocked-on culprit plus the
+// per-window tail exemplars) rendered after the last window, exemplar ids
+// annotate the SLO alert trail, and each window's id list prints under
+// the SLO line.
 //
 //   strings_top --replay run.stream.jsonl     # print every window, then exit
 //   strings_top --replay --last run.jsonl     # print only the final state
@@ -214,7 +219,19 @@ struct AlertLine {
   std::string series;
   double value = 0.0;
   double threshold = 0.0;
+  std::vector<std::string> exemplars;  // tail-exemplar ids, when forensics on
 };
+
+/// One folded strings.exemplar.v1 line (tail exemplar of a window).
+struct ExemplarRow {
+  std::string id;       // "w<window>.<rank>"
+  std::string request;  // "<app>#<app_id> (<tenant>)"
+  double wall_ms = 0.0;
+  std::string top_culprit;  // largest single culprit charge, "-" when none
+};
+
+/// What a folded line turned out to be.
+enum class Fold { kWindow, kExemplar, kBad };
 
 /// Rolling dashboard state folded over stream lines.
 struct Dash {
@@ -226,20 +243,30 @@ struct Dash {
   std::map<std::string, TenantRow> tenants;
   std::vector<AlertLine> alerts;  // alerts of the latest window
   long long hard_total = 0;
+  std::vector<std::string> window_exemplars;  // ids riding the latest window
+  // victim tenant -> culprit tenant -> blocked ms, summed over exemplars.
+  std::map<std::string, std::map<std::string, double>> interference;
+  std::vector<ExemplarRow> exemplars;  // in file (window, rank) order
 
-  bool fold_line(const std::string& line) {
+  Fold fold_line(const std::string& line) {
     Flat flat;
-    if (!Parser(line, flat).parse()) return false;
+    if (!Parser(line, flat).parse()) return Fold::kBad;
     const auto schema = flat.strs.find("schema");
-    if (schema == flat.strs.end() || schema->second != "strings.stream.v1") {
-      return false;
+    if (schema == flat.strs.end()) return Fold::kBad;
+    if (schema->second == "strings.exemplar.v1") {
+      fold_exemplar(flat);
+      return Fold::kExemplar;
     }
+    if (schema->second != "strings.stream.v1") return Fold::kBad;
     window = flat.nums.count("window") != 0 ? flat.nums["window"] : window;
     start_ms = flat.nums.count("start_ms") != 0 ? flat.nums["start_ms"] : 0;
     end_ms = flat.nums.count("end_ms") != 0 ? flat.nums["end_ms"] : 0;
     window_delta.clear();
     alerts.clear();
+    window_exemplars.clear();
     std::map<int, AlertLine> alert_by_index;
+    std::map<int, std::map<int, std::string>> alert_exemplars;
+    std::map<int, std::string> window_ids;
     for (const auto& [path, v] : flat.nums) {
       const auto seg = split_path(path);
       if (seg.size() == 3 && seg[0] == "series") {
@@ -261,14 +288,54 @@ struct Dash {
         if (seg[2] == "severity") a.severity = s;
         if (seg[2] == "rule") a.rule = s;
         if (seg[2] == "series") a.series = s;
+      } else if (seg.size() == 4 && seg[0] == "alerts" &&
+                 seg[2] == "exemplars") {
+        alert_exemplars[std::stoi(seg[1])][std::stoi(seg[3])] = s;
+      } else if (seg.size() == 2 && seg[0] == "exemplars") {
+        window_ids[std::stoi(seg[1])] = s;
       }
     }
+    for (auto& [idx, ids] : alert_exemplars) {
+      auto& a = alert_by_index[idx];
+      for (auto& [j, id] : ids) a.exemplars.push_back(std::move(id));
+    }
+    for (auto& [j, id] : window_ids) window_exemplars.push_back(std::move(id));
     for (auto& [idx, a] : alert_by_index) {
       if (a.severity == "hard") ++hard_total;
       alerts.push_back(std::move(a));
     }
     rebuild_tenants();
-    return true;
+    return Fold::kWindow;
+  }
+
+  /// Folds one strings.exemplar.v1 line: accumulates the victim x culprit
+  /// blocked-ms matrix and keeps a display row per exemplar.
+  void fold_exemplar(Flat& flat) {
+    ExemplarRow row;
+    row.id = flat.strs.count("id") != 0 ? flat.strs["id"] : "?";
+    const std::string tenant =
+        flat.strs.count("tenant") != 0 ? flat.strs["tenant"] : "?";
+    const std::string app =
+        flat.strs.count("app") != 0 ? flat.strs["app"] : "?";
+    const double app_id =
+        flat.nums.count("app_id") != 0 ? flat.nums["app_id"] : 0;
+    row.request = app + "#" + std::to_string(
+                              static_cast<unsigned long long>(app_id)) +
+                  " (" + tenant + ")";
+    row.wall_ms = flat.nums.count("wall_ms") != 0 ? flat.nums["wall_ms"] : 0;
+    // culprits/<wait-bucket>/<culprit-tenant> -> blocked ms.
+    double top_ms = 0.0;
+    row.top_culprit = "-";
+    for (const auto& [path, blocked_ms] : flat.nums) {
+      const auto seg = split_path(path);
+      if (seg.size() != 3 || seg[0] != "culprits") continue;
+      interference[tenant][seg[2]] += blocked_ms;
+      if (blocked_ms > top_ms) {
+        top_ms = blocked_ms;
+        row.top_culprit = seg[2];
+      }
+    }
+    exemplars.push_back(std::move(row));
   }
 
   void rebuild_tenants() {
@@ -359,10 +426,44 @@ struct Dash {
     } else {
       std::fprintf(out, "SLO alerts (%lld hard total):\n", hard_total);
       for (const auto& a : alerts) {
-        std::fprintf(out, "  [%s] %s on %s: %.3f vs %.3f\n",
+        std::fprintf(out, "  [%s] %s on %s: %.3f vs %.3f",
                      a.severity.c_str(), a.rule.c_str(), a.series.c_str(),
                      a.value, a.threshold);
+        if (!a.exemplars.empty()) {
+          std::fprintf(out, "  exemplars:");
+          for (const auto& id : a.exemplars) {
+            std::fprintf(out, " %s", id.c_str());
+          }
+        }
+        std::fprintf(out, "\n");
       }
+    }
+    if (!window_exemplars.empty()) {
+      std::fprintf(out, "exemplars:");
+      for (const auto& id : window_exemplars) {
+        std::fprintf(out, " %s", id.c_str());
+      }
+      std::fprintf(out, "\n");
+    }
+  }
+
+  /// Interference panel, rendered once after replay (the exemplar lines
+  /// trail the last window in the stream file).
+  void render_interference(std::FILE* out) const {
+    std::fprintf(out, "== interference (victim blocked-on culprit) ==\n");
+    std::fprintf(out, "%-20s %-20s %12s\n", "VICTIM", "CULPRIT",
+                 "blocked ms");
+    for (const auto& [victim, row] : interference) {
+      for (const auto& [culprit, blocked_ms] : row) {
+        std::fprintf(out, "%-20s %-20s %12.3f\n", victim.c_str(),
+                     culprit.c_str(), blocked_ms);
+      }
+    }
+    std::fprintf(out, "%-10s %-26s %12s %s\n", "EXEMPLAR", "REQUEST",
+                 "wall ms", "top culprit");
+    for (const auto& ex : exemplars) {
+      std::fprintf(out, "%-10s %-26s %12.3f %s\n", ex.id.c_str(),
+                   ex.request.c_str(), ex.wall_ms, ex.top_culprit.c_str());
     }
   }
 };
@@ -421,21 +522,29 @@ int main(int argc, char** argv) {
   std::string line;
   long long parsed = 0;
   long long bad = 0;
+  long long exemplar_lines = 0;
   if (replay) {
     while (std::getline(in, line)) {
       if (line.empty()) continue;
-      if (!dash.fold_line(line)) {
-        ++bad;
-        continue;
+      switch (dash.fold_line(line)) {
+        case Fold::kBad:
+          ++bad;
+          continue;
+        case Fold::kExemplar:
+          ++exemplar_lines;
+          continue;
+        case Fold::kWindow:
+          ++parsed;
+          if (!last_only) dash.render(stdout);
+          break;
       }
-      ++parsed;
-      if (!last_only) dash.render(stdout);
     }
     if (parsed == 0) {
       std::fprintf(stderr, "error: no stream.v1 lines in %s\n", path.c_str());
       return 1;
     }
     if (last_only) dash.render(stdout);
+    if (exemplar_lines > 0) dash.render_interference(stdout);
     if (bad > 0) {
       std::fprintf(stderr, "(skipped %lld unparseable lines)\n", bad);
     }
@@ -446,11 +555,13 @@ int main(int argc, char** argv) {
   // home-and-clear redraw per new window.
   while (true) {
     while (std::getline(in, line)) {
-      if (!line.empty() && dash.fold_line(line)) {
-        std::fprintf(stdout, "\x1b[H\x1b[2J");
-        dash.render(stdout);
-        std::fflush(stdout);
-      }
+      if (line.empty()) continue;
+      const Fold f = dash.fold_line(line);
+      if (f == Fold::kBad) continue;
+      std::fprintf(stdout, "\x1b[H\x1b[2J");
+      dash.render(stdout);
+      if (!dash.exemplars.empty()) dash.render_interference(stdout);
+      std::fflush(stdout);
     }
     in.clear();  // EOF is transient while the producer is alive
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
