@@ -18,6 +18,7 @@
 // Exit codes are documented in print_usage below — that usage text is the
 // single source of truth (tests assert every flag and code appears there).
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -89,6 +90,10 @@ void print_usage(std::FILE* out) {
                "                        strings.exemplar.v1 lines land in\n"
                "                        the stream + a .exemplars.jsonl\n"
                "                        sidecar)\n"
+               "  --seed <n>            reseed every [stream]/[tenant]\n"
+               "                        section (stream i gets n+i, tenant\n"
+               "                        i gets n+1000+i) for randomized\n"
+               "                        stress sweeps of one scenario file\n"
                "  -h, --help            show this help\n"
                "\n"
                "exit codes: 0 ok, 1 runtime error, 2 bad flags,\n"
@@ -108,6 +113,7 @@ struct Args {
   std::string alerts_path;
   bool stream_wall = false;
   int exemplar_k = 0;
+  long seed = -1;  // -1 = keep the seeds written in the scenario file
 };
 
 // Parses argv into Args. Returns true on success; on failure prints an
@@ -162,6 +168,27 @@ bool parse_args(int argc, char** argv, Args& args, int& exit_code) {
         return false;
       }
       args.exemplar_k = static_cast<int>(k);
+      continue;
+    }
+    if (arg == "--seed") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --seed requires a number argument\n\n");
+        print_usage(stderr);
+        exit_code = 2;
+        return false;
+      }
+      char* end = nullptr;
+      const long n = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n < 0) {
+        std::fprintf(stderr,
+                     "error: --seed requires a non-negative number (got "
+                     "'%s')\n\n",
+                     argv[i]);
+        print_usage(stderr);
+        exit_code = 2;
+        return false;
+      }
+      args.seed = n;
       continue;
     }
     if (!arg.empty() && arg[0] == '-') {
@@ -226,6 +253,18 @@ int main(int argc, char** argv) {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
+  }
+
+  if (args.seed >= 0) {
+    // One scenario file, many runs: derive distinct-but-deterministic seeds
+    // for every traffic section so ASan sweeps explore fresh interleavings.
+    const auto base = static_cast<std::uint64_t>(args.seed);
+    for (std::size_t i = 0; i < cfg.streams.size(); ++i) {
+      cfg.streams[i].seed = base + i;
+    }
+    for (std::size_t i = 0; i < cfg.tenants.size(); ++i) {
+      cfg.tenants[i].seed = base + 1000 + i;
+    }
   }
 
   workloads::ScenarioRunResult result;

@@ -26,9 +26,17 @@ BackendDaemon::BackendDaemon(sim::Simulation& sim, core::NodeId node,
       config_(std::move(config)) {
   assert(static_cast<int>(gids_.size()) == rt_.device_count());
   for (int dev = 0; dev < rt_.device_count(); ++dev) {
+    // MQFQ is constructed directly so the scenario's throttle/stickiness
+    // knobs reach it; every other policy goes through the name factory.
+    std::unique_ptr<policies::DeviceSchedPolicy> policy;
+    if (config_.device_policy == "MQFQ" || config_.device_policy == "mqfq") {
+      policy = std::make_unique<policies::MqfqStickyPolicy>(config_.mqfq);
+    } else {
+      policy = policies::make_device_policy(config_.device_policy);
+    }
     schedulers_.push_back(std::make_unique<core::GpuScheduler>(
-        sim_, gids_[static_cast<std::size_t>(dev)],
-        policies::make_device_policy(config_.device_policy), config_.sched));
+        sim_, gids_[static_cast<std::size_t>(dev)], std::move(policy),
+        config_.sched));
     schedulers_.back()->set_feedback_sink([this](const core::FeedbackRecord& r) {
       if (feedback_sink_) feedback_sink_(r);
     });
@@ -56,7 +64,7 @@ void BackendDaemon::set_feedback_sink(
 }
 
 std::uint64_t BackendDaemon::wire_bytes() const {
-  std::uint64_t total = 0;
+  std::uint64_t total = retired_wire_bytes_;
   for (const auto& c : conns_) {
     total += c->channel->request.bytes_sent() +
              c->channel->response.bytes_sent();
@@ -65,12 +73,29 @@ std::uint64_t BackendDaemon::wire_bytes() const {
 }
 
 std::uint64_t BackendDaemon::wire_packets() const {
-  std::uint64_t total = 0;
+  std::uint64_t total = retired_wire_packets_;
   for (const auto& c : conns_) {
     total += c->channel->request.packets_sent() +
              c->channel->response.packets_sent();
   }
   return total;
+}
+
+void BackendDaemon::release_binding(const rpc::DuplexChannel& ch) {
+  for (std::size_t i = 0; i < conns_.size(); ++i) {
+    if (conns_[i]->channel.get() != &ch) continue;
+    // Only a drained connection may be reclaimed; a live one still has a
+    // worker fiber parked on the channel.
+    if (!conns_[i]->done) return;
+    retired_wire_bytes_ += ch.request.bytes_sent() + ch.response.bytes_sent();
+    retired_wire_packets_ +=
+        ch.request.packets_sent() + ch.response.packets_sent();
+    // Take the entry by value before mutating the vector (DL009 spirit:
+    // destruction must not run mid-reshuffle).
+    std::unique_ptr<Conn> victim = std::move(conns_[i]);
+    conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+    return;
+  }
 }
 
 void BackendDaemon::route_op(cuda::ProcessId pid, cuda::cudaStream_t stream,

@@ -44,8 +44,10 @@ const char* design_name(Design d);
 
 struct BackendConfig {
   Design design = Design::kThreadPerApp;
-  /// Device-level dispatcher policy: "AllAwake", "TFS", "LAS", "PS".
+  /// Device-level dispatcher policy: "AllAwake", "TFS", "LAS", "PS", "MQFQ".
   std::string device_policy = "AllAwake";
+  /// MQFQ-Sticky knobs, applied when device_policy selects MQFQ.
+  policies::MqfqConfig mqfq;
   core::GpuScheduler::Config sched;
   ContextPacker::Config packer;
   /// Register apps with the per-device GPU scheduler (wake gating + RMO).
@@ -76,6 +78,7 @@ class BackendDaemon {
   core::GpuScheduler& scheduler(int local_dev) {
     return *schedulers_.at(static_cast<std::size_t>(local_dev));
   }
+  int device_count() const { return static_cast<int>(schedulers_.size()); }
   ContextPacker& packer(int local_dev) {
     return *packers_.at(static_cast<std::size_t>(local_dev));
   }
@@ -89,9 +92,21 @@ class BackendDaemon {
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   /// Total bytes / packets this daemon's connections have put on the wire
-  /// (both directions), for the metrics registry.
+  /// (both directions), for the metrics registry. Includes released
+  /// (retired) bindings, so the totals are whole-run sums.
   std::uint64_t wire_bytes() const;
   std::uint64_t wire_packets() const;
+
+  /// Reclaims a finished binding once the frontend has consumed its
+  /// cudaThreadExit response: at that point the Conn is quiescent (worker
+  /// fiber ended, routes erased, every channel delivery event fired), so
+  /// keeping it would only leak — under open-loop churn, one Conn per
+  /// short-lived request for the lifetime of the run. The connection's wire
+  /// totals are folded into the retired counters first. No-op if no done
+  /// connection owns `ch`.
+  void release_binding(const rpc::DuplexChannel& ch);
+  /// Bindings currently held (accepted minus released), for churn tests.
+  std::size_t live_connections() const { return conns_.size(); }
 
  private:
   struct Conn {
@@ -134,6 +149,9 @@ class BackendDaemon {
   std::function<void(const core::FeedbackRecord&)> feedback_sink_;
   obs::Tracer* tracer_ = nullptr;
   std::int64_t connections_ = 0;
+  /// Wire totals of released bindings (see release_binding()).
+  std::uint64_t retired_wire_bytes_ = 0;
+  std::uint64_t retired_wire_packets_ = 0;
   /// Design II: per-device master inbox of (conn index, packet).
   std::vector<std::unique_ptr<sim::Mailbox<std::pair<Conn*, rpc::Packet>>>>
       master_inbox_;

@@ -199,6 +199,10 @@ std::vector<policies::RcbSnapshot> GpuScheduler::snapshot() const {
     s.entitled = e.entitled;
     s.phase = e.phase;
     s.backlogged = e.init.backlog_probe ? e.init.backlog_probe() > 0 : true;
+    if (auto ts = tenant_service_.find(e.init.tenant);
+        ts != tenant_service_.end()) {
+      s.tenant_attained = ts->second;
+    }
     out.push_back(std::move(s));
   }
   return out;
@@ -252,7 +256,7 @@ void GpuScheduler::epoch_tick() {
 
 void GpuScheduler::run_dispatcher() {
   const auto snaps = snapshot();
-  const auto awake = policy_->pick_awake(snaps);
+  const auto awake = policy_->pick_awake(snaps, sim_.now());
   for (auto& [id, e] : rcb_) {
     if (e.init.gate == nullptr || !e.acked) continue;
     const bool keep_awake =

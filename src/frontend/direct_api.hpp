@@ -8,7 +8,7 @@
 
 namespace strings::frontend {
 
-class DirectApi final : public GpuApi {
+class DirectApi : public GpuApi {
  public:
   /// Creates a fresh host process on `rt` (one per application instance —
   /// separate GPU contexts, as with independently launched binaries).

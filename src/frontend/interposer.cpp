@@ -62,10 +62,13 @@ cuda::cudaError_t Interposer::ensure_bound() {
   gid_ = gid;
   const core::GpuEntry& entry = directory_.resolve(gid);
   auto [tx, rx] = directory_.wires_between(app_.origin_node, entry.node);
-  rpc::DuplexChannel& ch = directory_.daemon(entry.node).connect(
+  backend::BackendDaemon& daemon = directory_.daemon(entry.node);
+  rpc::DuplexChannel& ch = daemon.connect(
       app_, entry.local_device,
       directory_.link_between(app_.origin_node, entry.node), std::move(tx),
       std::move(rx));
+  daemon_ = &daemon;
+  channel_ = &ch;
   client_ = std::make_unique<rpc::RpcClient>(ch);
   if (tracing()) {
     // Stamp the placement decision on the lifecycle record so the profiler
@@ -246,6 +249,15 @@ cuda::cudaError_t Interposer::cudaThreadExit() {
   if (tracing()) {
     config_.tracer->end_request(app_.app_id, config_.sim->now());
   }
+  // The exit response we just consumed was the connection's final delivery:
+  // the worker fiber has ended and nothing references the Conn anymore.
+  // Drop our client first (it borrows the channel), then let the daemon
+  // reclaim the binding — without this, tenant churn leaks one connection
+  // per short-lived request.
+  client_.reset();
+  daemon_->release_binding(*channel_);
+  channel_ = nullptr;
+  daemon_ = nullptr;
   return err;
 }
 

@@ -118,6 +118,11 @@ class Interposer final : public GpuApi {
   backend::AppDescriptor app_;
   InterposerConfig config_;
   std::optional<core::Gid> gid_;
+  /// The daemon and channel of the current binding, remembered so
+  /// cudaThreadExit() can hand the drained connection back for reclamation
+  /// (daemon owns the channel; both outlive this interposer).
+  backend::BackendDaemon* daemon_ = nullptr;
+  rpc::DuplexChannel* channel_ = nullptr;
   std::unique_ptr<rpc::RpcClient> client_;
   std::optional<core::FeedbackRecord> feedback_;
   bool exited_ = false;

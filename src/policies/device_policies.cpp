@@ -111,6 +111,123 @@ std::vector<std::uint64_t> PsPolicy::pick_awake(
   return awake;
 }
 
+MqfqStickyPolicy::MqfqStickyPolicy(MqfqConfig cfg) : cfg_(cfg) {}
+
+std::vector<std::uint64_t> MqfqStickyPolicy::pick_awake(
+    const std::vector<RcbSnapshot>& rcb) {
+  // Timeless entry point (direct unit-test use): reuse the last clock the
+  // dispatcher handed us, which degrades stickiness to "until re-evaluated".
+  return pick_awake(rcb, last_now_);
+}
+
+std::vector<std::uint64_t> MqfqStickyPolicy::pick_awake(
+    const std::vector<RcbSnapshot>& rcb, sim::SimTime now) {
+  last_now_ = now;
+
+  // Group the per-thread snapshots by tenant: MQFQ queues are tenant-level,
+  // one flow per tenant regardless of how many threads it has registered.
+  struct TenantView {
+    sim::SimTime attained = 0;
+    double weight = 1.0;
+    bool backlogged = false;
+  };
+  std::map<std::string, TenantView> tenants;
+  for (const auto& r : rcb) {
+    auto& t = tenants[r.tenant];
+    t.attained = std::max(t.attained, r.tenant_attained);
+    t.weight = r.tenant_weight > 0.0 ? r.tenant_weight : 1.0;
+    t.backlogged = t.backlogged || r.backlogged;
+  }
+
+  // Advance each flow's virtual clock by the service its tenant attained
+  // since the last decision, normalized by weight. A flow transitioning
+  // idle -> backlogged is lifted to the global virtual time first: idling
+  // must never bank credit against active tenants (start-time fair queueing
+  // arrival rule).
+  for (auto& [name, view] : tenants) {
+    auto [it, inserted] = flows_.try_emplace(name);
+    Flow& f = it->second;
+    if (inserted) {
+      f.vt = global_vt_;
+      f.last_attained = view.attained;
+    }
+    if (view.backlogged && !f.was_backlogged) f.vt = std::max(f.vt, global_vt_);
+    const sim::SimTime delta = view.attained - f.last_attained;
+    if (delta > 0) f.vt += static_cast<double>(delta) / view.weight;
+    f.last_attained = view.attained;
+    f.was_backlogged = view.backlogged;
+  }
+  // Flows for tenants with no registered threads left keep their virtual
+  // time (so a detach/re-attach cycle cannot reset history) but drop out of
+  // the backlogged set and the global-vt computation below.
+  for (auto& [name, f] : flows_) {
+    if (tenants.find(name) == tenants.end()) f.was_backlogged = false;
+  }
+
+  // Global virtual time = minimum over backlogged flows; throttle flows more
+  // than T ahead of it. The minimum flow is never throttled, so whenever any
+  // queue is backlogged at least one tenant is runnable (work conservation).
+  std::vector<std::pair<std::string, const TenantView*>> backlogged;
+  for (const auto& [name, view] : tenants) {
+    if (view.backlogged) backlogged.emplace_back(name, &view);
+  }
+  last_throttled_.clear();
+  if (backlogged.empty()) return {};
+  double min_vt = flows_[backlogged.front().first].vt;
+  for (const auto& [name, view] : backlogged) {
+    min_vt = std::min(min_vt, flows_[name].vt);
+  }
+  global_vt_ = min_vt;
+  const double throttle_at = global_vt_ + static_cast<double>(cfg_.throttle_T);
+
+  std::vector<std::string> runnable;
+  for (const auto& [name, view] : backlogged) {
+    if (flows_[name].vt > throttle_at) {
+      last_throttled_.push_back(name);
+    } else {
+      runnable.push_back(name);
+    }
+  }
+
+  // Stickiness: tenants still inside their window keep their slots first;
+  // remaining slots go to the lowest virtual times. Ties break on tenant
+  // name (tenants is an ordered map, so `runnable` is name-sorted already
+  // and stable_sort keeps that order within equal keys).
+  std::stable_sort(runnable.begin(), runnable.end(),
+                   [&](const std::string& a, const std::string& b) {
+                     const Flow& fa = flows_[a];
+                     const Flow& fb = flows_[b];
+                     const bool sa = fa.sticky_until > now;
+                     const bool sb = fb.sticky_until > now;
+                     if (sa != sb) return sa;
+                     return fa.vt < fb.vt;
+                   });
+  if (cfg_.slots > 0 && runnable.size() > static_cast<std::size_t>(cfg_.slots))
+    runnable.resize(static_cast<std::size_t>(cfg_.slots));
+
+  // Each flow is a FIFO: only its head-of-line thread dispatches (lowest
+  // key = registration order). Waking a tenant's whole thread set would let
+  // a deep backlog flood the engine queues past the throttle's reach.
+  std::vector<std::uint64_t> awake;
+  for (const auto& name : runnable) {
+    flows_[name].sticky_until = now + cfg_.sticky_window;
+    const RcbSnapshot* head = nullptr;
+    for (const auto& r : rcb) {
+      if (r.tenant != name || !r.backlogged) continue;
+      if (head == nullptr || r.key < head->key) head = &r;
+    }
+    if (head != nullptr) awake.push_back(head->key);
+  }
+  return awake;
+}
+
+std::vector<std::pair<std::string, double>> MqfqStickyPolicy::vtimes() const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(flows_.size());
+  for (const auto& [name, f] : flows_) out.emplace_back(name, f.vt);
+  return out;
+}
+
 namespace {
 std::map<std::string, std::function<std::unique_ptr<DeviceSchedPolicy>()>>&
 custom_device_registry() {
@@ -136,6 +253,7 @@ std::unique_ptr<DeviceSchedPolicy> make_device_policy(const std::string& name) {
   if (name == "TFS") return std::make_unique<TfsPolicy>();
   if (name == "LAS") return std::make_unique<LasPolicy>();
   if (name == "PS") return std::make_unique<PsPolicy>();
+  if (name == "MQFQ" || name == "mqfq") return std::make_unique<MqfqStickyPolicy>();
   throw std::invalid_argument("unknown device policy: " + name);
 }
 

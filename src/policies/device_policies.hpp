@@ -11,13 +11,18 @@
 //   PS  — phase selection: wakes one thread per GPU-usage phase so the
 //         kernel engine and both copy engines run concurrently
 //         (priority KL > H2D = D2H > DFL).
+//   MQFQ — MQFQ-Sticky fair queueing: per-tenant virtual-time queues with a
+//          throttle threshold T and a device stickiness window (modeled on
+//          "MQFQ-Sticky: Fair Queueing For Serverless GPU Functions").
 //   AllAwake — no device-level scheduling (pure sharing baseline).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "simcore/sim_time.hpp"
@@ -45,6 +50,10 @@ struct RcbSnapshot {
   Phase phase = Phase::kDefault;
   /// True if the thread has queued or in-flight work.
   bool backlogged = false;
+  /// Cumulative engine residency attained by this thread's *tenant* on this
+  /// device, including service from already-exited apps of the same tenant.
+  /// This is what tenant-level fair queueing (MQFQ) meters.
+  sim::SimTime tenant_attained = 0;
 };
 
 class DeviceSchedPolicy {
@@ -54,6 +63,13 @@ class DeviceSchedPolicy {
   /// Returns the keys of the threads to keep awake next epoch.
   virtual std::vector<std::uint64_t> pick_awake(
       const std::vector<RcbSnapshot>& rcb) = 0;
+  /// Time-aware overload used by the dispatcher. `now` is the device's
+  /// virtual clock at evaluation time; policies that need it (stickiness
+  /// windows) override this, everyone else inherits the forwarding default.
+  virtual std::vector<std::uint64_t> pick_awake(
+      const std::vector<RcbSnapshot>& rcb, sim::SimTime /*now*/) {
+    return pick_awake(rcb);
+  }
 };
 
 /// Everything awake — the behaviour of plain GPU sharing with no
@@ -86,8 +102,63 @@ class PsPolicy final : public DeviceSchedPolicy {
       const std::vector<RcbSnapshot>& rcb) override;
 };
 
-/// Factory by name ("AllAwake", "TFS", "LAS", "PS", or any name registered
-/// via register_device_policy); throws std::invalid_argument otherwise.
+struct MqfqConfig {
+  /// Throttle threshold T: a tenant whose virtual time leads the global
+  /// (minimum backlogged) virtual time by more than T is throttled until
+  /// the laggards catch up. Virtual time is weighted service, so T is in
+  /// units of per-unit-weight device time.
+  sim::SimTime throttle_T = sim::msec(20);
+  /// Stickiness window: a tenant selected for a device slot keeps that slot
+  /// across re-evaluations for this long (while backlogged and unthrottled),
+  /// trading a little short-term fairness for fewer tenant switches.
+  sim::SimTime sticky_window = sim::msec(2);
+  /// Concurrent tenant slots (matches the PS/LAS three engine slots).
+  int slots = 3;
+};
+
+/// MQFQ-Sticky: per-tenant start-time fair queueing over attained device
+/// service. Each tenant owns a virtual clock advanced by attained service
+/// divided by its weight; a tenant becoming backlogged is lifted to the
+/// global virtual time (so idling never banks credit); tenants more than T
+/// ahead of the slowest backlogged tenant are throttled. The min-virtual-time
+/// tenant is never throttled, so the device stays work conserving.
+class MqfqStickyPolicy final : public DeviceSchedPolicy {
+ public:
+  explicit MqfqStickyPolicy(MqfqConfig cfg = {});
+  const char* name() const override { return "MQFQ"; }
+  std::vector<std::uint64_t> pick_awake(
+      const std::vector<RcbSnapshot>& rcb) override;
+  std::vector<std::uint64_t> pick_awake(const std::vector<RcbSnapshot>& rcb,
+                                        sim::SimTime now) override;
+
+  const MqfqConfig& config() const { return cfg_; }
+  /// Current per-tenant virtual times (ns of per-unit-weight service),
+  /// sorted by tenant name. For instruments and property tests.
+  std::vector<std::pair<std::string, double>> vtimes() const;
+  /// Global virtual time: min over backlogged tenants at the last decision.
+  double global_vtime() const { return global_vt_; }
+  /// Tenants throttled (vt > global + T) at the last decision.
+  const std::vector<std::string>& last_throttled() const {
+    return last_throttled_;
+  }
+
+ private:
+  struct Flow {
+    double vt = 0.0;                 // virtual time, ns / weight
+    sim::SimTime last_attained = 0;  // tenant_attained at last evaluation
+    sim::SimTime sticky_until = -1;  // holds a slot while now < sticky_until
+    bool was_backlogged = false;
+  };
+  MqfqConfig cfg_;
+  std::map<std::string, Flow> flows_;  // ordered: deterministic tie-breaks
+  double global_vt_ = 0.0;
+  std::vector<std::string> last_throttled_;
+  sim::SimTime last_now_ = 0;
+};
+
+/// Factory by name ("AllAwake", "TFS", "LAS", "PS", "MQFQ" with default
+/// knobs, or any name registered via register_device_policy); throws
+/// std::invalid_argument otherwise.
 std::unique_ptr<DeviceSchedPolicy> make_device_policy(const std::string& name);
 
 /// Registers a user-defined device policy under `name` (overrides built-ins

@@ -107,6 +107,7 @@ rpc::LinkModel to_link(int line, const std::string& v) {
 ScenarioConfig parse_scenario(std::istream& in) {
   ScenarioConfig cfg;
   ArrivalConfig* stream = nullptr;
+  OpenLoopTenant* tenant = nullptr;
   std::string raw;
   int line = 0;
   std::uint32_t default_seed = 1;
@@ -122,7 +123,16 @@ ScenarioConfig parse_scenario(std::istream& in) {
     if (text == "[stream]") {
       cfg.streams.emplace_back();
       stream = &cfg.streams.back();
+      tenant = nullptr;
       stream->seed = default_seed++;
+      continue;
+    }
+    if (text == "[tenant]") {
+      cfg.tenants.emplace_back();
+      tenant = &cfg.tenants.back();
+      stream = nullptr;
+      tenant->seed = default_seed++;
+      tenant->name = "tenant" + std::to_string(cfg.tenants.size());
       continue;
     }
     if (text.front() == '[') fail(line, "unknown section " + text);
@@ -133,7 +143,7 @@ ScenarioConfig parse_scenario(std::istream& in) {
     const std::string value = trim(text.substr(eq + 1));
     if (value.empty()) fail(line, "empty value for '" + key + "'");
 
-    if (stream == nullptr) {
+    if (stream == nullptr && tenant == nullptr) {
       // Global (testbed) section.
       if (key == "mode") {
         cfg.testbed.mode = to_mode(line, value);
@@ -145,6 +155,15 @@ ScenarioConfig parse_scenario(std::istream& in) {
         cfg.testbed.feedback_policy = value;
       } else if (key == "device_policy") {
         cfg.testbed.device_policy = value;
+      } else if (key == "mqfq_t") {
+        // Keys are lowercased, so this accepts the documented `mqfq_T`.
+        const double ms = to_double(line, value);
+        if (ms <= 0) fail(line, "mqfq_T must be positive");
+        cfg.testbed.mqfq.throttle_T = static_cast<sim::SimTime>(ms * 1e6);
+      } else if (key == "mqfq_sticky_ms") {
+        const double ms = to_double(line, value);
+        if (ms < 0) fail(line, "mqfq_sticky_ms must be non-negative");
+        cfg.testbed.mqfq.sticky_window = static_cast<sim::SimTime>(ms * 1e6);
       } else if (key == "remote_link") {
         cfg.testbed.remote_link = to_link(line, value);
       } else if (key == "shared_network") {
@@ -205,6 +224,57 @@ ScenarioConfig parse_scenario(std::istream& in) {
       } else {
         fail(line, "unknown global key '" + key + "'");
       }
+    } else if (tenant != nullptr) {
+      if (key == "name") {
+        tenant->name = value;
+      } else if (key == "app") {
+        profile(value);  // validates; throws std::invalid_argument if bad
+        tenant->app = value;
+      } else if (key == "origin") {
+        tenant->origin = to_int(line, value);
+      } else if (key == "arrival") {
+        const std::string l = lower(value);
+        if (l == "poisson") {
+          tenant->arrival = ArrivalKind::kPoisson;
+        } else if (l == "bursty") {
+          tenant->arrival = ArrivalKind::kBursty;
+        } else if (l == "trace") {
+          tenant->arrival = ArrivalKind::kTrace;
+        } else {
+          fail(line, "unknown arrival '" + value + "' (poisson|bursty|trace)");
+        }
+      } else if (key == "rate") {
+        tenant->rate_rps = to_double(line, value);
+        if (tenant->rate_rps <= 0) fail(line, "rate must be positive");
+      } else if (key == "burst_factor") {
+        tenant->burst_factor = to_double(line, value);
+        if (tenant->burst_factor <= 0) {
+          fail(line, "burst_factor must be positive");
+        }
+      } else if (key == "burst_on_ms") {
+        tenant->burst_on = sim::msec(to_int(line, value));
+        if (tenant->burst_on <= 0) fail(line, "burst_on_ms must be positive");
+      } else if (key == "burst_off_ms") {
+        tenant->burst_off = sim::msec(to_int(line, value));
+        if (tenant->burst_off <= 0) {
+          fail(line, "burst_off_ms must be positive");
+        }
+      } else if (key == "trace_file") {
+        tenant->trace_file = value;
+      } else if (key == "requests") {
+        tenant->requests = to_int(line, value);
+        if (tenant->requests <= 0) fail(line, "requests must be positive");
+      } else if (key == "attach_ms") {
+        tenant->attach_at = sim::msec(to_int(line, value));
+      } else if (key == "detach_ms") {
+        tenant->detach_at = sim::msec(to_int(line, value));
+      } else if (key == "seed") {
+        tenant->seed = static_cast<std::uint64_t>(to_int(line, value));
+      } else if (key == "weight") {
+        tenant->weight = to_double(line, value);
+      } else {
+        fail(line, "unknown tenant key '" + key + "'");
+      }
     } else {
       if (key == "app") {
         profile(value);  // validates; throws std::invalid_argument if bad
@@ -229,8 +299,9 @@ ScenarioConfig parse_scenario(std::istream& in) {
     }
   }
 
-  if (cfg.streams.empty()) {
-    throw ScenarioParseError("scenario defines no [stream] sections");
+  if (cfg.streams.empty() && cfg.tenants.empty()) {
+    throw ScenarioParseError(
+        "scenario defines no [stream] or [tenant] sections");
   }
   const int node_count = static_cast<int>(
       (cfg.testbed.nodes.empty() ? small_server() : cfg.testbed.nodes)
@@ -244,12 +315,23 @@ ScenarioConfig parse_scenario(std::istream& in) {
       throw ScenarioParseError("stream " + std::to_string(i + 1) +
                                " has no app");
     }
-    const int max_node = static_cast<int>(
-        (cfg.testbed.nodes.empty() ? small_server() : cfg.testbed.nodes)
-            .size());
-    if (cfg.streams[i].origin < 0 || cfg.streams[i].origin >= max_node) {
+    if (cfg.streams[i].origin < 0 || cfg.streams[i].origin >= node_count) {
       throw ScenarioParseError("stream " + std::to_string(i + 1) +
                                " origin out of range");
+    }
+  }
+  for (std::size_t i = 0; i < cfg.tenants.size(); ++i) {
+    const OpenLoopTenant& t = cfg.tenants[i];
+    const std::string who = "tenant " + std::to_string(i + 1);
+    if (t.app.empty()) throw ScenarioParseError(who + " has no app");
+    if (t.origin < 0 || t.origin >= node_count) {
+      throw ScenarioParseError(who + " origin out of range");
+    }
+    if (t.arrival == ArrivalKind::kTrace && t.trace_file.empty()) {
+      throw ScenarioParseError(who + " uses arrival=trace with no trace_file");
+    }
+    if (t.detach_at >= 0 && t.detach_at <= t.attach_at) {
+      throw ScenarioParseError(who + " detach_ms must exceed attach_ms");
     }
   }
   return cfg;
@@ -266,10 +348,27 @@ ScenarioConfig load_scenario(const std::string& path) {
   return parse_scenario(in);
 }
 
+namespace {
+
+/// Starts closed-loop streams and open-loop tenants, drives the simulation
+/// to completion, and returns stream rows followed by tenant rows (one
+/// StreamStats per [tenant], so the run_scenario table covers both).
+std::vector<StreamStats> run_all_traffic(Testbed& bed,
+                                         const ScenarioConfig& cfg) {
+  auto stream_stats = start_streams(bed, cfg.streams);
+  auto tenant_stats = start_open_loop(bed, cfg.tenants);
+  bed.simulation().run();
+  std::vector<StreamStats> out = std::move(*stream_stats);
+  out.insert(out.end(), tenant_stats->begin(), tenant_stats->end());
+  return out;
+}
+
+}  // namespace
+
 std::vector<StreamStats> run_scenario_config(const ScenarioConfig& cfg) {
   sim::Simulation sim;
   Testbed bed(sim, cfg.testbed);
-  return run_streams(bed, cfg.streams);
+  return run_all_traffic(bed, cfg);
 }
 
 std::vector<StreamStats> run_scenario_config(const ScenarioConfig& cfg,
@@ -323,7 +422,7 @@ ScenarioRunResult run_scenario_config_full(const ScenarioConfig& cfg,
     });
   }
   ScenarioRunResult result;
-  result.streams = run_streams(bed, run_cfg.streams);
+  result.streams = run_all_traffic(bed, run_cfg);
   // Close the trailing window (the weak tick dies with the last real
   // event) before any export reads the registry or the alert log.
   bed.finalize_stream();

@@ -39,8 +39,31 @@
 //   app = DC
 //   ...
 //
+// Open-loop traffic (device_policy = mqfq pairs naturally with it):
+//
+//   device_policy = mqfq      # MQFQ-Sticky fair queueing
+//   mqfq_T = 20               # throttle threshold T (virtual-time ms)
+//   mqfq_sticky_ms = 2        # device stickiness window
+//
+//   [tenant]
+//   name = burst-svc          # tenant name (default tenant<k>)
+//   app = MC
+//   origin = 0
+//   arrival = bursty          # poisson | bursty | trace
+//   rate = 120                # mean requests/sec (OFF-state rate for bursty)
+//   burst_factor = 8          # ON-state rate multiplier (bursty)
+//   burst_on_ms = 200         # mean ON dwell (bursty)
+//   burst_off_ms = 800        # mean OFF dwell (bursty)
+//   trace_file = arrivals.txt # offsets in ms, one per line (trace)
+//   requests = 400            # schedule length cap
+//   attach_ms = 0             # tenant churn window: attach time
+//   detach_ms = 1500          # detach time (omit: never detaches)
+//   seed = 7
+//   weight = 1.0
+//
 // Parsed into a ScenarioConfig, which converts to TestbedConfig + arrival
-// streams. See bench/run_scenario for the command-line driver.
+// streams + open-loop tenants. See bench/run_scenario for the command-line
+// driver.
 #pragma once
 
 #include <cstdint>
@@ -50,6 +73,7 @@
 #include <string>
 #include <vector>
 
+#include "workloads/arrivals.hpp"
 #include "workloads/service.hpp"
 #include "workloads/testbed.hpp"
 
@@ -65,6 +89,8 @@ class ScenarioParseError : public std::runtime_error {
 struct ScenarioConfig {
   TestbedConfig testbed;
   std::vector<ArrivalConfig> streams;
+  /// Open-loop tenants ([tenant] sections); may coexist with streams.
+  std::vector<OpenLoopTenant> tenants;
 };
 
 /// Parses scenario text. Throws ScenarioParseError on bad input.

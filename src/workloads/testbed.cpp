@@ -5,8 +5,33 @@
 #include <stdexcept>
 
 #include "obs/prof.hpp"
+#include "simcore/flat_map.hpp"
 
 namespace strings::workloads {
+
+namespace {
+
+/// Baseline-mode API wrapper: retires the pid -> tenant mapping when the
+/// app instance goes away. The exit flush runs first so the op observer
+/// attributes every last completion; without the erase the map grows by one
+/// entry per request for the life of the run (open-loop churn made that a
+/// real leak). The accumulated per-tenant service itself survives — that is
+/// the whole-run quantity Jain is computed over.
+class BaselineApi final : public frontend::DirectApi {
+ public:
+  BaselineApi(cuda::CudaRuntime& rt,
+              sim::FlatMap<cuda::ProcessId, std::string>& pid_tenant)
+      : DirectApi(rt), pid_tenant_(pid_tenant) {}
+  ~BaselineApi() override {
+    cudaThreadExit();
+    pid_tenant_.erase(pid());
+  }
+
+ private:
+  sim::FlatMap<cuda::ProcessId, std::string>& pid_tenant_;
+};
+
+}  // namespace
 
 const char* mode_name(Mode m) {
   switch (m) {
@@ -203,6 +228,7 @@ Testbed::Testbed(sim::Simulation& sim, TestbedConfig config)
   backend::BackendConfig bcfg;
   bcfg.sched.epoch = config_.sched_epoch;
   bcfg.device_policy = config_.device_policy;
+  bcfg.mqfq = config_.mqfq;
   bcfg.use_device_scheduler = config_.use_device_scheduler;
   bcfg.packer.convert_sync_to_async = config_.convert_sync_to_async;
   bcfg.packer.convert_device_sync = config_.convert_device_sync;
@@ -450,6 +476,22 @@ void Testbed::finalize_stream() {
 
 void Testbed::emit_window(bool partial) {
   if (timeseries_ == nullptr) return;
+  // MQFQ live instruments: per-tenant virtual time (ms of per-unit-weight
+  // service, max across devices) so strings_top and the SLO watchdog see
+  // who is ahead/throttled under overload. Gauges register lazily and only
+  // on the streaming path, so non-MQFQ (and non-streaming) runs are
+  // byte-identical to before.
+  for (const auto& daemon : daemons_) {
+    for (int dev = 0; dev < daemon->device_count(); ++dev) {
+      const auto* mqfq = dynamic_cast<const policies::MqfqStickyPolicy*>(
+          &daemon->scheduler(dev).policy());
+      if (mqfq == nullptr) continue;
+      for (const auto& [tenant, vt] : mqfq->vtimes()) {
+        auto& g = registry_.gauge("mqfq/" + tenant + "/vtime");
+        if (vt / 1e6 > g.value()) g.set(vt / 1e6);
+      }
+    }
+  }
   if (wall_clock_ms_) {
     const double wall = wall_clock_ms_();
     registry_.gauge("sim/wall_ms_per_window").set(wall - last_wall_ms_);
@@ -537,7 +579,8 @@ rpc::LinkModel Testbed::control_link_for(core::NodeId node) const {
 std::unique_ptr<frontend::GpuApi> Testbed::make_api(
     const backend::AppDescriptor& app) {
   if (config_.mode == Mode::kCudaBaseline) {
-    auto api = std::make_unique<frontend::DirectApi>(runtime(app.origin_node));
+    auto api = std::make_unique<BaselineApi>(runtime(app.origin_node),
+                                             baseline_pid_tenant_);
     baseline_pid_tenant_[api->pid()] = app.tenant;
     return api;
   }

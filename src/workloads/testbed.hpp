@@ -50,6 +50,9 @@ struct TestbedConfig {
   /// Feedback policy for the Policy Arbiter; empty disables switching.
   std::string feedback_policy;
   std::string device_policy = "AllAwake";
+  /// MQFQ-Sticky knobs (throttle threshold T, stickiness window); only
+  /// consulted when device_policy selects MQFQ.
+  policies::MqfqConfig mqfq;
   sim::SimTime sched_epoch = sim::msec(10);
   bool trace_devices = false;
   /// Structured event tracing of scheduler decisions (Testbed::trace_log).

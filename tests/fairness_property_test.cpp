@@ -1,0 +1,379 @@
+// Property-based fairness suite for the device-level queueing policies.
+//
+// A synthetic epoch harness drives MqfqStickyPolicy / LasPolicy directly:
+// open-loop arrival schedules (workloads/arrivals.hpp — the same generator
+// the testbed uses) feed per-tenant request queues, each epoch builds the
+// RcbSnapshot vector the dispatcher would, asks the policy who runs, and
+// grants the epoch's service to the awake threads. Because everything is
+// deterministic, each (seed, arrival-kind, policy) triple is a reproducible
+// schedule, and the suite sweeps 50+ seeds of both Poisson and bursty
+// traffic through both policies.
+//
+// Pinned invariants:
+//   * virtual-time monotonicity — no tenant flow's virtual clock, nor the
+//     global virtual time, ever moves backwards (MQFQ);
+//   * work conservation — whenever any thread is backlogged, the policy
+//     wakes at least one thread (MQFQ: the minimum flow is never throttled);
+//   * bounded service gap — a backlogged flow's virtual time never exceeds
+//     the global virtual time by more than throttle_T plus one epoch's
+//     worth of service (the largest overshoot a single grant can add).
+//
+// On violation the test prints the seed and the recent event chain (epoch,
+// awake set, per-flow virtual times) so the failure replays standalone.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "policies/device_policies.hpp"
+#include "workloads/arrivals.hpp"
+#include "workloads/testbed.hpp"
+
+namespace strings {
+namespace {
+
+using policies::MqfqConfig;
+using policies::MqfqStickyPolicy;
+using policies::RcbSnapshot;
+using workloads::ArrivalKind;
+using workloads::OpenLoopTenant;
+
+constexpr sim::SimTime kEpoch = sim::msec(1);
+constexpr int kSeeds = 50;
+
+struct HarnessTenant {
+  std::string name;
+  double weight = 1.0;
+  std::uint64_t key = 0;            // one RCB per tenant
+  std::vector<sim::SimTime> arrivals;
+  std::size_t next_arrival = 0;
+  int queued = 0;                   // requests arrived, not yet finished
+  sim::SimTime remaining = 0;       // service left on the head request
+  sim::SimTime service_per_request = sim::msec(5);
+  sim::SimTime attained = 0;        // cumulative engine residency
+};
+
+/// Ring buffer of recent scheduling events, dumped when an invariant trips.
+class EventRing {
+ public:
+  void push(std::string line) {
+    if (lines_.size() >= 50) lines_.pop_front();
+    lines_.push_back(std::move(line));
+  }
+  std::string dump(std::uint64_t seed) const {
+    std::ostringstream os;
+    os << "seed=" << seed << " recent events (oldest first):\n";
+    for (const auto& l : lines_) os << "  " << l << "\n";
+    return os.str();
+  }
+
+ private:
+  std::deque<std::string> lines_;
+};
+
+std::vector<HarnessTenant> make_tenants(std::uint64_t seed, ArrivalKind kind) {
+  // Three tenants with distinct weights and demand: a steady light flow, a
+  // heavier flow, and a double-weight flow that arrives in the middle.
+  std::vector<HarnessTenant> out(3);
+  const char* names[] = {"alpha", "bravo", "charlie"};
+  const double rates[] = {40.0, 120.0, 80.0};
+  const double weights[] = {1.0, 1.0, 2.0};
+  for (int i = 0; i < 3; ++i) {
+    OpenLoopTenant t;
+    t.name = names[i];
+    t.arrival = kind;
+    t.rate_rps = rates[i];
+    t.burst_factor = 6.0;
+    t.burst_on = sim::msec(40);
+    t.burst_off = sim::msec(120);
+    t.requests = 60;
+    t.seed = seed;
+    t.attach_at = i == 2 ? sim::msec(150) : 0;
+    out[i].name = t.name;
+    out[i].weight = weights[i];
+    out[i].key = static_cast<std::uint64_t>(i + 1);
+    out[i].arrivals = workloads::arrival_schedule(t);
+    out[i].service_per_request = sim::msec(3 + 2 * i);
+  }
+  return out;
+}
+
+std::vector<RcbSnapshot> snapshots(const std::vector<HarnessTenant>& tenants) {
+  std::vector<RcbSnapshot> snaps;
+  for (const auto& t : tenants) {
+    RcbSnapshot s;
+    s.key = t.key;
+    s.tenant = t.name;
+    s.tenant_weight = t.weight;
+    s.total_service = t.attained;
+    s.tenant_attained = t.attained;
+    s.cgs = static_cast<double>(t.attained);
+    s.backlogged = t.queued > 0;
+    snaps.push_back(std::move(s));
+  }
+  return snaps;
+}
+
+/// Runs one deterministic schedule through `policy`, checking MQFQ-specific
+/// invariants when `mqfq` is non-null; accumulates total service granted
+/// into `*granted_out` (gtest ASSERT_* requires a void function).
+void run_harness(policies::DeviceSchedPolicy& policy,
+                 const MqfqStickyPolicy* mqfq, std::uint64_t seed,
+                 ArrivalKind kind, EventRing& ring,
+                 sim::SimTime* granted_out) {
+  std::vector<HarnessTenant> tenants = make_tenants(seed, kind);
+  std::map<std::string, double> last_vt;
+  double last_global = 0.0;
+  sim::SimTime granted = 0;
+  const double max_weight = 2.0;  // service/weight overshoot bound per epoch
+
+  for (sim::SimTime now = 0; now < sim::sec(4); now += kEpoch) {
+    // Admit arrivals, then let the policy decide who runs this epoch.
+    for (auto& t : tenants) {
+      while (t.next_arrival < t.arrivals.size() &&
+             t.arrivals[t.next_arrival] <= now) {
+        if (t.queued == 0) t.remaining = t.service_per_request;
+        ++t.queued;
+        ++t.next_arrival;
+      }
+    }
+    const std::vector<RcbSnapshot> snaps = snapshots(tenants);
+    bool any_backlogged = false;
+    for (const auto& s : snaps) any_backlogged = any_backlogged || s.backlogged;
+
+    const std::vector<std::uint64_t> awake = policy.pick_awake(snaps, now);
+    {
+      std::ostringstream ev;
+      ev << "t=" << now / 1000000 << "ms awake={";
+      for (const auto k : awake) ev << k << ",";
+      ev << "}";
+      if (mqfq != nullptr) {
+        ev << " gvt=" << mqfq->global_vtime();
+        for (const auto& [name, vt] : mqfq->vtimes()) {
+          ev << " " << name << ":" << vt;
+        }
+      }
+      ring.push(ev.str());
+    }
+
+    // Work conservation: backlog implies at least one awake thread.
+    if (any_backlogged) {
+      ASSERT_FALSE(awake.empty())
+          << "policy " << policy.name()
+          << " left the device idle with backlogged tenants\n"
+          << ring.dump(seed);
+    }
+
+    if (mqfq != nullptr) {
+      const double global = mqfq->global_vtime();
+      ASSERT_GE(global + 1e-6, last_global)
+          << "global virtual time moved backwards\n" << ring.dump(seed);
+      last_global = global;
+      const double bound = static_cast<double>(mqfq->config().throttle_T) +
+                           static_cast<double>(kEpoch) * max_weight;
+      for (const auto& [name, vt] : mqfq->vtimes()) {
+        auto it = last_vt.find(name);
+        if (it != last_vt.end()) {
+          ASSERT_GE(vt + 1e-6, it->second)
+              << "flow " << name << " virtual time moved backwards\n"
+              << ring.dump(seed);
+        }
+        last_vt[name] = vt;
+        // Bounded service gap: backlogged flows never run away from the
+        // global virtual time by more than T plus one epoch's grant.
+        for (const auto& s : snaps) {
+          if (s.tenant == name && s.backlogged) {
+            ASSERT_LE(vt, global + bound)
+                << "flow " << name << " exceeded the throttle bound\n"
+                << ring.dump(seed);
+          }
+        }
+      }
+    }
+
+    // Grant the epoch's service evenly across the awake threads.
+    if (awake.empty()) continue;
+    const sim::SimTime share =
+        kEpoch / static_cast<sim::SimTime>(awake.size());
+    for (const auto key : awake) {
+      for (auto& t : tenants) {
+        if (t.key != key || t.queued == 0) continue;
+        const sim::SimTime grant = std::min(share, t.remaining);
+        t.attained += grant;
+        granted += grant;
+        t.remaining -= grant;
+        if (t.remaining == 0) {
+          --t.queued;
+          if (t.queued > 0) t.remaining = t.service_per_request;
+        }
+      }
+    }
+  }
+  *granted_out = granted;
+}
+
+class FairnessProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FairnessProperty, MqfqInvariantsHoldAcrossSeeds) {
+  const auto [seed, kind_idx] = GetParam();
+  const ArrivalKind kind =
+      kind_idx == 0 ? ArrivalKind::kPoisson : ArrivalKind::kBursty;
+  MqfqStickyPolicy policy;
+  EventRing ring;
+  sim::SimTime granted = 0;
+  run_harness(policy, &policy, static_cast<std::uint64_t>(seed), kind, ring,
+              &granted);
+  EXPECT_GT(granted, 0) << ring.dump(static_cast<std::uint64_t>(seed));
+}
+
+TEST_P(FairnessProperty, LasStaysWorkConservingAcrossSeeds) {
+  const auto [seed, kind_idx] = GetParam();
+  const ArrivalKind kind =
+      kind_idx == 0 ? ArrivalKind::kPoisson : ArrivalKind::kBursty;
+  auto policy = policies::make_device_policy("LAS");
+  EventRing ring;
+  sim::SimTime granted = 0;
+  run_harness(*policy, nullptr, static_cast<std::uint64_t>(seed), kind, ring,
+              &granted);
+  EXPECT_GT(granted, 0) << ring.dump(static_cast<std::uint64_t>(seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, FairnessProperty,
+    ::testing::Combine(::testing::Range(1, kSeeds + 1),
+                       ::testing::Values(0, 1)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return (std::get<1>(info.param) == 0 ? "poisson" : "bursty") +
+             std::string("_seed") + std::to_string(std::get<0>(info.param));
+    });
+
+// Directed edge cases the sweep may not hit.
+
+TEST(MqfqSticky, IdleFlowIsLiftedToGlobalVirtualTime) {
+  MqfqStickyPolicy policy;
+  RcbSnapshot a;
+  a.key = 1;
+  a.tenant = "a";
+  a.backlogged = true;
+  RcbSnapshot b;
+  b.key = 2;
+  b.tenant = "b";
+  b.backlogged = false;
+  // `a` runs alone and banks service; `b` idles the whole time.
+  a.tenant_attained = sim::msec(500);
+  (void)policy.pick_awake({a, b}, 0);
+  // When `b` finally wakes up it must not carry 500 ms of banked credit:
+  // its virtual time starts at the global virtual time, not zero.
+  b.backlogged = true;
+  (void)policy.pick_awake({a, b}, sim::msec(10));
+  double vt_a = -1.0, vt_b = -1.0;
+  for (const auto& [name, vt] : policy.vtimes()) {
+    if (name == "a") vt_a = vt;
+    if (name == "b") vt_b = vt;
+  }
+  EXPECT_GE(vt_b, policy.global_vtime() - 1e-9);
+  EXPECT_GE(vt_a, vt_b);
+}
+
+TEST(MqfqSticky, ThrottledFlowIsReportedAndMinFlowRuns) {
+  MqfqConfig cfg;
+  cfg.throttle_T = sim::msec(10);
+  MqfqStickyPolicy policy(cfg);
+  RcbSnapshot ahead;
+  ahead.key = 1;
+  ahead.tenant = "ahead";
+  ahead.backlogged = true;
+  RcbSnapshot behind;
+  behind.key = 2;
+  behind.tenant = "behind";
+  behind.backlogged = true;
+  (void)policy.pick_awake({ahead, behind}, 0);
+  // `ahead` attains 50 ms while `behind` attains nothing: beyond T=10ms.
+  ahead.tenant_attained = sim::msec(50);
+  const auto awake = policy.pick_awake({ahead, behind}, sim::msec(1));
+  ASSERT_EQ(policy.last_throttled().size(), 1u);
+  EXPECT_EQ(policy.last_throttled()[0], "ahead");
+  ASSERT_EQ(awake.size(), 1u);
+  EXPECT_EQ(awake[0], 2u);  // the minimum flow always runs
+}
+
+TEST(MqfqSticky, DetachedTenantKeepsVirtualTimeAcrossReattach) {
+  MqfqStickyPolicy policy;
+  RcbSnapshot a;
+  a.key = 1;
+  a.tenant = "a";
+  a.backlogged = true;
+  RcbSnapshot b;
+  b.key = 2;
+  b.tenant = "b";
+  b.backlogged = true;
+  b.tenant_attained = sim::msec(100);
+  (void)policy.pick_awake({a, b}, 0);
+  double vt_before = -1.0;
+  for (const auto& [name, vt] : policy.vtimes()) {
+    if (name == "b") vt_before = vt;
+  }
+  // `b` detaches (vanishes from the snapshot) and later re-attaches: its
+  // virtual time must survive, or churn would reset fairness history.
+  (void)policy.pick_awake({a}, sim::msec(5));
+  (void)policy.pick_awake({a, b}, sim::msec(10));
+  double vt_after = -1.0;
+  for (const auto& [name, vt] : policy.vtimes()) {
+    if (name == "b") vt_after = vt;
+  }
+  EXPECT_GE(vt_after, vt_before);
+}
+
+TEST(MqfqSticky, HeadOfLineThreadDispatchesPerTenant) {
+  MqfqStickyPolicy policy;
+  // One tenant with a deep backlog of three threads: only the head-of-line
+  // (lowest key) may dispatch, so a deep queue cannot flood the engines.
+  RcbSnapshot r1;
+  r1.key = 7;
+  r1.tenant = "t";
+  r1.backlogged = true;
+  RcbSnapshot r2 = r1;
+  r2.key = 3;
+  RcbSnapshot r3 = r1;
+  r3.key = 9;
+  const auto awake = policy.pick_awake({r1, r2, r3}, 0);
+  ASSERT_EQ(awake.size(), 1u);
+  EXPECT_EQ(awake[0], 3u);
+}
+
+// End-to-end: the same invariants hold when the real dispatcher drives the
+// policy inside a testbed with open-loop traffic.
+TEST(MqfqSticky, EndToEndOpenLoopRunCompletesAllRequests) {
+  workloads::TestbedConfig tcfg;
+  tcfg.mode = workloads::Mode::kStrings;
+  tcfg.device_policy = "MQFQ";
+  OpenLoopTenant a;
+  a.name = "alpha";
+  a.app = "GA";
+  a.arrival = ArrivalKind::kPoisson;
+  a.rate_rps = 4.0;
+  a.requests = 6;
+  a.seed = 3;
+  OpenLoopTenant b = a;
+  b.name = "bravo";
+  b.arrival = ArrivalKind::kBursty;
+  b.seed = 4;
+  b.requests = 5;
+  sim::Simulation sim;
+  workloads::Testbed bed(sim, tcfg);
+  const auto stats = workloads::run_open_loop(bed, {a, b});
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].completed, 6);
+  EXPECT_EQ(stats[1].completed, 5);
+  EXPECT_EQ(stats[0].errors, 0);
+  EXPECT_EQ(stats[1].errors, 0);
+  EXPECT_GT(bed.attained_service_s("alpha"), 0.0);
+  EXPECT_GT(bed.attained_service_s("bravo"), 0.0);
+}
+
+}  // namespace
+}  // namespace strings
